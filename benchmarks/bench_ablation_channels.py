@@ -1,0 +1,58 @@
+"""Ablation: detection channel coverage.
+
+Prior work ([20, 24, 30, 32] in the paper) inspected URL strings only.
+This ablation re-runs detection with progressively wider coverage and
+shows what each channel adds — the paper's §4.2.1 point that the payload
+body alone hides 43 senders and 17 receivers from URL-only methodologies.
+"""
+
+from repro.core import LeakAnalysis, LeakDetector
+from repro.core.leakmodel import (
+    LOCATION_BODY,
+    LOCATION_COOKIE,
+    LOCATION_PATH,
+    LOCATION_QUERY,
+    LOCATION_REFERER,
+)
+
+_CONFIGS = (
+    ("url-only (prior work)", (LOCATION_QUERY, LOCATION_PATH)),
+    ("+referer", (LOCATION_QUERY, LOCATION_PATH, LOCATION_REFERER)),
+    ("+cookie", (LOCATION_QUERY, LOCATION_PATH, LOCATION_REFERER,
+                 LOCATION_COOKIE)),
+    ("+payload (this paper)", (LOCATION_QUERY, LOCATION_PATH,
+                               LOCATION_REFERER, LOCATION_COOKIE,
+                               LOCATION_BODY)),
+)
+
+
+def test_bench_channel_ablation(benchmark, study_spec, crawl, tokens, emit):
+    def measure():
+        rows = []
+        for label, locations in _CONFIGS:
+            detector = LeakDetector(
+                tokens, catalog=study_spec.catalog,
+                resolver=study_spec.population.resolver(),
+                locations=locations)
+            analysis = LeakAnalysis(detector.detect(crawl.log))
+            rows.append((label, len(analysis.senders()),
+                         len(analysis.receivers())))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Ablation: channel coverage -> detected senders/receivers"]
+    for label, senders, receivers in rows:
+        lines.append("  %-24s %3d senders  %3d receivers"
+                     % (label, senders, receivers))
+    full = rows[-1]
+    url_only = rows[0]
+    lines.append("")
+    lines.append(
+        "inspecting payload bodies reaches %d senders and %d receivers "
+        "invisible to URL-and-cookie inspection; the 43 payload-channel "
+        "senders of Table 1a are only fully classified with it"
+        % (full[1] - rows[2][1], full[2] - rows[2][2]))
+    emit("ablation_channels", "\n".join(lines))
+
+    assert url_only[1] < full[1]
+    assert full[1] == 130

@@ -1,0 +1,61 @@
+"""Ablation: candidate-token chain depth (§3.1).
+
+The paper encodes/hashes each PII value up to three layers deep.  This
+ablation measures, per depth, the candidate-set size, its build cost, and
+the detection recall over the calibrated crawl — depth 1 misses the
+"SHA256 of MD5" and "BASE64+SHA1+SHA256" obfuscations that depth >= 2
+catches (Table 1b's multi-layer rows).
+"""
+
+import time
+
+from repro.core import (
+    CandidateTokenSet,
+    LeakAnalysis,
+    LeakDetector,
+    TokenSetConfig,
+)
+from repro.core.persona import DEFAULT_PERSONA
+
+
+def test_bench_depth_ablation(benchmark, study_spec, crawl, emit):
+    def measure():
+        rows = []
+        for depth in (1, 2, 3):
+            started = time.perf_counter()
+            tokens = CandidateTokenSet(DEFAULT_PERSONA,
+                                       TokenSetConfig(max_depth=depth))
+            build_seconds = time.perf_counter() - started
+            detector = LeakDetector(
+                tokens, catalog=study_spec.catalog,
+                resolver=study_spec.population.resolver())
+            analysis = LeakAnalysis(detector.detect(crawl.log))
+            multilayer = sum(
+                1 for event in analysis.events if len(event.chain) >= 2)
+            som_row = next((row for row in analysis.table1b()
+                            if row.label == "sha256 of md5"), None)
+            rows.append((depth, tokens.token_count, build_seconds,
+                         len(analysis.senders()), multilayer,
+                         som_row.senders if som_row else 0))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Ablation: token-set depth -> size / build / recall"]
+    for depth, count, seconds, senders, multilayer, som in rows:
+        lines.append("  depth %d: %6d tokens  build %5.2fs  "
+                     "%3d senders  %4d multi-layer events  "
+                     "%d 'sha256 of md5' senders"
+                     % (depth, count, seconds, senders, multilayer, som))
+    lines.append("")
+    lines.append("sender-level recall is already complete at depth 1 "
+                 "(multi-layer leakers also leak single-layer forms "
+                 "elsewhere); depth >= 2 is required to *classify* the "
+                 "Table 1b multi-layer rows (criteo's SHA256-of-MD5).")
+    emit("ablation_depth", "\n".join(lines))
+
+    depth1, depth2, depth3 = rows
+    assert depth1[1] < depth2[1] < depth3[1]     # set grows with depth
+    assert depth1[4] == 0                        # no multi-layer at depth 1
+    assert depth3[3] == 130                      # full recall at depth 3
+    assert depth1[5] == 0                        # s-o-m invisible at depth 1
+    assert depth2[5] == 2 and depth3[5] == 2     # recovered at depth >= 2

@@ -1,0 +1,86 @@
+"""Ablation: salted identifiers vs the two detection strategies.
+
+A tracker that hashes ``salt || email`` defeats candidate-token matching:
+no precomputed set contains its tokens.  This bench builds a universe
+where half the trackers salt, and compares the paper's exact detector
+against the parameter-name heuristic fallback (repro.core.heuristics) —
+quantifying the methodology's blind spot and how much of it the heuristic
+recovers.
+"""
+
+from repro.core import (
+    CandidateTokenSet,
+    HeuristicDetector,
+    LeakAnalysis,
+    LeakDetector,
+)
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import StudyCrawler
+from repro.websim import (
+    LeakBehavior,
+    TrackerEmbed,
+    Website,
+    build_default_catalog,
+)
+from repro.websim.population import Population
+
+_PLAIN_TRACKERS = ("facebook.com", "criteo.com", "pinterest.com")
+_SALTING_TRACKERS = ("snapchat.com", "dotomi.com", "krxd.net")
+
+
+def _universe():
+    catalog = build_default_catalog()
+    sites = {}
+    for index in range(12):
+        domain = "salted-shop%02d.example" % index
+        embeds = []
+        plain = _PLAIN_TRACKERS[index % len(_PLAIN_TRACKERS)]
+        embeds.append(TrackerEmbed(
+            catalog.get(plain), LeakBehavior(("uri",), (("sha256",),))))
+        salted = _SALTING_TRACKERS[index % len(_SALTING_TRACKERS)]
+        embeds.append(TrackerEmbed(
+            catalog.get(salted),
+            LeakBehavior(("uri",), (("sha256",),),
+                         param="email_hash",
+                         salt="pepper-%s::" % salted)))
+        sites[domain] = Website(domain=domain, embeds=embeds)
+    return Population(sites=sites, catalog=catalog)
+
+
+def test_bench_salting_ablation(benchmark, emit):
+    population = _universe()
+    tokens = CandidateTokenSet(DEFAULT_PERSONA)
+
+    def measure():
+        dataset = StudyCrawler(population).crawl()
+        exact = LeakDetector(tokens, catalog=population.catalog,
+                             resolver=population.resolver())
+        exact_events = exact.detect(dataset.log)
+        known = {event.token for event in exact_events}
+        heuristic = HeuristicDetector(known_tokens=known)
+        suspected = heuristic.detect(dataset.log)
+        return exact_events, suspected
+
+    exact_events, suspected = benchmark.pedantic(measure, rounds=1,
+                                                 iterations=1)
+    exact_receivers = {e.receiver for e in exact_events}
+    suspected_receivers = {f.receiver for f in suspected}
+
+    lines = ["Ablation: salted identifiers "
+             "(12 sites, 3 plain + 3 salting trackers)",
+             "  exact token matching finds:  %s"
+             % ", ".join(sorted(exact_receivers)),
+             "  heuristic fallback suspects: %s"
+             % ", ".join(sorted(suspected_receivers)),
+             "",
+             "salting makes the identifier invisible to candidate-set "
+             "matching; parameter-name heuristics recover the *existence* "
+             "of the leak (lower confidence, no PII-type attribution)."]
+    emit("ablation_salting", "\n".join(lines))
+
+    # Exact detection sees only the unsalted trackers.
+    assert exact_receivers == set(_PLAIN_TRACKERS)
+    # The heuristic flags the salting ones (param 'email_hash').
+    assert set(_SALTING_TRACKERS) <= suspected_receivers
+    # And never re-reports what exact matching already confirmed.
+    assert not (suspected_receivers & exact_receivers)

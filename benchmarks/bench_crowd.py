@@ -1,0 +1,39 @@
+"""Extension study: crowdsourced data collection (§5.2 future work).
+
+Measures how the §5.2 funnel improves as independent contributors are
+merged: single-vantage sampling leaves most multi-sender receivers looking
+like one-offs; the merged panel recovers them.
+"""
+
+from repro.crowd import CrowdStudy, make_panel
+from repro.websim.generator import GeneratorConfig, generate_population
+
+
+def test_bench_crowd_expansion(benchmark, emit):
+    population = generate_population(seed=21, config=GeneratorConfig(
+        n_sites=24, n_trackers=8, leak_probability=0.6))
+    panel = make_panel(list(population.sites), n_contributors=3,
+                       overlap=0.2)
+
+    def measure():
+        rows = []
+        for count in (1, 2, 3):
+            result = CrowdStudy(population, panel[:count]).run()
+            rows.append((count, len(result.analysis.senders()),
+                         len(result.analysis.receivers()),
+                         len(result.persistence_report
+                             .cross_site_receivers)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Crowdsourced expansion (24-site universe, 20% shared "
+             "sample):",
+             "  %-14s %8s %10s %12s" % ("contributors", "senders",
+                                        "receivers", "cross-site")]
+    for count, senders, receivers, cross_site in rows:
+        lines.append("  %-14d %8d %10d %12d"
+                     % (count, senders, receivers, cross_site))
+    emit("crowd", "\n".join(lines))
+
+    assert rows[-1][3] > rows[0][3]      # merging reveals cross-site IDs
+    assert rows[-1][1] >= rows[0][1]

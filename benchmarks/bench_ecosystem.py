@@ -1,0 +1,80 @@
+"""Extension study: ecosystem structure and statistical stability.
+
+Two additions on top of the paper's raw counts:
+
+* bootstrap confidence intervals over the per-sender statistics (how
+  stable are "2.97 receivers per sender" / "46.15% with >= 3" under
+  resampling of the 130 senders?), and
+* graph analytics over the sender-receiver bipartite graph — coverage
+  concentration ("blocking the top-k receivers fully protects x% of
+  senders") and receiver co-occurrence (the data-sharing precondition
+  §5.2 warns about).
+"""
+
+from repro.core.stats import headline_intervals
+from repro.datasets import paper
+from repro.tracking import (
+    build_leak_graph,
+    coverage_curve,
+    exposure_summary,
+    receiver_cooccurrence,
+)
+
+
+def test_bench_bootstrap_intervals(benchmark, analysis, emit):
+    intervals = benchmark(lambda: headline_intervals(analysis,
+                                                     n_resamples=1000))
+    lines = ["Bootstrap 95% confidence intervals (per-sender resampling):"]
+    for name, result in intervals.items():
+        lines.append("  %-28s %s" % (name, result))
+    mean_ci = intervals["mean_receivers_per_sender"]
+    share_ci = intervals["pct_senders_with_3plus"]
+    lines.append("")
+    lines.append("paper values: mean %.2f (in CI: %s), >=3 share %.2f%% "
+                 "(in CI: %s)"
+                 % (paper.MEAN_RECEIVERS_PER_SENDER,
+                    mean_ci.contains(paper.MEAN_RECEIVERS_PER_SENDER),
+                    paper.PCT_SENDERS_WITH_3PLUS_RECEIVERS,
+                    share_ci.contains(
+                        paper.PCT_SENDERS_WITH_3PLUS_RECEIVERS)))
+    emit("bootstrap", "\n".join(lines))
+    assert mean_ci.contains(paper.MEAN_RECEIVERS_PER_SENDER)
+
+
+def test_bench_ecosystem_graph(benchmark, analysis, emit):
+    def measure():
+        graph = build_leak_graph(analysis)
+        return (graph, coverage_curve(graph),
+                receiver_cooccurrence(graph, min_shared=10),
+                exposure_summary(analysis))
+
+    graph, curve, cooccurrence, exposure = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+
+    curve_points = dict(curve)
+    lines = ["Ecosystem structure (sender-receiver bipartite graph):",
+             "  nodes: %d, edges: %d"
+             % (graph.number_of_nodes(), graph.number_of_edges()),
+             "  coverage: blocking top-5 receivers fully protects "
+             "%.1f%% of senders; top-20: %.1f%%; top-50: %.1f%%"
+             % (curve_points[5], curve_points[20], curve_points[50]),
+             "",
+             "Receiver pairs sharing >= 10 senders (server-side "
+             "data-sharing potential):"]
+    for first, second, shared in cooccurrence[:8]:
+        lines.append("  %-22s + %-22s %3d shared senders"
+                     % (first, second, shared))
+    lines.append("")
+    lines.append("user exposure: %d flows leaked, mean %.2f receivers "
+                 "per flow, max %d, %.0f%% of flows feed facebook.com"
+                 % (exposure.flows_with_leakage,
+                    exposure.mean_receivers_per_flow,
+                    exposure.max_receivers_per_flow,
+                    exposure.pct_flows_feeding_facebook))
+    emit("ecosystem", "\n".join(lines))
+
+    assert graph.number_of_nodes() == 230  # 130 senders + 100 receivers
+    assert curve_points[100] == 100.0
+    assert any(pair[:2] == ("facebook.com", "pinterest.com")
+               for pair in cooccurrence)
+    assert exposure.pct_flows_feeding_facebook == 60.0

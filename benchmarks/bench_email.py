@@ -1,0 +1,26 @@
+"""§4.2.3 e-mail observations: 2,172 inbox / 141 spam, none third-party."""
+
+from repro.mailsim import FOLDER_INBOX, FOLDER_SPAM, KIND_MARKETING
+
+
+def test_bench_email_audit(benchmark, crawl, analysis, emit):
+    def audit():
+        mailbox = crawl.mailbox
+        inbox = len(mailbox.messages(folder=FOLDER_INBOX,
+                                     kind=KIND_MARKETING))
+        spam = len(mailbox.messages(folder=FOLDER_SPAM,
+                                    kind=KIND_MARKETING))
+        receivers = set(analysis.receivers())
+        third_party = [domain for domain in mailbox.sender_domains()
+                       if domain in receivers]
+        return inbox, spam, third_party
+
+    inbox, spam, third_party = benchmark(audit)
+    emit("email", "\n".join([
+        "E-mail audit (measured vs paper):",
+        "  marketing inbox messages: %d (paper 2172)" % inbox,
+        "  marketing spam messages:  %d (paper 141)" % spam,
+        "  messages from PII-receiving third parties: %d (paper 0)"
+        % len(third_party),
+    ]))
+    assert inbox == 2172 and spam == 141 and third_party == []

@@ -1,0 +1,70 @@
+"""Figure 1: the four PII leakage methods, one walkthrough each.
+
+Builds a one-site universe per channel (referer, request URI, cookie via
+CNAME cloaking, payload body), runs the authentication flow, and renders
+the annotated leak trace the way Figure 1 illustrates the mechanisms.
+"""
+
+import pytest
+
+from repro.core import CandidateTokenSet, LeakDetector
+from repro.core.leakmodel import (
+    CHANNEL_COOKIE,
+    CHANNEL_PAYLOAD,
+    CHANNEL_URI,
+)
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import StudyCrawler
+from repro.reporting import render_leak_trace
+from repro.websim import (
+    LeakBehavior,
+    SiteAuthConfig,
+    TrackerEmbed,
+    Website,
+    build_default_catalog,
+)
+from repro.websim.population import Population
+
+
+def _one_site_universe(channel):
+    catalog = build_default_catalog()
+    if channel == "referer":
+        site = Website(domain="shop.example",
+                       auth=SiteAuthConfig(signup_method="GET",
+                                           signup_fields=("email",
+                                                          "password")),
+                       embeds=[TrackerEmbed(catalog.get("criteo.com"))])
+    elif channel == CHANNEL_COOKIE:
+        site = Website(
+            domain="shop.example",
+            embeds=[TrackerEmbed(
+                catalog.get("omtrdc.net"),
+                LeakBehavior((CHANNEL_COOKIE,), (("sha256",),)))],
+            cname_records={"metrics": "shop.example.sc.omtrdc.net"})
+    else:
+        site = Website(
+            domain="shop.example",
+            embeds=[TrackerEmbed(
+                catalog.get("facebook.com"),
+                LeakBehavior((channel,), (("sha256",),)))])
+    return Population(sites={"shop.example": site}, catalog=catalog)
+
+
+@pytest.mark.parametrize("channel", ["referer", CHANNEL_URI,
+                                     CHANNEL_COOKIE, CHANNEL_PAYLOAD])
+def test_bench_leak_channel(benchmark, channel, emit):
+    population = _one_site_universe(channel)
+
+    def run():
+        dataset = StudyCrawler(population).crawl()
+        detector = LeakDetector(CandidateTokenSet(DEFAULT_PERSONA),
+                                catalog=population.catalog,
+                                resolver=population.resolver())
+        return detector.detect(dataset.log)
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    channel_events = [e for e in events if e.channel == channel]
+    assert channel_events, "channel %s produced no leak" % channel
+    emit("figure1_%s" % channel,
+         render_leak_trace(channel_events,
+                           "Figure 1 walkthrough — via %s:" % channel))

@@ -1,0 +1,11 @@
+"""Figure 2: top 15 third-party receiver domains by sender count."""
+
+from repro.reporting import render_figure2, render_receiver_degree_histogram
+
+
+def test_bench_figure2(benchmark, analysis, emit):
+    ranking = benchmark(lambda: analysis.figure2(top_n=15))
+    emit("figure2", render_figure2(analysis))
+    emit("receiver_degrees", render_receiver_degree_histogram(analysis))
+    assert ranking[0][0] == "facebook.com"
+    assert abs(ranking[0][2] - 60.0) < 0.5

@@ -1,0 +1,48 @@
+"""Figure 3: the persistent-tracking HTTP exchange.
+
+Shows one provider's trackid parameter carrying the hashed email during
+the sign-in flow and again — from storage — on an ordinary product
+subpage, across two different sender sites (the cross-site join).
+"""
+
+from repro.core import CandidateTokenSet, LeakDetector
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import StudyCrawler
+from repro.netsim import STAGE_SUBPAGE
+from repro.reporting import render_leak_trace
+from repro.websim import (
+    LeakBehavior,
+    TrackerEmbed,
+    Website,
+    build_default_catalog,
+)
+from repro.websim.population import Population
+
+
+def test_bench_persistent_tracking_trace(benchmark, emit):
+    catalog = build_default_catalog()
+    behavior = LeakBehavior(("uri",), (("sha256",),))
+    sites = {}
+    for domain in ("shop-a.example", "shop-b.example"):
+        sites[domain] = Website(
+            domain=domain,
+            embeds=[TrackerEmbed(catalog.get("criteo.com"), behavior)])
+    population = Population(sites=sites, catalog=catalog)
+
+    def run():
+        dataset = StudyCrawler(population).crawl()
+        detector = LeakDetector(CandidateTokenSet(DEFAULT_PERSONA),
+                                catalog=population.catalog,
+                                resolver=population.resolver())
+        return detector.detect(dataset.log)
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    subpage = [e for e in events if e.stage == STAGE_SUBPAGE]
+    assert subpage, "no subpage re-emission observed"
+    tokens = {e.token for e in events if e.parameter == "p0"}
+    assert len(tokens) == 1, "the identifier must be stable across sites"
+    senders = {e.sender for e in events}
+    assert senders == {"shop-a.example", "shop-b.example"}
+    emit("figure3", render_leak_trace(
+        events, "Figure 3 — persistent tracking via trackid p0 "
+                "(criteo.com), cross-site and on subpages:", limit=16))

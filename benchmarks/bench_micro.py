@@ -1,0 +1,86 @@
+"""Micro-benchmarks for the performance-critical primitives."""
+
+import pytest
+
+from repro import hashes
+from repro.blocklist import RequestContext, RuleSet, easyprivacy_text
+from repro.core import AhoCorasick, CandidateTokenSet, TokenSetConfig
+from repro.core.persona import DEFAULT_PERSONA
+
+_EMAIL = DEFAULT_PERSONA.email.encode()
+
+
+@pytest.mark.parametrize("name", ["md5", "sha256", "md4", "ripemd160",
+                                  "whirlpool", "snefru128", "md2"])
+def test_bench_hash_throughput(benchmark, name):
+    transform = hashes.get(name)
+    benchmark(transform.apply, _EMAIL)
+
+
+def test_bench_token_set_build(benchmark):
+    benchmark.pedantic(
+        lambda: CandidateTokenSet(DEFAULT_PERSONA,
+                                  TokenSetConfig(max_depth=2)),
+        rounds=2, iterations=1)
+
+
+def test_bench_automaton_build(benchmark):
+    patterns = [hashes.apply_chain("user%d@mail.example" % i, ["sha256"])
+                for i in range(500)]
+
+    def build():
+        automaton = AhoCorasick()
+        for pattern in patterns:
+            automaton.add(pattern, None)
+        automaton.build()
+        return automaton
+
+    benchmark(build)
+
+
+def test_bench_blocklist_match(benchmark):
+    rules = RuleSet.from_text(easyprivacy_text())
+    context = RequestContext(
+        url="https://www.facebook.com/tr?ev=identify&udff%5Bem%5D=abcd",
+        resource_type="image", page_domain="shop.com",
+        is_third_party=True)
+    result = benchmark(rules.match, context)
+    assert result.blocked
+
+
+def test_bench_blocklist_miss(benchmark):
+    rules = RuleSet.from_text(easyprivacy_text())
+    context = RequestContext(
+        url="https://api.custora.com/v1/track?uid=abcd",
+        resource_type="image", page_domain="shop.com",
+        is_third_party=True)
+    result = benchmark(rules.match, context)
+    assert not result.blocked
+
+
+def test_bench_wire_serialization(benchmark):
+    from repro.netsim import Headers, HttpRequest, Url
+    from repro.netsim.wire import parse_request, serialize_request
+    request = HttpRequest(
+        method="POST",
+        url=Url.parse("https://www.facebook.com/tr?ev=identify&uid=abc"),
+        headers=Headers([("Referer", "https://www.shop.example/"),
+                         ("Content-Type",
+                          "application/x-www-form-urlencoded")]),
+        body=b"udff%5Bem%5D=" + b"a" * 64)
+    raw = serialize_request(request)
+    benchmark(parse_request, raw)
+
+
+def test_bench_caching_resolver(benchmark, study_spec):
+    from repro.dnssim import CachingResolver
+    clock = [0.0]
+    resolver = CachingResolver(study_spec.population.resolver(),
+                               lambda: clock[0])
+    resolver.resolve("www.facebook.com")  # warm the cache
+
+    def lookup():
+        return resolver.resolve("www.facebook.com")
+
+    benchmark(lookup)
+    assert resolver.stats.hit_ratio > 0.9

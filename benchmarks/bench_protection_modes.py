@@ -1,0 +1,75 @@
+"""Extension study: protection mechanisms compared head-to-head.
+
+Beyond the paper's §7 (browsers and post-hoc blocklist matching), this
+bench deploys the protections *inside* the browser and measures residual
+leakage over the 130 leaking senders:
+
+* vanilla browser (baseline),
+* an EasyList+EasyPrivacy content-blocking extension (uBlock-style),
+* Brave Shields,
+* the publisher-side PII firewall (repro.mitigation) — the "proactive
+  termination" the paper's conclusion calls for.
+"""
+
+from repro.blocklist import AdblockExtension
+from repro.browser import brave, vanilla_firefox
+from repro.core import CandidateTokenSet, LeakAnalysis, LeakDetector
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import StudyCrawler
+from repro.mitigation import PiiFirewall
+
+
+def test_bench_protection_modes(benchmark, study_spec, emit):
+    population = study_spec.population
+    sites = [population.sites[d] for d in study_spec.leaking_domains]
+    tokens = CandidateTokenSet(DEFAULT_PERSONA)
+
+    def detector():
+        return LeakDetector(tokens, catalog=population.catalog,
+                            resolver=population.resolver())
+
+    def measure():
+        rows = []
+
+        def run(label, **crawler_kwargs):
+            dataset = StudyCrawler(population, **crawler_kwargs).crawl(
+                sites=sites)
+            analysis = LeakAnalysis(detector().detect(dataset.log))
+            broken = sum(1 for flow in dataset.flows.values()
+                         if not flow.succeeded)
+            rows.append((label, len(analysis.senders()),
+                         len(analysis.receivers()), broken))
+
+        run("vanilla")
+        run("adblock extension",
+            extension=AdblockExtension.with_default_lists())
+        run("brave shields", profile=brave(population.catalog))
+        # Origin-only firewall: blind to CNAME cloaking, like the
+        # origin-based browser protections of §7.1.
+        run("firewall (origin)", firewall=PiiFirewall(tokens))
+        run("firewall (+cname)",
+            firewall=PiiFirewall(tokens,
+                                 resolver=population.resolver()))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Protection modes over the 130 leaking senders:",
+             "  %-20s %8s %10s %14s" % ("mode", "senders", "receivers",
+                                        "broken flows")]
+    for label, senders, receivers, broken in rows:
+        lines.append("  %-20s %8d %10d %14d"
+                     % (label, senders, receivers, broken))
+    lines.append("")
+    lines.append("the firewall removes every detectable leak without "
+                 "blocking a single request or breaking any flow; the "
+                 "blockers trade residual leakage against breakage.")
+    emit("protection_modes", "\n".join(lines))
+
+    by_label = {row[0]: row for row in rows}
+    assert by_label["vanilla"][1] == 130
+    # Origin-only scrubbing leaves exactly the cloaked cookie channel.
+    assert by_label["firewall (origin)"][1] == 5
+    assert by_label["firewall (+cname)"][1] == 0
+    assert by_label["firewall (+cname)"][3] == 0     # nothing breaks
+    assert by_label["brave shields"][3] == 1         # nykaa.com CAPTCHA
+    assert 0 < by_label["adblock extension"][1] < 130

@@ -1,0 +1,16 @@
+"""Table 1 (a/b/c): leakage breakdowns by method, encoding and PII type."""
+
+from repro.core import LeakAnalysis
+from repro.reporting import render_table1
+
+
+def test_bench_table1(benchmark, events, emit):
+    analysis = benchmark(lambda: LeakAnalysis(events))
+    emit("table1", render_table1(analysis))
+    rows_a = {row.label: row for row in analysis.table1a()}
+    assert rows_a["uri"].senders == 118
+    assert rows_a["cookie"].senders == 5
+    rows_b = {row.label: row for row in analysis.table1b()}
+    assert rows_b["sha256"].senders == 91
+    rows_c = {row.label: row for row in analysis.table1c()}
+    assert rows_c["email,name"].receivers == 12

@@ -1,0 +1,11 @@
+"""Table 2: the twenty persistent-tracking providers (§5.2 funnel)."""
+
+from repro.reporting import render_table2
+from repro.tracking import PersistenceAnalyzer
+
+
+def test_bench_table2(benchmark, events, emit):
+    report = benchmark(lambda: PersistenceAnalyzer(events).report())
+    emit("table2", render_table2(report))
+    assert report.provider_count == 20
+    assert len(report.cross_site_receivers) == 34

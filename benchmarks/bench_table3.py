@@ -1,0 +1,18 @@
+"""Table 3: privacy-policy disclosure audit over the 130 senders."""
+
+from repro.policy import classify_policies, policies_for_sites, table3
+from repro.reporting import render_table3
+
+
+def test_bench_table3(benchmark, study_spec, analysis, emit):
+    site_classes = {
+        domain: study_spec.population.sites[domain].policy_class
+        for domain in analysis.senders()}
+    documents = policies_for_sites(site_classes)
+
+    counts = benchmark(lambda: table3(classify_policies(documents)))
+    emit("table3", render_table3(counts))
+    assert counts == {"disclose_not_specific": 102,
+                      "disclose_specific": 9,
+                      "no_description": 15,
+                      "explicitly_not_shared": 4}

@@ -1,0 +1,19 @@
+"""Table 4: EasyList / EasyPrivacy detection performance (§7.2)."""
+
+from repro.blocklist import BlocklistEvaluator
+from repro.datasets import paper
+from repro.reporting import render_table4
+
+
+def test_bench_table4(benchmark, crawl, detector, emit):
+    evaluator = BlocklistEvaluator(detector)
+    report = benchmark.pedantic(lambda: evaluator.evaluate(crawl.log),
+                                rounds=1, iterations=1)
+    emit("table4", render_table4(report))
+
+    # Shape assertions: EP >> EL, cookie channel fully covered, the three
+    # unlisted tracking providers missed.
+    assert report.senders["easyprivacy"]["cookie"].pct == 100.0
+    assert report.receivers["easylist"]["total"].blocked <= 10
+    assert abs(report.senders["combined"]["total"].pct
+               - paper.TABLE4_SENDERS["combined"]["total"][1]) < 8.0

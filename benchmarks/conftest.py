@@ -1,0 +1,63 @@
+"""Shared benchmark fixtures.
+
+The calibrated crawl and detection pass are produced once per session and
+shared; each benchmark times its own analysis stage and prints the paper
+table it regenerates (also written to ``benchmarks/out/``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import CandidateTokenSet, LeakAnalysis, LeakDetector
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import StudyCrawler
+from repro.websim.shopping import build_study_population
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def study_spec():
+    return build_study_population()
+
+
+@pytest.fixture(scope="session")
+def crawl(study_spec):
+    return StudyCrawler(study_spec.population).crawl()
+
+
+@pytest.fixture(scope="session")
+def tokens():
+    return CandidateTokenSet(DEFAULT_PERSONA)
+
+
+@pytest.fixture(scope="session")
+def detector(study_spec, tokens):
+    return LeakDetector(tokens, catalog=study_spec.catalog,
+                        resolver=study_spec.population.resolver())
+
+
+@pytest.fixture(scope="session")
+def events(crawl, detector):
+    return detector.detect(crawl.log)
+
+
+@pytest.fixture(scope="session")
+def analysis(events):
+    return LeakAnalysis(events)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered artifact and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + "=" * 72)
+        print(text)
+        (OUT_DIR / ("%s.txt" % name)).write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""§5.1: why PII-based identifiers beat cookies — the clearing test.
+
+A privacy-conscious user clears all cookies (and site data) between
+sessions.  Cookie-based tracking starts from scratch: the tracker mints a
+fresh ``tuid``.  PII-based tracking does not care: the moment the user
+signs in again, the same SHA-256(email) arrives in the same parameter,
+and the tracker re-links the "new" browser state to the old profile.
+
+Run:  python examples/cookie_clearing.py
+"""
+
+from repro.browser import Browser, vanilla_firefox
+from repro.core import CandidateTokenSet, LeakDetector
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import AuthFlowRunner
+from repro.mailsim import Mailbox
+from repro.websim import (
+    LeakBehavior,
+    TrackerEmbed,
+    Website,
+    build_default_catalog,
+)
+from repro.websim.population import Population
+
+
+def main() -> None:
+    catalog = build_default_catalog()
+    site = Website(
+        domain="shop.example",
+        embeds=[TrackerEmbed(catalog.get("facebook.com"),
+                             LeakBehavior(("uri",), (("sha256",),)))])
+    population = Population(sites={"shop.example": site}, catalog=catalog)
+    mailbox = Mailbox(DEFAULT_PERSONA.email)
+    server = population.build_server(
+        mail_hook=lambda s, e, u: mailbox.deliver_confirmation(s, u))
+    browser = Browser(profile=vanilla_firefox(), server=server,
+                      resolver=population.resolver(), catalog=catalog)
+    runner = AuthFlowRunner(browser, DEFAULT_PERSONA, mailbox)
+    detector = LeakDetector(CandidateTokenSet(DEFAULT_PERSONA),
+                            catalog=catalog,
+                            resolver=population.resolver())
+
+    def session(label):
+        runner.run(site)
+        cookie_ids = sorted({c.value for c in browser.jar.all_cookies()
+                             if c.name == "tuid"})
+        pii_ids = sorted({e.token for e in detector.detect(browser.log)
+                          if e.parameter == "udff[em]"})
+        print("%s:" % label)
+        print("  tracker cookie id(s): %s"
+              % (", ".join(v[:16] + "..." for v in cookie_ids) or "(none)"))
+        print("  PII identifier(s):    %s"
+              % ", ".join(v[:16] + "..." for v in pii_ids))
+        return cookie_ids, pii_ids
+
+    cookies_1, pii_1 = session("session 1")
+    print("\n-- user clears all cookies and site data --\n")
+    browser.jar.clear()
+    browser.tracker_storage.clear()
+    browser.log.entries.clear()
+    cookies_2, pii_2 = session("session 2")
+
+    print()
+    print("cookie identifier survived clearing: %s"
+          % ("yes" if set(cookies_1) & set(cookies_2) else "NO"))
+    print("PII identifier survived clearing:    %s"
+          % ("YES" if pii_1 == pii_2 and pii_1 else "no"))
+    print()
+    print("=> clearing cookies resets cookie-based tracking, but the "
+          "tracker re-links the profile the moment the user signs in "
+          "again — no client-side state required.")
+    assert not (set(cookies_1) & set(cookies_2))
+    assert pii_1 == pii_2
+
+
+if __name__ == "__main__":
+    main()

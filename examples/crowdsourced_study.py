@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Crowdsourced data collection — the paper's §5.2 future work.
+
+A single-vantage study flags a receiver as a cross-site tracker only when
+*its own sample* contains two sites feeding it the same identifier; 58 of
+the paper's 100 receivers appeared once and stayed unclassifiable.  This
+example runs a contributor panel over a synthetic universe: each
+contributor crawls their own sample with their own persona, reports only
+derived leak events (their PII never leaves their machine), and the
+coordinator's merged view recovers cross-site receivers the single-vantage
+study missed.
+
+Run:  python examples/crowdsourced_study.py
+"""
+
+from repro.crowd import CrowdStudy, make_panel
+from repro.websim.generator import GeneratorConfig, generate_population
+
+
+def main() -> None:
+    population = generate_population(seed=21, config=GeneratorConfig(
+        n_sites=24, n_trackers=8, leak_probability=0.6))
+    panel = make_panel(list(population.sites), n_contributors=3,
+                       overlap=0.2)
+    for contributor in panel:
+        print("%s: persona %s, %d sites"
+              % (contributor.name, contributor.persona.email,
+                 len(contributor.site_domains)))
+    print()
+
+    single = CrowdStudy(population, panel[:1]).run()
+    merged = CrowdStudy(population, panel).run()
+
+    single_cross = set(single.persistence_report.cross_site_receivers)
+    merged_cross = set(merged.persistence_report.cross_site_receivers)
+    print("single vantage : %d receivers seen, %d classifiable as "
+          "cross-site trackers"
+          % (len(single.analysis.receivers()), len(single_cross)))
+    print("3-person panel : %d receivers seen, %d classifiable as "
+          "cross-site trackers"
+          % (len(merged.analysis.receivers()), len(merged_cross)))
+    print()
+    recovered = sorted(merged_cross - single_cross)
+    print("cross-site trackers recovered by crowdsourcing: %s"
+          % (", ".join(recovered) or "(none)"))
+    print("receivers independently confirmed by >= 2 contributors: %d"
+          % len(merged.receivers_confirmed_by(2)))
+
+
+if __name__ == "__main__":
+    main()

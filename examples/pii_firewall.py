@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Publisher-side mitigation: terminate PII transfers without breakage.
+
+The paper concludes that "site publishers should take a more proactive
+approach to terminating this type of data transfer".  This example deploys
+``repro.mitigation.PiiFirewall`` — an outbound scrubber built from the same
+candidate-token machinery as the detector — on a site that leaks through
+all four channels, and shows that (1) every leak disappears, (2) every
+tracker request still completes, and (3) nothing in the auth flow breaks.
+
+Run:  python examples/pii_firewall.py
+"""
+
+from repro.core import CandidateTokenSet, LeakAnalysis, LeakDetector
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import StudyCrawler
+from repro.mitigation import PiiFirewall
+from repro.websim import (
+    LeakBehavior,
+    TrackerEmbed,
+    Website,
+    build_default_catalog,
+)
+from repro.websim.population import Population
+
+
+def build_leaky_site(catalog) -> Website:
+    return Website(
+        domain="leaky-shop.example",
+        embeds=[
+            TrackerEmbed(catalog.get("facebook.com"),
+                         LeakBehavior(("uri", "payload"), (("sha256",),))),
+            TrackerEmbed(catalog.get("criteo.com"),
+                         LeakBehavior(("uri",), ((),))),  # plaintext!
+            TrackerEmbed(catalog.get("omtrdc.net"),
+                         LeakBehavior(("cookie",), (("sha256",),))),
+        ],
+        cname_records={"metrics": "leaky-shop.example.sc.omtrdc.net"})
+
+
+def run(population, firewall=None):
+    dataset = StudyCrawler(population, firewall=firewall).crawl()
+    detector = LeakDetector(CandidateTokenSet(DEFAULT_PERSONA),
+                            catalog=population.catalog,
+                            resolver=population.resolver())
+    analysis = LeakAnalysis(detector.detect(dataset.log))
+    tracker_requests = sum(
+        1 for entry in dataset.log
+        if not entry.was_blocked
+        and entry.request.url.host != "www.leaky-shop.example")
+    flow_ok = dataset.flows["leaky-shop.example"].succeeded
+    return analysis, tracker_requests, flow_ok
+
+
+def main() -> None:
+    catalog = build_default_catalog()
+    site = build_leaky_site(catalog)
+    population = Population(sites={site.domain: site}, catalog=catalog)
+
+    before, requests_before, ok_before = run(population)
+    print("WITHOUT firewall: %d receivers obtain PII (%s); "
+          "%d third-party requests; flow ok: %s"
+          % (len(before.receivers()), ", ".join(before.receivers()),
+             requests_before, ok_before))
+
+    tokens = CandidateTokenSet(DEFAULT_PERSONA)
+    firewall = PiiFirewall(tokens, resolver=population.resolver())
+    after, requests_after, ok_after = run(population, firewall=firewall)
+    print("WITH firewall:    %d receivers obtain PII; "
+          "%d third-party requests; flow ok: %s"
+          % (len(after.receivers()), requests_after, ok_after))
+    print()
+    print("firewall stats: %d requests scrubbed, %d locations redacted"
+          % (firewall.scrubbed_requests, firewall.redactions))
+    print("=> the trackers keep working (pageview pings intact); only "
+          "the identifier payloads were removed.")
+
+
+if __name__ == "__main__":
+    main()

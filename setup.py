@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`pip install -e . --no-use-pep517`) on
+offline machines that cannot fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — reproduction of "Alternative to third-party cookies:
+Investigating persistent PII leakage-based web tracking" (CoNEXT 2021).
+
+Public API tour
+===============
+
+End-to-end (the paper's whole methodology in three lines)::
+
+    from repro import Study
+    result = Study.calibrated().run()
+    print(result.analysis.headline(total_sites=307))
+
+The pieces, individually:
+
+* :mod:`repro.core` — persona (§3.1), candidate-token precomputation,
+  four-channel leak detection (§4.1), aggregation (§4.2), pipeline.
+* :mod:`repro.websim` / :mod:`repro.dnssim` / :mod:`repro.netsim` — the
+  synthetic web, DNS (CNAME cloaking) and HTTP substrates.
+* :mod:`repro.browser` / :mod:`repro.crawler` — the measurement browser,
+  protection profiles and the §3.2 authentication-flow runner.
+* :mod:`repro.tracking` — §5 persistent-tracking analysis.
+* :mod:`repro.policy` — §6 privacy-policy audit.
+* :mod:`repro.protection` / :mod:`repro.blocklist` — §7 browser and
+  filter-list countermeasure studies.
+* :mod:`repro.reporting` — paper-layout table/figure renderers.
+* :mod:`repro.datasets` — the paper's published numbers for comparison.
+"""
+
+from .core import (
+    CandidateTokenSet,
+    DEFAULT_PERSONA,
+    LeakAnalysis,
+    LeakDetector,
+    LeakEvent,
+    Persona,
+    Study,
+    StudyConfig,
+    StudyResult,
+    TokenSetConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CandidateTokenSet",
+    "DEFAULT_PERSONA",
+    "LeakAnalysis",
+    "LeakDetector",
+    "LeakEvent",
+    "Persona",
+    "Study",
+    "StudyConfig",
+    "StudyResult",
+    "TokenSetConfig",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Adblock-Plus filter engine and Table 4 evaluation (§7.2)."""
+
+from .evaluate import (
+    BlocklistEvaluator,
+    Table4Cell,
+    Table4Report,
+    default_rule_sets,
+)
+from .extension import AdblockExtension
+from .lists import (
+    EASYLIST_AD_PLATFORMS,
+    UNLISTED_PROVIDERS,
+    easylist_covered_domains,
+    easylist_text,
+    easyprivacy_covered_domains,
+    easyprivacy_text,
+)
+from .matcher import MatchResult, RequestContext, RuleSet
+from .parser import (
+    Filter,
+    FilterSyntaxError,
+    compile_pattern,
+    parse_filter,
+    parse_filter_list,
+)
+
+__all__ = [
+    "AdblockExtension",
+    "BlocklistEvaluator",
+    "EASYLIST_AD_PLATFORMS",
+    "Filter",
+    "FilterSyntaxError",
+    "MatchResult",
+    "RequestContext",
+    "RuleSet",
+    "Table4Cell",
+    "Table4Report",
+    "UNLISTED_PROVIDERS",
+    "compile_pattern",
+    "default_rule_sets",
+    "easylist_covered_domains",
+    "easylist_text",
+    "easyprivacy_covered_domains",
+    "easyprivacy_text",
+    "parse_filter",
+    "parse_filter_list",
+]

@@ -1,0 +1,200 @@
+"""Adblock Plus filter parsing (§7.2).
+
+Implements the network-filter subset of the ABP syntax that EasyList and
+EasyPrivacy use — the same subset the paper's ``adblockparser`` handles:
+
+* blocking patterns with ``*`` wildcards, ``^`` separators, ``|`` anchors
+  and the ``||`` domain anchor;
+* exception rules (``@@`` prefix);
+* options: resource types (``script``, ``image``, ``stylesheet``,
+  ``xmlhttprequest``, ``subdocument``, ``ping``, ``other``), party
+  (``third-party`` / ``~third-party``), ``domain=`` restrictions and
+  ``match-case``;
+* comments (``!``), section headers (``[...]``) and element-hiding rules
+  (``##`` / ``#@#``), which are skipped — they cannot block requests.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+RESOURCE_OPTIONS = frozenset({
+    "script", "image", "stylesheet", "xmlhttprequest", "subdocument",
+    "document", "ping", "other",
+})
+
+#: Request resource-type -> ABP option name.
+RESOURCE_TYPE_TO_OPTION = {
+    "script": "script",
+    "image": "image",
+    "stylesheet": "stylesheet",
+    "xmlhttprequest": "xmlhttprequest",
+    "subdocument": "subdocument",
+    "document": "document",
+    "ping": "ping",
+}
+
+
+class FilterSyntaxError(ValueError):
+    """Raised for unparseable filter lines."""
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One parsed network filter."""
+
+    text: str                          # the original line
+    pattern: str                       # the address part
+    is_exception: bool = False
+    resource_types: FrozenSet[str] = frozenset()   # empty = any
+    inverse_resource_types: FrozenSet[str] = frozenset()
+    third_party: Optional[bool] = None  # None = either
+    include_domains: FrozenSet[str] = frozenset()
+    exclude_domains: FrozenSet[str] = frozenset()
+    match_case: bool = False
+    regex: "re.Pattern" = field(default=None, repr=False, compare=False)
+
+    def applies_to_type(self, resource_type: str) -> bool:
+        option = RESOURCE_TYPE_TO_OPTION.get(resource_type, "other")
+        if self.resource_types and option not in self.resource_types:
+            return False
+        if option in self.inverse_resource_types:
+            return False
+        return True
+
+    def applies_to_party(self, is_third_party: bool) -> bool:
+        if self.third_party is None:
+            return True
+        return self.third_party == is_third_party
+
+    def applies_to_domain(self, page_domain: str) -> bool:
+        page_domain = page_domain.lower()
+        if self.exclude_domains and _domain_in(page_domain,
+                                               self.exclude_domains):
+            return False
+        if self.include_domains:
+            return _domain_in(page_domain, self.include_domains)
+        return True
+
+    def matches_url(self, url: str) -> bool:
+        target = url if self.match_case else url.lower()
+        return self.regex.search(target) is not None
+
+
+def _domain_in(domain: str, candidates: FrozenSet[str]) -> bool:
+    return any(domain == candidate or domain.endswith("." + candidate)
+               for candidate in candidates)
+
+
+def compile_pattern(pattern: str, match_case: bool) -> "re.Pattern":
+    """Translate an ABP address pattern to a compiled regex."""
+    text = pattern
+    anchored_domain = text.startswith("||")
+    if anchored_domain:
+        text = text[2:]
+    anchored_start = text.startswith("|")
+    if anchored_start:
+        text = text[1:]
+    anchored_end = text.endswith("|")
+    if anchored_end:
+        text = text[:-1]
+
+    pieces: List[str] = []
+    for char in text:
+        if char == "*":
+            pieces.append(".*")
+        elif char == "^":
+            # Separator: anything that is not a letter, digit, or one of
+            # "_-.%", or the end of the address.
+            pieces.append(r"(?:[^a-zA-Z0-9_.%-]|$)")
+        else:
+            pieces.append(re.escape(char))
+    body = "".join(pieces)
+
+    if anchored_domain:
+        prefix = r"^[a-z][a-z0-9+.-]*://(?:[^/?#]*\.)?"
+        body = prefix + body
+    elif anchored_start:
+        body = "^" + body
+    if anchored_end:
+        body = body + "$"
+    flags = 0 if match_case else re.IGNORECASE
+    return re.compile(body, flags)
+
+
+def parse_filter(line: str) -> Optional[Filter]:
+    """Parse one filter line; returns None for comments/cosmetic rules."""
+    line = line.strip()
+    if not line or line.startswith("!") or line.startswith("["):
+        return None
+    if "##" in line or "#@#" in line or "#?#" in line:
+        return None  # element hiding, irrelevant to network blocking
+
+    original = line
+    is_exception = line.startswith("@@")
+    if is_exception:
+        line = line[2:]
+
+    pattern = line
+    options_text = ""
+    dollar = line.rfind("$")
+    if dollar > 0 and "/" not in line[dollar:]:
+        pattern, options_text = line[:dollar], line[dollar + 1:]
+
+    resource_types = set()
+    inverse_types = set()
+    third_party: Optional[bool] = None
+    include_domains = set()
+    exclude_domains = set()
+    match_case = False
+
+    if options_text:
+        for option in options_text.split(","):
+            option = option.strip()
+            if not option:
+                continue
+            if option == "match-case":
+                match_case = True
+            elif option == "third-party":
+                third_party = True
+            elif option == "~third-party":
+                third_party = False
+            elif option.startswith("domain="):
+                for domain in option[len("domain="):].split("|"):
+                    domain = domain.strip().lower()
+                    if domain.startswith("~"):
+                        exclude_domains.add(domain[1:])
+                    elif domain:
+                        include_domains.add(domain)
+            elif option.startswith("~") and option[1:] in RESOURCE_OPTIONS:
+                inverse_types.add(option[1:])
+            elif option in RESOURCE_OPTIONS:
+                resource_types.add(option)
+            else:
+                # Unsupported option (csp, redirect, ...): the rule cannot
+                # be evaluated soundly, skip it like adblockparser does.
+                return None
+
+    if not pattern:
+        raise FilterSyntaxError("empty pattern in %r" % original)
+    return Filter(
+        text=original, pattern=pattern, is_exception=is_exception,
+        resource_types=frozenset(resource_types),
+        inverse_resource_types=frozenset(inverse_types),
+        third_party=third_party,
+        include_domains=frozenset(include_domains),
+        exclude_domains=frozenset(exclude_domains),
+        match_case=match_case,
+        regex=compile_pattern(pattern, match_case))
+
+
+def parse_filter_list(text: str) -> List[Filter]:
+    """Parse a whole filter list document."""
+    filters = []
+    for line in text.splitlines():
+        parsed = parse_filter(line)
+        if parsed is not None:
+            filters.append(parsed)
+    return filters

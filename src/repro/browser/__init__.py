@@ -1,0 +1,39 @@
+"""Browser engine and protection profiles."""
+
+from .engine import Browser, PageResult, SimClock
+from .profiles import (
+    BrowserProfile,
+    COOKIES_ALLOW_ALL,
+    COOKIES_BLOCK_KNOWN_TRACKERS,
+    COOKIES_BLOCK_THIRD_PARTY,
+    COOKIES_PARTITION_THIRD_PARTY,
+    REFERER_FULL_URL,
+    REFERER_STRICT_ORIGIN,
+    brave,
+    chrome,
+    evaluation_profiles,
+    firefox_etp,
+    opera,
+    safari,
+    vanilla_firefox,
+)
+
+__all__ = [
+    "Browser",
+    "BrowserProfile",
+    "COOKIES_ALLOW_ALL",
+    "COOKIES_BLOCK_KNOWN_TRACKERS",
+    "COOKIES_BLOCK_THIRD_PARTY",
+    "COOKIES_PARTITION_THIRD_PARTY",
+    "PageResult",
+    "REFERER_FULL_URL",
+    "REFERER_STRICT_ORIGIN",
+    "SimClock",
+    "brave",
+    "chrome",
+    "evaluation_profiles",
+    "firefox_etp",
+    "opera",
+    "safari",
+    "vanilla_firefox",
+]

@@ -1,0 +1,447 @@
+"""Scripted browser engine.
+
+Drives the synthetic web the way the paper's human operator drove Firefox:
+navigates to pages, parses the returned HTML, fetches every referenced
+subresource, "executes" tracker snippets via the script engine, fills and
+submits forms, and maintains cookies, storage and referer semantics under
+the active :class:`~repro.browser.profiles.BrowserProfile`.
+
+Every request that leaves (or is blocked inside) the browser is recorded in
+a :class:`~repro.netsim.CaptureLog` — the raw dataset all analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dnssim import DnsError, Resolver
+from ..netsim import (
+    CaptureEntry,
+    CaptureLog,
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    RESOURCE_DOCUMENT,
+    RESOURCE_IMAGE,
+    RESOURCE_SCRIPT,
+    RESOURCE_STYLESHEET,
+    RESOURCE_SUBDOCUMENT,
+    CookieJar,
+    Url,
+    encode_urlencoded,
+)
+from ..psl import default_list
+from ..websim.consent import (
+    CONSENT_ACCEPT_ALL,
+    CONSENT_COOKIE,
+    CONSENT_POLICIES,
+    grants_tracking,
+)
+from ..websim.html import ParsedForm, ParsedPage, parse_page
+from ..websim.scripts import (
+    EmitRequest,
+    ScriptContext,
+    SetFirstPartyCookie,
+    StoreTrackerState,
+    baseline_actions,
+    exfil_actions,
+    revisit_actions,
+)
+from ..websim.server import WebServer
+from ..websim.site import TrackerEmbed, Website
+from ..websim.trackers import TrackerCatalog
+from .profiles import BrowserProfile, REFERER_STRICT_ORIGIN
+
+_TAG_RESOURCE_TYPES = {
+    "script": RESOURCE_SCRIPT,
+    "image": RESOURCE_IMAGE,
+    "stylesheet": RESOURCE_STYLESHEET,
+    "subdocument": RESOURCE_SUBDOCUMENT,
+}
+
+_MAX_REDIRECTS = 5
+
+
+class SimClock:
+    """Monotonic simulated clock; each network exchange advances it."""
+
+    def __init__(self, start: float = 1_620_000_000.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def tick(self, seconds: float = 0.05) -> float:
+        self._now += seconds
+        return self._now
+
+
+@dataclass
+class PageResult:
+    """Outcome of a navigation."""
+
+    url: Url
+    status: int
+    page: Optional[ParsedPage]
+    html: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+class Browser:
+    """One browser instance (profile + cookie jar + storage + capture log)."""
+
+    def __init__(self, profile: BrowserProfile, server: WebServer,
+                 resolver: Resolver, catalog: TrackerCatalog,
+                 clock: Optional[SimClock] = None,
+                 extension: Optional[object] = None,
+                 firewall: Optional[object] = None,
+                 consent_policy: str = CONSENT_ACCEPT_ALL) -> None:
+        """``extension`` is an optional content blocker exposing
+        ``filter_request(url, resource_type, page_host) -> Optional[str]``
+        (see :class:`repro.blocklist.AdblockExtension`).  ``firewall`` is
+        an optional outbound rewriter exposing
+        ``scrub_request(request, site_host) -> (request, report)`` (see
+        :class:`repro.mitigation.PiiFirewall`).  ``consent_policy`` is how
+        the user answers cookie banners — the paper's procedure accepts
+        them all (the default)."""
+        if consent_policy not in CONSENT_POLICIES:
+            raise ValueError("unknown consent policy: %r" % consent_policy)
+        self.profile = profile
+        self.server = server
+        self.resolver = resolver
+        self.catalog = catalog
+        self.clock = clock or SimClock()
+        self.extension = extension
+        self.firewall = firewall
+        self.consent_policy = consent_policy
+        self._consent_decisions: Dict[str, str] = {}
+        self.jar = CookieJar()
+        self.log = CaptureLog()
+        #: (site domain, service domain) -> stored identifier params.
+        self.tracker_storage: Dict[Tuple[str, str], Dict[str, str]] = {}
+        self._captcha_ready: Dict[str, bool] = {}
+        self._current_url: Optional[Url] = None
+        #: PII exposed in the current page context (set by form submission).
+        self._page_pii: Dict[str, str] = {}
+
+    # -- public navigation API ------------------------------------------
+
+    def visit(self, site: Website, url: str, stage: str,
+              keep_pii: bool = False) -> PageResult:
+        """Navigate to a URL as a top-level document."""
+        if not keep_pii:
+            self._page_pii = {}
+        return self._load_document(site, "GET", Url.parse(url), b"", None,
+                                   stage)
+
+    def submit_form(self, site: Website, form: ParsedForm,
+                    values: Dict[str, str], stage: str) -> PageResult:
+        """Fill a parsed form with ``values`` and submit it.
+
+        GET forms serialize the fields into the URL (the referer-leak
+        precondition); POST forms send an urlencoded body.  The submitted
+        values become the page-context PII visible to tracker snippets on
+        the resulting document.
+        """
+        if self._current_url is None:
+            raise RuntimeError("no current page to submit from")
+        filled: List[Tuple[str, str]] = []
+        for name, kind, preset in form.fields:
+            if not name:
+                continue
+            if name in values:
+                filled.append((name, values[name]))
+            elif kind == "hidden":
+                value = preset
+                if name == "captcha_token":
+                    value = ("solved" if
+                             self._captcha_ready.get(site.domain) else "")
+                filled.append((name, value))
+        action_url = self._current_url.join(form.action)
+        self._page_pii = _pii_from_fields(dict(filled))
+        if form.method == "GET":
+            target = action_url.adding_query(filled)
+            return self._load_document(site, "GET", target, b"", None,
+                                       stage)
+        body = encode_urlencoded(filled)
+        return self._load_document(
+            site, "POST", action_url, body,
+            "application/x-www-form-urlencoded", stage)
+
+    def click_link(self, site: Website, href: str, stage: str) -> PageResult:
+        """Follow a link from the current page."""
+        if self._current_url is None:
+            raise RuntimeError("no current page")
+        return self.visit(site, str(self._current_url.join(href)), stage)
+
+    def snapshot_cookies(self) -> None:
+        """Copy the cookie store into the capture log (end of flow)."""
+        self.log.snapshot_cookies(self.jar.all_cookies())
+
+    # -- document loading --------------------------------------------------
+
+    def _load_document(self, site: Website, method: str, url: Url,
+                       body: bytes, content_type: Optional[str],
+                       stage: str) -> PageResult:
+        referer = str(self._current_url) if self._current_url else None
+        response, final_url = self._request(
+            site, method, url, body, content_type, RESOURCE_DOCUMENT,
+            initiator_chain=(), stage=stage, referer=referer,
+            page_url=str(url))
+        if response is None or response.status != 200:
+            status = response.status if response else 0
+            return PageResult(url=final_url, status=status, page=None)
+        html = response.body.decode("utf-8", errors="replace")
+        if not response.headers.get("Content-Type", "").startswith("text/html"):
+            return PageResult(url=final_url, status=200, page=None, html=html)
+        self._current_url = final_url
+        page = parse_page(html)
+        self._process_page(site, page, final_url, stage)
+        return PageResult(url=final_url, status=200, page=page, html=html)
+
+    def _process_page(self, site: Website, page: ParsedPage, page_url: Url,
+                      stage: str) -> None:
+        embeds_by_domain = {e.service.domain: e for e in site.embeds}
+        for kind, tag in page.resource_tags():
+            src = tag.get("src") or tag.get("href")
+            if not src:
+                continue
+            resource_url = page_url.join(src)
+            response, _ = self._request(
+                site, "GET", resource_url, b"", None,
+                _TAG_RESOURCE_TYPES[kind],
+                initiator_chain=(page_url,), stage=stage,
+                referer=self._referer_value(page_url, resource_url),
+                page_url=str(page_url))
+            if tag.get("data-captcha") and response is not None:
+                self._captcha_ready[site.domain] = True
+            if tag.get("data-cmp") and response is not None:
+                self._answer_consent_banner(site, page_url, stage)
+            tracker_domain = tag.get("data-tracker")
+            if tracker_domain and response is not None:
+                embed = embeds_by_domain.get(tracker_domain)
+                if embed is not None:
+                    self._run_snippet(site, embed, page_url, stage)
+
+    def _answer_consent_banner(self, site: Website, page_url: Url,
+                               stage: str) -> None:
+        """Answer the site's cookie banner per the configured policy.
+
+        Mirrors the §3.2 operator behaviour (one decision per site): the
+        choice is persisted in a first-party ``euconsent`` cookie and the
+        receipt is posted to the CMP.
+        """
+        if site.consent is None or site.domain in self._consent_decisions:
+            return
+        self._consent_decisions[site.domain] = self.consent_policy
+        from ..netsim import Cookie, encode_json
+        self.jar.set_cookie(Cookie(
+            name=CONSENT_COOKIE, value=self.consent_policy,
+            domain=site.domain, host_only=False,
+            creation_time=self.clock.now(),
+            expires=self.clock.now() + 365 * 24 * 3600))
+        receipt_url = Url(scheme="https", host=site.consent.receipt_host,
+                          path="/v1/receipt")
+        self._request(site, "POST", receipt_url,
+                      encode_json({"site": site.domain,
+                                   "choice": self.consent_policy}),
+                      "application/json", "xmlhttprequest",
+                      initiator_chain=(page_url,), stage=stage,
+                      referer=self._referer_value(page_url, receipt_url),
+                      page_url=str(page_url))
+
+    def _tracking_consented(self, site: Website) -> bool:
+        """Whether the site's non-essential snippets may run."""
+        banner = site.consent
+        if banner is None or not banner.honors_consent:
+            # No banner, or a dark-pattern site that ignores refusals.
+            return True
+        decision = self._consent_decisions.get(site.domain,
+                                               self.consent_policy)
+        return grants_tracking(decision)
+
+    def _run_snippet(self, site: Website, embed: TrackerEmbed,
+                     page_url: Url, stage: str) -> None:
+        if not self._tracking_consented(site):
+            return
+        stored = {
+            service: dict(params)
+            for (stored_site, service), params in self.tracker_storage.items()
+            if stored_site == site.domain}
+        ctx = ScriptContext(site=site, page_url=page_url, stage=stage,
+                            pii=dict(self._page_pii), stored_state=stored,
+                            timestamp=self.clock.now())
+        actions = list(baseline_actions(embed, ctx))
+        if self._page_pii and embed.leaks:
+            actions.extend(exfil_actions(embed, ctx))
+        else:
+            actions.extend(revisit_actions(embed, ctx))
+        script_url = Url(scheme="https", host=embed.service.script_host,
+                         path=embed.service.script_path)
+        for action in actions:
+            self._execute_action(site, action, page_url, script_url, stage)
+
+    def _execute_action(self, site: Website, action: object, page_url: Url,
+                        script_url: Url, stage: str) -> None:
+        if isinstance(action, EmitRequest):
+            self._request(
+                site, action.method, action.url, action.body,
+                action.content_type, action.resource_type,
+                initiator_chain=(page_url, script_url), stage=stage,
+                referer=self._referer_value(page_url, action.url),
+                page_url=str(page_url))
+        elif isinstance(action, SetFirstPartyCookie):
+            # document.cookie write: a domain cookie on the first party.
+            from ..netsim import Cookie
+            self.jar.set_cookie(Cookie(
+                name=action.name, value=action.value, domain=action.domain,
+                host_only=False, creation_time=self.clock.now(),
+                expires=self.clock.now() + 365 * 24 * 3600))
+        elif isinstance(action, StoreTrackerState):
+            key = (site.domain, action.service_domain)
+            self.tracker_storage.setdefault(key, {}).update(
+                dict(action.values))
+
+    # -- the network path --------------------------------------------------
+
+    def _request(self, site: Website, method: str, url: Url, body: bytes,
+                 content_type: Optional[str], resource_type: str,
+                 initiator_chain: Tuple[Url, ...], stage: str,
+                 referer: Optional[str], page_url: str,
+                 redirects: int = 0):
+        """Send one request (following redirects); returns (response, url)."""
+        headers = Headers([("User-Agent", self._user_agent())])
+        if referer:
+            headers.set("Referer", referer)
+        if content_type:
+            headers.set("Content-Type", content_type)
+        if self.profile.automation_detectable:
+            headers.set("Sec-Automation", "true")
+
+        is_third_party = default_list().is_third_party(url.host,
+                                                       site.www_host)
+        partition = self._cookie_partition(site, is_third_party)
+        if not self._cookies_blocked(url, site, is_third_party):
+            cookie_value = self.jar.cookie_header(url, self.clock.now(),
+                                                  partition)
+            if cookie_value:
+                headers.set("Cookie", cookie_value)
+
+        request = HttpRequest(method=method, url=url, headers=headers,
+                              body=body, resource_type=resource_type,
+                              initiator_chain=initiator_chain,
+                              timestamp=self.clock.tick())
+
+        if self.firewall is not None:
+            request, _ = self.firewall.scrub_request(request, site.www_host)
+            url = request.url
+
+        blocker = self._protection_verdict(url, site, is_third_party)
+        if blocker is None and self.extension is not None and \
+                resource_type != RESOURCE_DOCUMENT:
+            blocker = self.extension.filter_request(
+                str(url), resource_type, site.www_host)
+        if blocker is not None:
+            self.log.record(CaptureEntry(request=request, response=None,
+                                         site=site.domain, stage=stage,
+                                         page_url=page_url,
+                                         blocked_by=blocker))
+            return None, url
+
+        if not self.resolver.exists(url.host):
+            self.log.record(CaptureEntry(request=request, response=None,
+                                         site=site.domain, stage=stage,
+                                         page_url=page_url,
+                                         blocked_by="nxdomain"))
+            return None, url
+
+        response = self.server.handle(request)
+        self.log.record(CaptureEntry(request=request, response=response,
+                                     site=site.domain, stage=stage,
+                                     page_url=page_url))
+        self._store_cookies(response, url, site, is_third_party, partition)
+
+        if response.is_redirect and response.location and \
+                redirects < _MAX_REDIRECTS:
+            target = url.join(response.location)
+            return self._request(site, "GET", target, b"", None,
+                                 resource_type, initiator_chain, stage,
+                                 referer=str(url), page_url=page_url,
+                                 redirects=redirects + 1)
+        return response, url
+
+    def _store_cookies(self, response: HttpResponse, url: Url,
+                       site: Website, is_third_party: bool,
+                       partition: str) -> None:
+        if self._cookies_blocked(url, site, is_third_party):
+            return
+        for header_value in response.set_cookie_headers:
+            self.jar.set_from_header(header_value, url, self.clock.now(),
+                                     partition)
+
+    def _cookies_blocked(self, url: Url, site: Website,
+                         is_third_party: bool) -> bool:
+        if not is_third_party:
+            return False
+        tracker_domain = self._effective_domain(url.host)
+        return self.profile.blocks_third_party_cookie(tracker_domain)
+
+    def _cookie_partition(self, site: Website, is_third_party: bool) -> str:
+        if is_third_party and self.profile.partitions_third_party_storage:
+            return site.domain
+        return ""
+
+    def _protection_verdict(self, url: Url, site: Website,
+                            is_third_party: bool) -> Optional[str]:
+        """Shields-style request blocking (returns blocker name or None)."""
+        if not self.profile.request_blocklist:
+            return None
+        domain = self._effective_domain(url.host)
+        if not is_third_party and self.profile.uncloaks_cname:
+            # Recursively uncloak: a first-party host whose CNAME chain
+            # lands in a blocked tracker zone is blocked too.
+            for target in self.resolver.cname_chain(url.host):
+                target_domain = self._effective_domain(target)
+                if self.profile.blocks_request_to(target_domain):
+                    return "shields-cname"
+            return None
+        if is_third_party and self.profile.blocks_request_to(domain):
+            return "shields"
+        return None
+
+    def _effective_domain(self, host: str) -> str:
+        service = self.catalog.attribute_host(host)
+        if service is not None:
+            return service.domain
+        return default_list().registrable_domain(host) or host
+
+    def _referer_value(self, page_url: Url, target: Url) -> str:
+        """Referer for a subresource request under the profile's policy."""
+        if self.profile.referer_policy == REFERER_STRICT_ORIGIN and \
+                default_list().is_third_party(target.host, page_url.host):
+            return page_url.origin + "/"
+        return str(page_url)
+
+    def _user_agent(self) -> str:
+        return "Mozilla/5.0 (compatible; %s/%s; repro-study)" % (
+            self.profile.name, self.profile.version)
+
+
+def _pii_from_fields(fields: Dict[str, str]) -> Dict[str, str]:
+    """Map submitted form fields to the PII view snippets read."""
+    pii: Dict[str, str] = {}
+    if fields.get("email"):
+        pii["email"] = fields["email"]
+    if fields.get("username"):
+        pii["username"] = fields["username"]
+    first = fields.get("first_name", "")
+    last = fields.get("last_name", "")
+    if first or last:
+        pii["name"] = (" ".join(part for part in (first, last) if part))
+    elif fields.get("name"):
+        pii["name"] = fields["name"]
+    return pii

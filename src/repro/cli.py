@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Exposes the main experiments as subcommands::
+
+    repro-study study                # headline + Tables 1-3 + Figure 2
+    repro-study browsers             # §7.1 browser comparison
+    repro-study blocklists           # §7.2 Table 4
+    repro-study crowd --seed 21      # crowdsourced expansion demo
+    repro-study tokens               # candidate-token set statistics
+    repro-study scan URL [URL...]    # scan URLs for the persona's PII
+
+All experiments run fully offline against the synthetic web.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .core import CandidateTokenSet, LeakDetector, Study
+from .core.persona import DEFAULT_PERSONA
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .reporting import (
+        render_figure2,
+        render_headline,
+        render_table1,
+        render_table2,
+        render_table3,
+    )
+    print("Running the calibrated study (about 20 seconds)...",
+          file=sys.stderr)
+    result = Study.calibrated().run()
+    print(render_headline(result.analysis, total_sites=307,
+                          leaking_requests=result.leaking_request_count))
+    print()
+    print(render_table1(result.analysis, compare=not args.no_compare))
+    print()
+    print(render_figure2(result.analysis, compare=not args.no_compare))
+    print()
+    print(render_table2(result.persistence, compare=not args.no_compare))
+    print()
+    print(render_table3(result.table3_counts, compare=not args.no_compare))
+    return 0
+
+
+def _cmd_browsers(args: argparse.Namespace) -> int:
+    from .protection import BrowserCountermeasureEvaluator
+    from .websim.shopping import build_study_population
+    spec = build_study_population()
+    print("Re-crawling the 130 leaking senders under every browser "
+          "profile (about a minute)...", file=sys.stderr)
+    study = BrowserCountermeasureEvaluator(
+        spec.population, spec.leaking_domains).run()
+    print("baseline: %d senders / %d receivers"
+          % (study.baseline.senders, study.baseline.receivers))
+    for name, result in study.results.items():
+        sender_pct, receiver_pct = study.reductions()[name]
+        print("%-14s %4d senders (-%5.1f%%)  %4d receivers (-%5.1f%%)  %s"
+              % (name, result.senders, sender_pct, result.receivers,
+                 receiver_pct, ",".join(result.failed_signups)))
+    return 0
+
+
+def _cmd_blocklists(args: argparse.Namespace) -> int:
+    from .blocklist import BlocklistEvaluator
+    from .crawler import StudyCrawler
+    from .reporting import render_table4
+    from .websim.shopping import build_study_population
+    spec = build_study_population()
+    print("Crawling and matching against EasyList/EasyPrivacy...",
+          file=sys.stderr)
+    dataset = StudyCrawler(spec.population).crawl()
+    detector = LeakDetector(CandidateTokenSet(DEFAULT_PERSONA),
+                            catalog=spec.catalog,
+                            resolver=spec.population.resolver())
+    report = BlocklistEvaluator(detector).evaluate(dataset.log)
+    print(render_table4(report, compare=not args.no_compare))
+    return 0
+
+
+def _cmd_crowd(args: argparse.Namespace) -> int:
+    from .crowd import CrowdStudy, make_panel
+    from .websim.generator import GeneratorConfig, generate_population
+    population = generate_population(
+        seed=args.seed,
+        config=GeneratorConfig(n_sites=args.sites, n_trackers=8,
+                               leak_probability=0.6))
+    panel = make_panel(list(population.sites), args.contributors,
+                       overlap=args.overlap)
+    single = CrowdStudy(population, panel[:1]).run()
+    merged = CrowdStudy(population, panel).run()
+    print("single vantage : %3d receivers, %2d cross-site"
+          % (len(single.analysis.receivers()),
+             len(single.persistence_report.cross_site_receivers)))
+    print("%d contributors: %3d receivers, %2d cross-site"
+          % (args.contributors, len(merged.analysis.receivers()),
+             len(merged.persistence_report.cross_site_receivers)))
+    confirmed = merged.receivers_confirmed_by(2)
+    print("receivers confirmed by >= 2 contributors: %d" % len(confirmed))
+    return 0
+
+
+def _cmd_selection(args: argparse.Namespace) -> int:
+    """Print the §3.2 data-acquisition funnel."""
+    from .websim.shopping import build_study_population
+    from .websim.tranco import select_study_sites
+    spec = build_study_population()
+    selected = select_study_sites(spec.tranco, spec.categories)
+    sites = spec.population.sites
+    with_auth = [d for d in selected if sites[d].auth.has_auth]
+    reachable = [d for d in selected if not sites[d].auth.unreachable]
+    crawlable = [d for d in selected if sites[d].is_crawlable]
+    print("Tranco top-10k universe:          %6d sites" % len(spec.tranco))
+    print("shopping category (FortiGuard):   %6d sites" % len(selected))
+    print("  with authentication flows:      %6d (%.1f%%)"
+          % (len(with_auth), 100.0 * len(with_auth) / len(selected)))
+    print("  reachable:                      %6d" % len(reachable))
+    print("  sign-up possible (crawlable):   %6d" % len(crawlable))
+    print("  leaking PII to third parties:   %6d"
+          % len(spec.leaking_domains))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run the study and write the dataset release + HAR + tables."""
+    import pathlib
+
+    from .datasets.export import write_release
+    from .netsim import to_har_json
+    from .reporting import (
+        render_figure2,
+        render_headline,
+        render_table1,
+        render_table2,
+        render_table3,
+    )
+    print("Running the calibrated study...", file=sys.stderr)
+    result = Study.calibrated().run()
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = write_release(result, str(out_dir))
+    tables = "\n\n".join([
+        render_headline(result.analysis, total_sites=307,
+                        leaking_requests=result.leaking_request_count),
+        render_table1(result.analysis),
+        render_figure2(result.analysis),
+        render_table2(result.persistence),
+        render_table3(result.table3_counts),
+    ])
+    tables_path = out_dir / "tables.txt"
+    tables_path.write_text(tables + "\n")
+    written.append(str(tables_path))
+    if args.har:
+        har_path = out_dir / "crawl.har"
+        har_path.write_text(to_har_json(result.dataset.log))
+        written.append(str(har_path))
+    for path in written:
+        print(path)
+    return 0
+
+
+def _cmd_tokens(args: argparse.Namespace) -> int:
+    tokens = CandidateTokenSet(DEFAULT_PERSONA)
+    print("persona email: %s" % DEFAULT_PERSONA.email)
+    print("candidate tokens: %d" % tokens.token_count)
+    by_depth: dict = {}
+    for token in tokens.tokens():
+        for origin in tokens.origins_of(token):
+            by_depth[len(origin.chain)] = by_depth.get(len(origin.chain),
+                                                       0) + 1
+    for depth in sorted(by_depth):
+        label = "plaintext" if depth == 0 else "depth %d" % depth
+        print("  %-10s %6d token origins" % (label, by_depth[depth]))
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    tokens = CandidateTokenSet(DEFAULT_PERSONA)
+    exit_code = 0
+    for url in args.urls:
+        origins = tokens.scan_distinct(url)
+        if not origins:
+            print("%s: clean" % url)
+            continue
+        exit_code = 1
+        for origin in origins:
+            print("%s: LEAK pii=%s encoding=%s"
+                  % (url, origin.pii_type, origin.encoding_label))
+    return exit_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="CoNEXT'21 PII-leakage tracking study, offline.")
+    parser.add_argument("--version", action="version",
+                        version="repro %s" % __version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    study = subparsers.add_parser("study", help="full §3-§6 pipeline")
+    study.add_argument("--no-compare", action="store_true",
+                       help="omit the paper comparison columns")
+    study.set_defaults(func=_cmd_study)
+
+    browsers = subparsers.add_parser("browsers",
+                                     help="§7.1 browser comparison")
+    browsers.set_defaults(func=_cmd_browsers)
+
+    blocklists = subparsers.add_parser("blocklists", help="§7.2 Table 4")
+    blocklists.add_argument("--no-compare", action="store_true")
+    blocklists.set_defaults(func=_cmd_blocklists)
+
+    crowd = subparsers.add_parser("crowd",
+                                  help="crowdsourced expansion demo")
+    crowd.add_argument("--seed", type=int, default=21)
+    crowd.add_argument("--sites", type=int, default=24)
+    crowd.add_argument("--contributors", type=int, default=3)
+    crowd.add_argument("--overlap", type=float, default=0.2)
+    crowd.set_defaults(func=_cmd_crowd)
+
+    selection = subparsers.add_parser(
+        "selection", help="§3.2 data-acquisition funnel")
+    selection.set_defaults(func=_cmd_selection)
+
+    report = subparsers.add_parser(
+        "report", help="write the dataset release (CSV/JSON [+HAR])")
+    report.add_argument("--out", default="release",
+                        help="output directory (default: ./release)")
+    report.add_argument("--har", action="store_true",
+                        help="also export the full crawl as HAR 1.2")
+    report.set_defaults(func=_cmd_report)
+
+    tokens = subparsers.add_parser("tokens",
+                                   help="candidate-token statistics")
+    tokens.set_defaults(func=_cmd_tokens)
+
+    scan = subparsers.add_parser(
+        "scan", help="scan URLs for the persona's PII tokens")
+    scan.add_argument("urls", nargs="+")
+    scan.set_defaults(func=_cmd_scan)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""PII leakage detection (§4.1).
+
+Given the raw capture log of a crawl, the detector:
+
+1. classifies every request as first-party or third-party using the Public
+   Suffix List, additionally re-classifying first-party subdomains whose
+   CNAME chains land in known tracker zones (CNAME cloaking);
+2. scans each third-party request for candidate PII tokens — in the
+   request URI (per query parameter and in the path), the ``Referer``
+   header, the ``Cookie`` header, and the payload body (urlencoded, JSON,
+   and raw text) — in every plaintext/encoded/hashed form the candidate
+   token set enumerates;
+3. emits one :class:`~repro.core.leakmodel.LeakEvent` per distinct
+   observation, attributed to the receiving tracker service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..dnssim import CnameCloakingDetector, Resolver
+from ..netsim import (
+    CaptureEntry,
+    CaptureLog,
+    HttpRequest,
+    decode_json,
+    decode_urlencoded,
+    flatten_json,
+    percent_decode,
+)
+from ..psl import PublicSuffixList, default_list
+from ..websim.trackers import TrackerCatalog
+from .leakmodel import (
+    LOCATION_BODY,
+    LOCATION_COOKIE,
+    LOCATION_PATH,
+    LOCATION_QUERY,
+    LOCATION_REFERER,
+    LeakEvent,
+    channel_for_location,
+)
+from .tokens import CandidateTokenSet, TokenOrigin
+
+
+@dataclass(frozen=True)
+class _Attribution:
+    """How a request host was attributed to a third party."""
+
+    receiver: str
+    cloaked: bool
+
+
+class LeakDetector:
+    """Scans capture logs for PII leaks to third parties."""
+
+    def __init__(self, tokens: CandidateTokenSet,
+                 catalog: Optional[TrackerCatalog] = None,
+                 resolver: Optional[Resolver] = None,
+                 psl: Optional[PublicSuffixList] = None,
+                 scan_first_party: bool = False,
+                 locations: Optional[Sequence[str]] = None) -> None:
+        """``locations`` restricts which request parts are scanned (for
+        ablation studies, e.g. URL-only detection as in prior work);
+        ``None`` scans everything."""
+        self.tokens = tokens
+        self.catalog = catalog
+        self.psl = psl or default_list()
+        self.scan_first_party = scan_first_party
+        self.locations = frozenset(locations) if locations else None
+        self._cloaking = (CnameCloakingDetector(resolver, psl=self.psl)
+                          if resolver is not None else None)
+        if self._cloaking is not None and catalog is not None:
+            # Catalog-declared cloaking zones extend the published
+            # blocklists (covers custom/simulated cloaked services).
+            for service in catalog.services():
+                if service.cloaked_zone:
+                    self._cloaking.add_zone(service.cloaked_zone,
+                                            service.organisation)
+        self._attribution_cache: Dict[Tuple[str, str],
+                                      Optional[_Attribution]] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def detect(self, log: CaptureLog,
+               include_blocked: bool = False) -> List[LeakEvent]:
+        """All leak events in a capture log."""
+        events: List[LeakEvent] = []
+        for entry in log:
+            if entry.was_blocked and not include_blocked:
+                continue
+            events.extend(self.detect_entry(entry))
+        return events
+
+    def detect_entry(self, entry: CaptureEntry) -> List[LeakEvent]:
+        """Leak events for a single capture entry."""
+        site_host = "www." + entry.site
+        attribution = self._attribute(entry.request.url.host, site_host)
+        if attribution is None:
+            return []
+        events: List[LeakEvent] = []
+        seen: Set[Tuple] = set()
+        for location, parameter, text in self._scan_targets(entry.request):
+            if not text:
+                continue
+            if self.locations is not None and \
+                    location not in self.locations:
+                continue
+            for origin in self.tokens.scan_distinct(text):
+                token = self._token_for(origin, text)
+                key = (location, parameter, origin.pii_type, origin.chain)
+                if key in seen:
+                    continue
+                seen.add(key)
+                events.append(LeakEvent(
+                    sender=entry.site,
+                    receiver=attribution.receiver,
+                    request_host=entry.request.url.host,
+                    channel=channel_for_location(location),
+                    location=location,
+                    pii_type=origin.pii_type,
+                    chain=origin.chain,
+                    parameter=parameter,
+                    stage=entry.stage,
+                    url=str(entry.request.url),
+                    cloaked=attribution.cloaked,
+                    surface_form=origin.surface_form,
+                    token=token,
+                    timestamp=entry.request.timestamp,
+                ))
+        return events
+
+    # -- attribution --------------------------------------------------------
+
+    def _attribute(self, host: str, site_host: str) -> Optional[_Attribution]:
+        """Receiver attribution for a request host (None = first party)."""
+        cache_key = (host, site_host)
+        if cache_key in self._attribution_cache:
+            return self._attribution_cache[cache_key]
+        attribution = self._attribute_uncached(host, site_host)
+        self._attribution_cache[cache_key] = attribution
+        return attribution
+
+    def _attribute_uncached(self, host: str,
+                            site_host: str) -> Optional[_Attribution]:
+        if self.psl.is_third_party(host, site_host):
+            receiver = self._service_domain(host)
+            return _Attribution(receiver=receiver, cloaked=False)
+        # First-party by registrable domain: check for CNAME cloaking.
+        if self._cloaking is not None:
+            verdict = self._cloaking.classify(host, site_host)
+            if verdict.cloaked and verdict.tracker_zone is not None:
+                return _Attribution(receiver=verdict.tracker_zone,
+                                    cloaked=True)
+        if self.scan_first_party:
+            return _Attribution(receiver=self._service_domain(host),
+                                cloaked=False)
+        return None
+
+    def _service_domain(self, host: str) -> str:
+        if self.catalog is not None:
+            service = self.catalog.attribute_host(host)
+            if service is not None:
+                return service.domain
+        return self.psl.registrable_domain(host) or host
+
+    # -- scan target extraction ---------------------------------------------
+
+    def _scan_targets(self, request: HttpRequest):
+        """Yield (location, parameter, text) tuples to scan."""
+        url = request.url
+        for name, value in url.query:
+            yield LOCATION_QUERY, name, value
+        yield LOCATION_PATH, None, percent_decode(url.path)
+
+        referer = request.referer
+        if referer:
+            yield LOCATION_REFERER, None, percent_decode(referer)
+
+        cookie_header = request.cookie_header
+        if cookie_header:
+            for pair in cookie_header.split(";"):
+                name, _, value = pair.strip().partition("=")
+                yield LOCATION_COOKIE, name, value
+
+        if request.body:
+            yield from self._body_targets(request)
+
+    def _body_targets(self, request: HttpRequest):
+        content_type = (request.headers.get("Content-Type") or "").lower()
+        body_text = request.body_text()
+        if "json" in content_type:
+            payload = decode_json(request.body)
+            if payload is not None:
+                for key, value in flatten_json(payload):
+                    yield LOCATION_BODY, key, value
+                return
+        if "urlencoded" in content_type or ("=" in body_text
+                                            and "{" not in body_text):
+            for name, value in decode_urlencoded(request.body):
+                yield LOCATION_BODY, name, value
+            return
+        yield LOCATION_BODY, None, body_text
+
+    def _token_for(self, origin: TokenOrigin, text: str) -> str:
+        """Reconstruct the matched token for reporting."""
+        from .. import hashes
+        if not origin.chain:
+            return origin.surface_form
+        return hashes.apply_chain(origin.surface_form, origin.chain)
+
+
+def leaking_requests(log: CaptureLog, detector: LeakDetector) -> List[CaptureEntry]:
+    """Capture entries containing at least one leak (paper's 1,522)."""
+    hits = []
+    for entry in log:
+        if entry.was_blocked:
+            continue
+        if detector.detect_entry(entry):
+            hits.append(entry)
+    return hits

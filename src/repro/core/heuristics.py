@@ -1,0 +1,135 @@
+"""Heuristic (parameter-name) leak detection.
+
+The token-matching detector is exact but has a known blind spot the paper
+acknowledges implicitly: a tracker that *salts* or truncates its hashes
+produces values no candidate set can precompute.  This module implements
+the standard fallback from the measurement literature — flagging request
+parameters whose *names* advertise identifier payloads (``email_sha256``,
+``hashed_email``, ``u_hem``, …) when their values look like digests or
+opaque identifiers.
+
+Findings are *suspected* leaks: lower confidence than token matches, kept
+separate so analyses can report them distinctly (and so exact and
+heuristic detection can be compared on the same traffic).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..netsim import CaptureEntry, CaptureLog, decode_urlencoded
+from ..psl import PublicSuffixList, default_list
+
+#: Parameter-name fragments advertising an identity payload.
+_NAME_PATTERNS = (
+    r"e?mail.{0,4}(hash|sha|md5|id)",
+    r"(hash|sha\d*|md5).{0,4}e?mail",
+    r"\bhem\b|u_hem|udff|\bpd\b",
+    r"user.{0,4}(hash|id(entifier)?)\b",
+    r"^(em|uid|puid|exid|ext(ernal)?_?id)$",
+)
+_NAME_RE = re.compile("|".join("(?:%s)" % pattern
+                               for pattern in _NAME_PATTERNS),
+                      re.IGNORECASE)
+
+_HEX_RE = re.compile(r"^[0-9a-fA-F]{16,128}$")
+_B64_RE = re.compile(r"^[A-Za-z0-9+/_-]{16,}={0,2}$")
+
+#: Digest lengths (hex chars) of common hashes.
+_DIGEST_LENGTHS = {32, 40, 56, 64, 96, 128}
+
+
+def _shannon_entropy(value: str) -> float:
+    if not value:
+        return 0.0
+    counts = {}
+    for char in value:
+        counts[char] = counts.get(char, 0) + 1
+    total = len(value)
+    return -sum((count / total) * math.log2(count / total)
+                for count in counts.values())
+
+
+def looks_like_identifier(value: str) -> bool:
+    """Whether a parameter value is plausibly a derived identifier."""
+    value = value.strip()
+    if _HEX_RE.match(value):
+        return len(value) in _DIGEST_LENGTHS or len(value) >= 32
+    if _B64_RE.match(value) and _shannon_entropy(value) >= 3.5:
+        return True
+    return False
+
+
+def suspicious_parameter(name: str) -> bool:
+    """Whether a parameter name advertises an identity payload."""
+    return bool(name) and _NAME_RE.search(name) is not None
+
+
+@dataclass(frozen=True)
+class SuspectedLeak:
+    """A heuristic finding: named like an ID slot, valued like a digest."""
+
+    sender: str
+    receiver: str
+    parameter: str
+    value_preview: str
+    location: str
+    url: str
+
+    @property
+    def confidence(self) -> str:
+        return "suspected"
+
+
+class HeuristicDetector:
+    """Flags suspected identifier parameters in third-party traffic."""
+
+    def __init__(self, psl: Optional[PublicSuffixList] = None,
+                 known_tokens: Optional[Set[str]] = None) -> None:
+        """``known_tokens``: values already confirmed by the exact
+        detector, excluded here so the two result sets stay disjoint."""
+        self.psl = psl or default_list()
+        self.known_tokens = known_tokens or set()
+
+    def _candidate_pairs(self, entry: CaptureEntry):
+        request = entry.request
+        for name, value in request.url.query:
+            yield "query", name, value
+        content_type = (request.headers.get("Content-Type") or "").lower()
+        if request.body and "urlencoded" in content_type:
+            for name, value in decode_urlencoded(request.body):
+                yield "body", name, value
+
+    def detect_entry(self, entry: CaptureEntry) -> List[SuspectedLeak]:
+        site_host = "www." + entry.site
+        if not self.psl.is_third_party(entry.request.url.host, site_host):
+            return []
+        findings = []
+        for location, name, value in self._candidate_pairs(entry):
+            if not suspicious_parameter(name):
+                continue
+            if not looks_like_identifier(value):
+                continue
+            if value in self.known_tokens or \
+                    value.lower() in self.known_tokens:
+                continue
+            findings.append(SuspectedLeak(
+                sender=entry.site,
+                receiver=self.psl.registrable_domain(
+                    entry.request.url.host) or entry.request.url.host,
+                parameter=name,
+                value_preview=value[:24],
+                location=location,
+                url=str(entry.request.url)))
+        return findings
+
+    def detect(self, log: CaptureLog) -> List[SuspectedLeak]:
+        findings: List[SuspectedLeak] = []
+        for entry in log:
+            if entry.was_blocked:
+                continue
+            findings.extend(self.detect_entry(entry))
+        return findings

@@ -1,0 +1,126 @@
+"""End-to-end study pipeline.
+
+:class:`Study` is the library's one-call entry point: build the calibrated
+synthetic web (or accept a custom population), crawl it with the
+measurement browser, detect PII leakage, and run the downstream analyses.
+Every individual stage remains available for piecemeal use; this facade
+wires them together the way the paper's methodology chains them:
+
+    §3 data collection -> §4 leak detection -> §5 tracking analysis
+    -> §6 policy audit (and, via :mod:`repro.protection` /
+    :mod:`repro.blocklist`, the §7 countermeasure studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..browser import BrowserProfile, vanilla_firefox
+from ..crawler import CrawlDataset, StudyCrawler
+from ..mailsim import KIND_MARKETING
+from ..policy import PolicyVerdict, classify_policies, policies_for_sites
+from ..policy import table3 as policy_table3
+from ..tracking import PersistenceAnalyzer, PersistenceReport
+from .analysis import LeakAnalysis
+from .detector import LeakDetector, leaking_requests
+from .heuristics import HeuristicDetector, SuspectedLeak
+from .leakmodel import LeakEvent
+from .persona import Persona
+from .tokens import CandidateTokenSet, TokenSetConfig
+
+
+@dataclass
+class StudyConfig:
+    """Tunables for a full study run."""
+
+    profile: Optional[BrowserProfile] = None
+    token_config: Optional[TokenSetConfig] = None
+
+
+@dataclass
+class StudyResult:
+    """Everything a full study run produced."""
+
+    dataset: CrawlDataset
+    tokens: CandidateTokenSet
+    events: List[LeakEvent]
+    analysis: LeakAnalysis
+    persistence: PersistenceReport
+    policy_verdicts: List[PolicyVerdict]
+    leaking_request_count: int
+    #: Heuristic findings (salted/unknown identifiers) the exact detector
+    #: could not confirm — disjoint from ``events`` by construction.
+    suspected_leaks: List[SuspectedLeak] = field(default_factory=list)
+
+    @property
+    def table3_counts(self) -> Dict[str, int]:
+        return policy_table3(self.policy_verdicts)
+
+    def marketing_mail_counts(self) -> Dict[str, int]:
+        """{'inbox': n, 'spam': m} marketing-only counts (§4.2.3)."""
+        mailbox = self.dataset.mailbox
+        return {
+            "inbox": len(mailbox.messages(folder="inbox",
+                                          kind=KIND_MARKETING)),
+            "spam": len(mailbox.messages(folder="spam",
+                                         kind=KIND_MARKETING)),
+        }
+
+    def third_party_mail_senders(self) -> List[str]:
+        """Mail senders that are leak receivers (paper observed none)."""
+        receivers = set(self.analysis.receivers())
+        return [domain for domain in self.dataset.mailbox.sender_domains()
+                if domain in receivers]
+
+
+class Study:
+    """The full reproduction pipeline over a population."""
+
+    def __init__(self, population, config: Optional[StudyConfig] = None) -> None:
+        self.population = population
+        self.config = config or StudyConfig()
+
+    @classmethod
+    def calibrated(cls, config: Optional[StudyConfig] = None) -> "Study":
+        """A study over the paper-calibrated shopping population."""
+        from ..websim.shopping import build_study_population
+        spec = build_study_population()
+        study = cls(spec.population, config=config)
+        study.spec = spec
+        return study
+
+    def run(self) -> StudyResult:
+        """Crawl, detect, and analyze; returns the combined result."""
+        profile = self.config.profile or vanilla_firefox()
+        crawler = StudyCrawler(self.population, profile=profile)
+        dataset = crawler.crawl()
+
+        tokens = CandidateTokenSet(self.population.persona,
+                                   config=self.config.token_config)
+        detector = LeakDetector(tokens, catalog=self.population.catalog,
+                                resolver=self.population.resolver())
+        events = detector.detect(dataset.log)
+        analysis = LeakAnalysis(events)
+        persistence = PersistenceAnalyzer(events).report()
+        heuristics = HeuristicDetector(
+            known_tokens={event.token for event in events})
+        suspected = heuristics.detect(dataset.log)
+
+        site_classes = {
+            domain: self.population.sites[domain].policy_class
+            for domain in analysis.senders()
+            if self.population.sites[domain].policy_class is not None}
+        verdicts = classify_policies(policies_for_sites(site_classes))
+
+        return StudyResult(
+            dataset=dataset,
+            tokens=tokens,
+            events=events,
+            analysis=analysis,
+            persistence=persistence,
+            policy_verdicts=verdicts,
+            leaking_request_count=len(leaking_requests(dataset.log,
+                                                       detector)),
+            suspected_leaks=suspected,
+        )

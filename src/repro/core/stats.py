@@ -1,0 +1,98 @@
+"""Bootstrap statistics for measured quantities.
+
+A single crawl yields point estimates (mean receivers per sender, % of
+senders with ≥ 3 receivers, …).  Measurement papers report how stable such
+numbers are under resampling of the measured population; this module
+provides nonparametric bootstrap confidence intervals over the sender
+sample, plus a helper that checks whether the paper's published value
+falls inside the measured interval.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .analysis import LeakAnalysis
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A point estimate with its bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    samples: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return "%.3f [%.3f, %.3f] (%.0f%% CI, n=%d)" % (
+            self.estimate, self.low, self.high, 100 * self.confidence,
+            self.samples)
+
+
+def bootstrap_ci(values: Sequence[float],
+                 statistic: Callable[[Sequence[float]], float],
+                 n_resamples: int = 2000,
+                 confidence: float = 0.95,
+                 seed: int = 0) -> BootstrapResult:
+    """Percentile bootstrap CI of ``statistic`` over ``values``.
+
+    Deterministic for a given seed; raises ``ValueError`` on empty input.
+    """
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = random.Random(seed)
+    data = list(values)
+    size = len(data)
+    estimates = []
+    for _ in range(n_resamples):
+        resample = [data[rng.randrange(size)] for _ in range(size)]
+        estimates.append(statistic(resample))
+    estimates.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = int(alpha * n_resamples)
+    high_index = min(n_resamples - 1,
+                     int((1.0 - alpha) * n_resamples))
+    return BootstrapResult(estimate=statistic(data),
+                           low=estimates[low_index],
+                           high=estimates[high_index],
+                           confidence=confidence, samples=size)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _share_at_least(threshold: float) -> Callable[[Sequence[float]], float]:
+    def statistic(values: Sequence[float]) -> float:
+        return 100.0 * sum(1 for v in values if v >= threshold) / len(values)
+    return statistic
+
+
+def sender_degree_sample(analysis: LeakAnalysis) -> List[int]:
+    """Receivers-per-sender observations (the §4.2 unit of analysis)."""
+    return [len({rel.receiver
+                 for rel in analysis.relationships_of_sender(sender)})
+            for sender in analysis.senders()]
+
+
+def headline_intervals(analysis: LeakAnalysis,
+                       n_resamples: int = 2000,
+                       seed: int = 0) -> Dict[str, BootstrapResult]:
+    """Bootstrap CIs for the §4.2 per-sender statistics."""
+    degrees = sender_degree_sample(analysis)
+    return {
+        "mean_receivers_per_sender": bootstrap_ci(
+            degrees, _mean, n_resamples=n_resamples, seed=seed),
+        "pct_senders_with_3plus": bootstrap_ci(
+            degrees, _share_at_least(3), n_resamples=n_resamples,
+            seed=seed + 1),
+    }

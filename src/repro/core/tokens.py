@@ -1,0 +1,154 @@
+"""Candidate token precomputation (§3.1).
+
+The paper pre-computes, for every PII value, the set of strings produced by
+"all supported encodings, hashes, and checksums", chained up to three layers
+deep.  A leak is then found by searching raw HTTP traffic for any of those
+strings.
+
+Enumerating the *full* transform corpus at every chain depth is
+combinatorially explosive (33^3 per surface form), so the default
+configuration mirrors how the search space behaves in practice:
+
+* depth 1 applies the entire corpus (trackers pick arbitrary single
+  transforms);
+* depths 2-3 chain over the alphabet of transforms actually observed in
+  multi-layer obfuscations (base64/md5/sha1/sha256 — Table 1b's "SHA256 of
+  MD5" and "BASE64, SHA1 and SHA256" forms).
+
+Both knobs are configurable; ``benchmarks/bench_ablation_depth.py`` measures
+the recall/cost trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .. import hashes
+from .aho import AhoCorasick, Match
+from .persona import Persona
+
+_HEX_CHARS = set("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class TokenOrigin:
+    """Provenance of one candidate token."""
+
+    pii_type: str
+    surface_form: str
+    chain: Tuple[str, ...]  # () for plaintext
+
+    @property
+    def encoding_label(self) -> str:
+        return hashes.chain_label(self.chain)
+
+
+@dataclass(frozen=True)
+class TokenSetConfig:
+    """Tuning for candidate-set generation."""
+
+    max_depth: int = 3
+    full_corpus_depth: int = 1
+    chain_alphabet: Tuple[str, ...] = hashes.OBSERVED_CHAIN_ALPHABET
+    min_token_length: int = 6
+    include_case_variants: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if self.full_corpus_depth > self.max_depth:
+            raise ValueError("full_corpus_depth cannot exceed max_depth")
+        unknown = [n for n in self.chain_alphabet if not hashes.has(n)]
+        if unknown:
+            raise ValueError("unknown transforms: %s" % unknown)
+
+
+class CandidateTokenSet:
+    """All strings whose appearance in traffic constitutes a PII leak."""
+
+    def __init__(self, persona: Persona,
+                 config: Optional[TokenSetConfig] = None) -> None:
+        self.persona = persona
+        self.config = config or TokenSetConfig()
+        self._origins: Dict[str, List[TokenOrigin]] = {}
+        self._automaton: AhoCorasick[TokenOrigin] = AhoCorasick()
+        self._generate()
+        self._automaton.build()
+
+    # -- generation --------------------------------------------------------
+
+    def _generate(self) -> None:
+        all_names = [t.name for t in hashes.all_transforms()]
+        for pii_type, forms in self.persona.surface_forms().items():
+            for form in forms:
+                self._add_token(form, TokenOrigin(pii_type, form, ()))
+                for chain in self._chains(all_names):
+                    token = hashes.apply_chain(form, chain)
+                    self._add_token(token,
+                                    TokenOrigin(pii_type, form, tuple(chain)))
+
+    def _chains(self, all_names: Sequence[str]) -> Iterable[Tuple[str, ...]]:
+        config = self.config
+        for depth in range(1, config.max_depth + 1):
+            if depth <= config.full_corpus_depth:
+                first_choices: Sequence[str] = all_names
+            else:
+                first_choices = config.chain_alphabet
+            if depth == 1:
+                for name in first_choices:
+                    yield (name,)
+                continue
+            for first in first_choices:
+                for rest in product(config.chain_alphabet, repeat=depth - 1):
+                    yield (first,) + rest
+
+    def _add_token(self, token: str, origin: TokenOrigin) -> None:
+        if len(token) < self.config.min_token_length:
+            return
+        self._register(token, origin)
+        if self.config.include_case_variants and _is_hex(token):
+            self._register(token.upper(), origin)
+
+    def _register(self, token: str, origin: TokenOrigin) -> None:
+        bucket = self._origins.setdefault(token, [])
+        if origin not in bucket:
+            bucket.append(origin)
+            self._automaton.add(token, origin)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def token_count(self) -> int:
+        return len(self._origins)
+
+    def tokens(self) -> List[str]:
+        """All candidate tokens (deterministic order)."""
+        return list(self._origins)
+
+    def origins_of(self, token: str) -> List[TokenOrigin]:
+        """Provenance records for an exact token."""
+        return list(self._origins.get(token, []))
+
+    def scan(self, text: str) -> List[Match[TokenOrigin]]:
+        """All candidate-token occurrences in ``text`` (single pass)."""
+        if not text:
+            return []
+        return self._automaton.find_all(text)
+
+    def scan_distinct(self, text: str) -> List[TokenOrigin]:
+        """Distinct origins whose token occurs in ``text``."""
+        seen: List[TokenOrigin] = []
+        for match in self.scan(text):
+            if match.payload not in seen:
+                seen.append(match.payload)
+        return seen
+
+    def contains_leak(self, text: str) -> bool:
+        """Fast check: does ``text`` contain any candidate token?"""
+        return bool(text) and self._automaton.contains_any(text)
+
+
+def _is_hex(token: str) -> bool:
+    return len(token) >= 8 and all(ch in _HEX_CHARS for ch in token)

@@ -1,0 +1,30 @@
+"""Persona-driven authentication-flow crawler."""
+
+from .flows import (
+    STATUS_BLOCKED,
+    STATUS_BOT_BLOCKED,
+    STATUS_CAPTCHA_FAILED,
+    STATUS_CONFIRMATION_FAILED,
+    STATUS_NO_AUTH,
+    STATUS_SIGNIN_FAILED,
+    STATUS_SUCCESS,
+    STATUS_UNREACHABLE,
+    AuthFlowRunner,
+    FlowResult,
+)
+from .runner import CrawlDataset, StudyCrawler
+
+__all__ = [
+    "AuthFlowRunner",
+    "CrawlDataset",
+    "FlowResult",
+    "STATUS_BLOCKED",
+    "STATUS_BOT_BLOCKED",
+    "STATUS_CAPTCHA_FAILED",
+    "STATUS_CONFIRMATION_FAILED",
+    "STATUS_NO_AUTH",
+    "STATUS_SIGNIN_FAILED",
+    "STATUS_SUCCESS",
+    "STATUS_UNREACHABLE",
+    "StudyCrawler",
+]

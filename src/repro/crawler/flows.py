@@ -1,0 +1,151 @@
+"""Authentication-flow execution (§3.2).
+
+Reproduces the paper's manual procedure step by step: browse the site, fill
+every sign-up field with the persona, submit, fetch the confirmation link
+from the mailbox when the site requires it, sign in with the created
+account, reload the site logged-in, and finally click through to a product
+subpage (to observe leakage behaviour on subpages vs. the auth pages).
+
+The runner reports the same per-site outcomes the paper tabulates:
+successful flows, unreachable sites, sites without authentication, sites
+whose policy blocks sign-up, and CAPTCHA failures (the Brave/nykaa case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..browser import Browser
+from ..core.persona import Persona
+from ..mailsim import Mailbox
+from ..netsim import (
+    STAGE_CONFIRM,
+    STAGE_HOMEPAGE,
+    STAGE_RELOAD,
+    STAGE_SIGNIN,
+    STAGE_SIGNUP,
+    STAGE_SUBPAGE,
+)
+from ..websim.html import ParsedForm, ParsedPage
+from ..websim.site import PAGE_PRODUCT, PAGE_SIGNIN, PAGE_SIGNUP, Website
+
+# Flow outcomes (§3.2 population accounting).
+STATUS_SUCCESS = "success"
+STATUS_UNREACHABLE = "unreachable"
+STATUS_NO_AUTH = "no_auth"
+STATUS_BLOCKED = "signup_blocked"
+STATUS_CAPTCHA_FAILED = "captcha_failed"
+STATUS_SIGNIN_FAILED = "signin_failed"
+STATUS_BOT_BLOCKED = "bot_blocked"                 # automated mode only
+STATUS_CONFIRMATION_FAILED = "confirmation_failed"  # automated mode only
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one site's authentication flow."""
+
+    site: str
+    status: str
+    block_reason: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == STATUS_SUCCESS
+
+
+class AuthFlowRunner:
+    """Drives the full §3.2 flow for one site through a browser.
+
+    ``automated=True`` models an OpenWPM-style bot instead of the paper's
+    human operator: the client is detectable by bot-detection systems and
+    has no access to the confirmation mailbox — the two §3.2 obstacles
+    (43 + 68 sites) that made the paper collect its data manually.
+    """
+
+    def __init__(self, browser: Browser, persona: Persona,
+                 mailbox: Mailbox, automated: bool = False) -> None:
+        self.browser = browser
+        self.persona = persona
+        self.mailbox = mailbox
+        self.automated = automated
+        if automated:
+            from dataclasses import replace
+            self.browser.profile = replace(self.browser.profile,
+                                           automation_detectable=True)
+
+    def run(self, site: Website) -> FlowResult:
+        # Step 0: policy gates known before/while browsing.
+        homepage = self.browser.visit(site, site.page_url("home"),
+                                      STAGE_HOMEPAGE)
+        if not homepage.ok:
+            return FlowResult(site.domain, STATUS_UNREACHABLE)
+        if not site.auth.has_auth:
+            return FlowResult(site.domain, STATUS_NO_AUTH)
+        if site.auth.signup_block is not None:
+            return FlowResult(site.domain, STATUS_BLOCKED,
+                              block_reason=site.auth.signup_block)
+
+        # Step 1: sign-up.
+        signup_page = self.browser.visit(site, site.page_url(PAGE_SIGNUP),
+                                         STAGE_SIGNUP)
+        if not signup_page.ok or signup_page.page is None:
+            return FlowResult(site.domain, STATUS_UNREACHABLE)
+        form = _find_form(signup_page.page, "signup-form")
+        if form is None:
+            return FlowResult(site.domain, STATUS_NO_AUTH)
+        submitted = self.browser.submit_form(site, form,
+                                             self.persona.form_fields(),
+                                             STAGE_SIGNUP)
+        if submitted.status == 403:
+            if self.automated and site.auth.bot_detection:
+                return FlowResult(site.domain, STATUS_BOT_BLOCKED)
+            return FlowResult(site.domain, STATUS_CAPTCHA_FAILED)
+        if not submitted.ok:
+            return FlowResult(site.domain, STATUS_UNREACHABLE)
+
+        # Step 2: e-mail confirmation ("open another browser and get the
+        # email confirmation link" — the link is fetched out of the mailbox
+        # and opened in the same instrumented browser).
+        if site.auth.requires_email_confirmation:
+            if self.automated:
+                # A bot has nobody reading the inbox: the account stays
+                # pending and the flow cannot complete.
+                return FlowResult(site.domain, STATUS_CONFIRMATION_FAILED)
+            message = self.mailbox.latest_confirmation(site.domain)
+            if message is None or message.confirm_url is None:
+                return FlowResult(site.domain, STATUS_UNREACHABLE)
+            confirmed = self.browser.visit(site, message.confirm_url,
+                                           STAGE_CONFIRM, keep_pii=True)
+            if not confirmed.ok:
+                return FlowResult(site.domain, STATUS_UNREACHABLE)
+
+        # Step 3: sign-in with the created account.
+        signin_page = self.browser.visit(site, site.page_url(PAGE_SIGNIN),
+                                         STAGE_SIGNIN)
+        if not signin_page.ok or signin_page.page is None:
+            return FlowResult(site.domain, STATUS_UNREACHABLE)
+        signin_form = _find_form(signin_page.page, "signin-form")
+        if signin_form is None:
+            return FlowResult(site.domain, STATUS_NO_AUTH)
+        signed_in = self.browser.submit_form(
+            site, signin_form,
+            {"email": self.persona.email, "password": self.persona.password},
+            STAGE_SIGNIN)
+        if not signed_in.ok:
+            return FlowResult(site.domain, STATUS_SIGNIN_FAILED)
+
+        # Step 4: reload the site with the logged-in account.
+        self.browser.visit(site, site.page_url("home"), STAGE_RELOAD)
+
+        # Step 5: click a product link (subpage observation).
+        self.browser.visit(site, site.page_url(PAGE_PRODUCT), STAGE_SUBPAGE)
+
+        return FlowResult(site.domain, STATUS_SUCCESS)
+
+
+def _find_form(page: ParsedPage, form_id: str) -> Optional[ParsedForm]:
+    for form in page.forms:
+        if form.form_id == form_id:
+            return form
+    return page.forms[0] if page.forms else None

@@ -1,0 +1,106 @@
+"""Study-level crawl orchestration.
+
+Runs the §3.2 authentication flow over an entire population with a single
+browser session (one persona, one cookie jar — cross-site tracking only
+exists because state persists across sites), collects the combined capture
+log, mailbox and per-site flow outcomes, and delivers each successful
+site's marketing-mail campaign afterwards (the §4.2.3 e-mail analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..browser import Browser, BrowserProfile, SimClock, vanilla_firefox
+from ..core.persona import Persona
+from ..mailsim import Mailbox
+from ..netsim import CaptureLog
+from ..websim.population import Population
+from ..websim.site import Website
+from .flows import STATUS_SUCCESS, AuthFlowRunner, FlowResult
+
+
+@dataclass
+class CrawlDataset:
+    """Everything one crawl produced."""
+
+    profile_name: str
+    log: CaptureLog
+    flows: Dict[str, FlowResult]
+    mailbox: Mailbox
+    persona: Persona
+    population: Population
+
+    def successful_sites(self) -> List[str]:
+        return [domain for domain, flow in self.flows.items()
+                if flow.succeeded]
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for flow in self.flows.values():
+            counts[flow.status] = counts.get(flow.status, 0) + 1
+        return counts
+
+
+class StudyCrawler:
+    """Crawls a population under one browser profile."""
+
+    def __init__(self, population: Population,
+                 profile: Optional[BrowserProfile] = None,
+                 clock: Optional[SimClock] = None,
+                 extension: Optional[object] = None,
+                 firewall: Optional[object] = None,
+                 consent_policy: Optional[str] = None,
+                 automated: bool = False) -> None:
+        """``extension`` (a content blocker such as
+        :class:`repro.blocklist.AdblockExtension`), ``firewall`` (an
+        outbound scrubber such as :class:`repro.mitigation.PiiFirewall`)
+        and ``consent_policy`` (how cookie banners are answered; default
+        accept-all, like the paper's operator) are forwarded to the
+        browser."""
+        from ..websim.consent import CONSENT_ACCEPT_ALL
+        self.population = population
+        self.profile = profile or vanilla_firefox()
+        self.clock = clock or SimClock()
+        self.extension = extension
+        self.firewall = firewall
+        self.consent_policy = consent_policy or CONSENT_ACCEPT_ALL
+        self.automated = automated
+
+    def crawl(self, sites: Optional[Iterable[Website]] = None) -> CrawlDataset:
+        """Run the full study crawl; returns the combined dataset."""
+        persona = self.population.persona
+        mailbox = Mailbox(persona.email)
+        server = self.population.build_server(
+            mail_hook=lambda site, email, url:
+                mailbox.deliver_confirmation(site, url))
+        browser = Browser(profile=self.profile, server=server,
+                          resolver=self.population.resolver(),
+                          catalog=self.population.catalog, clock=self.clock,
+                          extension=self.extension, firewall=self.firewall,
+                          consent_policy=self.consent_policy)
+        runner = AuthFlowRunner(browser, persona, mailbox,
+                                automated=self.automated)
+
+        flows: Dict[str, FlowResult] = {}
+        site_list = list(sites) if sites is not None \
+            else self.population.site_list()
+        for site in site_list:
+            flows[site.domain] = runner.run(site)
+
+        # Marketing campaigns arrive after the crawl completes (§4.2.3).
+        for site in site_list:
+            if not flows[site.domain].succeeded:
+                continue
+            inbox_count, spam_count = site.marketing_mail
+            if inbox_count:
+                mailbox.deliver_marketing(site.domain, inbox_count,
+                                          spam=False)
+            if spam_count:
+                mailbox.deliver_marketing(site.domain, spam_count, spam=True)
+
+        browser.snapshot_cookies()
+        return CrawlDataset(profile_name=self.profile.name, log=browser.log,
+                            flows=flows, mailbox=mailbox, persona=persona,
+                            population=self.population)

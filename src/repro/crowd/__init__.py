@@ -1,0 +1,17 @@
+"""Crowdsourced data collection (§5.2's proposed future work)."""
+
+from .study import (
+    Contributor,
+    ContributorReport,
+    CrowdStudy,
+    CrowdStudyResult,
+    make_panel,
+)
+
+__all__ = [
+    "Contributor",
+    "ContributorReport",
+    "CrowdStudy",
+    "CrowdStudyResult",
+    "make_panel",
+]

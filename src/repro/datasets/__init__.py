@@ -1,0 +1,5 @@
+"""Published paper numbers (calibration targets + comparison columns)."""
+
+from . import paper
+
+__all__ = ["paper"]

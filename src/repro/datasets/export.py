@@ -1,0 +1,121 @@
+"""Dataset-release exporter.
+
+The paper publishes its dataset — "the lists of PII leakage URLs,
+first-party senders, and third-party receivers" — at
+github.com/fukuda-lab/PII_leakage.  This module produces the same release
+artifacts from a :class:`~repro.core.pipeline.StudyResult`:
+
+* ``senders.csv``      — sender domain, receiver count, channels, policy class
+* ``receivers.csv``    — receiver domain, sender count, trackid params,
+  cross-site / persistent flags
+* ``leak_urls.csv``    — one row per leaking request observation
+* ``summary.json``     — headline statistics
+
+Everything is plain CSV/JSON, written with :func:`write_release`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+from ..core.analysis import LeakAnalysis
+from ..core.pipeline import StudyResult
+from ..tracking import PersistenceReport, TrackIdAnalyzer
+
+
+def senders_csv(result: StudyResult) -> str:
+    """The first-party senders table."""
+    analysis = result.analysis
+    policy = {verdict.site: verdict.disclosure_class
+              for verdict in result.policy_verdicts}
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["sender", "receivers", "channels", "encodings",
+                     "pii_types", "policy_class"])
+    for sender in analysis.senders():
+        relationships = analysis.relationships_of_sender(sender)
+        receivers = sorted({rel.receiver for rel in relationships})
+        channels = sorted({c for rel in relationships
+                           for c in rel.channels})
+        encodings = sorted({e for rel in relationships
+                            for e in rel.encodings})
+        pii_types = sorted({p for rel in relationships
+                            for p in rel.pii_types})
+        writer.writerow([sender, len(receivers), "|".join(channels),
+                         "|".join(encodings), "|".join(pii_types),
+                         policy.get(sender, "")])
+    return buffer.getvalue()
+
+
+def receivers_csv(result: StudyResult) -> str:
+    """The third-party receivers table."""
+    analysis = result.analysis
+    persistence = result.persistence
+    trackids = TrackIdAnalyzer(result.events)
+    params: Dict[str, List[str]] = {}
+    for parameter in trackids.parameters():
+        params.setdefault(parameter.receiver, []).append(
+            parameter.parameter)
+    cross_site = set(persistence.cross_site_receivers)
+    persistent = set(persistence.persistent_receivers)
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["receiver", "senders", "trackid_params",
+                     "cross_site", "persistent"])
+    degrees = analysis.receiver_degree()
+    for receiver in analysis.receivers():
+        writer.writerow([
+            receiver, degrees.get(receiver, 0),
+            "|".join(sorted(set(params.get(receiver, [])))),
+            "yes" if receiver in cross_site else "no",
+            "yes" if receiver in persistent else "no"])
+    return buffer.getvalue()
+
+
+def leak_urls_csv(result: StudyResult) -> str:
+    """One row per leak observation (the paper's PII-leakage URL list)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["sender", "receiver", "stage", "channel", "encoding",
+                     "pii_type", "parameter", "url"])
+    for event in result.events:
+        writer.writerow([event.sender, event.receiver, event.stage,
+                         event.channel, event.encoding_label,
+                         event.pii_type, event.parameter or "", event.url])
+    return buffer.getvalue()
+
+
+def summary_json(result: StudyResult, total_sites: int = 307) -> str:
+    """Headline statistics as JSON."""
+    stats = result.analysis.headline(total_sites=total_sites)
+    stats["leaking_requests"] = result.leaking_request_count
+    stats["persistent_providers"] = result.persistence.provider_count
+    stats["cross_site_receivers"] = len(
+        result.persistence.cross_site_receivers)
+    stats["policy_disclosures"] = result.table3_counts
+    stats["marketing_mail"] = result.marketing_mail_counts()
+    return json.dumps(stats, indent=2, sort_keys=True)
+
+
+def write_release(result: StudyResult, directory: str,
+                  total_sites: int = 307) -> List[str]:
+    """Write the full dataset release; returns the created file paths."""
+    base = pathlib.Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    artifacts = {
+        "senders.csv": senders_csv(result),
+        "receivers.csv": receivers_csv(result),
+        "leak_urls.csv": leak_urls_csv(result),
+        "summary.json": summary_json(result, total_sites=total_sites),
+    }
+    written = []
+    for name, content in artifacts.items():
+        path = base / name
+        path.write_text(content)
+        written.append(str(path))
+    return written

@@ -1,0 +1,203 @@
+"""Published numbers from the paper, used two ways:
+
+* as **calibration targets** for the synthetic shopping population — the
+  study's published dataset statistics define how many sites leak what to
+  whom, and the generator constructs a concrete web realizing them;
+* as the **comparison column** in EXPERIMENTS.md and the benchmark output
+  ("paper vs. measured").
+
+Nothing here ever flows directly into a result table: every measured number
+is produced by crawling the synthetic web and running the real detection
+pipeline over the captured traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# --------------------------------------------------------------------------
+# §3.2 data acquisition population.
+# --------------------------------------------------------------------------
+
+TRANCO_SHOPPING_SITES = 404
+UNREACHABLE_SITES = 22
+NO_AUTH_SITES = 19
+SIGNUP_BLOCKED_SITES = 56           # total blocked
+SIGNUP_BLOCKED_PHONE = 47
+SIGNUP_BLOCKED_IDENTITY = 6
+SIGNUP_BLOCKED_REGION = 3
+SUCCESSFUL_FLOWS = 307
+EMAIL_CONFIRMATION_SITES = 68
+BOT_DETECTION_SITES = 43
+
+# --------------------------------------------------------------------------
+# §4.2 headline results.
+# --------------------------------------------------------------------------
+
+LEAKING_SENDERS = 130
+LEAK_RECEIVERS = 100
+LEAKING_REQUESTS = 1522
+PCT_SITES_LEAKING = 42.3
+MEAN_RECEIVERS_PER_SENDER = 2.97
+PCT_SENDERS_WITH_3PLUS_RECEIVERS = 46.15
+MAX_RECEIVERS_PER_SENDER = 16
+MAX_RECEIVERS_SENDER_DOMAIN = "loccitane.com"
+SINGLE_APPEARANCE_RECEIVERS = 58
+CROSS_SITE_ID_RECEIVERS = 34        # same ID from more than one sender
+PERSISTENT_TRACKING_PROVIDERS = 20  # ID also present on subpages
+
+# Figure 2: facebook.com receives PII from 60% of the 130 senders.
+FACEBOOK_SENDER_PCT = 60.0
+FACEBOOK_SENDERS = 78
+
+# --------------------------------------------------------------------------
+# Table 1a: breakdown by method — (senders, receivers).
+# --------------------------------------------------------------------------
+
+TABLE1A: Dict[str, Tuple[int, int]] = {
+    "referer": (3, 7),
+    "uri": (118, 78),
+    "payload": (43, 17),
+    "cookie": (5, 1),
+    "combined": (27, 8),
+}
+
+# --------------------------------------------------------------------------
+# Table 1b: breakdown by encoding/hashing — (senders, receivers).
+# --------------------------------------------------------------------------
+
+TABLE1B: Dict[str, Tuple[int, int]] = {
+    "plaintext": (42, 56),
+    "base64": (19, 20),
+    "md5": (35, 24),
+    "sha1": (9, 6),
+    "sha256": (91, 30),
+    "sha256 of md5": (2, 1),
+    "combined": (21, 14),
+}
+
+# --------------------------------------------------------------------------
+# Table 1c: breakdown by PII type — (senders, receivers).
+# --------------------------------------------------------------------------
+
+TABLE1C: Dict[str, Tuple[int, int]] = {
+    "email": (116, 94),
+    "username": (1, 1),
+    "email,username": (3, 6),
+    "email,name": (29, 12),
+}
+
+# --------------------------------------------------------------------------
+# Table 2: the twenty persistent tracking providers.
+# Rows: receiver -> list of (senders, methods, encoding, trackid params).
+# --------------------------------------------------------------------------
+
+TABLE2: Dict[str, Tuple[Tuple[int, str, str, str], ...]] = {
+    "facebook.com": (
+        (72, "uri/payload", "sha256", "udff[em]/ud[em]"),
+        (2, "uri", "md5", "ud[em]"),
+    ),
+    "criteo.com": (
+        (26, "uri", "md5", "p0/p1"),
+        (4, "uri", "sha256", "p0"),
+        (5, "uri", "plaintext", "p0/p1"),
+        (2, "uri", "sha256 of md5", "p0/p1"),
+    ),
+    "pinterest.com": (
+        (25, "uri", "sha256", "pd"),
+        (8, "uri", "md5", "pd"),
+    ),
+    "snapchat.com": (
+        (18, "uri/payload", "sha256", "u_hem"),
+        (2, "payload", "md5", "u_hem"),
+    ),
+    "cquotient.com": ((7, "uri", "sha256", "emailId"),),
+    "bluecore.com": ((5, "payload", "base64", "data"),),
+    "klaviyo.com": ((4, "uri", "base64", "data"),),
+    "oracleinfinity.io": ((4, "uri", "sha256", "email_hash/ora*"),),
+    "rlcdn.com": ((4, "uri", "sha1", "s"),),
+    "omtrdc.net": ((3, "uri", "sha256", "v*"),),   # "adobe_cname"
+    "castle.io": ((2, "uri", "plaintext", "up"),),
+    "custora.com": ((2, "uri/cookie", "sha1", "uid/_custrack1_identified*"),),
+    "dotomi.com": ((2, "uri", "sha256", "dtm_email_hash"),),
+    "inside-graph.com": ((2, "payload", "plaintext", "md"),),
+    "krxd.net": ((2, "uri", "sha256", "_kua_email_sha256"),),
+    "pxf.io": ((2, "payload", "sha1", "custemail"),),
+    "taboola.com": ((2, "uri", "sha256", "eflp"),),
+    "thebrighttag.com": ((2, "uri", "sha256", "_cb_bt_data"),),
+    "yahoo.com": ((2, "uri", "sha256", "he"),),
+    "zendesk.com": ((2, "uri", "base64", "data"),),
+}
+
+
+def table2_sender_count(receiver: str) -> int:
+    """Total Table 2 senders for a provider."""
+    return sum(row[0] for row in TABLE2[receiver])
+
+
+# --------------------------------------------------------------------------
+# §4.2.3 e-mail observations.
+# --------------------------------------------------------------------------
+
+MARKETING_INBOX_EMAILS = 2172
+MARKETING_SPAM_EMAILS = 141
+THIRD_PARTY_EMAILS = 0
+
+# --------------------------------------------------------------------------
+# Table 3: privacy-policy disclosures of the 130 senders.
+# --------------------------------------------------------------------------
+
+TABLE3: Dict[str, int] = {
+    "disclose_not_specific": 102,
+    "disclose_specific": 9,
+    "no_description": 15,
+    "explicitly_not_shared": 4,
+}
+
+# --------------------------------------------------------------------------
+# §7.1 browser countermeasures.
+# --------------------------------------------------------------------------
+
+BRAVE_SENDER_REDUCTION_PCT = 93.1
+BRAVE_RECEIVER_REDUCTION_PCT = 92.0
+BRAVE_REMAINING_RECEIVERS = 8
+BRAVE_CAPTCHA_FAILURE_SITE = "nykaa.com"
+BRAVE_MISSED = ("aliyun.com", "cartsync.io", "gravatar.com",
+                "herokuapp.com", "intercom.io", "lmcdn.ru",
+                "okta-emea.com", "zendesk.com")
+
+# --------------------------------------------------------------------------
+# Table 4: blocklist coverage — {list: {method: (blocked, pct)}}.
+# --------------------------------------------------------------------------
+
+TABLE4_SENDERS: Dict[str, Dict[str, Tuple[int, float]]] = {
+    "easylist": {
+        "referer": (0, 0.0), "uri": (1, 0.8), "payload": (0, 0.0),
+        "cookie": (0, 0.0), "combined": (0, 0.0), "total": (1, 0.8),
+    },
+    "easyprivacy": {
+        "referer": (2, 66.7), "uri": (89, 75.4), "payload": (38, 88.4),
+        "cookie": (5, 100.0), "combined": (24, 88.9), "total": (95, 73.1),
+    },
+    "combined": {
+        "referer": (2, 66.7), "uri": (97, 82.2), "payload": (38, 88.4),
+        "cookie": (5, 100.0), "combined": (24, 88.9), "total": (102, 78.5),
+    },
+}
+
+TABLE4_RECEIVERS: Dict[str, Dict[str, Tuple[int, float]]] = {
+    "easylist": {
+        "referer": (1, 14.3), "uri": (7, 9.0), "payload": (0, 0.0),
+        "cookie": (0, 0.0), "combined": (0, 0.0), "total": (8, 8.0),
+    },
+    "easyprivacy": {
+        "referer": (6, 85.7), "uri": (51, 65.4), "payload": (12, 70.6),
+        "cookie": (1, 100.0), "combined": (6, 75.0), "total": (65, 65.0),
+    },
+    "combined": {
+        "referer": (6, 85.7), "uri": (58, 74.4), "payload": (12, 70.6),
+        "cookie": (1, 100.0), "combined": (6, 75.0), "total": (72, 72.0),
+    },
+}
+
+BLOCKLIST_MISSED_PROVIDERS = ("custora.com", "taboola.com", "zendesk.com")

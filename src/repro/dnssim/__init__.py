@@ -1,0 +1,32 @@
+"""DNS substrate: zones, resolver, CNAME cloaking detection."""
+
+from .cache import CacheStats, CachingResolver
+from .cloaking import (
+    DEFAULT_CLOAKING_ZONES,
+    CloakingVerdict,
+    CnameCloakingDetector,
+)
+from .resolver import (
+    RECORD_A,
+    RECORD_CNAME,
+    DnsError,
+    Resolution,
+    Resolver,
+    ResourceRecord,
+    Zone,
+)
+
+__all__ = [
+    "CacheStats",
+    "CachingResolver",
+    "DEFAULT_CLOAKING_ZONES",
+    "CloakingVerdict",
+    "CnameCloakingDetector",
+    "DnsError",
+    "RECORD_A",
+    "RECORD_CNAME",
+    "Resolution",
+    "Resolver",
+    "ResourceRecord",
+    "Zone",
+]

@@ -1,0 +1,112 @@
+"""Caching stub resolver with TTLs and negative caching.
+
+The plain :class:`~repro.dnssim.Resolver` answers straight from the zone.
+Real clients sit behind a caching stub resolver; for crawls that resolve
+the same tracker hostnames thousands of times, the cache is what actually
+serves.  This resolver caches positive answers for their TTL and NXDOMAIN
+results for a (shorter) negative TTL, against a caller-supplied clock —
+the same simulated clock the browser uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .resolver import DnsError, Resolution, Resolver
+
+_DEFAULT_TTL = 300.0
+_DEFAULT_NEGATIVE_TTL = 30.0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    negative_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses + self.negative_hits
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.total
+        return (self.hits + self.negative_hits) / total if total else 0.0
+
+
+class CachingResolver:
+    """TTL cache in front of an upstream :class:`Resolver`.
+
+    ``clock`` is any zero-argument callable returning the current
+    simulated time in seconds.
+    """
+
+    def __init__(self, upstream: Resolver, clock: Callable[[], float],
+                 ttl: float = _DEFAULT_TTL,
+                 negative_ttl: float = _DEFAULT_NEGATIVE_TTL) -> None:
+        if ttl <= 0 or negative_ttl <= 0:
+            raise ValueError("TTLs must be positive")
+        self._upstream = upstream
+        self._clock = clock
+        self._ttl = ttl
+        self._negative_ttl = negative_ttl
+        #: name -> (expiry, Resolution or None for NXDOMAIN)
+        self._cache: Dict[str, Tuple[float, Optional[Resolution]]] = {}
+        self.stats = CacheStats()
+
+    def _lookup_cached(self, name: str) -> Optional[
+            Tuple[float, Optional[Resolution]]]:
+        entry = self._cache.get(name)
+        if entry is None:
+            return None
+        expiry, _ = entry
+        if expiry <= self._clock():
+            del self._cache[name]
+            return None
+        return entry
+
+    def resolve(self, name: str) -> Resolution:
+        """Resolve with caching; raises :class:`DnsError` on NXDOMAIN."""
+        key = name.lower().rstrip(".")
+        cached = self._lookup_cached(key)
+        if cached is not None:
+            _, resolution = cached
+            if resolution is None:
+                self.stats.negative_hits += 1
+                raise DnsError("NXDOMAIN (cached): %s" % key)
+            self.stats.hits += 1
+            return resolution
+        self.stats.misses += 1
+        now = self._clock()
+        try:
+            resolution = self._upstream.resolve(key)
+        except DnsError:
+            self._cache[key] = (now + self._negative_ttl, None)
+            raise
+        self._cache[key] = (now + self._ttl, resolution)
+        return resolution
+
+    # The Resolver interface the browser engine consumes.
+
+    def cname_chain(self, name: str) -> Tuple[str, ...]:
+        try:
+            return self.resolve(name).cname_chain
+        except DnsError:
+            return ()
+
+    def exists(self, name: str) -> bool:
+        try:
+            self.resolve(name)
+        except DnsError:
+            return False
+        return True
+
+    def flush(self) -> None:
+        """Drop every cached entry."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

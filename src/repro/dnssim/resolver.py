@@ -1,0 +1,118 @@
+"""Simulated DNS with CNAME chain resolution.
+
+CNAME cloaking — pointing a first-party subdomain (``metrics.shop.example``)
+at a tracker's hostname via a CNAME record — hides third-party trackers from
+origin-based privacy protections.  The paper detects it by resolving the
+CNAME records of every subdomain of the visited sites; this resolver provides
+that capability for the synthetic web.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+RECORD_A = "A"
+RECORD_CNAME = "CNAME"
+
+_MAX_CHAIN = 16
+
+
+class DnsError(Exception):
+    """Raised for NXDOMAIN and CNAME loops."""
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One DNS resource record (A or CNAME)."""
+
+    name: str
+    rtype: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.rtype not in (RECORD_A, RECORD_CNAME):
+            raise ValueError("unsupported record type: %r" % self.rtype)
+
+
+@dataclass
+class Zone:
+    """A collection of records; the simulated authoritative data."""
+
+    records: Dict[str, List[ResourceRecord]] = field(default_factory=dict)
+
+    def add(self, name: str, rtype: str, value: str) -> None:
+        record = ResourceRecord(name.lower().rstrip("."), rtype,
+                                value.lower().rstrip("."))
+        self.records.setdefault(record.name, []).append(record)
+
+    def add_a(self, name: str, address: str = "203.0.113.10") -> None:
+        self.add(name, RECORD_A, address)
+
+    def add_cname(self, name: str, target: str) -> None:
+        self.add(name, RECORD_CNAME, target)
+
+    def lookup(self, name: str) -> List[ResourceRecord]:
+        return self.records.get(name.lower().rstrip("."), [])
+
+
+@dataclass
+class Resolution:
+    """Result of resolving a name: the CNAME chain and final address."""
+
+    query: str
+    cname_chain: Tuple[str, ...]
+    address: str
+
+    @property
+    def canonical_name(self) -> str:
+        """The final name in the chain (the query itself if no CNAME)."""
+        return self.cname_chain[-1] if self.cname_chain else self.query
+
+
+class Resolver:
+    """Iterative resolver over a :class:`Zone` with loop protection."""
+
+    def __init__(self, zone: Zone) -> None:
+        self._zone = zone
+
+    def resolve(self, name: str) -> Resolution:
+        """Resolve ``name`` to an address, following CNAMEs.
+
+        Raises :class:`DnsError` on NXDOMAIN or a CNAME loop.
+        """
+        query = name.lower().rstrip(".")
+        chain: List[str] = []
+        current = query
+        seen = {current}
+        for _ in range(_MAX_CHAIN):
+            records = self._zone.lookup(current)
+            cname = next((r for r in records if r.rtype == RECORD_CNAME), None)
+            if cname is not None:
+                current = cname.value
+                if current in seen:
+                    raise DnsError("CNAME loop at %s" % current)
+                seen.add(current)
+                chain.append(current)
+                continue
+            a_record = next((r for r in records if r.rtype == RECORD_A), None)
+            if a_record is None:
+                raise DnsError("NXDOMAIN: %s" % current)
+            return Resolution(query=query, cname_chain=tuple(chain),
+                              address=a_record.value)
+        raise DnsError("CNAME chain too long for %s" % query)
+
+    def cname_chain(self, name: str) -> Tuple[str, ...]:
+        """The CNAME chain for ``name`` (empty when none or NXDOMAIN)."""
+        try:
+            return self.resolve(name).cname_chain
+        except DnsError:
+            return ()
+
+    def exists(self, name: str) -> bool:
+        """Whether ``name`` resolves to an address."""
+        try:
+            self.resolve(name)
+        except DnsError:
+            return False
+        return True

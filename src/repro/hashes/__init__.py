@@ -1,0 +1,37 @@
+"""Hash, encoding and checksum corpus for PII obfuscation detection.
+
+Implements every transform in the paper's appendix ("Supported hash
+functions and encodings for leak detection") behind a uniform registry, so
+both the simulated tracker scripts and the leak detector derive obfuscated
+PII tokens from the exact same functions.
+"""
+
+from .registry import (
+    KIND_CHECKSUM,
+    KIND_COMPRESSION,
+    KIND_ENCODING,
+    KIND_HASH,
+    OBSERVED_CHAIN_ALPHABET,
+    Transform,
+    all_transforms,
+    apply_chain,
+    chain_label,
+    get,
+    has,
+    transform_names,
+)
+
+__all__ = [
+    "KIND_CHECKSUM",
+    "KIND_COMPRESSION",
+    "KIND_ENCODING",
+    "KIND_HASH",
+    "OBSERVED_CHAIN_ALPHABET",
+    "Transform",
+    "all_transforms",
+    "apply_chain",
+    "chain_label",
+    "get",
+    "has",
+    "transform_names",
+]

@@ -1,0 +1,80 @@
+"""Checksums used as PII obfuscators: CRC-16, CRC-32 and Adler-32.
+
+The paper's appendix lists ``crc16``, ``crc32`` and ``adler32`` among the
+transforms applied when building the candidate token set (trackers have been
+observed using checksums as cheap identifier derivations).  CRC-32 and
+Adler-32 delegate to :mod:`zlib`; CRC-16 variants are implemented here.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def _reflect(value: int, width: int) -> int:
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def _build_crc16_table(poly: int, reflected: bool) -> tuple:
+    table = []
+    for byte in range(256):
+        if reflected:
+            crc = byte
+            for _ in range(8):
+                crc = (crc >> 1) ^ (_reflect(poly, 16)) if crc & 1 else crc >> 1
+        else:
+            crc = byte << 8
+            for _ in range(8):
+                crc = ((crc << 1) ^ poly) if crc & 0x8000 else crc << 1
+            crc &= 0xFFFF
+        table.append(crc & 0xFFFF)
+    return tuple(table)
+
+
+_ARC_TABLE = _build_crc16_table(0x8005, reflected=True)
+_CCITT_TABLE = _build_crc16_table(0x1021, reflected=False)
+
+
+def crc16_arc(data: bytes) -> int:
+    """CRC-16/ARC (poly 0x8005, reflected, init 0) — the common "CRC-16"."""
+    crc = 0
+    for byte in data:
+        crc = (crc >> 8) ^ _ARC_TABLE[(crc ^ byte) & 0xFF]
+    return crc & 0xFFFF
+
+
+def crc16_ccitt(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE (poly 0x1021, non-reflected, init 0xFFFF)."""
+    crc = 0xFFFF
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _CCITT_TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc & 0xFFFF
+
+
+def crc32(data: bytes) -> int:
+    """Standard zlib CRC-32."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def adler32(data: bytes) -> int:
+    """Standard zlib Adler-32."""
+    return zlib.adler32(data) & 0xFFFFFFFF
+
+
+def crc16_hexdigest(data: bytes) -> str:
+    """CRC-16/ARC rendered as four lowercase hex digits."""
+    return "%04x" % crc16_arc(data)
+
+
+def crc32_hexdigest(data: bytes) -> str:
+    """CRC-32 rendered as eight lowercase hex digits."""
+    return "%08x" % crc32(data)
+
+
+def adler32_hexdigest(data: bytes) -> str:
+    """Adler-32 rendered as eight lowercase hex digits."""
+    return "%08x" % adler32(data)

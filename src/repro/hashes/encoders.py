@@ -1,0 +1,102 @@
+"""Reversible encodings used as PII obfuscators.
+
+Covers the encoding half of the paper's appendix: base16, base32, base32hex,
+base58, base64, rot13 and the three compression formats (gzip, bzip2, raw
+deflate).  Every encoder maps ``bytes -> bytes`` so encoders and hashes can
+be chained uniformly by the transform registry.
+
+Compressed output is binary; when it participates in a chain the registry
+renders it as base64 text first, which matches how trackers actually ship
+compressed identifiers inside URLs.
+"""
+
+from __future__ import annotations
+
+import base64
+import bz2
+import codecs
+import gzip
+import zlib
+
+_BASE58_ALPHABET = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+_BASE58_INDEX = {char: index for index, char in enumerate(_BASE58_ALPHABET)}
+
+
+def base16_encode(data: bytes) -> bytes:
+    """Uppercase hexadecimal (RFC 4648 base16)."""
+    return base64.b16encode(data)
+
+
+def base32_encode(data: bytes) -> bytes:
+    """RFC 4648 base32."""
+    return base64.b32encode(data)
+
+
+def base32hex_encode(data: bytes) -> bytes:
+    """RFC 4648 base32 with the extended-hex alphabet."""
+    return base64.b32hexencode(data)
+
+
+def base64_encode(data: bytes) -> bytes:
+    """RFC 4648 base64."""
+    return base64.b64encode(data)
+
+
+def base64url_encode(data: bytes) -> bytes:
+    """RFC 4648 URL-safe base64 (the form most often seen in query strings)."""
+    return base64.urlsafe_b64encode(data)
+
+
+def base58_encode(data: bytes) -> bytes:
+    """Bitcoin-alphabet base58 (no padding, leading zeros become '1')."""
+    leading_zeros = len(data) - len(data.lstrip(b"\x00"))
+    number = int.from_bytes(data, "big")
+    encoded = bytearray()
+    while number:
+        number, remainder = divmod(number, 58)
+        encoded.append(_BASE58_ALPHABET[remainder])
+    encoded.extend(_BASE58_ALPHABET[0:1] * leading_zeros)
+    encoded.reverse()
+    return bytes(encoded)
+
+
+def base58_decode(data: bytes) -> bytes:
+    """Inverse of :func:`base58_encode`.
+
+    Raises ``ValueError`` on characters outside the base58 alphabet.
+    """
+    leading_ones = len(data) - len(data.lstrip(b"1"))
+    number = 0
+    for char in data:
+        if char not in _BASE58_INDEX:
+            raise ValueError("invalid base58 character: %r" % chr(char))
+        number = number * 58 + _BASE58_INDEX[char]
+    body = number.to_bytes((number.bit_length() + 7) // 8, "big") if number else b""
+    return b"\x00" * leading_ones + body
+
+
+def rot13_encode(data: bytes) -> bytes:
+    """ROT13 over ASCII letters; other bytes pass through unchanged."""
+    text = data.decode("latin-1")
+    return codecs.encode(text, "rot13").encode("latin-1")
+
+
+def gzip_encode(data: bytes) -> bytes:
+    """Deterministic gzip stream (mtime pinned to zero)."""
+    return gzip.compress(data, mtime=0)
+
+
+def bzip2_encode(data: bytes) -> bytes:
+    """bzip2 stream at the default compression level."""
+    return bz2.compress(data)
+
+
+def deflate_encode(data: bytes) -> bytes:
+    """Raw DEFLATE stream (no zlib header), as used by HTTP deflate."""
+    compressor = zlib.compressobj(9, zlib.DEFLATED, -zlib.MAX_WBITS)
+    return compressor.compress(data) + compressor.flush()
+
+
+def deflate_decode(data: bytes) -> bytes:
+    """Inverse of :func:`deflate_encode`."""
+    return zlib.decompress(data, -zlib.MAX_WBITS)

@@ -1,0 +1,107 @@
+"""Pure-Python MD4 (RFC 1320).
+
+MD4 is cryptographically broken but still appears in the wild as a PII
+obfuscation primitive, which is why the paper's appendix lists it among the
+supported hash functions for leak detection.  ``hashlib`` no longer ships MD4
+on modern OpenSSL builds, so this module provides a from-scratch
+implementation verified against the RFC 1320 test vectors.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFF
+
+# Per-round message word orderings (RFC 1320 section A.3).
+_ROUND2_ORDER = (0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15)
+_ROUND3_ORDER = (0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15)
+
+_ROUND1_SHIFTS = (3, 7, 11, 19)
+_ROUND2_SHIFTS = (3, 5, 9, 13)
+_ROUND3_SHIFTS = (3, 9, 11, 15)
+
+
+def _rol(value: int, amount: int) -> int:
+    value &= _MASK
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def _f(x: int, y: int, z: int) -> int:
+    return (x & y) | (~x & z)
+
+
+def _g(x: int, y: int, z: int) -> int:
+    return (x & y) | (x & z) | (y & z)
+
+
+def _h(x: int, y: int, z: int) -> int:
+    return x ^ y ^ z
+
+
+def _pad(message: bytes) -> bytes:
+    bit_length = (len(message) * 8) & 0xFFFFFFFFFFFFFFFF
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    return padded + struct.pack("<Q", bit_length)
+
+
+def _compress(state: tuple, block: bytes) -> tuple:
+    x = struct.unpack("<16I", block)
+    a, b, c, d = state
+
+    for i in range(16):
+        s = _ROUND1_SHIFTS[i % 4]
+        if i % 4 == 0:
+            a = _rol(a + _f(b, c, d) + x[i], s)
+        elif i % 4 == 1:
+            d = _rol(d + _f(a, b, c) + x[i], s)
+        elif i % 4 == 2:
+            c = _rol(c + _f(d, a, b) + x[i], s)
+        else:
+            b = _rol(b + _f(c, d, a) + x[i], s)
+
+    for i in range(16):
+        k = _ROUND2_ORDER[i]
+        s = _ROUND2_SHIFTS[i % 4]
+        if i % 4 == 0:
+            a = _rol(a + _g(b, c, d) + x[k] + 0x5A827999, s)
+        elif i % 4 == 1:
+            d = _rol(d + _g(a, b, c) + x[k] + 0x5A827999, s)
+        elif i % 4 == 2:
+            c = _rol(c + _g(d, a, b) + x[k] + 0x5A827999, s)
+        else:
+            b = _rol(b + _g(c, d, a) + x[k] + 0x5A827999, s)
+
+    for i in range(16):
+        k = _ROUND3_ORDER[i]
+        s = _ROUND3_SHIFTS[i % 4]
+        if i % 4 == 0:
+            a = _rol(a + _h(b, c, d) + x[k] + 0x6ED9EBA1, s)
+        elif i % 4 == 1:
+            d = _rol(d + _h(a, b, c) + x[k] + 0x6ED9EBA1, s)
+        elif i % 4 == 2:
+            c = _rol(c + _h(d, a, b) + x[k] + 0x6ED9EBA1, s)
+        else:
+            b = _rol(b + _h(c, d, a) + x[k] + 0x6ED9EBA1, s)
+
+    return (
+        (state[0] + a) & _MASK,
+        (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK,
+        (state[3] + d) & _MASK,
+    )
+
+
+def md4_digest(message: bytes) -> bytes:
+    """Return the 16-byte MD4 digest of ``message``."""
+    state = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+    padded = _pad(message)
+    for offset in range(0, len(padded), 64):
+        state = _compress(state, padded[offset:offset + 64])
+    return struct.pack("<4I", *state)
+
+
+def md4_hexdigest(message: bytes) -> str:
+    """Return the MD4 digest of ``message`` as a lowercase hex string."""
+    return md4_digest(message).hex()

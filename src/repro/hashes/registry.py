@@ -1,0 +1,171 @@
+"""Uniform registry of the paper's appendix transforms.
+
+The paper pre-computes a candidate token set by applying "all supported
+encodings, hashes, and checksums" to each PII value, chaining up to three
+layers deep.  This module gives every transform a canonical
+``bytes -> ASCII bytes`` form so chains compose the way trackers compose
+them in practice (e.g. ``sha256`` of the *hex digest string* of ``md5``):
+
+* hashes and checksums render as lowercase hex digests;
+* encodings render as their encoded text;
+* compressions render as base64 of the compressed stream (the only
+  URL-safe way trackers ship compressed identifiers).
+
+Use :func:`apply_chain` to reproduce an obfuscation such as
+``apply_chain("foo@mydom.com", ["md5", "sha256"])`` — the paper's
+"SHA256 of MD5" form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from . import crc, encoders, md2, md4, ripemd, snefru, whirlpool
+
+KIND_HASH = "hash"
+KIND_ENCODING = "encoding"
+KIND_CHECKSUM = "checksum"
+KIND_COMPRESSION = "compression"
+
+
+@dataclass(frozen=True)
+class Transform:
+    """A named obfuscation step.
+
+    ``apply`` maps raw bytes to canonical ASCII bytes.  ``faithful`` is False
+    for algorithms whose published constant tables had to be substituted
+    (see :mod:`repro.hashes.md2` and :mod:`repro.hashes.snefru`).
+    """
+
+    name: str
+    kind: str
+    apply: Callable[[bytes], bytes] = field(repr=False)
+    faithful: bool = True
+
+    def apply_text(self, text: str) -> str:
+        """Apply the transform to a text value, returning text."""
+        return self.apply(text.encode("utf-8")).decode("ascii")
+
+
+def _hex_hash(func: Callable[[bytes], "hashlib._Hash"]) -> Callable[[bytes], bytes]:
+    def apply(data: bytes) -> bytes:
+        return func(data).hexdigest().encode("ascii")
+    return apply
+
+
+def _hex_raw(func: Callable[[bytes], bytes]) -> Callable[[bytes], bytes]:
+    def apply(data: bytes) -> bytes:
+        return func(data).hex().encode("ascii")
+    return apply
+
+
+def _hex_int(func: Callable[[bytes], str]) -> Callable[[bytes], bytes]:
+    def apply(data: bytes) -> bytes:
+        return func(data).encode("ascii")
+    return apply
+
+
+def _compressed(func: Callable[[bytes], bytes]) -> Callable[[bytes], bytes]:
+    def apply(data: bytes) -> bytes:
+        return encoders.base64_encode(func(data))
+    return apply
+
+
+def _build_registry() -> Dict[str, Transform]:
+    transforms: List[Transform] = [
+        # -- encodings -----------------------------------------------------
+        Transform("base16", KIND_ENCODING, encoders.base16_encode),
+        Transform("base32", KIND_ENCODING, encoders.base32_encode),
+        Transform("base32hex", KIND_ENCODING, encoders.base32hex_encode),
+        Transform("base58", KIND_ENCODING, encoders.base58_encode),
+        Transform("base64", KIND_ENCODING, encoders.base64_encode),
+        Transform("base64url", KIND_ENCODING, encoders.base64url_encode),
+        Transform("rot13", KIND_ENCODING, encoders.rot13_encode),
+        # -- compressions --------------------------------------------------
+        Transform("gz", KIND_COMPRESSION, _compressed(encoders.gzip_encode)),
+        Transform("bzip2", KIND_COMPRESSION, _compressed(encoders.bzip2_encode)),
+        Transform("deflate", KIND_COMPRESSION,
+                  _compressed(encoders.deflate_encode)),
+        # -- hashes --------------------------------------------------------
+        Transform("md2", KIND_HASH, _hex_raw(md2.md2_digest), faithful=False),
+        Transform("md4", KIND_HASH, _hex_raw(md4.md4_digest)),
+        Transform("md5", KIND_HASH, _hex_hash(hashlib.md5)),
+        Transform("sha1", KIND_HASH, _hex_hash(hashlib.sha1)),
+        Transform("sha224", KIND_HASH, _hex_hash(hashlib.sha224)),
+        Transform("sha256", KIND_HASH, _hex_hash(hashlib.sha256)),
+        Transform("sha384", KIND_HASH, _hex_hash(hashlib.sha384)),
+        Transform("sha512", KIND_HASH, _hex_hash(hashlib.sha512)),
+        Transform("sha3_224", KIND_HASH, _hex_hash(hashlib.sha3_224)),
+        Transform("sha3_256", KIND_HASH, _hex_hash(hashlib.sha3_256)),
+        Transform("sha3_384", KIND_HASH, _hex_hash(hashlib.sha3_384)),
+        Transform("sha3_512", KIND_HASH, _hex_hash(hashlib.sha3_512)),
+        Transform("blake2b", KIND_HASH, _hex_hash(hashlib.blake2b)),
+        Transform("ripemd128", KIND_HASH, _hex_raw(ripemd.ripemd128_digest)),
+        Transform("ripemd160", KIND_HASH, _hex_raw(ripemd.ripemd160_digest)),
+        Transform("ripemd256", KIND_HASH, _hex_raw(ripemd.ripemd256_digest)),
+        Transform("ripemd320", KIND_HASH, _hex_raw(ripemd.ripemd320_digest)),
+        Transform("whirlpool", KIND_HASH, _hex_raw(whirlpool.whirlpool_digest)),
+        Transform("snefru128", KIND_HASH, _hex_raw(snefru.snefru128_digest),
+                  faithful=False),
+        Transform("snefru256", KIND_HASH, _hex_raw(snefru.snefru256_digest),
+                  faithful=False),
+        # -- checksums -----------------------------------------------------
+        Transform("crc16", KIND_CHECKSUM, _hex_int(crc.crc16_hexdigest)),
+        Transform("crc32", KIND_CHECKSUM, _hex_int(crc.crc32_hexdigest)),
+        Transform("adler32", KIND_CHECKSUM, _hex_int(crc.adler32_hexdigest)),
+    ]
+    return {transform.name: transform for transform in transforms}
+
+
+_REGISTRY = _build_registry()
+
+#: Transforms that the paper actually observed in the wild (Table 1b and
+#: Table 2): the default alphabet for chain enumeration beyond depth 1.
+OBSERVED_CHAIN_ALPHABET: Tuple[str, ...] = ("base64", "md5", "sha1", "sha256")
+
+
+def get(name: str) -> Transform:
+    """Look up a transform by name.  Raises ``KeyError`` for unknown names."""
+    return _REGISTRY[name]
+
+
+def has(name: str) -> bool:
+    """Whether ``name`` is a registered transform."""
+    return name in _REGISTRY
+
+
+def all_transforms() -> List[Transform]:
+    """All registered transforms in deterministic (insertion) order."""
+    return list(_REGISTRY.values())
+
+
+def transform_names(kinds: Iterable[str] = ()) -> List[str]:
+    """Names of registered transforms, optionally filtered by kind."""
+    wanted = set(kinds)
+    return [t.name for t in _REGISTRY.values()
+            if not wanted or t.kind in wanted]
+
+
+def apply_chain(value: str, chain: Sequence[str]) -> str:
+    """Apply a sequence of transform names to a text value.
+
+    An empty chain returns the value unchanged (the paper's "plaintext"
+    form).  Each step consumes the previous step's canonical text output,
+    which is how multi-layer obfuscations like "SHA256 of MD5" compose.
+    """
+    current = value
+    for name in chain:
+        current = _REGISTRY[name].apply_text(current)
+    return current
+
+
+def chain_label(chain: Sequence[str]) -> str:
+    """Human-readable label for a chain, matching the paper's notation."""
+    if not chain:
+        return "plaintext"
+    if len(chain) == 1:
+        return chain[0]
+    # The paper writes "SHA256 of MD5" for sha256(md5(x)).
+    return " of ".join(reversed([name for name in chain]))

@@ -1,0 +1,116 @@
+"""Snefru-128/256 with derived S-boxes.
+
+Snefru (Merkle, 1990) appears in the paper's appendix of supported hash
+functions.  The original algorithm depends on 16 "standard" S-boxes of 256
+32-bit words each (generated at Xerox PARC from a certified random source).
+Those tables are pure data that cannot be re-derived offline, so this module
+keeps Snefru's exact *structure* — a 512-bit shift-register compression
+function with byte-indexed S-box lookups and the (16, 8, 16, 24) rotation
+schedule over eight security passes — while generating the S-boxes
+deterministically from SHA-256 in counter mode.
+
+As with :mod:`repro.hashes.md2`, the substitution is flagged via
+:data:`FAITHFUL`; within this reproduction both the leaking scripts and the
+detector share the tables, so detection semantics are preserved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Tuple
+
+#: False because the original Xerox S-box tables are replaced.
+FAITHFUL = False
+
+_MASK = 0xFFFFFFFF
+_SECURITY_LEVEL = 8  # Snefru 2.0 uses eight passes.
+_ROTATIONS = (16, 8, 16, 24)
+_INPUT_WORDS = 16  # the compression function always mixes 16 words
+
+
+def _build_sboxes() -> Tuple[Tuple[int, ...], ...]:
+    boxes: List[Tuple[int, ...]] = []
+    for box_index in range(_SECURITY_LEVEL * 2):
+        words: List[int] = []
+        counter = 0
+        while len(words) < 256:
+            digest = hashlib.sha256(
+                b"repro-snefru-sbox-%d-%d" % (box_index, counter)).digest()
+            words.extend(struct.unpack(">8I", digest))
+            counter += 1
+        boxes.append(tuple(words[:256]))
+    return tuple(boxes)
+
+
+_SBOXES = _build_sboxes()
+
+
+def _ror(value: int, amount: int) -> int:
+    value &= _MASK
+    return ((value >> amount) | (value << (32 - amount))) & _MASK
+
+
+def _compress(block_words: List[int]) -> List[int]:
+    """One application of the Snefru compression function.
+
+    ``block_words`` must contain exactly 16 32-bit words: the chaining value
+    followed by the message chunk.  Returns the full mixed state; callers
+    truncate to the output size.
+    """
+    state = list(block_words)
+    for pass_index in range(_SECURITY_LEVEL):
+        for rotation in _ROTATIONS:
+            for i in range(_INPUT_WORDS):
+                sbox = _SBOXES[2 * pass_index + ((i // 2) & 1)]
+                entry = sbox[state[i] & 0xFF]
+                state[(i + 1) % _INPUT_WORDS] ^= entry
+                state[(i - 1) % _INPUT_WORDS] ^= entry
+            for i in range(_INPUT_WORDS):
+                state[i] = _ror(state[i], rotation)
+    return [(block_words[i] ^ state[_INPUT_WORDS - 1 - i]) & _MASK
+            for i in range(_INPUT_WORDS)]
+
+
+def _snefru(message: bytes, output_words: int) -> bytes:
+    chunk_words = _INPUT_WORDS - output_words
+    chunk_bytes = chunk_words * 4
+    state = [0] * output_words
+
+    full_len = len(message)
+    padded = message + b"\x00" * ((chunk_bytes - len(message) % chunk_bytes)
+                                  % chunk_bytes)
+    for offset in range(0, len(padded), chunk_bytes):
+        chunk = struct.unpack(">%dI" % chunk_words,
+                              padded[offset:offset + chunk_bytes])
+        mixed = _compress(state + list(chunk))
+        state = mixed[:output_words]
+
+    # Final block encodes the bit length, exactly as the reference design.
+    length_block = [0] * (chunk_words - 2)
+    bit_length = full_len * 8
+    length_block.append((bit_length >> 32) & _MASK)
+    length_block.append(bit_length & _MASK)
+    mixed = _compress(state + length_block)
+    state = mixed[:output_words]
+    return struct.pack(">%dI" % output_words, *state)
+
+
+def snefru128_digest(message: bytes) -> bytes:
+    """Return the 16-byte Snefru-128 digest of ``message``."""
+    return _snefru(message, 4)
+
+
+def snefru256_digest(message: bytes) -> bytes:
+    """Return the 32-byte Snefru-256 digest of ``message``."""
+    return _snefru(message, 8)
+
+
+def snefru128_hexdigest(message: bytes) -> str:
+    """Snefru-128 digest as lowercase hex."""
+    return snefru128_digest(message).hex()
+
+
+def snefru256_hexdigest(message: bytes) -> str:
+    """Snefru-256 digest as lowercase hex."""
+    return snefru256_digest(message).hex()

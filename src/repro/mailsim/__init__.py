@@ -1,0 +1,19 @@
+"""Simulated mailbox: confirmation links and marketing mail."""
+
+from .mailbox import (
+    FOLDER_INBOX,
+    FOLDER_SPAM,
+    KIND_CONFIRMATION,
+    KIND_MARKETING,
+    EmailMessage,
+    Mailbox,
+)
+
+__all__ = [
+    "EmailMessage",
+    "FOLDER_INBOX",
+    "FOLDER_SPAM",
+    "KIND_CONFIRMATION",
+    "KIND_MARKETING",
+    "Mailbox",
+]

@@ -1,0 +1,5 @@
+"""Publisher-side mitigation (the paper's concluding recommendation)."""
+
+from .firewall import REDACTION, FirewallReport, PiiFirewall
+
+__all__ = ["FirewallReport", "PiiFirewall", "REDACTION"]

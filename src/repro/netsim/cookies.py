@@ -1,0 +1,169 @@
+"""RFC 6265 cookie model and cookie jar.
+
+The jar implements the pieces of RFC 6265 that the study observes: domain
+matching (host-only vs domain cookies), path matching, secure-only delivery,
+expiry against a simulated clock, and the sort order for the ``Cookie``
+header.  It also supports *partitioned* storage — keyed by the top-level
+site — which is how Safari's ITP and Brave's Shields isolate third-party
+state in the browser-countermeasure experiments (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .url import Url
+
+
+@dataclass
+class Cookie:
+    """One cookie as stored by the user agent."""
+
+    name: str
+    value: str
+    domain: str
+    path: str = "/"
+    secure: bool = False
+    http_only: bool = False
+    host_only: bool = True
+    expires: Optional[float] = None  # simulated epoch seconds; None=session
+    creation_time: float = 0.0
+
+    def is_expired(self, now: float) -> bool:
+        return self.expires is not None and self.expires <= now
+
+    def domain_matches(self, host: str) -> bool:
+        """RFC 6265 §5.1.3 domain-match, honouring host-only cookies."""
+        host = host.lower()
+        if self.host_only:
+            return host == self.domain
+        if host == self.domain:
+            return True
+        return host.endswith("." + self.domain)
+
+    def path_matches(self, request_path: str) -> bool:
+        """RFC 6265 §5.1.4 path-match."""
+        cookie_path = self.path
+        if request_path == cookie_path:
+            return True
+        if request_path.startswith(cookie_path):
+            if cookie_path.endswith("/"):
+                return True
+            return request_path[len(cookie_path):].startswith("/")
+        return False
+
+
+def parse_set_cookie(header_value: str, request_url: Url,
+                     now: float = 0.0) -> Optional[Cookie]:
+    """Parse one ``Set-Cookie`` header in the context of ``request_url``.
+
+    Returns ``None`` for unparseable or rejected cookies (e.g. a ``Domain``
+    attribute that does not cover the request host).
+    """
+    parts = header_value.split(";")
+    name, sep, value = parts[0].partition("=")
+    name = name.strip()
+    if not sep or not name:
+        return None
+
+    cookie = Cookie(name=name, value=value.strip(),
+                    domain=request_url.host.lower(),
+                    creation_time=now)
+    for attribute in parts[1:]:
+        attr_name, _, attr_value = attribute.partition("=")
+        attr_name = attr_name.strip().lower()
+        attr_value = attr_value.strip()
+        if attr_name == "domain" and attr_value:
+            domain = attr_value.lstrip(".").lower()
+            host = request_url.host.lower()
+            if host != domain and not host.endswith("." + domain):
+                return None  # domain attribute does not cover the host
+            cookie.domain = domain
+            cookie.host_only = False
+        elif attr_name == "path" and attr_value.startswith("/"):
+            cookie.path = attr_value
+        elif attr_name == "secure":
+            cookie.secure = True
+        elif attr_name == "httponly":
+            cookie.http_only = True
+        elif attr_name == "max-age":
+            try:
+                cookie.expires = now + int(attr_value)
+            except ValueError:
+                pass
+        elif attr_name == "expires" and cookie.expires is None:
+            # The simulator emits Max-Age; raw Expires dates are treated as
+            # far-future persistent cookies rather than parsed as RFC 1123.
+            cookie.expires = now + 365 * 24 * 3600.0
+    if not cookie.path.startswith("/"):
+        cookie.path = "/"
+    return cookie
+
+
+class CookieJar:
+    """User-agent cookie store with optional per-site partitioning."""
+
+    def __init__(self) -> None:
+        # (partition, domain, path, name) -> Cookie
+        self._cookies: Dict[Tuple[str, str, str, str], Cookie] = {}
+
+    def set_cookie(self, cookie: Cookie, partition: str = "") -> None:
+        """Store (or overwrite) a cookie, optionally in a partition."""
+        key = (partition, cookie.domain, cookie.path, cookie.name)
+        existing = self._cookies.get(key)
+        if existing is not None:
+            cookie.creation_time = existing.creation_time
+        self._cookies[key] = cookie
+
+    def set_from_header(self, header_value: str, request_url: Url,
+                        now: float = 0.0, partition: str = "") -> Optional[Cookie]:
+        """Parse a ``Set-Cookie`` header and store the result."""
+        cookie = parse_set_cookie(header_value, request_url, now)
+        if cookie is not None:
+            self.set_cookie(cookie, partition=partition)
+        return cookie
+
+    def cookies_for(self, url: Url, now: float = 0.0,
+                    partition: str = "") -> List[Cookie]:
+        """Cookies to attach to a request for ``url`` (RFC 6265 §5.4 order)."""
+        matches = []
+        for (cookie_partition, _, _, _), cookie in self._cookies.items():
+            if cookie_partition != partition:
+                continue
+            if cookie.is_expired(now):
+                continue
+            if not cookie.domain_matches(url.host):
+                continue
+            if not cookie.path_matches(url.path):
+                continue
+            if cookie.secure and url.scheme != "https":
+                continue
+            matches.append(cookie)
+        matches.sort(key=lambda c: (-len(c.path), c.creation_time))
+        return matches
+
+    def cookie_header(self, url: Url, now: float = 0.0,
+                      partition: str = "") -> str:
+        """Render the ``Cookie`` request header value ('' if no cookies)."""
+        return "; ".join("%s=%s" % (c.name, c.value)
+                         for c in self.cookies_for(url, now, partition))
+
+    def all_cookies(self) -> List[Cookie]:
+        """Every stored cookie (for instrumentation snapshots)."""
+        return list(self._cookies.values())
+
+    def clear_expired(self, now: float) -> int:
+        """Drop expired cookies; returns how many were removed."""
+        expired = [key for key, cookie in self._cookies.items()
+                   if cookie.is_expired(now)]
+        for key in expired:
+            del self._cookies[key]
+        return len(expired)
+
+    def clear(self) -> None:
+        """Empty the jar (fresh browser profile)."""
+        self._cookies.clear()
+
+    def __len__(self) -> int:
+        return len(self._cookies)

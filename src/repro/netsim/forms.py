@@ -1,0 +1,119 @@
+"""Form and payload encoders used by sites and trackers.
+
+Sign-up forms submit as ``application/x-www-form-urlencoded`` (or multipart),
+first parties and trackers POST JSON bodies, and some trackers ship
+base64-wrapped JSON blobs (the ``data=`` pattern of bluecore/klaviyo/zendesk
+in Table 2).  Decoders are provided for all of these because the leak
+detector must scan payload bodies in every shape they appear.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .url import decode_query, encode_query
+
+FORM_URLENCODED = "application/x-www-form-urlencoded"
+FORM_MULTIPART = "multipart/form-data"
+CONTENT_JSON = "application/json"
+CONTENT_TEXT = "text/plain"
+
+_MULTIPART_BOUNDARY = "----reproformboundary7MA4YWxkTrZu0gW"
+
+
+def encode_urlencoded(fields: Sequence[Tuple[str, str]]) -> bytes:
+    """Encode fields as ``application/x-www-form-urlencoded``."""
+    return encode_query(fields).encode("ascii")
+
+
+def decode_urlencoded(body: bytes) -> List[Tuple[str, str]]:
+    """Decode an urlencoded payload into ordered (key, value) pairs."""
+    return decode_query(body.decode("utf-8", errors="replace"))
+
+
+def encode_multipart(fields: Sequence[Tuple[str, str]]) -> Tuple[bytes, str]:
+    """Encode fields as multipart/form-data; returns (body, content_type)."""
+    lines: List[str] = []
+    for name, value in fields:
+        lines.append("--%s" % _MULTIPART_BOUNDARY)
+        lines.append('Content-Disposition: form-data; name="%s"' % name)
+        lines.append("")
+        lines.append(value)
+    lines.append("--%s--" % _MULTIPART_BOUNDARY)
+    lines.append("")
+    body = "\r\n".join(lines).encode("utf-8")
+    content_type = '%s; boundary=%s' % (FORM_MULTIPART, _MULTIPART_BOUNDARY)
+    return body, content_type
+
+
+def decode_multipart(body: bytes, content_type: str) -> List[Tuple[str, str]]:
+    """Decode a multipart/form-data payload (text fields only)."""
+    _, _, boundary = content_type.partition("boundary=")
+    boundary = boundary.strip()
+    if not boundary:
+        return []
+    fields: List[Tuple[str, str]] = []
+    text = body.decode("utf-8", errors="replace")
+    for part in text.split("--" + boundary):
+        part = part.strip("\r\n")
+        if not part or part == "--":
+            continue
+        header_block, _, value = part.partition("\r\n\r\n")
+        name = None
+        for header_line in header_block.split("\r\n"):
+            if header_line.lower().startswith("content-disposition"):
+                for token in header_line.split(";"):
+                    token = token.strip()
+                    if token.startswith('name="') and token.endswith('"'):
+                        name = token[len('name="'):-1]
+        if name is not None:
+            fields.append((name, value))
+    return fields
+
+
+def encode_json(payload: Dict[str, object]) -> bytes:
+    """Deterministic JSON encoding (sorted keys, compact separators)."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def decode_json(body: bytes) -> Optional[Dict[str, object]]:
+    """Parse a JSON object payload; None when not a JSON object."""
+    try:
+        value = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return value if isinstance(value, dict) else None
+
+
+def encode_base64_json(payload: Dict[str, object]) -> bytes:
+    """The ``data=<base64(JSON)>`` wrapper seen in Table 2 trackers."""
+    return base64.b64encode(encode_json(payload))
+
+
+def decode_base64_json(blob: bytes) -> Optional[Dict[str, object]]:
+    """Inverse of :func:`encode_base64_json`; None when not decodable."""
+    try:
+        raw = base64.b64decode(blob, validate=True)
+    except (binascii.Error, ValueError):
+        return None
+    return decode_json(raw)
+
+
+def flatten_json(value: object, prefix: str = "") -> List[Tuple[str, str]]:
+    """Flatten nested JSON into dotted-key string pairs for scanning."""
+    pairs: List[Tuple[str, str]] = []
+    if isinstance(value, dict):
+        for key, child in value.items():
+            child_prefix = "%s.%s" % (prefix, key) if prefix else str(key)
+            pairs.extend(flatten_json(child, child_prefix))
+    elif isinstance(value, list):
+        for index, child in enumerate(value):
+            child_prefix = "%s[%d]" % (prefix, index)
+            pairs.extend(flatten_json(child, child_prefix))
+    else:
+        pairs.append((prefix, "" if value is None else str(value)))
+    return pairs

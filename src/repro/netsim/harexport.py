@@ -1,0 +1,123 @@
+"""HTTP Archive (HAR 1.2) export.
+
+Serializes a :class:`~repro.netsim.har.CaptureLog` into the standard HAR
+format so captured crawls can be inspected with browser devtools, HAR
+viewers, or fed to external analysis tooling.  Only the fields the
+simulator populates are emitted; the structure follows the HAR 1.2 spec
+(log/creator/pages/entries with request/response/timings objects).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Dict, List, Optional
+
+from .har import CaptureEntry, CaptureLog
+
+_HAR_VERSION = "1.2"
+_CREATOR = {"name": "repro", "version": "1.0.0",
+            "comment": "CoNEXT'21 PII-leakage reproduction"}
+
+
+def _iso_time(timestamp: float) -> str:
+    moment = datetime.datetime.fromtimestamp(timestamp,
+                                             tz=datetime.timezone.utc)
+    return moment.isoformat().replace("+00:00", "Z")
+
+
+def _headers(items) -> List[Dict[str, str]]:
+    return [{"name": name, "value": value} for name, value in items]
+
+
+def _query(entry: CaptureEntry) -> List[Dict[str, str]]:
+    return [{"name": name, "value": value}
+            for name, value in entry.request.url.query]
+
+
+def _request_object(entry: CaptureEntry) -> Dict[str, object]:
+    request = entry.request
+    obj: Dict[str, object] = {
+        "method": request.method,
+        "url": str(request.url),
+        "httpVersion": "HTTP/1.1",
+        "headers": _headers(request.headers.items()),
+        "queryString": _query(entry),
+        "cookies": [],
+        "headersSize": -1,
+        "bodySize": len(request.body),
+    }
+    if request.body:
+        obj["postData"] = {
+            "mimeType": request.headers.get("Content-Type",
+                                            "application/octet-stream"),
+            "text": request.body.decode("utf-8", errors="replace"),
+        }
+    return obj
+
+
+def _response_object(entry: CaptureEntry) -> Dict[str, object]:
+    response = entry.response
+    if response is None:
+        # Blocked/cancelled requests use HAR's conventional status 0.
+        return {
+            "status": 0, "statusText": entry.blocked_by or "blocked",
+            "httpVersion": "HTTP/1.1", "headers": [], "cookies": [],
+            "content": {"size": 0, "mimeType": "x-unknown"},
+            "redirectURL": "", "headersSize": -1, "bodySize": 0,
+        }
+    return {
+        "status": response.status,
+        "statusText": "",
+        "httpVersion": "HTTP/1.1",
+        "headers": _headers(response.headers.items()),
+        "cookies": [],
+        "content": {
+            "size": len(response.body),
+            "mimeType": response.headers.get("Content-Type",
+                                             "application/octet-stream"),
+        },
+        "redirectURL": response.location or "",
+        "headersSize": -1,
+        "bodySize": len(response.body),
+    }
+
+
+def to_har(log: CaptureLog) -> Dict[str, object]:
+    """Convert a capture log to a HAR 1.2 dictionary."""
+    pages: Dict[str, Dict[str, object]] = {}
+    entries = []
+    for entry in log:
+        page_id = "%s:%s" % (entry.site, entry.stage)
+        if page_id not in pages:
+            pages[page_id] = {
+                "startedDateTime": _iso_time(entry.request.timestamp),
+                "id": page_id,
+                "title": entry.page_url,
+                "pageTimings": {},
+            }
+        entries.append({
+            "startedDateTime": _iso_time(entry.request.timestamp),
+            "time": 0,
+            "request": _request_object(entry),
+            "response": _response_object(entry),
+            "cache": {},
+            "timings": {"send": 0, "wait": 0, "receive": 0},
+            "pageref": page_id,
+            "_site": entry.site,
+            "_stage": entry.stage,
+            "_blockedBy": entry.blocked_by,
+        })
+    return {
+        "log": {
+            "version": _HAR_VERSION,
+            "creator": dict(_CREATOR),
+            "pages": list(pages.values()),
+            "entries": entries,
+        }
+    }
+
+
+def to_har_json(log: CaptureLog, indent: Optional[int] = 2) -> str:
+    """Serialize a capture log as HAR JSON text."""
+    return json.dumps(to_har(log), indent=indent, sort_keys=False)

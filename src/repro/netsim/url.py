@@ -1,0 +1,180 @@
+"""URL model with ordered query parameters.
+
+The leak detector needs byte-accurate access to every component of a request
+URL — scheme, host, path, and the query string as an *ordered multimap*
+(trackers routinely repeat parameter names, and parameter order is part of
+the observable fingerprint).  The standard library flattens some of these
+distinctions, so the model is implemented from scratch, including RFC 3986
+percent-encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_UNRESERVED = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~")
+_HEX_DIGITS = "0123456789ABCDEF"
+
+
+def percent_encode(text: str, safe: str = "") -> str:
+    """RFC 3986 percent-encoding; ``safe`` characters pass through."""
+    keep = _UNRESERVED.union(safe)
+    pieces: List[str] = []
+    for byte in text.encode("utf-8"):
+        char = chr(byte)
+        if char in keep:
+            pieces.append(char)
+        else:
+            pieces.append("%%%c%c" % (_HEX_DIGITS[byte >> 4],
+                                      _HEX_DIGITS[byte & 0xF]))
+    return "".join(pieces)
+
+
+def percent_decode(text: str) -> str:
+    """Inverse of :func:`percent_encode`; tolerates malformed escapes."""
+    out = bytearray()
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "%" and index + 2 < len(text) + 1:
+            hex_pair = text[index + 1:index + 3]
+            try:
+                out.append(int(hex_pair, 16))
+                index += 3
+                continue
+            except ValueError:
+                pass
+        if char == "+":
+            out.append(0x20)
+        else:
+            out.extend(char.encode("utf-8"))
+        index += 1
+    return out.decode("utf-8", errors="replace")
+
+
+def encode_query(params: Iterable[Tuple[str, str]]) -> str:
+    """Serialize ordered (key, value) pairs as a query string."""
+    return "&".join(
+        "%s=%s" % (percent_encode(key), percent_encode(value))
+        for key, value in params)
+
+
+def decode_query(query: str) -> List[Tuple[str, str]]:
+    """Parse a query string into ordered (key, value) pairs."""
+    pairs: List[Tuple[str, str]] = []
+    if not query:
+        return pairs
+    for chunk in query.split("&"):
+        if not chunk:
+            continue
+        key, _, value = chunk.partition("=")
+        pairs.append((percent_decode(key), percent_decode(value)))
+    return pairs
+
+
+@dataclass(frozen=True)
+class Url:
+    """An absolute http(s) URL with ordered query parameters."""
+
+    scheme: str = "https"
+    host: str = ""
+    path: str = "/"
+    query: Tuple[Tuple[str, str], ...] = ()
+    fragment: str = ""
+    port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("http", "https"):
+            raise ValueError("unsupported scheme: %r" % self.scheme)
+        if not self.host:
+            raise ValueError("URL requires a host")
+        if not self.path.startswith("/"):
+            object.__setattr__(self, "path", "/" + self.path)
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse an absolute URL string."""
+        scheme, sep, rest = text.partition("://")
+        if not sep:
+            raise ValueError("not an absolute URL: %r" % text)
+        rest, _, fragment = rest.partition("#")
+        rest, _, query = rest.partition("?")
+        slash = rest.find("/")
+        if slash == -1:
+            authority, path = rest, "/"
+        else:
+            authority, path = rest[:slash], rest[slash:]
+        host, _, port_text = authority.partition(":")
+        port = int(port_text) if port_text else None
+        return cls(scheme=scheme.lower(), host=host.lower(), path=path,
+                   query=tuple(decode_query(query)), fragment=fragment,
+                   port=port)
+
+    @property
+    def origin(self) -> str:
+        """scheme://host[:port] — the same-origin tuple rendered as text."""
+        if self.port is None:
+            return "%s://%s" % (self.scheme, self.host)
+        return "%s://%s:%d" % (self.scheme, self.host, self.port)
+
+    @property
+    def query_string(self) -> str:
+        return encode_query(self.query)
+
+    def query_get(self, key: str) -> Optional[str]:
+        """First value for ``key``, or None."""
+        for name, value in self.query:
+            if name == key:
+                return value
+        return None
+
+    def query_all(self, key: str) -> List[str]:
+        """All values for ``key``, in order."""
+        return [value for name, value in self.query if name == key]
+
+    def query_dict(self) -> Dict[str, str]:
+        """Last-writer-wins view of the query (convenience for tests)."""
+        return dict(self.query)
+
+    def with_query(self, params: Iterable[Tuple[str, str]]) -> "Url":
+        """A copy with the query replaced."""
+        return replace(self, query=tuple(params))
+
+    def adding_query(self, params: Iterable[Tuple[str, str]]) -> "Url":
+        """A copy with parameters appended after the existing ones."""
+        return replace(self, query=self.query + tuple(params))
+
+    def with_path(self, path: str) -> "Url":
+        """A copy with the path replaced."""
+        return replace(self, path=path)
+
+    def without_query(self) -> "Url":
+        """A copy with the query and fragment stripped."""
+        return replace(self, query=(), fragment="")
+
+    def join(self, reference: str) -> "Url":
+        """Resolve an absolute or path-absolute reference against this URL."""
+        if "://" in reference:
+            return Url.parse(reference)
+        if reference.startswith("/"):
+            path, _, query = reference.partition("?")
+            return replace(self, path=path, query=tuple(decode_query(query)),
+                           fragment="")
+        # Relative path: resolve against the current directory.
+        base_dir = self.path.rsplit("/", 1)[0]
+        path, _, query = reference.partition("?")
+        return replace(self, path="%s/%s" % (base_dir, path),
+                       query=tuple(decode_query(query)), fragment="")
+
+    def __str__(self) -> str:
+        text = "%s://%s" % (self.scheme, self.host)
+        if self.port is not None:
+            text += ":%d" % self.port
+        text += self.path
+        if self.query:
+            text += "?" + self.query_string
+        if self.fragment:
+            text += "#" + self.fragment
+        return text

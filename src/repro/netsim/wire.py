@@ -1,0 +1,133 @@
+"""HTTP/1.1 wire format: serialize and parse raw messages.
+
+The capture pipeline works with structured request/response objects; this
+module renders them to (and re-reads them from) the actual bytes that
+would cross a socket — useful for exporting reproducible traces, feeding
+external HTTP tooling, and as the authoritative answer to "what exactly
+did the browser transmit".
+
+Implements the message framing of RFC 9112 for the subset the simulator
+produces: request-line/status-line, header fields, and Content-Length
+bodies (the simulator never emits chunked encoding).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .headers import Headers
+from .messages import HttpRequest, HttpResponse
+from .url import Url
+
+_CRLF = b"\r\n"
+
+_STATUS_REASONS = {
+    200: "OK", 204: "No Content", 301: "Moved Permanently", 302: "Found",
+    303: "See Other", 304: "Not Modified", 307: "Temporary Redirect",
+    308: "Permanent Redirect", 400: "Bad Request", 401: "Unauthorized",
+    403: "Forbidden", 404: "Not Found", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class WireFormatError(ValueError):
+    """Raised for malformed raw HTTP messages."""
+
+
+def _render_headers(headers: Headers, body: bytes,
+                    host: Optional[str]) -> List[bytes]:
+    lines: List[bytes] = []
+    names_present = {name.lower() for name, _ in headers.items()}
+    if host is not None and "host" not in names_present:
+        lines.append(b"Host: " + host.encode("ascii"))
+    for name, value in headers.items():
+        lines.append(("%s: %s" % (name, value)).encode("latin-1"))
+    if body and "content-length" not in names_present:
+        lines.append(("Content-Length: %d" % len(body)).encode("ascii"))
+    return lines
+
+
+def serialize_request(request: HttpRequest) -> bytes:
+    """Render a request as RFC 9112 bytes (origin-form target)."""
+    url = request.url
+    target = url.path
+    if url.query:
+        target += "?" + url.query_string
+    request_line = ("%s %s HTTP/1.1" % (request.method,
+                                        target)).encode("ascii")
+    lines = [request_line]
+    lines.extend(_render_headers(request.headers, request.body, url.host))
+    return _CRLF.join(lines) + _CRLF * 2 + request.body
+
+
+def serialize_response(response: HttpResponse) -> bytes:
+    """Render a response as RFC 9112 bytes."""
+    reason = _STATUS_REASONS.get(response.status, "Unknown")
+    status_line = ("HTTP/1.1 %d %s" % (response.status,
+                                       reason)).encode("ascii")
+    lines = [status_line]
+    lines.extend(_render_headers(response.headers, response.body, None))
+    return _CRLF.join(lines) + _CRLF * 2 + response.body
+
+
+def _split_message(raw: bytes) -> Tuple[bytes, Headers, bytes]:
+    head, separator, remainder = raw.partition(_CRLF * 2)
+    if not separator:
+        raise WireFormatError("missing header/body separator")
+    lines = head.split(_CRLF)
+    start_line = lines[0]
+    headers = Headers()
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, colon, value = line.partition(b":")
+        if not colon:
+            raise WireFormatError("malformed header field: %r" % line)
+        headers.add(name.decode("latin-1").strip(),
+                    value.decode("latin-1").strip())
+    length_text = headers.get("Content-Length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise WireFormatError("bad Content-Length: %r" % length_text)
+        if length > len(remainder):
+            raise WireFormatError("truncated body")
+        body = remainder[:length]
+    else:
+        body = remainder
+    return start_line, headers, body
+
+
+def parse_request(raw: bytes, scheme: str = "https") -> HttpRequest:
+    """Parse raw request bytes back into an :class:`HttpRequest`.
+
+    The authority comes from the ``Host`` header (origin-form targets).
+    """
+    start_line, headers, body = _split_message(raw)
+    parts = start_line.split(b" ")
+    if len(parts) != 3 or not parts[2].startswith(b"HTTP/"):
+        raise WireFormatError("malformed request line: %r" % start_line)
+    method = parts[0].decode("ascii")
+    target = parts[1].decode("ascii")
+    host = headers.get("Host")
+    if host is None:
+        raise WireFormatError("missing Host header")
+    headers.remove("Host")
+    headers.remove("Content-Length")
+    url = Url.parse("%s://%s%s" % (scheme, host, target))
+    return HttpRequest(method=method, url=url, headers=headers, body=body)
+
+
+def parse_response(raw: bytes) -> HttpResponse:
+    """Parse raw response bytes back into an :class:`HttpResponse`."""
+    start_line, headers, body = _split_message(raw)
+    parts = start_line.split(b" ", 2)
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+        raise WireFormatError("malformed status line: %r" % start_line)
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise WireFormatError("bad status code: %r" % parts[1])
+    headers.remove("Content-Length")
+    return HttpResponse(status=status, headers=headers, body=body)

@@ -1,0 +1,18 @@
+"""Privacy-policy transparency audit (§6, Table 3)."""
+
+from .classifier import (
+    PolicyVerdict,
+    classify_policies,
+    classify_policy,
+    table3,
+)
+from .generator import generate_policy, policies_for_sites
+
+__all__ = [
+    "PolicyVerdict",
+    "classify_policies",
+    "classify_policy",
+    "generate_policy",
+    "policies_for_sites",
+    "table3",
+]

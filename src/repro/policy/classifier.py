@@ -1,0 +1,111 @@
+"""Disclosure classification of privacy policies (§6, Table 3).
+
+A lightweight rule-based classifier in the style policy-audit studies use:
+it detects whether a document (1) acknowledges PII collection, (2) mentions
+sharing with third parties at all, (3) names the recipients concretely, or
+(4) explicitly denies sharing.  The four outcomes are exactly Table 3's
+rows.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..websim.shopping import (
+    POLICY_CLASSES,
+    POLICY_NO_DESCRIPTION,
+    POLICY_NOT_SHARED,
+    POLICY_NOT_SPECIFIC,
+    POLICY_SPECIFIC,
+)
+
+# Phrases that assert sharing with third parties.
+_SHARING_PATTERNS = (
+    r"share[ds]?\b[^.]*\b(third part|partner|affiliate|advertis|provider)",
+    r"disclos\w*\b[^.]*\b(third part|partner|provider|advertis)",
+    r"(transfer\w*|provide[d]?|make[s]? .{0,30}available)\b[^.]*\b"
+    r"(third part|partner|processor)",
+)
+
+# Phrases that deny sharing.
+_DENIAL_PATTERNS = (
+    r"(do|does|will) not (share|sell|disclose)[^.]*\b"
+    r"(personal (information|data))",
+    r"never (sells?|shares?|discloses?)[^.]*\b(personal data|information)",
+)
+
+# Named recipients that make a disclosure "specific".
+_NAMED_RECIPIENTS = (
+    "facebook", "meta platforms", "criteo", "pinterest", "google",
+    "snap inc", "salesforce", "adobe", "amazon",
+)
+
+_LIST_MARKERS = (
+    "following partners", "named processors", "partner list",
+    "full partner list", "these named",
+)
+
+# Evidence that PII collection is acknowledged at all.
+_COLLECTION_PATTERNS = (
+    r"collect[^.]*\b(personal information|personal data|email address)",
+    r"(ask|retain|store)[^.]*\b(email address|name|information)",
+)
+
+
+@dataclass(frozen=True)
+class PolicyVerdict:
+    """Classification of one policy document."""
+
+    site: str
+    disclosure_class: str
+    acknowledges_collection: bool
+    mentions_sharing: bool
+    names_recipients: bool
+    denies_sharing: bool
+
+
+def _matches_any(text: str, patterns: Iterable[str]) -> bool:
+    return any(re.search(pattern, text, re.IGNORECASE)
+               for pattern in patterns)
+
+
+def classify_policy(site: str, document: str) -> PolicyVerdict:
+    """Classify one policy into a Table 3 disclosure class."""
+    text = document.lower()
+    collection = _matches_any(text, _COLLECTION_PATTERNS)
+    denies = _matches_any(text, _DENIAL_PATTERNS)
+    shares = _matches_any(text, _SHARING_PATTERNS)
+    names = (any(marker in text for marker in _LIST_MARKERS)
+             and sum(1 for name in _NAMED_RECIPIENTS if name in text) >= 2)
+
+    # A denial wins even though the denying sentence itself mentions
+    # sharing vocabulary ("we do not share ... with third parties").
+    if denies:
+        disclosure = POLICY_NOT_SHARED
+    elif names:
+        disclosure = POLICY_SPECIFIC
+    elif shares:
+        disclosure = POLICY_NOT_SPECIFIC
+    else:
+        disclosure = POLICY_NO_DESCRIPTION
+    return PolicyVerdict(site=site, disclosure_class=disclosure,
+                         acknowledges_collection=collection,
+                         mentions_sharing=shares,
+                         names_recipients=names,
+                         denies_sharing=denies)
+
+
+def classify_policies(documents: Dict[str, str]) -> List[PolicyVerdict]:
+    """Classify a corpus of policies."""
+    return [classify_policy(site, document)
+            for site, document in sorted(documents.items())]
+
+
+def table3(verdicts: Iterable[PolicyVerdict]) -> Dict[str, int]:
+    """Aggregate verdicts into Table 3 counts."""
+    counts = {policy_class: 0 for policy_class in POLICY_CLASSES}
+    for verdict in verdicts:
+        counts[verdict.disclosure_class] += 1
+    return counts

@@ -1,0 +1,107 @@
+"""Privacy-policy document generation (§6).
+
+The paper reads the privacy policies of the 130 leaking first parties and
+sorts their PII-sharing disclosures into four classes (Table 3).  Offline,
+the policies themselves must be synthesized: this generator emits policy
+documents in the four disclosure classes, with several phrasing variants
+per class (real policies do not share a template), so the classifier in
+:mod:`repro.policy.classifier` has realistic work to do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..websim.shopping import (
+    POLICY_NO_DESCRIPTION,
+    POLICY_NOT_SHARED,
+    POLICY_NOT_SPECIFIC,
+    POLICY_SPECIFIC,
+)
+
+_COLLECTION_CLAUSES = (
+    "We collect personal information that you provide when you create an "
+    "account, including your name, email address, telephone number and "
+    "postal address.",
+    "When you register with {site}, we ask for details such as your email "
+    "address, your name and your date of birth, and we store this "
+    "information to operate your account.",
+    "Information you give us directly — for example your email address, "
+    "username and delivery address — is retained for as long as your "
+    "account remains active.",
+)
+
+_NOT_SPECIFIC_CLAUSES = (
+    "We may share your personal information with our partners, affiliates "
+    "and selected third parties for marketing and analytics purposes.",
+    "Your data may be disclosed to service providers and advertising "
+    "partners who assist us in operating our business.",
+    "We sometimes make personal information available to trusted third "
+    "parties that support our marketing activities.",
+    "Personal data can be transferred to our commercial partners where we "
+    "believe it improves the services offered to you.",
+)
+
+_SPECIFIC_CLAUSES = (
+    "We share hashed identifiers with the following partners: Facebook "
+    "(Meta Platforms), Criteo SA, Pinterest Inc. and Google LLC. A full "
+    "partner list is available on this page.",
+    "Your email address, in hashed form, is provided to these named "
+    "processors: Facebook, Criteo, Snap Inc. and Salesforce. No other "
+    "third parties receive it.",
+)
+
+_NOT_SHARED_CLAUSES = (
+    "We do not share your personal information with third parties for "
+    "their marketing purposes.",
+    "{site} never sells or discloses your personal data to any third "
+    "party. Your information stays with us.",
+)
+
+_FILLER_CLAUSES = (
+    "We use cookies to remember your preferences and improve our website.",
+    "You can contact our support team at any time to ask questions about "
+    "your order.",
+    "This policy may be updated from time to time; material changes will "
+    "be announced on this page.",
+    "We apply appropriate technical and organisational measures to protect "
+    "the data we hold.",
+)
+
+
+def generate_policy(site_domain: str, policy_class: str,
+                    variant: int = 0) -> str:
+    """Render a policy document of the given Table 3 disclosure class."""
+    paragraphs: List[str] = []
+    paragraphs.append("Privacy Policy — %s" % site_domain)
+    paragraphs.append(_FILLER_CLAUSES[variant % len(_FILLER_CLAUSES)])
+    collection = _COLLECTION_CLAUSES[variant % len(_COLLECTION_CLAUSES)]
+    paragraphs.append(collection.format(site=site_domain))
+
+    if policy_class == POLICY_NOT_SPECIFIC:
+        clause = _NOT_SPECIFIC_CLAUSES[variant % len(_NOT_SPECIFIC_CLAUSES)]
+        paragraphs.append(clause)
+    elif policy_class == POLICY_SPECIFIC:
+        clause = _SPECIFIC_CLAUSES[variant % len(_SPECIFIC_CLAUSES)]
+        paragraphs.append(clause)
+    elif policy_class == POLICY_NOT_SHARED:
+        clause = _NOT_SHARED_CLAUSES[variant % len(_NOT_SHARED_CLAUSES)]
+        paragraphs.append(clause.format(site=site_domain))
+    elif policy_class == POLICY_NO_DESCRIPTION:
+        # Collects data but says nothing at all about sharing.
+        pass
+    else:
+        raise ValueError("unknown policy class: %r" % policy_class)
+
+    paragraphs.append(_FILLER_CLAUSES[(variant + 1) % len(_FILLER_CLAUSES)])
+    return "\n\n".join(paragraphs)
+
+
+def policies_for_sites(site_classes: Dict[str, str]) -> Dict[str, str]:
+    """Generate one policy per site, varying phrasing deterministically."""
+    documents: Dict[str, str] = {}
+    for index, (domain, policy_class) in enumerate(
+            sorted(site_classes.items())):
+        documents[domain] = generate_policy(domain, policy_class,
+                                            variant=index)
+    return documents

@@ -1,0 +1,13 @@
+"""In-browser protection evaluation (§7.1)."""
+
+from .browsers import (
+    BrowserCountermeasureEvaluator,
+    BrowserResult,
+    BrowserStudy,
+)
+
+__all__ = [
+    "BrowserCountermeasureEvaluator",
+    "BrowserResult",
+    "BrowserStudy",
+]

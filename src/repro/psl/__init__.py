@@ -1,0 +1,17 @@
+"""Public Suffix List substrate (first-party vs third-party classification)."""
+
+from .rules import (
+    PublicSuffixList,
+    default_list,
+    is_third_party,
+    public_suffix,
+    registrable_domain,
+)
+
+__all__ = [
+    "PublicSuffixList",
+    "default_list",
+    "is_third_party",
+    "public_suffix",
+    "registrable_domain",
+]

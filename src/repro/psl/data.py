@@ -1,0 +1,126 @@
+"""Embedded Public Suffix List snapshot.
+
+The paper separates first-party from third-party resources using the Mozilla
+Public Suffix List.  Live fetching is impossible offline, so this module
+embeds a snapshot of the rules relevant to this study: all gTLDs and ccTLDs
+used by the synthetic web plus the structurally interesting entries
+(wildcards, exceptions, multi-label suffixes) needed to exercise the full
+matching algorithm.
+
+The snapshot uses the PSL's own file syntax (comments with ``//``, wildcard
+``*`` labels, exception ``!`` rules) and is parsed by
+:mod:`repro.psl.rules`, so swapping in a full upstream list is a one-line
+change.
+"""
+
+SNAPSHOT = """\
+// ===BEGIN ICANN DOMAINS===
+com
+org
+net
+edu
+gov
+int
+mil
+io
+co
+ai
+app
+dev
+shop
+store
+online
+site
+biz
+info
+me
+tv
+cc
+us
+uk
+co.uk
+org.uk
+ac.uk
+gov.uk
+jp
+co.jp
+or.jp
+ne.jp
+ac.jp
+go.jp
+de
+com.de
+fr
+it
+nl
+es
+com.es
+se
+no
+fi
+dk
+pl
+com.pl
+ru
+com.ru
+cn
+com.cn
+net.cn
+org.cn
+in
+co.in
+net.in
+org.in
+au
+com.au
+net.au
+org.au
+nz
+co.nz
+net.nz
+org.nz
+br
+com.br
+net.br
+org.br
+mx
+com.mx
+kr
+co.kr
+or.kr
+tw
+com.tw
+sg
+com.sg
+hk
+com.hk
+id
+co.id
+th
+co.th
+vn
+com.vn
+ca
+ch
+at
+be
+ie
+pt
+gr
+cz
+tr
+com.tr
+za
+co.za
+// Kobe, Japan wildcard with exception (exercises the full algorithm)
+*.kobe.jp
+!city.kobe.jp
+// Compute platforms (private-domains section entries used by trackers)
+herokuapp.com
+github.io
+cloudfront.net
+amazonaws.com
+s3.amazonaws.com
+azurewebsites.net
+// ===END ICANN DOMAINS===
+"""

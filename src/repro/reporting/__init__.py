@@ -1,0 +1,35 @@
+"""Text renderers for the paper's tables and figures."""
+
+from .latex import (
+    latex_escape,
+    table1_latex,
+    table2_latex,
+    table3_latex,
+)
+from .figures import (
+    render_figure2,
+    render_leak_trace,
+    render_receiver_degree_histogram,
+)
+from .tables import (
+    render_headline,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = [
+    "latex_escape",
+    "render_figure2",
+    "table1_latex",
+    "table2_latex",
+    "table3_latex",
+    "render_headline",
+    "render_leak_trace",
+    "render_receiver_degree_histogram",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+]

@@ -1,0 +1,66 @@
+"""Text renderers for the paper's figures.
+
+Figure 2 becomes an ASCII bar chart of the top receiver domains; Figures 1
+and 3 are mechanism walkthroughs rendered as annotated HTTP traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.analysis import LeakAnalysis
+from ..core.leakmodel import LeakEvent
+from ..datasets import paper
+
+_BAR_WIDTH = 48
+
+
+def render_figure2(analysis: LeakAnalysis, top_n: int = 15,
+                   compare: bool = True) -> str:
+    """Figure 2: top third-party receiver domains (ASCII bars)."""
+    ranking = analysis.figure2(top_n)
+    if not ranking:
+        return "Figure 2: no receivers"
+    max_count = ranking[0][1]
+    lines = ["Figure 2: top %d third-party receivers by #senders"
+             % len(ranking)]
+    for domain, count, pct in ranking:
+        bar = "#" * max(1, int(_BAR_WIDTH * count / max_count))
+        lines.append("%-24s %-48s %3d (%5.1f%%)" % (domain, bar, count, pct))
+    if compare:
+        lines.append("")
+        lines.append("paper: facebook.com tops the ranking at %.0f%% of "
+                     "senders" % paper.FACEBOOK_SENDER_PCT)
+    return "\n".join(lines)
+
+
+def render_leak_trace(events: Sequence[LeakEvent], title: str,
+                      limit: int = 12) -> str:
+    """Annotated HTTP trace of leak events (Figures 1 and 3 style)."""
+    lines = [title]
+    for event in list(events)[:limit]:
+        lines.append("  [%s] %s -> %s" % (event.stage, event.sender,
+                                          event.receiver))
+        lines.append("    channel=%s  encoding=%s  pii=%s  param=%s"
+                     % (event.channel, event.encoding_label,
+                        event.pii_type, event.parameter))
+        lines.append("    %s" % event.url[:100])
+        if event.cloaked:
+            lines.append("    (receiver reached via CNAME cloaking)")
+    remaining = len(events) - limit
+    if remaining > 0:
+        lines.append("  ... %d more events" % remaining)
+    return "\n".join(lines)
+
+
+def render_receiver_degree_histogram(analysis: LeakAnalysis) -> str:
+    """Distribution of receiver degrees (supports the §5.2 funnel)."""
+    degrees = analysis.receiver_degree()
+    buckets: dict = {}
+    for degree in degrees.values():
+        buckets[degree] = buckets.get(degree, 0) + 1
+    lines = ["Receiver degree distribution (#senders -> #receivers):"]
+    for degree in sorted(buckets):
+        lines.append("  %3d sender(s): %3d receiver(s) %s"
+                     % (degree, buckets[degree], "#" * buckets[degree]))
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""LaTeX table export.
+
+Renders the measured results as LaTeX ``tabular`` environments in the
+paper's layout, ready to drop into a reproduction report or an extended
+version of the paper.  Values are properly escaped; each table gets a
+caption carrying the paper-vs-measured framing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.analysis import BreakdownRow, LeakAnalysis
+from ..datasets import paper
+from ..tracking import PersistenceReport
+
+_SPECIALS = {
+    "&": r"\&", "%": r"\%", "$": r"\$", "#": r"\#", "_": r"\_",
+    "{": r"\{", "}": r"\}", "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}", "\\": r"\textbackslash{}",
+}
+
+
+def latex_escape(text: str) -> str:
+    """Escape LaTeX special characters."""
+    return "".join(_SPECIALS.get(char, char) for char in text)
+
+
+def _tabular(column_spec: str, header: Sequence[str],
+             rows: Sequence[Sequence[str]], caption: str,
+             label: str) -> str:
+    lines = [
+        r"\begin{table}[t]",
+        r"  \centering",
+        r"  \caption{%s}" % latex_escape(caption),
+        r"  \label{%s}" % label,
+        r"  \begin{tabular}{%s}" % column_spec,
+        r"    \toprule",
+        "    " + " & ".join(latex_escape(cell) for cell in header)
+        + r" \\",
+        r"    \midrule",
+    ]
+    for row in rows:
+        lines.append("    " + " & ".join(latex_escape(cell)
+                                         for cell in row) + r" \\")
+    lines.extend([
+        r"    \bottomrule",
+        r"  \end{tabular}",
+        r"\end{table}",
+    ])
+    return "\n".join(lines)
+
+
+def _breakdown_rows(rows: Sequence[BreakdownRow],
+                    reference: Dict[str, tuple]) -> List[List[str]]:
+    formatted = []
+    for row in rows:
+        cells = [row.label,
+                 "%d/%.1f%%" % (row.senders, row.sender_pct),
+                 "%d/%.1f%%" % (row.receivers, row.receiver_pct)]
+        if row.label in reference:
+            ref = reference[row.label]
+            cells.append("%d, %d" % (ref[0], ref[1]))
+        else:
+            cells.append("--")
+        formatted.append(cells)
+    return formatted
+
+
+def table1_latex(analysis: LeakAnalysis) -> str:
+    """Table 1 (all three breakdowns) as consecutive tabulars."""
+    blocks = []
+    for title, rows, reference, label in (
+            ("Breakdown of PII leakage by method (measured vs.\\ paper)",
+             analysis.table1a(), paper.TABLE1A, "tab:method"),
+            ("Breakdown by encoding/hashing",
+             analysis.table1b(), paper.TABLE1B, "tab:encoding"),
+            ("Breakdown by PII type",
+             analysis.table1c(), paper.TABLE1C, "tab:piitype")):
+        blocks.append(_tabular(
+            "lrrr", ["", "# Senders", "# Receivers", "paper (S, R)"],
+            _breakdown_rows(rows, reference), title, label))
+    return "\n\n".join(blocks)
+
+
+def table2_latex(report: PersistenceReport) -> str:
+    """Table 2 as a tabular."""
+    rows = [[row.receiver, str(row.senders), row.methods, row.encoding,
+             row.parameters] for row in report.rows]
+    return _tabular(
+        "lrlll",
+        ["Receiver", "# Senders", "Method", "Encoding", "trackid"],
+        rows,
+        "Third-party receivers using persistent PII leakage-based "
+        "tracking (%d providers; paper: %d)"
+        % (report.provider_count, paper.PERSISTENT_TRACKING_PROVIDERS),
+        "tab:providers")
+
+
+def table3_latex(counts: Dict[str, int]) -> str:
+    """Table 3 as a tabular."""
+    labels = {
+        "disclose_not_specific": "Disclose PII sharing (not specific)",
+        "disclose_specific": "Disclose PII sharing (specific)",
+        "no_description": "No description of PII sharing",
+        "explicitly_not_shared": "Explicitly disclose PII NOT shared",
+    }
+    total = sum(counts.values()) or 1
+    rows = [[label, "%d/%.1f%%" % (counts.get(key, 0),
+                                   100.0 * counts.get(key, 0) / total),
+             str(paper.TABLE3[key])]
+            for key, label in labels.items()]
+    rows.append(["Total", "%d/100.0%%" % total, str(sum(paper.TABLE3
+                                                        .values()))])
+    return _tabular("lrr", ["Disclosure", "Measured", "Paper"], rows,
+                    "Privacy policy disclosures of leaking first parties",
+                    "tab:policies")

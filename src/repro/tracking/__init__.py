@@ -1,0 +1,45 @@
+"""Persistent-tracking analysis (§5): trackid inference, persistence,
+cross-browser/device identity matching."""
+
+from .crossdevice import IdentityMatch, linkable_receivers, match_profiles
+from .graph import (
+    ExposureSummary,
+    build_leak_graph,
+    coverage_curve,
+    exposure_summary,
+    receiver_cooccurrence,
+    receiver_reach,
+)
+from .persistence import (
+    PersistenceAnalyzer,
+    PersistenceReport,
+    Table2Row,
+)
+from .timeline import (
+    TimelineEntry,
+    UserTimeline,
+    reconstruct_timelines,
+    render_timeline,
+)
+from .trackid import TrackIdAnalyzer, TrackIdParameter
+
+__all__ = [
+    "ExposureSummary",
+    "IdentityMatch",
+    "build_leak_graph",
+    "coverage_curve",
+    "exposure_summary",
+    "receiver_cooccurrence",
+    "receiver_reach",
+    "PersistenceAnalyzer",
+    "PersistenceReport",
+    "Table2Row",
+    "TimelineEntry",
+    "TrackIdAnalyzer",
+    "UserTimeline",
+    "reconstruct_timelines",
+    "render_timeline",
+    "TrackIdParameter",
+    "linkable_receivers",
+    "match_profiles",
+]

@@ -1,0 +1,118 @@
+"""Tracker-ecosystem graph analytics.
+
+Builds the bipartite sender/receiver graph from leak relationships and
+derives the ecosystem-structure measures measurement studies report on
+top of raw counts: tracker reach and coverage concentration, receiver
+co-occurrence (which trackers ride the same pages), and the user-exposure
+view (how many PII receivers one authentication flow feeds on average).
+
+Uses :mod:`networkx` for the graph substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from ..core.analysis import LeakAnalysis
+from ..core.leakmodel import LeakEvent
+
+SENDER = "sender"
+RECEIVER = "receiver"
+
+
+def build_leak_graph(analysis: LeakAnalysis) -> "nx.Graph":
+    """The bipartite sender-receiver graph of leak relationships.
+
+    Nodes carry a ``kind`` attribute (sender/receiver); edges carry the
+    relationship's channels and encodings.
+    """
+    graph = nx.Graph()
+    for rel in analysis.relationships():
+        graph.add_node(rel.sender, kind=SENDER)
+        graph.add_node(rel.receiver, kind=RECEIVER)
+        graph.add_edge(rel.sender, rel.receiver,
+                       channels=tuple(sorted(rel.channels)),
+                       encodings=tuple(sorted(rel.encodings)))
+    return graph
+
+
+def receiver_reach(graph: "nx.Graph") -> Dict[str, int]:
+    """receiver -> number of senders feeding it (its cross-site reach)."""
+    return {node: graph.degree(node)
+            for node, data in graph.nodes(data=True)
+            if data["kind"] == RECEIVER}
+
+
+def coverage_curve(graph: "nx.Graph") -> List[Tuple[int, float]]:
+    """Cumulative sender coverage of the top-k receivers.
+
+    Entry (k, pct): blocking the k highest-reach receivers would cut the
+    leakage of pct% of senders entirely.  Quantifies how concentrated the
+    ecosystem is (the paper's Figure 2 tail in one series).
+    """
+    senders = [node for node, data in graph.nodes(data=True)
+               if data["kind"] == SENDER]
+    ranked = sorted(receiver_reach(graph).items(),
+                    key=lambda item: (-item[1], item[0]))
+    covered: set = set()
+    curve: List[Tuple[int, float]] = []
+    blocked_receivers: set = set()
+    for k, (receiver, _) in enumerate(ranked, start=1):
+        blocked_receivers.add(receiver)
+        fully_covered = sum(
+            1 for sender in senders
+            if set(graph.neighbors(sender)) <= blocked_receivers)
+        curve.append((k, 100.0 * fully_covered / len(senders)))
+    return curve
+
+
+def receiver_cooccurrence(graph: "nx.Graph",
+                          min_shared: int = 2) -> List[Tuple[str, str, int]]:
+    """Receiver pairs embedded by at least ``min_shared`` common senders.
+
+    Co-occurring receivers see the same identifier from the same sites —
+    the precondition for server-side data sharing the paper warns about
+    ("this ID can be used to share data among many tracking providers").
+    """
+    receivers = [node for node, data in graph.nodes(data=True)
+                 if data["kind"] == RECEIVER]
+    pairs: List[Tuple[str, str, int]] = []
+    for index, first in enumerate(receivers):
+        first_senders = set(graph.neighbors(first))
+        for second in receivers[index + 1:]:
+            shared = len(first_senders & set(graph.neighbors(second)))
+            if shared >= min_shared:
+                ordered = tuple(sorted((first, second)))
+                pairs.append((ordered[0], ordered[1], shared))
+    pairs.sort(key=lambda item: (-item[2], item[0], item[1]))
+    return pairs
+
+
+@dataclass(frozen=True)
+class ExposureSummary:
+    """User-exposure view of one crawl."""
+
+    flows_with_leakage: int
+    mean_receivers_per_flow: float
+    max_receivers_per_flow: int
+    pct_flows_feeding_facebook: float
+
+
+def exposure_summary(analysis: LeakAnalysis) -> ExposureSummary:
+    """How much one user's authentication activity feeds the ecosystem."""
+    graph = build_leak_graph(analysis)
+    senders = [node for node, data in graph.nodes(data=True)
+               if data["kind"] == SENDER]
+    if not senders:
+        return ExposureSummary(0, 0.0, 0, 0.0)
+    degrees = [graph.degree(sender) for sender in senders]
+    facebook = sum(1 for sender in senders
+                   if graph.has_edge(sender, "facebook.com"))
+    return ExposureSummary(
+        flows_with_leakage=len(senders),
+        mean_receivers_per_flow=sum(degrees) / len(degrees),
+        max_receivers_per_flow=max(degrees),
+        pct_flows_feeding_facebook=100.0 * facebook / len(senders))

@@ -1,0 +1,101 @@
+"""Tracker-side browsing-history reconstruction (§5.1's end product).
+
+What does a tracking provider actually *have* after PII-based tracking?
+A server-side log keyed by the PII identifier, from which it can read the
+user's browsing history in order.  This module reconstructs exactly that
+view from detected leak events: per (receiver, identifier), the
+time-ordered sequence of sites and flow stages the user touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.leakmodel import LeakEvent
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One observation in a tracker's per-user log."""
+
+    timestamp: float
+    sender: str
+    stage: str
+    parameter: Optional[str]
+    url: str
+
+
+@dataclass(frozen=True)
+class UserTimeline:
+    """The reconstructed history one receiver holds for one identifier."""
+
+    receiver: str
+    identifier: str                # the PII token used as the join key
+    entries: Tuple[TimelineEntry, ...]
+
+    @property
+    def sites(self) -> List[str]:
+        """Distinct sites in first-seen order."""
+        seen: List[str] = []
+        for entry in self.entries:
+            if entry.sender not in seen:
+                seen.append(entry.sender)
+        return seen
+
+    @property
+    def span(self) -> float:
+        """Seconds between the first and last observation."""
+        if len(self.entries) < 2:
+            return 0.0
+        return self.entries[-1].timestamp - self.entries[0].timestamp
+
+    def visits_between(self, start: float, end: float) -> List[TimelineEntry]:
+        """Observations within a simulated time window."""
+        return [entry for entry in self.entries
+                if start <= entry.timestamp <= end]
+
+
+def reconstruct_timelines(events: Sequence[LeakEvent],
+                          receiver: Optional[str] = None,
+                          min_entries: int = 1) -> List[UserTimeline]:
+    """Build per-(receiver, identifier) timelines from leak events.
+
+    Events without an identifier parameter (e.g. referer leaks) are
+    excluded: they leak PII but give the receiver no keyed log entry.
+    """
+    grouped: Dict[Tuple[str, str], List[LeakEvent]] = {}
+    for event in events:
+        if not event.parameter or not event.token:
+            continue
+        if receiver is not None and event.receiver != receiver:
+            continue
+        grouped.setdefault((event.receiver, event.token),
+                           []).append(event)
+    timelines = []
+    for (event_receiver, token), observations in grouped.items():
+        observations.sort(key=lambda e: e.timestamp)
+        entries = tuple(TimelineEntry(
+            timestamp=e.timestamp, sender=e.sender, stage=e.stage,
+            parameter=e.parameter, url=e.url) for e in observations)
+        if len(entries) >= min_entries:
+            timelines.append(UserTimeline(receiver=event_receiver,
+                                          identifier=token,
+                                          entries=entries))
+    timelines.sort(key=lambda t: (-len(t.entries), t.receiver))
+    return timelines
+
+
+def render_timeline(timeline: UserTimeline, limit: int = 20) -> str:
+    """Human-readable rendering of one tracker-side log."""
+    lines = ["%s's log for id %s... (%d observations over %d sites)"
+             % (timeline.receiver, timeline.identifier[:20],
+                len(timeline.entries), len(timeline.sites))]
+    for entry in timeline.entries[:limit]:
+        lines.append("  t=%10.2f  %-28s %-9s %s"
+                     % (entry.timestamp, entry.sender, entry.stage,
+                        entry.url[:60]))
+    remaining = len(timeline.entries) - limit
+    if remaining > 0:
+        lines.append("  ... %d more observations" % remaining)
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Consent-management platforms (cookie banners).
+
+The paper's §3.2 procedure "always accept[s] the default cookie settings
+for pop-ups" — meaning every measured site ran its trackers with consent
+granted.  This module models the mechanism so the *counterfactual* can be
+studied too: what would rejecting every banner have changed?
+
+A :class:`ConsentBanner` attaches a CMP (OneTrust/Quantcast/Didomi-style)
+to a site.  The browser answers the banner according to its consent
+policy, records the decision in a first-party ``euconsent`` cookie, and
+sends the consent receipt to the CMP.  Sites that *honor* consent gate
+their tracker snippets on the decision; sites configured with
+``honors_consent=False`` model the dark-pattern operators §6 describes,
+whose trackers fire regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+# Browser-side consent policies.
+CONSENT_ACCEPT_ALL = "accept-all"       # the paper's §3.2 behaviour
+CONSENT_REJECT_ALL = "reject-all"
+CONSENT_ESSENTIAL_ONLY = "essential-only"
+
+CONSENT_POLICIES = (CONSENT_ACCEPT_ALL, CONSENT_REJECT_ALL,
+                    CONSENT_ESSENTIAL_ONLY)
+
+#: The first-party cookie recording the user's decision.
+CONSENT_COOKIE = "euconsent"
+
+#: CMP provider domain -> operating organisation.
+CMP_PROVIDERS: Dict[str, str] = {
+    "cookielaw.org": "OneTrust",
+    "consensu.org": "Quantcast Choice",
+    "didomi.io": "Didomi",
+    "usercentrics.eu": "Usercentrics",
+}
+
+
+@dataclass(frozen=True)
+class ConsentBanner:
+    """A site's cookie banner configuration."""
+
+    provider: str                  # one of CMP_PROVIDERS
+    honors_consent: bool = True    # False -> dark pattern: ignore refusal
+
+    def __post_init__(self) -> None:
+        if self.provider not in CMP_PROVIDERS:
+            raise ValueError("unknown CMP provider: %r" % self.provider)
+
+    @property
+    def script_host(self) -> str:
+        return "cdn.%s" % self.provider
+
+    @property
+    def script_path(self) -> str:
+        return "/cmp/stub.js"
+
+    @property
+    def receipt_host(self) -> str:
+        return "consent.%s" % self.provider
+
+
+def grants_tracking(policy: str) -> bool:
+    """Whether a browser policy allows non-essential trackers to run."""
+    if policy not in CONSENT_POLICIES:
+        raise ValueError("unknown consent policy: %r" % policy)
+    return policy == CONSENT_ACCEPT_ALL

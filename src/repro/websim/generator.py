@@ -1,0 +1,141 @@
+"""Randomized population generator.
+
+The calibrated population (:mod:`repro.websim.shopping`) realizes the
+paper's exact statistics; this generator builds *arbitrary* synthetic webs
+from a seed — random sites, random tracker embeds, random leak behaviours
+— for property-based testing, robustness experiments and what-if studies
+(e.g. "how does detection recall change if most trackers adopt
+whirlpool?").  Same machinery, different universe.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.leakmodel import (
+    CHANNEL_COOKIE,
+    CHANNEL_PAYLOAD,
+    CHANNEL_URI,
+)
+from ..core.persona import DEFAULT_PERSONA, Persona
+from .population import Population
+from .site import LeakBehavior, SiteAuthConfig, TrackerEmbed, Website
+from .trackers import TrackerCatalog, TrackerService
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape of a random universe."""
+
+    n_sites: int = 20
+    n_trackers: int = 10
+    leak_probability: float = 0.5
+    embed_range: Tuple[int, int] = (1, 4)
+    persistent_probability: float = 0.4
+    cloaked_probability: float = 0.1
+    confirmation_probability: float = 0.2
+    get_form_probability: float = 0.05
+    #: Probability that a leaking tracker salts its hashes (invisible to
+    #: exact token matching; see repro.core.heuristics).
+    salt_probability: float = 0.0
+    #: Probability that a site runs a consent banner (always honoring).
+    consent_probability: float = 0.0
+    channel_choices: Tuple[str, ...] = (CHANNEL_URI, CHANNEL_PAYLOAD,
+                                        CHANNEL_COOKIE)
+    chain_choices: Tuple[Tuple[str, ...], ...] = (
+        (), ("sha256",), ("md5",), ("sha1",), ("base64",),
+        ("md5", "sha256"),
+    )
+
+
+def _random_service(index: int, rng: random.Random,
+                    config: GeneratorConfig) -> TrackerService:
+    domain = "tracker%02d.example" % index
+    cloaked = rng.random() < config.cloaked_probability
+    return TrackerService(
+        domain=domain,
+        organisation="Tracker %d" % index,
+        endpoint_host="metrics" if cloaked else ("collect.%s" % domain),
+        endpoint_path="/v1/event",
+        script_host="static.%s" % domain,
+        script_path="/tag.js",
+        persistent=rng.random() < config.persistent_probability,
+        cloaked_zone=domain if cloaked else None,
+        default_param=rng.choice(("uid", "em", "pd", "u_hem", "data")),
+    )
+
+
+def _random_behavior(rng: random.Random, config: GeneratorConfig,
+                     service: TrackerService) -> LeakBehavior:
+    channel = rng.choice(config.channel_choices)
+    if channel == CHANNEL_COOKIE and not service.is_cloaked:
+        # A first-party PII cookie only reaches a tracker through a
+        # cloaked (same-site) collection host; plain third parties get
+        # the identifier via the URI instead.
+        channel = CHANNEL_URI
+    channels: Tuple[str, ...] = (channel,)
+    if channel == CHANNEL_URI and rng.random() < 0.2:
+        channels = (CHANNEL_URI, CHANNEL_PAYLOAD)
+    chains = (rng.choice(config.chain_choices),)
+    if rng.random() < 0.1:
+        other = rng.choice(config.chain_choices)
+        if other != chains[0]:
+            chains = chains + (other,)
+    pii: Tuple[str, ...] = ("email",)
+    if rng.random() < 0.15:
+        pii = ("email", "name")
+    salt = ""
+    if rng.random() < config.salt_probability and any(chains):
+        salt = "salt-%s::" % service.domain
+    return LeakBehavior(channels=channels, chains=chains, pii_fields=pii,
+                        salt=salt)
+
+
+def generate_population(seed: int = 0,
+                        config: Optional[GeneratorConfig] = None,
+                        persona: Optional[Persona] = None) -> Population:
+    """Build a random, fully crawlable population from a seed."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+
+    catalog = TrackerCatalog()
+    services = [_random_service(index, rng, config)
+                for index in range(config.n_trackers)]
+    for service in services:
+        catalog.add(service)
+
+    sites: Dict[str, Website] = {}
+    for index in range(config.n_sites):
+        # ".example" keeps each site its own registrable domain (a shared
+        # "example.com" suffix would make every site same-party).
+        domain = "shop%03d.example" % index
+        embed_count = rng.randint(*config.embed_range)
+        picks = rng.sample(services, min(embed_count, len(services)))
+        embeds: List[TrackerEmbed] = []
+        cname_records: Dict[str, str] = {}
+        for service in picks:
+            behavior = None
+            if rng.random() < config.leak_probability:
+                behavior = _random_behavior(rng, config, service)
+            if service.is_cloaked:
+                cname_records["metrics"] = \
+                    "%s.collect.%s" % (domain, service.domain)
+            embeds.append(TrackerEmbed(service=service, leak=behavior))
+        auth = SiteAuthConfig(
+            requires_email_confirmation=(
+                rng.random() < config.confirmation_probability),
+            signup_method=("GET" if rng.random()
+                           < config.get_form_probability else "POST"))
+        consent = None
+        if rng.random() < config.consent_probability:
+            from .consent import CMP_PROVIDERS, ConsentBanner
+            consent = ConsentBanner(
+                provider=sorted(CMP_PROVIDERS)[index % len(CMP_PROVIDERS)])
+        sites[domain] = Website(domain=domain, auth=auth, embeds=embeds,
+                                cname_records=cname_records,
+                                tranco_rank=1000 + index,
+                                consent=consent)
+    return Population(sites=sites, catalog=catalog,
+                      persona=persona or DEFAULT_PERSONA)

@@ -1,0 +1,247 @@
+"""Minimal HTML generation and parsing.
+
+The synthetic web serves real HTML documents and the browser engine
+discovers resources and forms by *parsing* them — the same shape as a real
+crawler — rather than passing structured objects around behind the page's
+back.  The dialect is the subset shop pages in this simulation emit:
+``script``/``img``/``link``/``iframe`` resource tags and ``form`` elements
+with ``input``/``select`` fields.
+
+Tracker snippets carry a ``data-tracker`` attribute naming the service that
+owns them; the browser's script engine uses it to look up the service's
+behaviour (our stand-in for executing third-party JavaScript).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_VOID_TAGS = frozenset({"img", "input", "link", "meta", "br", "hr"})
+
+
+# --------------------------------------------------------------------------
+# Parsing
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Tag:
+    """One parsed HTML start tag."""
+
+    name: str
+    attrs: Dict[str, str]
+
+    def get(self, attr: str, default: str = "") -> str:
+        return self.attrs.get(attr, default)
+
+
+@dataclass
+class ParsedForm:
+    """A form element with its input fields."""
+
+    action: str
+    method: str
+    form_id: str
+    fields: List[Tuple[str, str, str]] = field(default_factory=list)
+    # each field is (name, type, value)
+
+
+@dataclass
+class ParsedPage:
+    """Everything the browser extracts from a document."""
+
+    scripts: List[Tag] = field(default_factory=list)
+    images: List[Tag] = field(default_factory=list)
+    stylesheets: List[Tag] = field(default_factory=list)
+    iframes: List[Tag] = field(default_factory=list)
+    forms: List[ParsedForm] = field(default_factory=list)
+    anchors: List[Tag] = field(default_factory=list)
+
+    def resource_tags(self) -> List[Tuple[str, Tag]]:
+        """(resource_type, tag) pairs in document order categories."""
+        out: List[Tuple[str, Tag]] = []
+        out.extend(("script", tag) for tag in self.scripts)
+        out.extend(("image", tag) for tag in self.images)
+        out.extend(("stylesheet", tag) for tag in self.stylesheets)
+        out.extend(("subdocument", tag) for tag in self.iframes)
+        return out
+
+
+def _unescape(value: str) -> str:
+    return (value.replace("&quot;", '"').replace("&lt;", "<")
+            .replace("&gt;", ">").replace("&amp;", "&"))
+
+
+def _parse_attrs(text: str) -> Dict[str, str]:
+    attrs: Dict[str, str] = {}
+    index = 0
+    length = len(text)
+    while index < length:
+        while index < length and text[index] in " \t\r\n/":
+            index += 1
+        if index >= length:
+            break
+        start = index
+        while index < length and text[index] not in "= \t\r\n/":
+            index += 1
+        name = text[start:index].lower()
+        if not name:
+            break
+        while index < length and text[index] in " \t\r\n":
+            index += 1
+        value = ""
+        if index < length and text[index] == "=":
+            index += 1
+            while index < length and text[index] in " \t\r\n":
+                index += 1
+            if index < length and text[index] in "\"'":
+                quote = text[index]
+                index += 1
+                end = text.find(quote, index)
+                if end == -1:
+                    end = length
+                value = text[index:end]
+                index = end + 1
+            else:
+                start = index
+                while index < length and text[index] not in " \t\r\n>":
+                    index += 1
+                value = text[start:index]
+        attrs[name] = _unescape(value)
+    return attrs
+
+
+def iter_tags(html: str) -> List[Tag]:
+    """All start tags in document order (comments and closers skipped)."""
+    tags: List[Tag] = []
+    index = 0
+    length = len(html)
+    while index < length:
+        open_pos = html.find("<", index)
+        if open_pos == -1:
+            break
+        if html.startswith("<!--", open_pos):
+            end = html.find("-->", open_pos)
+            index = length if end == -1 else end + 3
+            continue
+        close_pos = html.find(">", open_pos)
+        if close_pos == -1:
+            break
+        inner = html[open_pos + 1:close_pos]
+        index = close_pos + 1
+        if not inner or inner.startswith("/") or inner.startswith("!"):
+            continue
+        name_end = 0
+        while name_end < len(inner) and inner[name_end] not in " \t\r\n/>":
+            name_end += 1
+        name = inner[:name_end].lower()
+        tags.append(Tag(name=name, attrs=_parse_attrs(inner[name_end:])))
+    return tags
+
+
+def parse_page(html: str) -> ParsedPage:
+    """Extract resources and forms from a document."""
+    page = ParsedPage()
+    current_form: Optional[ParsedForm] = None
+    for tag in _iter_tags_with_closers(html):
+        if tag.name == "/form":
+            if current_form is not None:
+                page.forms.append(current_form)
+                current_form = None
+            continue
+        if tag.name == "form":
+            current_form = ParsedForm(
+                action=tag.get("action", ""),
+                method=tag.get("method", "GET").upper(),
+                form_id=tag.get("id", ""))
+            continue
+        if tag.name == "input" and current_form is not None:
+            current_form.fields.append((tag.get("name"),
+                                        tag.get("type", "text"),
+                                        tag.get("value")))
+            continue
+        if tag.name == "script" and tag.get("src"):
+            page.scripts.append(tag)
+        elif tag.name == "img" and tag.get("src"):
+            page.images.append(tag)
+        elif tag.name == "link" and tag.get("rel") == "stylesheet":
+            page.stylesheets.append(tag)
+        elif tag.name == "iframe" and tag.get("src"):
+            page.iframes.append(tag)
+        elif tag.name == "a" and tag.get("href"):
+            page.anchors.append(tag)
+    if current_form is not None:
+        page.forms.append(current_form)
+    return page
+
+
+def _iter_tags_with_closers(html: str) -> List[Tag]:
+    tags: List[Tag] = []
+    index = 0
+    length = len(html)
+    while index < length:
+        open_pos = html.find("<", index)
+        if open_pos == -1:
+            break
+        if html.startswith("<!--", open_pos):
+            end = html.find("-->", open_pos)
+            index = length if end == -1 else end + 3
+            continue
+        close_pos = html.find(">", open_pos)
+        if close_pos == -1:
+            break
+        inner = html[open_pos + 1:close_pos]
+        index = close_pos + 1
+        if not inner or inner.startswith("!"):
+            continue
+        if inner.startswith("/"):
+            tags.append(Tag(name="/" + inner[1:].strip().lower(), attrs={}))
+            continue
+        name_end = 0
+        while name_end < len(inner) and inner[name_end] not in " \t\r\n/>":
+            name_end += 1
+        name = inner[:name_end].lower()
+        tags.append(Tag(name=name, attrs=_parse_attrs(inner[name_end:])))
+    return tags
+
+
+# --------------------------------------------------------------------------
+# Generation
+# --------------------------------------------------------------------------
+
+def _escape(value: str) -> str:
+    return (value.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def render_tag(name: str, attrs: Dict[str, str], void: bool = False) -> str:
+    parts = ["<%s" % name]
+    for attr_name, attr_value in attrs.items():
+        parts.append(' %s="%s"' % (attr_name, _escape(attr_value)))
+    parts.append(">" if void or name in _VOID_TAGS else "></%s>" % name)
+    return "".join(parts)
+
+
+def render_document(title: str, body_parts: List[str],
+                    head_parts: Optional[List[str]] = None) -> str:
+    head = "\n    ".join(head_parts or [])
+    body = "\n    ".join(body_parts)
+    return (
+        "<!DOCTYPE html>\n"
+        "<html>\n  <head>\n    <title>%s</title>\n    %s\n  </head>\n"
+        "  <body>\n    %s\n  </body>\n</html>\n"
+        % (_escape(title), head, body))
+
+
+def render_form(action: str, method: str, form_id: str,
+                fields: List[Tuple[str, str, str]]) -> str:
+    lines = ['<form id="%s" action="%s" method="%s">'
+             % (_escape(form_id), _escape(action), _escape(method))]
+    for name, kind, value in fields:
+        attrs = {"name": name, "type": kind}
+        if value:
+            attrs["value"] = value
+        lines.append("  " + render_tag("input", attrs))
+    lines.append('  <input type="submit" value="Submit">')
+    lines.append("</form>")
+    return "\n    ".join(lines)

@@ -1,0 +1,281 @@
+"""The synthetic web's origin servers.
+
+One :class:`WebServer` instance plays every origin in the simulation:
+first-party shop sites (pages, auth endpoints, privacy policy), third-party
+tracker endpoints (pixels, scripts, event collectors) and CNAME-cloaked
+collection subdomains.  The browser talks to it exactly like a network —
+``handle(request) -> response`` — and everything observable (HTML, cookies,
+redirects, confirmation e-mails) comes out of that exchange.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..netsim import Headers, HttpRequest, HttpResponse, Url
+from ..psl import default_list
+from .html import render_document, render_form, render_tag
+from .site import (
+    PAGE_ACCOUNT,
+    PAGE_HOME,
+    PAGE_PATHS,
+    PAGE_PRODUCT,
+    PAGE_SIGNIN,
+    PAGE_SIGNUP,
+    FormSpec,
+    Website,
+    signin_form,
+    signup_form,
+)
+from .trackers import TrackerCatalog
+
+#: Domain of the CAPTCHA provider whose script Brave's Shields blocks —
+#: the mechanism behind the paper's nykaa.com sign-up failure (§7.1).
+CAPTCHA_PROVIDER = "captcha-delivery.com"
+
+ACCOUNT_PENDING = "pending"
+ACCOUNT_ACTIVE = "active"
+
+#: Callback signature for confirmation mail: (site_domain, email, url).
+MailHook = Callable[[str, str, str], None]
+
+
+@dataclass
+class WebServer:
+    """Serves every origin of the synthetic web."""
+
+    sites: Dict[str, Website]
+    catalog: TrackerCatalog
+    mail_hook: Optional[MailHook] = None
+    #: site domain -> {email -> account state}
+    accounts: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: site domain -> {opaque confirmation token -> email}
+    pending_tokens: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: Counter making tracker-minted cookie IDs unique per issuance
+    #: (a cleared jar gets a *new* tuid, like real tracker backends).
+    _tuid_sequence: int = 0
+
+    # -- entry point ---------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        host = request.url.host
+        site = self._site_for_host(host)
+        if site is not None:
+            cloaked = site.cname_records.get(host.split(".")[0])
+            if cloaked is not None and host != site.www_host:
+                return self._tracker_response(request)
+            if site.auth.unreachable:
+                return HttpResponse(status=503, body=b"service unavailable")
+            return self._site_response(site, request)
+        if self.catalog.attribute_host(host) is not None:
+            return self._tracker_response(request)
+        if self._is_cmp_host(host):
+            return self._cmp_response(request)
+        return HttpResponse(status=404, body=b"no such origin")
+
+    @staticmethod
+    def _is_cmp_host(host: str) -> bool:
+        from .consent import CMP_PROVIDERS
+        return any(host == provider or host.endswith("." + provider)
+                   for provider in CMP_PROVIDERS)
+
+    def _cmp_response(self, request: HttpRequest) -> HttpResponse:
+        headers = Headers()
+        if request.method == "POST" or "/receipt" in request.url.path:
+            headers.set("Content-Type", "application/json")
+            return HttpResponse(status=200, headers=headers,
+                                body=b'{"status":"recorded"}')
+        headers.set("Content-Type", "application/javascript")
+        return HttpResponse(status=200, headers=headers,
+                            body=b"/* consent management stub */")
+
+    def _site_for_host(self, host: str) -> Optional[Website]:
+        registrable = default_list().registrable_domain(host) or host
+        return self.sites.get(registrable)
+
+    # -- first-party pages ----------------------------------------------
+
+    def _site_response(self, site: Website, request: HttpRequest) -> HttpResponse:
+        path = request.url.path
+        if path == PAGE_PATHS[PAGE_HOME]:
+            return self._page(site, "Home", self._home_body(site))
+        if path == PAGE_PATHS[PAGE_SIGNUP]:
+            if not site.auth.has_auth:
+                return HttpResponse(status=404, body=b"not found")
+            return self._page(site, "Create account",
+                              self._signup_body(site))
+        if path == "/account/register/submit":
+            return self._handle_signup_submit(site, request)
+        if path == "/account/register/welcome":
+            return self._page(site, "Welcome",
+                              ["<h1>Account created</h1>",
+                               '<a href="/account">Your account</a>'])
+        if path == "/account/confirm":
+            return self._handle_confirm(site, request)
+        if path == PAGE_PATHS[PAGE_SIGNIN]:
+            if not site.auth.has_auth:
+                return HttpResponse(status=404, body=b"not found")
+            return self._page(site, "Sign in", self._signin_body(site))
+        if path == "/account/login/submit":
+            return self._handle_signin_submit(site, request)
+        if path == PAGE_PATHS[PAGE_ACCOUNT]:
+            return self._page(site, "Your account",
+                              ["<h1>Welcome back</h1>"])
+        if path == PAGE_PATHS[PAGE_PRODUCT]:
+            return self._page(site, "Aurora Lamp",
+                              ["<h1>Aurora Lamp</h1>",
+                               '<a href="/account">Account</a>'])
+        if path == "/privacy":
+            return HttpResponse(status=200, body=b"(privacy policy page)")
+        return HttpResponse(status=404, body=b"not found")
+
+    def _embed_tags(self, site: Website) -> List[str]:
+        tags = []
+        if site.consent is not None:
+            tags.append(render_tag("script", {
+                "src": "https://%s%s" % (site.consent.script_host,
+                                         site.consent.script_path),
+                "data-cmp": site.consent.provider}))
+        for embed in site.embeds:
+            service = embed.service
+            script_url = "https://%s%s" % (service.script_host,
+                                           service.script_path)
+            tags.append(render_tag("script", {
+                "src": script_url, "data-tracker": service.domain}))
+        if site.auth.captcha_blocks_brave:
+            tags.append(render_tag("script", {
+                "src": "https://ct.%s/challenge.js" % CAPTCHA_PROVIDER,
+                "data-captcha": "1"}))
+        return tags
+
+    def _page(self, site: Website, title: str,
+              body_parts: List[str]) -> HttpResponse:
+        body = render_document("%s - %s" % (site.domain, title),
+                               body_parts + self._embed_tags(site))
+        headers = Headers([("Content-Type", "text/html; charset=utf-8")])
+        headers.add("Set-Cookie",
+                    "session=%s; Path=/; Max-Age=86400"
+                    % _session_token(site.domain))
+        return HttpResponse(status=200, headers=headers,
+                            body=body.encode("utf-8"))
+
+    def _home_body(self, site: Website) -> List[str]:
+        return [
+            "<h1>%s</h1>" % site.domain,
+            '<a href="%s">Create account</a>' % PAGE_PATHS[PAGE_SIGNUP],
+            '<a href="%s">Sign in</a>' % PAGE_PATHS[PAGE_SIGNIN],
+            '<a href="%s">Aurora Lamp</a>' % PAGE_PATHS[PAGE_PRODUCT],
+            '<a href="/privacy">Privacy policy</a>',
+        ]
+
+    def _form_html(self, form: FormSpec) -> str:
+        fields = [(f.name, f.kind, f.value) for f in form.fields]
+        return render_form(form.action, form.method, form.form_id, fields)
+
+    def _signup_body(self, site: Website) -> List[str]:
+        parts = ["<h1>Create your account</h1>",
+                 self._form_html(signup_form(site))]
+        return parts
+
+    def _signin_body(self, site: Website) -> List[str]:
+        return ["<h1>Sign in</h1>", self._form_html(signin_form(site))]
+
+    # -- auth endpoints --------------------------------------------------
+
+    def _form_params(self, request: HttpRequest) -> Dict[str, str]:
+        if request.method == "GET":
+            return request.url.query_dict()
+        from ..netsim import decode_urlencoded
+        return dict(decode_urlencoded(request.body))
+
+    def _handle_signup_submit(self, site: Website,
+                              request: HttpRequest) -> HttpResponse:
+        params = self._form_params(request)
+        email = params.get("email", "")
+        if not email:
+            return HttpResponse(status=400, body=b"missing email")
+        if site.auth.bot_detection and \
+                request.headers.get("Sec-Automation") == "true":
+            return HttpResponse(status=403, body=b"bot detected")
+        if site.auth.captcha_blocks_brave and not params.get("captcha_token"):
+            return HttpResponse(status=403, body=b"captcha required")
+
+        site_accounts = self.accounts.setdefault(site.domain, {})
+        if site.auth.requires_email_confirmation:
+            site_accounts[email] = ACCOUNT_PENDING
+            # The confirmation link carries an opaque token only — the
+            # address itself never appears in the URL (sites that embed
+            # PII in URLs are modelled via GET forms instead).
+            token = _session_token(site.domain + ":confirm:" + email)
+            self.pending_tokens.setdefault(site.domain, {})[token] = email
+            confirm_url = "%s/account/confirm?token=%s" % (
+                site.https_origin, token)
+            if self.mail_hook is not None:
+                self.mail_hook(site.domain, email, confirm_url)
+            return self._page(site, "Confirm your email",
+                              ["<h1>Check your inbox</h1>"])
+        site_accounts[email] = ACCOUNT_ACTIVE
+        if request.method == "POST":
+            # POST-redirect-GET, as well-built sites do.  GET forms (the
+            # accidental-leak sites) land directly on the result page so
+            # the PII-bearing URL stays the document location.
+            return _redirect("/account/register/welcome")
+        return self._page(site, "Welcome",
+                          ["<h1>Account created</h1>",
+                           '<a href="/account">Your account</a>'])
+
+    def _handle_confirm(self, site: Website,
+                        request: HttpRequest) -> HttpResponse:
+        token = request.url.query_get("token") or ""
+        email = self.pending_tokens.get(site.domain, {}).get(token)
+        site_accounts = self.accounts.setdefault(site.domain, {})
+        if email is not None and site_accounts.get(email) == ACCOUNT_PENDING:
+            site_accounts[email] = ACCOUNT_ACTIVE
+            return self._page(site, "Email confirmed",
+                              ["<h1>Thanks, you are verified</h1>"])
+        return HttpResponse(status=400, body=b"invalid confirmation")
+
+    def _handle_signin_submit(self, site: Website,
+                              request: HttpRequest) -> HttpResponse:
+        params = self._form_params(request)
+        email = params.get("email", "")
+        state = self.accounts.get(site.domain, {}).get(email)
+        if state != ACCOUNT_ACTIVE:
+            return HttpResponse(status=401, body=b"unknown or pending account")
+        return self._page(site, "Signed in",
+                          ["<h1>Signed in</h1>",
+                           '<a href="/account">Your account</a>'])
+
+    # -- third-party endpoints --------------------------------------------
+
+    def _tracker_response(self, request: HttpRequest) -> HttpResponse:
+        headers = Headers()
+        service = self.catalog.attribute_host(request.url.host)
+        if request.url.path.endswith(".js") or \
+                request.resource_type == "script":
+            headers.set("Content-Type", "application/javascript")
+            body = b"/* tracking snippet */"
+        else:
+            headers.set("Content-Type", "image/gif")
+            body = b"GIF89a\x01\x00\x01\x00"
+        if service is not None and service.sets_cookie \
+                and request.headers.get("Cookie") is None:
+            self._tuid_sequence += 1
+            headers.add("Set-Cookie",
+                        "tuid=%s; Path=/; Max-Age=31536000; Domain=%s"
+                        % (_session_token("%s#%d" % (service.domain,
+                                                     self._tuid_sequence)),
+                           service.domain))
+        return HttpResponse(status=200, headers=headers, body=body)
+
+
+def _redirect(location: str) -> HttpResponse:
+    return HttpResponse(status=302,
+                        headers=Headers([("Location", location)]))
+
+
+def _session_token(seed: str) -> str:
+    """Deterministic opaque token (no randomness, reproducible crawls)."""
+    return hashlib.sha256(("repro-token:" + seed).encode()).hexdigest()[:24]

@@ -1,0 +1,213 @@
+"""First-party website model.
+
+A :class:`Website` is a shopping site with a homepage, product subpages and
+an authentication flow (sign-up / sign-in / account pages).  Sites embed
+third-party services (:class:`TrackerEmbed`), may leak PII to some of them
+(:class:`LeakBehavior`, attached per embed), and carry the §3.2 gating
+attributes observed in the paper's data collection: unreachable sites,
+sites without authentication, sign-up policies that block account creation
+(phone verification, identity documents, region locks), e-mail confirmation
+and bot detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .consent import ConsentBanner
+from .trackers import TrackerService
+
+# Sign-up gating outcomes (§3.2): 56 sites could not be signed up to.
+BLOCK_NONE = None
+BLOCK_PHONE = "phone_verification"
+BLOCK_IDENTITY = "identity_documents"
+BLOCK_REGION = "region_restricted"
+
+# Page kinds.
+PAGE_HOME = "home"
+PAGE_SIGNUP = "signup"
+PAGE_SIGNIN = "signin"
+PAGE_ACCOUNT = "account"
+PAGE_PRODUCT = "product"
+
+PAGE_PATHS = {
+    PAGE_HOME: "/",
+    PAGE_SIGNUP: "/account/register",
+    PAGE_SIGNIN: "/account/login",
+    PAGE_ACCOUNT: "/account",
+    PAGE_PRODUCT: "/products/aurora-lamp",
+}
+
+
+@dataclass(frozen=True)
+class LeakBehavior:
+    """How one embedded service receives PII from this site (one edge).
+
+    ``channels`` may contain several entries — the paper's "combined
+    methods" (e.g. the same identifier sent via request URI *and* payload
+    body).  ``chains`` likewise may contain several transform chains — the
+    "combined encoding/hashing forms" (e.g. plaintext and SHA256 of the
+    same email).  ``pii_fields`` selects what leaks (email / name /
+    username), matching Table 1c's combinations.
+    """
+
+    channels: Tuple[str, ...]
+    chains: Tuple[Tuple[str, ...], ...]
+    pii_fields: Tuple[str, ...] = ("email",)
+    param: Optional[str] = None           # None -> service default
+    payload_format: str = "urlencoded"    # urlencoded | json
+    cookie_name: str = "s_ecid"           # for the cookie channel
+    #: Prepended to the PII value before hashing: a salting tracker whose
+    #: tokens no candidate set can precompute (detector blind spot; see
+    #: repro.core.heuristics).
+    salt: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValueError("LeakBehavior needs at least one channel")
+        if not self.chains:
+            raise ValueError("LeakBehavior needs at least one chain")
+        if not self.pii_fields:
+            raise ValueError("LeakBehavior needs at least one PII field")
+
+
+@dataclass(frozen=True)
+class TrackerEmbed:
+    """One third-party service embedded by a site."""
+
+    service: TrackerService
+    leak: Optional[LeakBehavior] = None  # None -> embedded but not leaking
+
+    @property
+    def leaks(self) -> bool:
+        return self.leak is not None
+
+
+@dataclass
+class SiteAuthConfig:
+    """Authentication-flow attributes from §3.2."""
+
+    has_auth: bool = True
+    signup_method: str = "POST"          # "GET" -> referer leakage
+    requires_email_confirmation: bool = False
+    bot_detection: bool = False
+    captcha_blocks_brave: bool = False   # the nykaa.com case (§7.1)
+    signup_block: Optional[str] = BLOCK_NONE
+    unreachable: bool = False
+    #: Field names on the sign-up form; None means the full §3.1 field set.
+    #: The accidental GET-form sites use a newsletter-style email-only form.
+    signup_fields: Optional[Tuple[str, ...]] = None
+
+
+@dataclass
+class Website:
+    """A first-party shopping site in the synthetic web."""
+
+    domain: str
+    auth: SiteAuthConfig = field(default_factory=SiteAuthConfig)
+    embeds: List[TrackerEmbed] = field(default_factory=list)
+    category: str = "shopping"
+    tranco_rank: int = 0
+    #: Subdomain label -> CNAME target (cloaked trackers), e.g.
+    #: ``{"metrics": "shop.example.sc.omtrdc.net"}``.
+    cname_records: Dict[str, str] = field(default_factory=dict)
+    #: Privacy-policy disclosure class (set by the policy generator).
+    policy_class: Optional[str] = None
+    #: Marketing e-mail volume this site sends post-signup (inbox, spam).
+    marketing_mail: Tuple[int, int] = (0, 0)
+    #: Cookie banner, if the site runs a CMP (see repro.websim.consent).
+    consent: Optional["ConsentBanner"] = None
+
+    @property
+    def https_origin(self) -> str:
+        return "https://www.%s" % self.domain
+
+    @property
+    def www_host(self) -> str:
+        return "www.%s" % self.domain
+
+    def page_url(self, kind: str) -> str:
+        return self.https_origin + PAGE_PATHS[kind]
+
+    def leaking_embeds(self) -> List[TrackerEmbed]:
+        return [e for e in self.embeds if e.leaks]
+
+    def receiver_domains(self) -> List[str]:
+        """Receivers this site leaks to (distinct, in embed order)."""
+        seen: List[str] = []
+        for embed in self.leaking_embeds():
+            if embed.service.domain not in seen:
+                seen.append(embed.service.domain)
+        return seen
+
+    @property
+    def is_crawlable(self) -> bool:
+        """Whether the §3.2 manual flow completes on this site."""
+        return (not self.auth.unreachable and self.auth.has_auth
+                and self.auth.signup_block is BLOCK_NONE)
+
+
+@dataclass(frozen=True)
+class FormField:
+    """One input field of a form."""
+
+    name: str
+    kind: str = "text"  # text | email | password | hidden
+    value: str = ""     # pre-filled value for hidden fields
+
+
+@dataclass(frozen=True)
+class FormSpec:
+    """A form as rendered on a page."""
+
+    action: str
+    method: str
+    fields: Tuple[FormField, ...]
+    form_id: str = "auth-form"
+
+
+_DEFAULT_SIGNUP_FIELDS: Tuple[FormField, ...] = (
+    FormField("email", "email"),
+    FormField("username"),
+    FormField("first_name"),
+    FormField("last_name"),
+    FormField("phone"),
+    FormField("dob"),
+    FormField("gender"),
+    FormField("job_title"),
+    FormField("street"),
+    FormField("city"),
+    FormField("postcode"),
+    FormField("country"),
+    FormField("password", "password"),
+)
+
+
+def signup_form(site: Website) -> FormSpec:
+    """The sign-up form for a site (field set follows common shop forms)."""
+    if site.auth.signup_fields is not None:
+        fields = tuple(
+            FormField(name, "email" if name == "email" else
+                      "password" if name == "password" else "text")
+            for name in site.auth.signup_fields)
+    else:
+        fields = _DEFAULT_SIGNUP_FIELDS
+    fields = fields + (
+        FormField("csrf_token", "hidden", "tok-%s" % site.domain),)
+    if site.auth.captcha_blocks_brave:
+        fields = fields + (FormField("captcha_token", "hidden", ""),)
+    return FormSpec(action="/account/register/submit",
+                    method=site.auth.signup_method, fields=fields,
+                    form_id="signup-form")
+
+
+def signin_form(site: Website) -> FormSpec:
+    """The sign-in form (email + password)."""
+    fields = (
+        FormField("email", "email"),
+        FormField("password", "password"),
+        FormField("csrf_token", "hidden", "tok-%s" % site.domain),
+    )
+    return FormSpec(action="/account/login/submit", method="POST",
+                    fields=fields, form_id="signin-form")

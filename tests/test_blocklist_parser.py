@@ -1,0 +1,135 @@
+"""ABP filter parsing and pattern compilation."""
+
+import pytest
+
+from repro.blocklist import (
+    Filter,
+    FilterSyntaxError,
+    compile_pattern,
+    parse_filter,
+    parse_filter_list,
+)
+
+
+def test_comments_and_headers_skipped():
+    assert parse_filter("! a comment") is None
+    assert parse_filter("[Adblock Plus 2.0]") is None
+    assert parse_filter("") is None
+
+
+def test_element_hiding_skipped():
+    assert parse_filter("example.com##.ad-banner") is None
+    assert parse_filter("example.com#@#.ad-banner") is None
+
+
+def test_plain_substring_rule():
+    rule = parse_filter("/banner/ads/")
+    assert not rule.is_exception
+    assert rule.matches_url("https://x.com/banner/ads/1.gif")
+    assert not rule.matches_url("https://x.com/content/1.gif")
+
+
+def test_domain_anchor():
+    rule = parse_filter("||tracker.net^")
+    assert rule.matches_url("https://tracker.net/p")
+    assert rule.matches_url("https://sub.tracker.net/p")
+    assert rule.matches_url("http://tracker.net:8080/")
+    assert not rule.matches_url("https://nottracker.net/p")
+    assert not rule.matches_url("https://evil.com/?ref=tracker.net")
+
+
+def test_separator_semantics():
+    rule = parse_filter("/b/ss^")
+    assert rule.matches_url("https://m.shop.com/b/ss?ev=1")
+    assert rule.matches_url("https://m.shop.com/b/ss/extra")
+    assert rule.matches_url("https://m.shop.com/b/ss")  # end of address
+    assert not rule.matches_url("https://m.shop.com/b/sss")
+
+
+def test_start_and_end_anchors():
+    rule = parse_filter("|https://exact.net/path|")
+    assert rule.matches_url("https://exact.net/path")
+    assert not rule.matches_url("https://exact.net/path/more")
+    assert not rule.matches_url("https://pre.fix/https://exact.net/path")
+
+
+def test_wildcard():
+    rule = parse_filter("||ads.net/pixel*id=")
+    assert rule.matches_url("https://ads.net/pixel?x=1&id=9")
+    assert not rule.matches_url("https://ads.net/pixel")
+
+
+def test_case_insensitive_by_default():
+    rule = parse_filter("/TrackMe/")
+    assert rule.matches_url("https://x.com/trackme/1")
+    strict = parse_filter("/TrackMe/$match-case")
+    assert not strict.matches_url("https://x.com/trackme/1")
+    assert strict.matches_url("https://x.com/TrackMe/1")
+
+
+def test_exception_rule():
+    rule = parse_filter("@@||cdn.net^$script")
+    assert rule.is_exception
+    assert rule.resource_types == frozenset({"script"})
+
+
+def test_resource_type_options():
+    rule = parse_filter("||t.net^$script,image")
+    assert rule.applies_to_type("script")
+    assert rule.applies_to_type("image")
+    assert not rule.applies_to_type("xmlhttprequest")
+
+
+def test_inverse_resource_type():
+    rule = parse_filter("||t.net^$~image")
+    assert rule.applies_to_type("script")
+    assert not rule.applies_to_type("image")
+
+
+def test_party_options():
+    third = parse_filter("||t.net^$third-party")
+    assert third.applies_to_party(True)
+    assert not third.applies_to_party(False)
+    first = parse_filter("||t.net^$~third-party")
+    assert first.applies_to_party(False)
+    assert not first.applies_to_party(True)
+    either = parse_filter("||t.net^")
+    assert either.applies_to_party(True) and either.applies_to_party(False)
+
+
+def test_domain_option():
+    rule = parse_filter("||t.net^$domain=shop.com|~sub.shop.com")
+    assert rule.applies_to_domain("shop.com")
+    assert rule.applies_to_domain("www.shop.com")
+    assert not rule.applies_to_domain("sub.shop.com")
+    assert not rule.applies_to_domain("other.com")
+
+
+def test_unsupported_option_drops_rule():
+    assert parse_filter("||t.net^$csp=script-src 'none'") is None
+    assert parse_filter("||t.net^$redirect=noop.js") is None
+
+
+def test_dollar_in_path_not_treated_as_options():
+    rule = parse_filter("/path/$weird/resource")
+    assert rule is not None
+    assert rule.matches_url("https://x.com/path/$weird/resource")
+
+
+def test_parse_filter_list():
+    text = "\n".join([
+        "[Adblock Plus 2.0]",
+        "! comment",
+        "||a.net^",
+        "@@||b.net^$script",
+        "c.com##.ad",
+    ])
+    filters = parse_filter_list(text)
+    assert len(filters) == 2
+    assert sum(1 for f in filters if f.is_exception) == 1
+
+
+def test_compile_pattern_domain_anchor_regex():
+    regex = compile_pattern("||t.net^", match_case=False)
+    assert regex.search("https://t.net/")
+    assert not regex.search("https://x.com/t.net/")

@@ -1,0 +1,79 @@
+"""Structural verification of the calibrated assignment plan."""
+
+import pytest
+
+from repro.datasets import paper
+from repro.websim.calibration import (
+    ADOBE_COOKIE_SLOTS,
+    N_SENDERS,
+    REFERER_SLOTS,
+    SLOT_LOCCITANE,
+    build_plan,
+    verify_plan,
+)
+from repro.websim.trackers import _FILLER_DOMAINS
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_plan(_FILLER_DOMAINS)
+
+
+def test_every_pinned_target_exact(plan):
+    report = verify_plan(plan)
+    mismatches = {key: value for key, value in report.items()
+                  if value[0] != value[1]}
+    assert mismatches == {}
+
+
+def test_all_slots_used(plan):
+    used = plan.slots_used() | set(REFERER_SLOTS)
+    assert used == set(range(N_SENDERS))
+
+
+def test_loccitane_is_unique_maximum(plan):
+    degrees = {}
+    for edge in plan.edges:
+        degrees.setdefault(edge.sender_slot, set()).add(edge.receiver)
+    ranked = sorted(degrees.items(), key=lambda item: -len(item[1]))
+    assert ranked[0][0] == SLOT_LOCCITANE
+    assert len(ranked[0][1]) == paper.MAX_RECEIVERS_PER_SENDER
+    assert len(ranked[1][1]) < paper.MAX_RECEIVERS_PER_SENDER
+
+
+def test_adobe_cookie_slots_have_cookie_channel(plan):
+    for slot in ADOBE_COOKIE_SLOTS:
+        edges = [e for e in plan.edges_of_slot(slot)
+                 if e.receiver == "omtrdc.net"]
+        assert edges and all("cookie" in e.channels for e in edges)
+
+
+def test_mean_receivers_close_to_paper(plan):
+    total_edges = len(plan.edges) + 7  # + referer relationships
+    mean = total_edges / N_SENDERS
+    assert abs(mean - paper.MEAN_RECEIVERS_PER_SENDER) < 0.1
+
+
+def test_senders_with_3plus_near_paper(plan):
+    degrees = {}
+    for edge in plan.edges:
+        degrees.setdefault(edge.sender_slot, set()).add(edge.receiver)
+    with_3plus = sum(1 for receivers in degrees.values()
+                     if len(receivers) >= 3)
+    pct = 100.0 * with_3plus / N_SENDERS
+    assert abs(pct - paper.PCT_SENDERS_WITH_3PLUS_RECEIVERS) < 5.0
+
+
+def test_plan_deterministic():
+    plan_a = build_plan(_FILLER_DOMAINS)
+    plan_b = build_plan(_FILLER_DOMAINS)
+    assert plan_a.edges == plan_b.edges
+
+
+def test_brave_missed_receivers_have_distinct_senders(plan):
+    slots = set()
+    for domain in paper.BRAVE_MISSED:
+        for edge in plan.edges_of_receiver(domain):
+            slots.add(edge.sender_slot)
+    # 9 distinct senders survive Brave (93.1% reduction from 130).
+    assert len(slots) == 9

@@ -1,0 +1,67 @@
+"""CLI surface: parsing, scan/tokens subcommands (fast paths only)."""
+
+import pytest
+
+from repro import hashes
+from repro.cli import build_parser, main
+from repro.core.persona import DEFAULT_PERSONA
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert "repro" in capsys.readouterr().out
+
+
+def test_tokens_subcommand(capsys):
+    assert main(["tokens"]) == 0
+    output = capsys.readouterr().out
+    assert DEFAULT_PERSONA.email in output
+    assert "candidate tokens" in output
+
+
+def test_scan_detects_leaky_url(capsys):
+    token = hashes.apply_chain(DEFAULT_PERSONA.email, ["sha256"])
+    exit_code = main(["scan", "https://t.net/p?uid=%s" % token])
+    assert exit_code == 1
+    output = capsys.readouterr().out
+    assert "LEAK" in output and "sha256" in output
+
+
+def test_scan_clean_url(capsys):
+    assert main(["scan", "https://t.net/p?uid=nothing"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_scan_mixed_urls_exit_code(capsys):
+    token = hashes.apply_chain(DEFAULT_PERSONA.email, ["md5"])
+    exit_code = main(["scan", "https://a.net/?x=%s" % token,
+                      "https://b.net/?x=clean"])
+    assert exit_code == 1
+    output = capsys.readouterr().out
+    assert "LEAK" in output and "clean" in output
+
+
+def test_crowd_subcommand(capsys):
+    assert main(["crowd", "--seed", "3", "--sites", "10",
+                 "--contributors", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "single vantage" in output
+
+
+def test_selection_subcommand(capsys):
+    assert main(["selection"]) == 0
+    output = capsys.readouterr().out
+    assert "404 sites" in output
+    assert "307" in output and "130" in output
+
+
+def test_unknown_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])

@@ -1,0 +1,141 @@
+"""Consent banners: CMP mechanics and tracker gating."""
+
+import pytest
+
+from repro.browser import Browser, vanilla_firefox
+from repro.core import CandidateTokenSet, LeakAnalysis, LeakDetector
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import StudyCrawler
+from repro.netsim import STAGE_HOMEPAGE
+from repro.websim import (
+    LeakBehavior,
+    TrackerEmbed,
+    Website,
+    build_default_catalog,
+)
+from repro.websim.consent import (
+    CMP_PROVIDERS,
+    CONSENT_ACCEPT_ALL,
+    CONSENT_COOKIE,
+    CONSENT_ESSENTIAL_ONLY,
+    CONSENT_REJECT_ALL,
+    ConsentBanner,
+    grants_tracking,
+)
+from repro.websim.population import Population
+
+
+def _population(banner):
+    catalog = build_default_catalog()
+    site = Website(
+        domain="shop.example",
+        embeds=[TrackerEmbed(catalog.get("facebook.com"),
+                             LeakBehavior(("uri",), (("sha256",),)))],
+        consent=banner)
+    return Population(sites={"shop.example": site}, catalog=catalog)
+
+
+def _browser(population, policy=CONSENT_ACCEPT_ALL):
+    return Browser(profile=vanilla_firefox(),
+                   server=population.build_server(),
+                   resolver=population.resolver(),
+                   catalog=population.catalog,
+                   consent_policy=policy)
+
+
+def test_banner_validates_provider():
+    with pytest.raises(ValueError):
+        ConsentBanner(provider="not-a-cmp.example")
+
+
+def test_grants_tracking_mapping():
+    assert grants_tracking(CONSENT_ACCEPT_ALL)
+    assert not grants_tracking(CONSENT_REJECT_ALL)
+    assert not grants_tracking(CONSENT_ESSENTIAL_ONLY)
+    with pytest.raises(ValueError):
+        grants_tracking("maybe")
+
+
+def test_browser_rejects_unknown_policy():
+    population = _population(ConsentBanner(provider="cookielaw.org"))
+    with pytest.raises(ValueError):
+        _browser(population, policy="whatever")
+
+
+def test_accept_all_sets_cookie_and_sends_receipt():
+    population = _population(ConsentBanner(provider="cookielaw.org"))
+    browser = _browser(population)
+    site = population.sites["shop.example"]
+    browser.visit(site, site.page_url("home"), STAGE_HOMEPAGE)
+    consent_cookies = [c for c in browser.jar.all_cookies()
+                       if c.name == CONSENT_COOKIE]
+    assert consent_cookies and consent_cookies[0].value == \
+        CONSENT_ACCEPT_ALL
+    receipts = [e for e in browser.log
+                if e.request.url.host == "consent.cookielaw.org"]
+    assert len(receipts) == 1
+    assert receipts[0].request.method == "POST"
+
+
+def test_banner_answered_once_per_site():
+    population = _population(ConsentBanner(provider="didomi.io"))
+    browser = _browser(population)
+    site = population.sites["shop.example"]
+    browser.visit(site, site.page_url("home"), STAGE_HOMEPAGE)
+    browser.visit(site, site.page_url("product"), "subpage")
+    receipts = [e for e in browser.log
+                if e.request.url.host == "consent.didomi.io"]
+    assert len(receipts) == 1
+
+
+def test_reject_all_suppresses_honoring_trackers():
+    population = _population(ConsentBanner(provider="cookielaw.org",
+                                           honors_consent=True))
+    dataset = StudyCrawler(population,
+                           consent_policy=CONSENT_REJECT_ALL).crawl()
+    fb_requests = [e for e in dataset.log
+                   if e.request.url.host == "www.facebook.com"
+                   and not e.was_blocked]
+    assert fb_requests == []
+    assert dataset.flows["shop.example"].succeeded
+
+
+def test_dark_pattern_site_ignores_rejection():
+    population = _population(ConsentBanner(provider="cookielaw.org",
+                                           honors_consent=False))
+    dataset = StudyCrawler(population,
+                           consent_policy=CONSENT_REJECT_ALL).crawl()
+    detector = LeakDetector(CandidateTokenSet(DEFAULT_PERSONA),
+                            catalog=population.catalog,
+                            resolver=population.resolver())
+    analysis = LeakAnalysis(detector.detect(dataset.log))
+    assert analysis.senders() == ["shop.example"]
+
+
+def test_no_banner_site_tracks_regardless_of_policy():
+    population = _population(None)
+    dataset = StudyCrawler(population,
+                           consent_policy=CONSENT_REJECT_ALL).crawl()
+    detector = LeakDetector(CandidateTokenSet(DEFAULT_PERSONA),
+                            catalog=population.catalog,
+                            resolver=population.resolver())
+    analysis = LeakAnalysis(detector.detect(dataset.log))
+    assert analysis.senders() == ["shop.example"]
+
+
+def test_cmp_infrastructure_not_treated_as_leak_receiver():
+    population = _population(ConsentBanner(provider="usercentrics.eu"))
+    dataset = StudyCrawler(population).crawl()
+    detector = LeakDetector(CandidateTokenSet(DEFAULT_PERSONA),
+                            catalog=population.catalog,
+                            resolver=population.resolver())
+    receivers = LeakAnalysis(detector.detect(dataset.log)).receivers()
+    assert all("usercentrics" not in receiver for receiver in receivers)
+
+
+@pytest.mark.parametrize("provider", sorted(CMP_PROVIDERS))
+def test_all_cmp_providers_resolvable(provider):
+    population = _population(ConsentBanner(provider=provider))
+    resolver = population.resolver()
+    assert resolver.exists("cdn.%s" % provider)
+    assert resolver.exists("consent.%s" % provider)

@@ -1,0 +1,101 @@
+"""Aho-Corasick matcher: correctness against naive search."""
+
+import pytest
+
+from repro.core import AhoCorasick
+
+
+def _naive_matches(text, patterns):
+    found = set()
+    for pattern in patterns:
+        start = 0
+        while True:
+            index = text.find(pattern, start)
+            if index == -1:
+                break
+            found.add((index, index + len(pattern), pattern))
+            start = index + 1
+    return found
+
+
+def test_single_pattern():
+    automaton = AhoCorasick()
+    automaton.add("abc", 1)
+    matches = automaton.find_all("xxabcxxabc")
+    assert [(m.start, m.end) for m in matches] == [(2, 5), (7, 10)]
+
+
+def test_overlapping_patterns():
+    automaton = AhoCorasick()
+    for pattern in ("he", "she", "his", "hers"):
+        automaton.add(pattern, pattern)
+    found = {(m.start, m.end, m.pattern)
+             for m in automaton.find_all("ushers")}
+    assert found == _naive_matches("ushers", ["he", "she", "his", "hers"])
+
+
+def test_pattern_inside_pattern():
+    automaton = AhoCorasick()
+    automaton.add("abcd", "long")
+    automaton.add("bc", "short")
+    found = {m.pattern for m in automaton.find_all("xabcdx")}
+    assert found == {"abcd", "bc"}
+
+
+def test_payload_carried():
+    automaton = AhoCorasick()
+    automaton.add("token", {"pii": "email"})
+    match = automaton.find_all("a token here")[0]
+    assert match.payload == {"pii": "email"}
+    assert match.pattern == "token"
+
+
+def test_no_matches():
+    automaton = AhoCorasick()
+    automaton.add("zzz", None)
+    assert automaton.find_all("aaaa") == []
+    assert not automaton.contains_any("aaaa")
+
+
+def test_contains_any_early_exit():
+    automaton = AhoCorasick()
+    automaton.add("needle", None)
+    assert automaton.contains_any("xxneedlexx")
+
+
+def test_empty_pattern_rejected():
+    with pytest.raises(ValueError):
+        AhoCorasick().add("", None)
+
+
+def test_add_after_build_rebuilds():
+    automaton = AhoCorasick()
+    automaton.add("one", 1)
+    assert automaton.contains_any("one")
+    automaton.add("two", 2)
+    assert automaton.contains_any("two")
+
+
+def test_duplicate_pattern_distinct_payloads():
+    automaton = AhoCorasick()
+    automaton.add("dup", "a")
+    automaton.add("dup", "b")
+    payloads = sorted(m.payload for m in automaton.find_all("dup"))
+    assert payloads == ["a", "b"]
+
+
+def test_len_counts_patterns():
+    automaton = AhoCorasick()
+    automaton.add("a1", None)
+    automaton.add("b2", None)
+    assert len(automaton) == 2
+
+
+def test_matches_against_naive_on_dense_text():
+    patterns = ["ab", "ba", "aba", "bab", "aa", "abba"]
+    text = "abbaabababbaaab" * 3
+    automaton = AhoCorasick()
+    for pattern in patterns:
+        automaton.add(pattern, None)
+    found = {(m.start, m.end, m.pattern) for m in automaton.find_all(text)}
+    assert found == _naive_matches(text, patterns)

@@ -1,0 +1,147 @@
+"""Leak aggregation: relationships, Table 1 semantics, Figure 2."""
+
+import pytest
+
+from repro.core import LeakAnalysis, LeakEvent, encoding_label
+
+
+def _event(sender="s1.example", receiver="t1.example", channel="uri",
+           chain=("sha256",), pii="email", param="uid", stage="signup"):
+    return LeakEvent(sender=sender, receiver=receiver,
+                     request_host="x." + receiver, channel=channel,
+                     location="query", pii_type=pii, chain=chain,
+                     parameter=param, stage=stage,
+                     url="https://x.%s/p" % receiver)
+
+
+def test_encoding_label_vocabulary():
+    assert encoding_label(()) == "plaintext"
+    assert encoding_label(("sha256",)) == "sha256"
+    assert encoding_label(("md5", "sha256")) == "sha256 of md5"
+    assert encoding_label(("base64url",)) == "base64"
+
+
+def test_relationship_merging():
+    analysis = LeakAnalysis([
+        _event(channel="uri"),
+        _event(channel="payload"),
+        _event(chain=()),
+    ])
+    relationships = analysis.relationships()
+    assert len(relationships) == 1
+    rel = relationships[0]
+    assert rel.channels == {"uri", "payload"}
+    assert rel.encodings == {"sha256", "plaintext"}
+    assert rel.uses_combined_channels
+    assert rel.uses_combined_encodings
+
+
+def test_senders_receivers_sorted_distinct():
+    analysis = LeakAnalysis([
+        _event(sender="b.example"), _event(sender="a.example"),
+        _event(sender="a.example", receiver="t2.example"),
+    ])
+    assert analysis.senders() == ["a.example", "b.example"]
+    assert analysis.receivers() == ["t1.example", "t2.example"]
+
+
+def test_headline_statistics():
+    events = [
+        _event(sender="s1.example", receiver="t1.example"),
+        _event(sender="s1.example", receiver="t2.example"),
+        _event(sender="s1.example", receiver="t3.example"),
+        _event(sender="s2.example", receiver="t1.example"),
+    ]
+    stats = LeakAnalysis(events).headline(total_sites=4)
+    assert stats["senders"] == 2
+    assert stats["receivers"] == 3
+    assert stats["mean_receivers_per_sender"] == 2.0
+    assert stats["max_receivers_per_sender"] == 3
+    assert stats["pct_senders_with_3plus"] == 50.0
+    assert stats["pct_sites_leaking"] == 50.0
+
+
+def test_max_receiver_sender():
+    events = [_event(sender="big.example", receiver="t%d.example" % i)
+              for i in range(5)]
+    events.append(_event(sender="small.example"))
+    assert LeakAnalysis(events).max_receiver_sender() == ("big.example", 5)
+
+
+def test_table1a_combined_requires_multichannel_relationship():
+    events = [
+        # One sender uses uri to A and payload to B: NOT combined.
+        _event(sender="s1.example", receiver="a.example", channel="uri"),
+        _event(sender="s1.example", receiver="b.example",
+               channel="payload"),
+        # Another sender uses uri+payload to the same receiver: combined.
+        _event(sender="s2.example", receiver="c.example", channel="uri"),
+        _event(sender="s2.example", receiver="c.example",
+               channel="payload"),
+    ]
+    rows = {row.label: row for row in LeakAnalysis(events).table1a()}
+    assert rows["uri"].senders == 2
+    assert rows["payload"].senders == 2
+    assert rows["combined"].senders == 1
+    assert rows["combined"].receivers == 1
+
+
+def test_table1b_combined_within_relationship_only():
+    events = [
+        _event(sender="s1.example", receiver="a.example", chain=()),
+        _event(sender="s1.example", receiver="b.example",
+               chain=("sha256",)),
+        _event(sender="s2.example", receiver="c.example", chain=()),
+        _event(sender="s2.example", receiver="c.example",
+               chain=("sha256",)),
+    ]
+    rows = {row.label: row for row in LeakAnalysis(events).table1b()}
+    assert rows["plaintext"].senders == 2
+    assert rows["sha256"].senders == 2
+    assert rows["combined"].senders == 1
+
+
+def test_table1c_pii_combinations():
+    events = [
+        _event(sender="s1.example", receiver="a.example", pii="email"),
+        _event(sender="s2.example", receiver="b.example", pii="email"),
+        _event(sender="s2.example", receiver="b.example", pii="name"),
+        _event(sender="s3.example", receiver="c.example", pii="username"),
+    ]
+    rows = {row.label: row for row in LeakAnalysis(events).table1c()}
+    # s2 leaks email AND name to the same receiver: that relationship is
+    # an "email,name" combination, not an "email" one.
+    assert rows["email"].senders == 1
+    assert rows["email,name"].senders == 1
+    assert rows["username"].senders == 1
+
+
+def test_figure2_ranking_and_percentages():
+    events = [
+        _event(sender="s1.example", receiver="big.example"),
+        _event(sender="s2.example", receiver="big.example"),
+        _event(sender="s1.example", receiver="small.example"),
+    ]
+    ranking = LeakAnalysis(events).figure2(top_n=2)
+    assert ranking[0] == ("big.example", 2, 100.0)
+    assert ranking[1] == ("small.example", 1, 50.0)
+
+
+def test_receiver_degree_and_single_sender_receivers():
+    events = [
+        _event(sender="s1.example", receiver="multi.example"),
+        _event(sender="s2.example", receiver="multi.example"),
+        _event(sender="s1.example", receiver="single.example"),
+    ]
+    analysis = LeakAnalysis(events)
+    assert analysis.receiver_degree() == {"multi.example": 2,
+                                          "single.example": 1}
+    assert analysis.single_sender_receivers() == ["single.example"]
+
+
+def test_empty_analysis():
+    analysis = LeakAnalysis([])
+    assert analysis.senders() == []
+    assert analysis.headline()["senders"] == 0
+    assert analysis.max_receiver_sender() is None
+    assert analysis.figure2() == []

@@ -1,0 +1,169 @@
+"""Auth-flow runner outcomes and the simulated mailbox."""
+
+import pytest
+
+from repro.browser import Browser, brave, vanilla_firefox
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import (
+    AuthFlowRunner,
+    STATUS_BLOCKED,
+    STATUS_CAPTCHA_FAILED,
+    STATUS_NO_AUTH,
+    STATUS_SUCCESS,
+    STATUS_UNREACHABLE,
+    StudyCrawler,
+)
+from repro.mailsim import (
+    EmailMessage,
+    FOLDER_INBOX,
+    FOLDER_SPAM,
+    KIND_CONFIRMATION,
+    KIND_MARKETING,
+    Mailbox,
+)
+from repro.websim import (
+    BLOCK_PHONE,
+    SiteAuthConfig,
+    TrackerEmbed,
+    Website,
+    build_default_catalog,
+)
+from repro.websim.population import Population
+
+
+def _population():
+    catalog = build_default_catalog()
+    sites = {
+        "ok.example": Website(domain="ok.example",
+                              marketing_mail=(3, 1)),
+        "confirm.example": Website(
+            domain="confirm.example",
+            auth=SiteAuthConfig(requires_email_confirmation=True)),
+        "down.example": Website(domain="down.example",
+                                auth=SiteAuthConfig(unreachable=True)),
+        "noauth.example": Website(domain="noauth.example",
+                                  auth=SiteAuthConfig(has_auth=False)),
+        "phone.example": Website(
+            domain="phone.example",
+            auth=SiteAuthConfig(signup_block=BLOCK_PHONE)),
+        "captcha.example": Website(
+            domain="captcha.example",
+            auth=SiteAuthConfig(captcha_blocks_brave=True)),
+        "bot.example": Website(domain="bot.example",
+                               auth=SiteAuthConfig(bot_detection=True)),
+    }
+    return Population(sites=sites, catalog=catalog)
+
+
+def test_flow_outcomes_per_site_kind():
+    population = _population()
+    dataset = StudyCrawler(population).crawl()
+    statuses = {domain: flow.status
+                for domain, flow in dataset.flows.items()}
+    assert statuses["ok.example"] == STATUS_SUCCESS
+    assert statuses["confirm.example"] == STATUS_SUCCESS
+    assert statuses["down.example"] == STATUS_UNREACHABLE
+    assert statuses["noauth.example"] == STATUS_NO_AUTH
+    assert statuses["phone.example"] == STATUS_BLOCKED
+    assert dataset.flows["phone.example"].block_reason == BLOCK_PHONE
+    # CAPTCHA solvable under a vanilla browser.
+    assert statuses["captcha.example"] == STATUS_SUCCESS
+
+
+def test_captcha_fails_under_brave():
+    population = _population()
+    crawler = StudyCrawler(population,
+                           profile=brave(population.catalog))
+    dataset = crawler.crawl(
+        sites=[population.sites["captcha.example"]])
+    assert dataset.flows["captcha.example"].status == STATUS_CAPTCHA_FAILED
+
+
+def test_confirmation_email_consumed():
+    population = _population()
+    dataset = StudyCrawler(population).crawl(
+        sites=[population.sites["confirm.example"]])
+    assert dataset.flows["confirm.example"].status == STATUS_SUCCESS
+    confirmations = dataset.mailbox.messages(kind=KIND_CONFIRMATION)
+    assert len(confirmations) == 1
+    assert confirmations[0].sender_domain == "confirm.example"
+
+
+def test_marketing_mail_after_success():
+    population = _population()
+    dataset = StudyCrawler(population).crawl(
+        sites=[population.sites["ok.example"]])
+    counts = dataset.mailbox.counts()
+    assert counts[FOLDER_INBOX] == 3
+    assert counts[FOLDER_SPAM] == 1
+
+
+def test_no_marketing_mail_for_failed_flows():
+    population = _population()
+    dataset = StudyCrawler(population).crawl(
+        sites=[population.sites["down.example"]])
+    assert len(dataset.mailbox) == 0
+
+
+def test_crawl_stages_recorded():
+    population = _population()
+    dataset = StudyCrawler(population).crawl(
+        sites=[population.sites["ok.example"]])
+    stages = {entry.stage for entry in dataset.log}
+    assert {"homepage", "signup", "signin", "reload", "subpage"} <= stages
+
+
+def test_status_counts_helper():
+    population = _population()
+    dataset = StudyCrawler(population).crawl()
+    counts = dataset.status_counts()
+    assert counts[STATUS_SUCCESS] == 4  # ok, confirm, captcha, bot (manual)
+    assert sum(counts.values()) == len(population.sites)
+
+
+def test_automated_crawler_blocked_by_bot_detection():
+    from repro.crawler import STATUS_BOT_BLOCKED
+    population = _population()
+    dataset = StudyCrawler(population, automated=True).crawl(
+        sites=[population.sites["ok.example"],
+               population.sites["bot.example"]])
+    assert dataset.flows["ok.example"].status == STATUS_SUCCESS
+    assert dataset.flows["bot.example"].status == STATUS_BOT_BLOCKED
+
+
+def test_automated_crawler_cannot_confirm_email():
+    from repro.crawler import STATUS_CONFIRMATION_FAILED
+    population = _population()
+    dataset = StudyCrawler(population, automated=True).crawl(
+        sites=[population.sites["confirm.example"]])
+    assert dataset.flows["confirm.example"].status == \
+        STATUS_CONFIRMATION_FAILED
+    # The confirmation mail was sent but nobody could read it.
+    assert len(dataset.mailbox.messages(kind="confirmation")) == 1
+
+
+# -- mailbox unit behaviour -------------------------------------------------
+
+def test_mailbox_rejects_foreign_recipient():
+    mailbox = Mailbox("me@mail.example")
+    with pytest.raises(ValueError):
+        mailbox.deliver(EmailMessage(sender_domain="x.example",
+                                     recipient="you@mail.example",
+                                     subject="s", kind=KIND_MARKETING))
+
+
+def test_mailbox_latest_confirmation_picks_newest():
+    mailbox = Mailbox("me@mail.example")
+    mailbox.deliver_confirmation("shop.example", "https://u/1")
+    mailbox.deliver_confirmation("shop.example", "https://u/2")
+    assert mailbox.latest_confirmation("shop.example").confirm_url == \
+        "https://u/2"
+    assert mailbox.latest_confirmation("other.example") is None
+
+
+def test_mailbox_sender_domains_deduplicated():
+    mailbox = Mailbox("me@mail.example")
+    mailbox.deliver_marketing("a.example", count=3)
+    mailbox.deliver_marketing("b.example", count=1, spam=True)
+    assert mailbox.sender_domains() == ["a.example", "b.example"]
+    assert mailbox.sender_domains(folder=FOLDER_SPAM) == ["b.example"]

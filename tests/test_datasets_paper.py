@@ -1,0 +1,60 @@
+"""Internal consistency of the recorded paper constants."""
+
+from repro.datasets import paper
+
+
+def test_population_accounting():
+    assert (paper.SUCCESSFUL_FLOWS + paper.UNREACHABLE_SITES
+            + paper.NO_AUTH_SITES + paper.SIGNUP_BLOCKED_SITES
+            == paper.TRANCO_SHOPPING_SITES)
+    assert (paper.SIGNUP_BLOCKED_PHONE + paper.SIGNUP_BLOCKED_IDENTITY
+            + paper.SIGNUP_BLOCKED_REGION == paper.SIGNUP_BLOCKED_SITES)
+
+
+def test_leak_rate_matches_counts():
+    rate = 100.0 * paper.LEAKING_SENDERS / paper.SUCCESSFUL_FLOWS
+    assert abs(rate - paper.PCT_SITES_LEAKING) < 0.1
+
+
+def test_table2_has_twenty_providers():
+    assert len(paper.TABLE2) == paper.PERSISTENT_TRACKING_PROVIDERS
+
+
+def test_table2_sender_counts_positive():
+    for receiver in paper.TABLE2:
+        assert paper.table2_sender_count(receiver) > 0
+
+
+def test_facebook_share():
+    share = 100.0 * paper.FACEBOOK_SENDERS / paper.LEAKING_SENDERS
+    assert abs(share - paper.FACEBOOK_SENDER_PCT) < 0.1
+
+
+def test_table3_sums_to_senders():
+    assert sum(paper.TABLE3.values()) == paper.LEAKING_SENDERS
+
+
+def test_brave_reduction_consistent():
+    remaining = round(paper.LEAKING_SENDERS
+                      * (1 - paper.BRAVE_SENDER_REDUCTION_PCT / 100.0))
+    assert remaining == 9
+    assert len(paper.BRAVE_MISSED) == paper.BRAVE_REMAINING_RECEIVERS
+
+
+def test_blocklist_missed_are_table2_providers():
+    for domain in paper.BLOCKLIST_MISSED_PROVIDERS:
+        assert domain in paper.TABLE2
+
+
+def test_cross_site_funnel_ordering():
+    assert (paper.PERSISTENT_TRACKING_PROVIDERS
+            <= paper.CROSS_SITE_ID_RECEIVERS
+            <= paper.LEAK_RECEIVERS - paper.SINGLE_APPEARANCE_RECEIVERS)
+
+
+def test_table4_percentages_match_counts():
+    for section, total in ((paper.TABLE4_SENDERS, paper.LEAKING_SENDERS),
+                           (paper.TABLE4_RECEIVERS, paper.LEAK_RECEIVERS)):
+        for rows in section.values():
+            blocked, pct = rows["total"]
+            assert abs(100.0 * blocked / total - pct) < 0.1

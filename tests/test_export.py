@@ -1,0 +1,123 @@
+"""HAR export and dataset-release export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.datasets.export import (
+    leak_urls_csv,
+    receivers_csv,
+    senders_csv,
+    summary_json,
+    write_release,
+)
+from repro.netsim import CaptureLog
+from repro.netsim.harexport import to_har, to_har_json
+
+
+@pytest.fixture(scope="module")
+def study_result(study_spec):
+    from repro import Study
+    study = Study(study_spec.population)
+    return study.run()
+
+
+# -- HAR --------------------------------------------------------------------
+
+def test_har_structure(crawl):
+    har = to_har(crawl.log)
+    log = har["log"]
+    assert log["version"] == "1.2"
+    assert log["creator"]["name"] == "repro"
+    assert len(log["entries"]) == len(crawl.log)
+    assert log["pages"]
+
+
+def test_har_entry_fields(crawl):
+    entry = to_har(crawl.log)["log"]["entries"][0]
+    assert entry["request"]["method"] in ("GET", "POST")
+    assert entry["request"]["url"].startswith("https://")
+    assert entry["startedDateTime"].endswith("Z")
+    assert "pageref" in entry and "_stage" in entry
+
+
+def test_har_post_data_included(crawl):
+    har = to_har(crawl.log)
+    posts = [e for e in har["log"]["entries"]
+             if e["request"]["method"] == "POST"]
+    assert posts
+    assert any("postData" in e["request"] for e in posts)
+
+
+def test_har_blocked_entries_status_zero():
+    from repro.browser import brave
+    from repro.crawler import StudyCrawler
+    from repro.websim.generator import generate_population
+    population = generate_population(seed=2)
+    dataset = StudyCrawler(
+        population, profile=brave(population.catalog)).crawl()
+    har = to_har(dataset.log)
+    blocked = [e for e in har["log"]["entries"]
+               if e["_blockedBy"] is not None]
+    assert blocked
+    assert all(e["response"]["status"] == 0 for e in blocked)
+
+
+def test_har_json_parses(crawl):
+    parsed = json.loads(to_har_json(crawl.log))
+    assert parsed["log"]["version"] == "1.2"
+
+
+def test_har_empty_log():
+    har = to_har(CaptureLog())
+    assert har["log"]["entries"] == []
+    assert har["log"]["pages"] == []
+
+
+# -- dataset release ---------------------------------------------------------
+
+def _rows(text):
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+def test_senders_csv_complete(study_result):
+    rows = _rows(senders_csv(study_result))
+    assert len(rows) == 130
+    loccitane = next(r for r in rows if r["sender"] == "loccitane.com")
+    assert int(loccitane["receivers"]) == 16
+    assert loccitane["policy_class"]
+
+
+def test_receivers_csv_flags(study_result):
+    rows = _rows(receivers_csv(study_result))
+    assert len(rows) == 100
+    facebook = next(r for r in rows if r["receiver"] == "facebook.com")
+    assert int(facebook["senders"]) == 78
+    assert facebook["cross_site"] == "yes"
+    assert facebook["persistent"] == "yes"
+    assert "udff[em]" in facebook["trackid_params"]
+    singles = [r for r in rows if int(r["senders"]) == 1]
+    assert len(singles) == 58
+
+
+def test_leak_urls_csv_volume(study_result):
+    rows = _rows(leak_urls_csv(study_result))
+    assert len(rows) == len(study_result.events)
+    assert all(row["url"].startswith("https://") for row in rows)
+
+
+def test_summary_json_fields(study_result):
+    summary = json.loads(summary_json(study_result))
+    assert summary["senders"] == 130
+    assert summary["persistent_providers"] == 20
+    assert summary["marketing_mail"]["inbox"] == 2172
+
+
+def test_write_release(tmp_path, study_result):
+    written = write_release(study_result, str(tmp_path / "release"))
+    assert len(written) == 4
+    for path in written:
+        assert (tmp_path / "release").exists()
+    assert (tmp_path / "release" / "summary.json").read_text()

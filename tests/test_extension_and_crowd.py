@@ -1,0 +1,127 @@
+"""Adblock extension in the browser, and the crowdsourced study."""
+
+import pytest
+
+from repro.blocklist import AdblockExtension, RuleSet
+from repro.core import CandidateTokenSet, LeakAnalysis, LeakDetector
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import StudyCrawler
+from repro.crowd import Contributor, CrowdStudy, make_panel
+from repro.websim.generator import GeneratorConfig, generate_population
+
+
+# -- extension ----------------------------------------------------------------
+
+def test_extension_filter_request_verdicts():
+    extension = AdblockExtension(
+        rules=RuleSet.from_text("||tracker.net^$third-party"),
+        name="test-blocker")
+    assert extension.filter_request("https://tracker.net/p", "image",
+                                    "www.shop.com") == "test-blocker"
+    assert extension.filter_request("https://benign.net/p", "image",
+                                    "www.shop.com") is None
+    # First-party requests to the same domain are not third-party.
+    assert extension.filter_request("https://tracker.net/p", "image",
+                                    "www.tracker.net") is None
+
+
+def test_extension_reduces_leakage_in_crawl(study_spec):
+    tokens = CandidateTokenSet(DEFAULT_PERSONA)
+    detector = LeakDetector(tokens, catalog=study_spec.catalog,
+                            resolver=study_spec.population.resolver())
+    sites = [study_spec.population.sites[d]
+             for d in study_spec.leaking_domains[:20]]
+
+    baseline = StudyCrawler(study_spec.population).crawl(sites=sites)
+    protected = StudyCrawler(
+        study_spec.population,
+        extension=AdblockExtension.with_default_lists()).crawl(sites=sites)
+
+    baseline_senders = LeakAnalysis(detector.detect(baseline.log)).senders()
+    protected_senders = LeakAnalysis(
+        detector.detect(protected.log)).senders()
+    assert len(protected_senders) < len(baseline_senders)
+    # Blocked requests are visible in the capture log.
+    assert any(e.blocked_by == "easylist+easyprivacy"
+               for e in protected.log)
+
+
+def test_extension_does_not_block_documents(study_spec):
+    # Even a catch-all list must not cancel top-level navigations.
+    extension = AdblockExtension(rules=RuleSet.from_text("^"),
+                                 name="catch-all")
+    site = study_spec.population.sites[study_spec.leaking_domains[0]]
+    dataset = StudyCrawler(study_spec.population,
+                           extension=extension).crawl(sites=[site])
+    assert dataset.flows[site.domain].status in ("success",
+                                                 "signin_failed")
+
+
+# -- crowdsourcing ---------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def crowd_population():
+    return generate_population(seed=21, config=GeneratorConfig(
+        n_sites=24, n_trackers=8, leak_probability=0.6))
+
+
+def test_make_panel_shapes(crowd_population):
+    domains = list(crowd_population.sites)
+    panel = make_panel(domains, n_contributors=3, overlap=0.25)
+    assert len(panel) == 3
+    shared = int(len(domains) * 0.25)
+    for contributor in panel:
+        assert set(domains[:shared]) <= set(contributor.site_domains)
+    # Private slices partition the remainder.
+    privates = [set(c.site_domains) - set(domains[:shared])
+                for c in panel]
+    assert set().union(*privates) == set(domains[shared:])
+    for i in range(len(privates)):
+        for j in range(i + 1, len(privates)):
+            assert privates[i].isdisjoint(privates[j])
+
+
+def test_make_panel_validation(crowd_population):
+    domains = list(crowd_population.sites)
+    with pytest.raises(ValueError):
+        make_panel(domains, n_contributors=0)
+    with pytest.raises(ValueError):
+        make_panel(domains, n_contributors=2, overlap=1.5)
+
+
+def test_panel_personas_distinct(crowd_population):
+    panel = make_panel(list(crowd_population.sites), n_contributors=4)
+    emails = {c.persona.email for c in panel}
+    assert len(emails) == 4
+
+
+def test_crowd_merging_expands_cross_site_view(crowd_population):
+    panel = make_panel(list(crowd_population.sites), n_contributors=3,
+                       overlap=0.2)
+    single = CrowdStudy(crowd_population, panel[:1]).run()
+    merged = CrowdStudy(crowd_population, panel).run()
+    assert len(merged.analysis.senders()) >= len(single.analysis.senders())
+    assert len(merged.persistence_report.cross_site_receivers) > \
+        len(single.persistence_report.cross_site_receivers)
+
+
+def test_contributor_reports_isolated(crowd_population):
+    """A contributor's report never contains another persona's tokens."""
+    panel = make_panel(list(crowd_population.sites), n_contributors=2,
+                       overlap=0.5)
+    result = CrowdStudy(crowd_population, panel).run()
+    for report, contributor in zip(result.reports, panel):
+        others = [c.persona.email for c in panel
+                  if c.persona.email != contributor.persona.email]
+        for event in report.events:
+            for other_email in others:
+                assert other_email not in event.token
+
+
+def test_receivers_confirmed_by_threshold(crowd_population):
+    panel = make_panel(list(crowd_population.sites), n_contributors=3,
+                       overlap=1.0)  # everyone crawls everything
+    result = CrowdStudy(crowd_population, panel).run()
+    all_receivers = sorted(result.analysis.receivers())
+    assert result.receivers_confirmed_by(3) == all_receivers
+    assert result.receivers_confirmed_by(1) == all_receivers

@@ -1,0 +1,58 @@
+"""CRC and Adler checksums against their canonical check values."""
+
+import zlib
+
+import pytest
+
+from repro.hashes.crc import (
+    adler32,
+    adler32_hexdigest,
+    crc16_arc,
+    crc16_ccitt,
+    crc16_hexdigest,
+    crc32,
+    crc32_hexdigest,
+)
+
+# "123456789" is the standard CRC catalogue check input.
+CHECK_INPUT = b"123456789"
+
+
+def test_crc16_arc_check_value():
+    assert crc16_arc(CHECK_INPUT) == 0xBB3D
+
+
+def test_crc16_ccitt_false_check_value():
+    assert crc16_ccitt(CHECK_INPUT) == 0x29B1
+
+
+def test_crc32_matches_zlib():
+    for data in (b"", b"a", CHECK_INPUT, b"foo@mydom.com", b"x" * 1000):
+        assert crc32(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+
+def test_crc32_check_value():
+    assert crc32(CHECK_INPUT) == 0xCBF43926
+
+
+def test_adler32_check_value():
+    # Adler-32 of "123456789" per zlib.
+    assert adler32(CHECK_INPUT) == zlib.adler32(CHECK_INPUT)
+
+
+def test_hexdigest_widths():
+    assert len(crc16_hexdigest(b"data")) == 4
+    assert len(crc32_hexdigest(b"data")) == 8
+    assert len(adler32_hexdigest(b"data")) == 8
+
+
+def test_hexdigests_lowercase():
+    for digest in (crc16_hexdigest(b"PII"), crc32_hexdigest(b"PII"),
+                   adler32_hexdigest(b"PII")):
+        assert digest == digest.lower()
+
+
+def test_empty_input():
+    assert crc16_arc(b"") == 0
+    assert crc32(b"") == 0
+    assert adler32(b"") == 1  # Adler-32 initial value

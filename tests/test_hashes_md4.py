@@ -1,0 +1,45 @@
+"""MD4 against the RFC 1320 test vectors."""
+
+import pytest
+
+from repro.hashes.md4 import md4_digest, md4_hexdigest
+
+RFC1320_VECTORS = [
+    (b"", "31d6cfe0d16ae931b73c59d7e0c089c0"),
+    (b"a", "bde52cb31de33e46245e05fbdbd6fb24"),
+    (b"abc", "a448017aaf21d8525fc10ae87aa6729d"),
+    (b"message digest", "d9130a8164549fe818874806e1c7014b"),
+    (b"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"),
+    (b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+     "043f8582f241db351ce627e153e7f0e4"),
+    (b"1234567890123456789012345678901234567890123456789012345678901234"
+     b"5678901234567890", "e33b4ddc9c38f2199c3e7b164fcc0536"),
+]
+
+
+@pytest.mark.parametrize("message,expected", RFC1320_VECTORS)
+def test_rfc1320_vectors(message, expected):
+    assert md4_hexdigest(message) == expected
+
+
+def test_digest_is_16_bytes():
+    assert len(md4_digest(b"anything")) == 16
+
+
+def test_block_boundary_lengths():
+    # Padding straddles the 56-byte threshold and exact block sizes.
+    for length in (55, 56, 57, 63, 64, 65, 127, 128):
+        digest = md4_digest(b"x" * length)
+        assert len(digest) == 16
+
+
+def test_deterministic():
+    assert md4_digest(b"foo@mydom.com") == md4_digest(b"foo@mydom.com")
+
+
+def test_avalanche():
+    a = md4_digest(b"foo@mydom.com")
+    b = md4_digest(b"foo@mydom.con")
+    assert a != b
+    differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+    assert differing > 20  # roughly half of 128 bits

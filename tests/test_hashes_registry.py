@@ -1,0 +1,96 @@
+"""Transform registry: the paper-appendix corpus and chain semantics."""
+
+import hashlib
+
+import pytest
+
+from repro import hashes
+
+# Every transform named in the paper's appendix (normalized names).
+APPENDIX_TRANSFORMS = [
+    "base16", "base32", "base32hex", "base58", "base64", "gz", "bzip2",
+    "deflate", "md2", "md4", "md5", "sha1", "sha224", "sha256", "sha384",
+    "sha512", "crc16", "crc32", "sha3_224", "sha3_256", "sha3_384",
+    "sha3_512", "ripemd128", "ripemd160", "ripemd256", "ripemd320",
+    "whirlpool", "rot13", "snefru128", "snefru256", "adler32", "blake2b",
+]
+
+
+@pytest.mark.parametrize("name", APPENDIX_TRANSFORMS)
+def test_appendix_transform_registered(name):
+    assert hashes.has(name)
+    transform = hashes.get(name)
+    output = transform.apply(b"foo@mydom.com")
+    assert output
+    output.decode("ascii")  # canonical form must be ASCII-safe
+
+
+def test_unknown_transform_raises():
+    with pytest.raises(KeyError):
+        hashes.get("rot14")
+
+
+def test_sha256_matches_hashlib():
+    value = "foo@mydom.com"
+    assert hashes.apply_chain(value, ["sha256"]) == \
+        hashlib.sha256(value.encode()).hexdigest()
+
+
+def test_chain_composes_over_hex_digest():
+    # "SHA256 of MD5" hashes the *hex digest string* of the MD5.
+    value = "foo@mydom.com"
+    md5_hex = hashlib.md5(value.encode()).hexdigest()
+    expected = hashlib.sha256(md5_hex.encode()).hexdigest()
+    assert hashes.apply_chain(value, ["md5", "sha256"]) == expected
+
+
+def test_empty_chain_is_plaintext():
+    assert hashes.apply_chain("foo@mydom.com", []) == "foo@mydom.com"
+
+
+def test_chain_label_notation():
+    assert hashes.chain_label(()) == "plaintext"
+    assert hashes.chain_label(("sha256",)) == "sha256"
+    assert hashes.chain_label(("md5", "sha256")) == "sha256 of md5"
+    assert hashes.chain_label(("base64", "sha1", "sha256")) == \
+        "sha256 of sha1 of base64"
+
+
+def test_hash_outputs_are_lowercase_hex():
+    for name in ("md5", "sha1", "sha256", "whirlpool", "ripemd160",
+                 "md4", "snefru128"):
+        output = hashes.apply_chain("x@y.example", [name])
+        assert output == output.lower()
+        int(output, 16)  # valid hex
+
+
+def test_unfaithful_transforms_flagged():
+    # MD2 and Snefru use substituted tables (documented in DESIGN.md).
+    assert not hashes.get("md2").faithful
+    assert not hashes.get("snefru128").faithful
+    assert not hashes.get("snefru256").faithful
+    assert hashes.get("md4").faithful
+    assert hashes.get("whirlpool").faithful
+
+
+def test_compression_transforms_emit_base64():
+    import base64
+    output = hashes.get("gz").apply(b"foo@mydom.com")
+    base64.b64decode(output, validate=True)
+
+
+def test_registry_covers_four_kinds():
+    kinds = {t.kind for t in hashes.all_transforms()}
+    assert kinds == {hashes.KIND_HASH, hashes.KIND_ENCODING,
+                     hashes.KIND_CHECKSUM, hashes.KIND_COMPRESSION}
+
+
+def test_transform_names_filter():
+    hash_names = hashes.transform_names(kinds=[hashes.KIND_HASH])
+    assert "sha256" in hash_names
+    assert "base64" not in hash_names
+
+
+def test_observed_chain_alphabet_registered():
+    for name in hashes.OBSERVED_CHAIN_ALPHABET:
+        assert hashes.has(name)

@@ -1,0 +1,107 @@
+"""§5.1 identifier-stability claims, as tests.
+
+PII-derived identifiers survive everything that kills cookies: jar
+clearing, fresh browsers, different devices.  Cookie identifiers do not.
+"""
+
+import pytest
+
+from repro.browser import Browser, chrome, vanilla_firefox
+from repro.core import CandidateTokenSet, LeakDetector
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import AuthFlowRunner, StudyCrawler
+from repro.mailsim import Mailbox
+from repro.websim import (
+    LeakBehavior,
+    TrackerEmbed,
+    Website,
+    build_default_catalog,
+)
+from repro.websim.population import Population
+
+
+@pytest.fixture()
+def tracked_population():
+    catalog = build_default_catalog()
+    site = Website(
+        domain="shop.example",
+        embeds=[TrackerEmbed(catalog.get("facebook.com"),
+                             LeakBehavior(("uri",), (("sha256",),)))])
+    return Population(sites={"shop.example": site}, catalog=catalog)
+
+
+def _detector(population):
+    return LeakDetector(CandidateTokenSet(population.persona),
+                        catalog=population.catalog,
+                        resolver=population.resolver())
+
+
+def _pii_ids(population, log):
+    return {event.token for event in _detector(population).detect(log)
+            if event.parameter == "udff[em]"}
+
+
+def _cookie_ids(browser):
+    return {cookie.value for cookie in browser.jar.all_cookies()
+            if cookie.name == "tuid"}
+
+
+def _run_flow(population, browser):
+    mailbox = Mailbox(population.persona.email)
+    runner = AuthFlowRunner(browser, population.persona, mailbox)
+    runner.run(population.sites["shop.example"])
+
+
+def test_cookie_id_resets_after_clearing(tracked_population):
+    population = tracked_population
+    server = population.build_server()
+    browser = Browser(profile=vanilla_firefox(), server=server,
+                      resolver=population.resolver(),
+                      catalog=population.catalog)
+    _run_flow(population, browser)
+    first = _cookie_ids(browser)
+    browser.jar.clear()
+    browser.tracker_storage.clear()
+    _run_flow(population, browser)
+    second = _cookie_ids(browser)
+    assert first and second
+    assert first.isdisjoint(second)
+
+
+def test_pii_id_survives_clearing(tracked_population):
+    population = tracked_population
+    server = population.build_server()
+    browser = Browser(profile=vanilla_firefox(), server=server,
+                      resolver=population.resolver(),
+                      catalog=population.catalog)
+    _run_flow(population, browser)
+    first = _pii_ids(population, browser.log)
+    browser.jar.clear()
+    browser.tracker_storage.clear()
+    browser.log.entries.clear()
+    _run_flow(population, browser)
+    second = _pii_ids(population, browser.log)
+    assert first and first == second
+
+
+def test_pii_id_identical_across_browsers(tracked_population):
+    population = tracked_population
+    firefox_run = StudyCrawler(population,
+                               profile=vanilla_firefox()).crawl()
+    chrome_run = StudyCrawler(population, profile=chrome()).crawl()
+    assert _pii_ids(population, firefox_run.log) == \
+        _pii_ids(population, chrome_run.log)
+
+
+def test_pii_id_differs_between_users(tracked_population):
+    from repro.core.persona import Persona
+    population = tracked_population
+    run_a = StudyCrawler(population).crawl()
+    other = Population(sites=population.sites,
+                       catalog=population.catalog,
+                       persona=Persona(email="someone.else@pmail.example"),
+                       zone=population.zone)
+    run_b = StudyCrawler(other).crawl()
+    ids_a = _pii_ids(population, run_a.log)
+    ids_b = _pii_ids(other, run_b.log)
+    assert ids_a and ids_b and ids_a.isdisjoint(ids_b)

@@ -1,0 +1,107 @@
+"""LaTeX export, suspected leaks in the pipeline, generator options."""
+
+import pytest
+
+from repro.reporting import (
+    latex_escape,
+    table1_latex,
+    table2_latex,
+    table3_latex,
+)
+
+
+def test_latex_escape():
+    assert latex_escape("a&b_c%d") == r"a\&b\_c\%d"
+    assert latex_escape("udff[em]") == "udff[em]"
+    assert latex_escape("50%") == r"50\%"
+    assert latex_escape("x^2~{y}") == \
+        r"x\textasciicircum{}2\textasciitilde{}\{y\}"
+
+
+def test_table1_latex_structure(analysis):
+    text = table1_latex(analysis)
+    assert text.count(r"\begin{table}") == 3
+    assert text.count(r"\toprule") == 3
+    assert r"sha256 of md5" in text
+    assert r"\&" not in text.splitlines()[0]
+    # Percent signs are escaped inside cells.
+    assert r"\%" in text
+
+
+def test_table2_latex(events):
+    from repro.tracking import PersistenceAnalyzer
+    report = PersistenceAnalyzer(events).report()
+    text = table2_latex(report)
+    assert r"udff[em]" in text
+    assert "20 providers" in text
+    assert r"\label{tab:providers}" in text
+
+
+def test_table3_latex():
+    counts = {"disclose_not_specific": 102, "disclose_specific": 9,
+              "no_description": 15, "explicitly_not_shared": 4}
+    text = table3_latex(counts)
+    assert r"102/78.5\%" in text
+    assert "Total" in text
+
+
+def test_pipeline_suspected_disjoint_from_confirmed():
+    """Pipeline heuristics never duplicate exact findings."""
+    from repro import Study
+    from repro.websim import (
+        LeakBehavior,
+        TrackerEmbed,
+        Website,
+        build_default_catalog,
+    )
+    from repro.websim.population import Population
+    catalog = build_default_catalog()
+    sites = {
+        "plain-site.example": Website(
+            domain="plain-site.example",
+            embeds=[TrackerEmbed(catalog.get("facebook.com"),
+                                 LeakBehavior(("uri",), (("sha256",),)))]),
+        "salted-site.example": Website(
+            domain="salted-site.example",
+            embeds=[TrackerEmbed(
+                catalog.get("dotomi.com"),
+                LeakBehavior(("uri",), (("sha256",),), salt="pep::"))]),
+    }
+    result = Study(Population(sites=sites, catalog=catalog)).run()
+    assert result.analysis.senders() == ["plain-site.example"]
+    suspected_senders = {finding.sender
+                         for finding in result.suspected_leaks}
+    assert suspected_senders == {"salted-site.example"}
+
+
+def test_calibrated_pipeline_has_no_suspected_leaks(study_spec):
+    # All calibrated identifiers are precomputable, so the heuristic
+    # layer must stay silent (no false positives on 20k+ requests).
+    from repro import Study
+    result = Study(study_spec.population).run()
+    assert result.suspected_leaks == []
+
+
+def test_generator_salting_option():
+    from repro.websim.generator import GeneratorConfig, generate_population
+    population = generate_population(seed=9, config=GeneratorConfig(
+        n_sites=10, n_trackers=5, salt_probability=1.0,
+        leak_probability=1.0))
+    salted = [embed for site in population.sites.values()
+              for embed in site.leaking_embeds() if embed.leak.salt]
+    assert salted
+    # Plaintext chains are never salted.
+    for embed in salted:
+        assert any(embed.leak.chains)
+
+
+def test_generator_consent_option():
+    from repro.websim.generator import GeneratorConfig, generate_population
+    population = generate_population(seed=9, config=GeneratorConfig(
+        n_sites=10, consent_probability=1.0))
+    assert all(site.consent is not None
+               for site in population.sites.values())
+    # The universe remains crawlable with banners present.
+    from repro.crawler import StudyCrawler
+    dataset = StudyCrawler(population).crawl()
+    assert dataset.status_counts().get("success") == 10

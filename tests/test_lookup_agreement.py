@@ -1,0 +1,21 @@
+"""The Aho-Corasick candidate scan equals the naive per-token scan.
+
+Companion to ``benchmarks/bench_ablation_lookup.py``: the benchmark
+measures the speed difference, this test pins the equivalence on real
+crawl traffic.
+"""
+
+
+def test_lookup_strategies_agree_on_crawl_traffic(crawl, tokens):
+    texts = []
+    for entry in crawl.log:
+        if entry.was_blocked:
+            continue
+        texts.append(str(entry.request.url))
+        if len(texts) >= 300:
+            break
+    all_tokens = tokens.tokens()
+    for text in texts:
+        automaton_tokens = {match.pattern for match in tokens.scan(text)}
+        naive_tokens = {token for token in all_tokens if token in text}
+        assert automaton_tokens == naive_tokens

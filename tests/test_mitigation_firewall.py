@@ -1,0 +1,156 @@
+"""PII firewall: outbound scrubbing of candidate tokens."""
+
+import pytest
+
+from repro import hashes
+from repro.core import CandidateTokenSet, LeakDetector
+from repro.core.persona import DEFAULT_PERSONA
+from repro.mitigation import PiiFirewall, REDACTION
+from repro.netsim import (
+    CaptureEntry,
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    Url,
+    decode_urlencoded,
+    encode_urlencoded,
+)
+
+EMAIL = DEFAULT_PERSONA.email
+SHA256_TOKEN = hashes.apply_chain(EMAIL, ["sha256"])
+
+
+@pytest.fixture(scope="module")
+def firewall():
+    return PiiFirewall(CandidateTokenSet(DEFAULT_PERSONA))
+
+
+def _request(url, headers=None, body=b"", method="GET", content_type=None):
+    all_headers = headers or Headers()
+    if content_type:
+        all_headers.set("Content-Type", content_type)
+    return HttpRequest(method=method, url=Url.parse(url),
+                       headers=all_headers, body=body)
+
+
+def test_query_token_redacted(firewall):
+    request = _request("https://t.example/p?uid=%s&ev=1" % SHA256_TOKEN)
+    scrubbed, report = firewall.scrub_request(request, "www.shop.example")
+    assert report.modified and "query" in report.redacted_locations
+    assert scrubbed.url.query_get("uid") == REDACTION
+    assert scrubbed.url.query_get("ev") == "1"  # benign params untouched
+
+
+def test_plaintext_percent_encoded_redacted(firewall):
+    request = _request("https://t.example/p?em=%s"
+                       % EMAIL.replace("@", "%40"))
+    scrubbed, report = firewall.scrub_request(request, "www.shop.example")
+    assert report.modified
+    assert EMAIL not in str(scrubbed.url).replace("%40", "@")
+
+
+def test_referer_scrubbed(firewall):
+    headers = Headers([("Referer",
+                        "https://www.shop.example/s?email=%s" % EMAIL)])
+    request = _request("https://t.example/p.gif", headers=headers)
+    scrubbed, report = firewall.scrub_request(request, "www.shop.example")
+    assert "referer" in report.redacted_locations
+    assert EMAIL not in scrubbed.headers.get("Referer")
+    assert REDACTION in scrubbed.headers.get("Referer")
+
+
+def test_cookie_header_scrubbed(firewall):
+    headers = Headers([("Cookie", "sid=1; uid=%s" % SHA256_TOKEN)])
+    request = _request("https://t.example/p", headers=headers)
+    scrubbed, report = firewall.scrub_request(request, "www.shop.example")
+    assert "cookie" in report.redacted_locations
+    assert SHA256_TOKEN not in scrubbed.headers.get("Cookie")
+    assert "sid=1" in scrubbed.headers.get("Cookie")
+
+
+def test_urlencoded_body_scrubbed(firewall):
+    body = encode_urlencoded([("u_hem", SHA256_TOKEN), ("ev", "id")])
+    request = _request("https://t.example/p", method="POST", body=body,
+                       content_type="application/x-www-form-urlencoded")
+    scrubbed, report = firewall.scrub_request(request, "www.shop.example")
+    fields = dict(decode_urlencoded(scrubbed.body))
+    assert fields["u_hem"] == REDACTION
+    assert fields["ev"] == "id"
+
+
+def test_json_body_scrubbed(firewall):
+    body = ('{"email_hash": "%s"}' % SHA256_TOKEN).encode()
+    request = _request("https://t.example/p", method="POST", body=body,
+                       content_type="application/json")
+    scrubbed, report = firewall.scrub_request(request, "www.shop.example")
+    assert SHA256_TOKEN not in scrubbed.body_text()
+
+
+def test_first_party_requests_untouched(firewall):
+    request = _request("https://www.shop.example/submit?email=%s" % EMAIL)
+    scrubbed, report = firewall.scrub_request(request, "www.shop.example")
+    assert not report.modified
+    assert scrubbed is request
+
+
+def test_clean_third_party_request_untouched(firewall):
+    request = _request("https://t.example/p?uid=nothing-here")
+    scrubbed, report = firewall.scrub_request(request, "www.shop.example")
+    assert not report.modified
+    assert scrubbed is request
+
+
+def test_overlapping_tokens_single_redaction(firewall):
+    # Upper+lowercase variants overlap the same span.
+    request = _request("https://t.example/p?x=%s" % SHA256_TOKEN)
+    scrubbed, _ = firewall.scrub_request(request, "www.shop.example")
+    assert scrubbed.url.query_get("x").count(REDACTION) == 1
+
+
+def test_firewall_statistics(study_spec):
+    from repro.crawler import StudyCrawler
+    firewall = PiiFirewall(CandidateTokenSet(DEFAULT_PERSONA))
+    sites = [study_spec.population.sites[d]
+             for d in study_spec.leaking_domains[:5]]
+    StudyCrawler(study_spec.population, firewall=firewall).crawl(
+        sites=sites)
+    assert firewall.scrubbed_requests > 0
+    assert firewall.redactions >= firewall.scrubbed_requests
+
+
+def test_cloaking_aware_firewall_scrubs_cloaked_cookie(study_spec):
+    from repro.dnssim import Resolver, Zone
+    zone = Zone()
+    zone.add_cname("metrics.shop.example", "shop.example.sc.omtrdc.net")
+    zone.add_a("shop.example.sc.omtrdc.net")
+    blind = PiiFirewall(CandidateTokenSet(DEFAULT_PERSONA))
+    aware = PiiFirewall(CandidateTokenSet(DEFAULT_PERSONA),
+                        resolver=Resolver(zone))
+    headers = Headers([("Cookie", "s_ecid=%s" % SHA256_TOKEN)])
+    request = _request("https://metrics.shop.example/b/ss?ev=1",
+                       headers=headers)
+    _, blind_report = blind.scrub_request(request, "www.shop.example")
+    assert not blind_report.modified   # looks first-party without DNS
+    _, aware_report = aware.scrub_request(request, "www.shop.example")
+    assert "cookie" in aware_report.redacted_locations
+
+
+def test_firewalled_crawl_has_no_detectable_leaks(study_spec):
+    """The headline guarantee: detector-grade scrubbing at the edge."""
+    from repro.core import LeakAnalysis
+    from repro.crawler import StudyCrawler
+    tokens = CandidateTokenSet(DEFAULT_PERSONA)
+    firewall = PiiFirewall(tokens,
+                           resolver=study_spec.population.resolver())
+    sites = [study_spec.population.sites[d]
+             for d in study_spec.leaking_domains[:10]]
+    dataset = StudyCrawler(study_spec.population,
+                           firewall=firewall).crawl(sites=sites)
+    detector = LeakDetector(tokens, catalog=study_spec.catalog,
+                            resolver=study_spec.population.resolver())
+    assert detector.detect(dataset.log) == []
+    # Tracker traffic itself still flows (requests not blocked).
+    third_party = [e for e in dataset.log
+                   if e.request.url.host.endswith("facebook.com")
+                   and not e.was_blocked]
+    assert third_party

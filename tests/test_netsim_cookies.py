@@ -1,0 +1,116 @@
+"""RFC 6265 cookie jar semantics."""
+
+import pytest
+
+from repro.netsim import Cookie, CookieJar, Url, parse_set_cookie
+
+
+def _url(text="https://www.shop.com/account"):
+    return Url.parse(text)
+
+
+def test_parse_basic_set_cookie():
+    cookie = parse_set_cookie("sid=abc123; Path=/; Max-Age=3600", _url(),
+                              now=100.0)
+    assert cookie.name == "sid"
+    assert cookie.value == "abc123"
+    assert cookie.domain == "www.shop.com"
+    assert cookie.host_only
+    assert cookie.expires == 3700.0
+
+
+def test_domain_attribute_makes_domain_cookie():
+    cookie = parse_set_cookie("id=1; Domain=shop.com", _url())
+    assert cookie.domain == "shop.com"
+    assert not cookie.host_only
+    assert cookie.domain_matches("metrics.shop.com")
+    assert cookie.domain_matches("shop.com")
+    assert not cookie.domain_matches("evilshop.com")
+
+
+def test_foreign_domain_attribute_rejected():
+    assert parse_set_cookie("id=1; Domain=tracker.net", _url()) is None
+
+
+def test_host_only_does_not_match_subdomains():
+    cookie = parse_set_cookie("id=1", _url())
+    assert cookie.domain_matches("www.shop.com")
+    assert not cookie.domain_matches("cdn.www.shop.com")
+    assert not cookie.domain_matches("shop.com")
+
+
+def test_path_matching():
+    cookie = parse_set_cookie("id=1; Path=/account", _url())
+    assert cookie.path_matches("/account")
+    assert cookie.path_matches("/account/login")
+    assert not cookie.path_matches("/accounts")
+    assert not cookie.path_matches("/")
+
+
+def test_secure_cookie_not_sent_over_http():
+    jar = CookieJar()
+    jar.set_from_header("id=1; Secure", _url("https://shop.com/"))
+    assert jar.cookie_header(Url.parse("https://shop.com/")) == "id=1"
+    assert jar.cookie_header(Url.parse("http://shop.com/")) == ""
+
+
+def test_expiry_against_simulated_clock():
+    jar = CookieJar()
+    jar.set_from_header("id=1; Max-Age=10", _url(), now=0.0)
+    assert jar.cookie_header(_url(), now=5.0) == "id=1"
+    assert jar.cookie_header(_url(), now=11.0) == ""
+
+
+def test_clear_expired():
+    jar = CookieJar()
+    jar.set_from_header("a=1; Max-Age=10", _url(), now=0.0)
+    jar.set_from_header("b=2; Max-Age=1000", _url(), now=0.0)
+    assert jar.clear_expired(now=100.0) == 1
+    assert len(jar) == 1
+
+
+def test_overwrite_keeps_creation_time():
+    jar = CookieJar()
+    jar.set_from_header("id=old", _url(), now=1.0)
+    jar.set_from_header("id=new", _url(), now=50.0)
+    cookies = jar.all_cookies()
+    assert len(cookies) == 1
+    assert cookies[0].value == "new"
+    assert cookies[0].creation_time == 1.0
+
+
+def test_cookie_header_sort_order():
+    # Longer paths first; earlier creation first among equals.
+    jar = CookieJar()
+    jar.set_from_header("b=2; Path=/account", _url(), now=2.0)
+    jar.set_from_header("a=1; Path=/", _url(), now=1.0)
+    header = jar.cookie_header(_url("https://www.shop.com/account/x"))
+    assert header == "b=2; a=1"
+
+
+def test_partitioned_storage_isolated():
+    jar = CookieJar()
+    tracker_url = Url.parse("https://tracker.net/pixel")
+    jar.set_from_header("tuid=A; Domain=tracker.net", tracker_url,
+                        partition="shop-a.com")
+    assert jar.cookie_header(tracker_url, partition="shop-a.com") == "tuid=A"
+    assert jar.cookie_header(tracker_url, partition="shop-b.com") == ""
+    assert jar.cookie_header(tracker_url) == ""
+
+
+def test_unparseable_header_returns_none():
+    assert parse_set_cookie("no-equals-sign", _url()) is None
+    assert parse_set_cookie("=value-only", _url()) is None
+
+
+def test_expires_attribute_treated_as_persistent():
+    cookie = parse_set_cookie(
+        "id=1; Expires=Wed, 21 Oct 2026 07:28:00 GMT", _url(), now=0.0)
+    assert cookie.expires is not None and cookie.expires > 0
+
+
+def test_clear():
+    jar = CookieJar()
+    jar.set_from_header("a=1", _url())
+    jar.clear()
+    assert len(jar) == 0

@@ -1,0 +1,92 @@
+"""Privacy-policy generation and classification (Table 3)."""
+
+import pytest
+
+from repro.policy import (
+    classify_policies,
+    classify_policy,
+    generate_policy,
+    policies_for_sites,
+    table3,
+)
+from repro.websim.shopping import (
+    POLICY_CLASSES,
+    POLICY_NO_DESCRIPTION,
+    POLICY_NOT_SHARED,
+    POLICY_NOT_SPECIFIC,
+    POLICY_SPECIFIC,
+)
+
+
+@pytest.mark.parametrize("policy_class", POLICY_CLASSES)
+@pytest.mark.parametrize("variant", range(6))
+def test_every_variant_classifies_to_its_class(policy_class, variant):
+    document = generate_policy("shop.example", policy_class, variant)
+    verdict = classify_policy("shop.example", document)
+    assert verdict.disclosure_class == policy_class
+
+
+def test_all_generated_policies_acknowledge_collection():
+    for policy_class in POLICY_CLASSES:
+        document = generate_policy("shop.example", policy_class, 0)
+        assert classify_policy("s", document).acknowledges_collection
+
+
+def test_specific_policy_names_recipients():
+    document = generate_policy("shop.example", POLICY_SPECIFIC, 0)
+    verdict = classify_policy("s", document)
+    assert verdict.names_recipients
+    assert verdict.mentions_sharing
+
+
+def test_denial_wins_over_sharing_vocabulary():
+    # "we do not share ... with third parties" contains sharing words.
+    document = generate_policy("shop.example", POLICY_NOT_SHARED, 0)
+    verdict = classify_policy("s", document)
+    assert verdict.denies_sharing
+    assert verdict.disclosure_class == POLICY_NOT_SHARED
+
+
+def test_silent_policy_classified_no_description():
+    document = generate_policy("shop.example", POLICY_NO_DESCRIPTION, 1)
+    assert "third part" not in document.lower()
+    verdict = classify_policy("s", document)
+    assert verdict.disclosure_class == POLICY_NO_DESCRIPTION
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(ValueError):
+        generate_policy("shop.example", "mystery-class")
+
+
+def test_policies_for_sites_vary_phrasing():
+    documents = policies_for_sites({
+        "a.example": POLICY_NOT_SPECIFIC,
+        "b.example": POLICY_NOT_SPECIFIC,
+        "c.example": POLICY_NOT_SPECIFIC,
+    })
+    # Different variants: the sharing clauses should not all be identical.
+    bodies = set(documents.values())
+    assert len(bodies) == 3
+
+
+def test_table3_aggregation():
+    verdicts = classify_policies(policies_for_sites({
+        "a.example": POLICY_NOT_SPECIFIC,
+        "b.example": POLICY_SPECIFIC,
+        "c.example": POLICY_NO_DESCRIPTION,
+        "d.example": POLICY_NOT_SHARED,
+        "e.example": POLICY_NOT_SPECIFIC,
+    }))
+    counts = table3(verdicts)
+    assert counts[POLICY_NOT_SPECIFIC] == 2
+    assert counts[POLICY_SPECIFIC] == 1
+    assert counts[POLICY_NO_DESCRIPTION] == 1
+    assert counts[POLICY_NOT_SHARED] == 1
+
+
+def test_classifier_on_freeform_text():
+    text = ("Privacy. We collect personal information such as your email "
+            "address. We may share your data with advertising partners.")
+    assert classify_policy("s", text).disclosure_class == \
+        POLICY_NOT_SPECIFIC

@@ -1,0 +1,75 @@
+"""Property-based tests for the matchers (Aho-Corasick, ABP patterns)."""
+
+import re
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocklist import compile_pattern, parse_filter
+from repro.core import AhoCorasick
+
+_ALPHABET = "ab@."
+_PATTERNS = st.lists(
+    st.text(alphabet=_ALPHABET, min_size=1, max_size=5),
+    min_size=1, max_size=6, unique=True)
+_TEXTS = st.text(alphabet=_ALPHABET, max_size=60)
+
+
+def _naive(text, patterns):
+    found = set()
+    for pattern in patterns:
+        start = 0
+        while True:
+            index = text.find(pattern, start)
+            if index == -1:
+                break
+            found.add((index, pattern))
+            start = index + 1
+    return found
+
+
+@given(_PATTERNS, _TEXTS)
+def test_aho_corasick_equals_naive_search(patterns, text):
+    automaton = AhoCorasick()
+    for pattern in patterns:
+        automaton.add(pattern, None)
+    result = {(m.start, m.pattern) for m in automaton.find_all(text)}
+    assert result == _naive(text, patterns)
+
+
+@given(_PATTERNS, _TEXTS)
+def test_contains_any_consistent_with_find_all(patterns, text):
+    automaton = AhoCorasick()
+    for pattern in patterns:
+        automaton.add(pattern, None)
+    assert automaton.contains_any(text) == bool(automaton.find_all(text))
+
+
+@given(st.tuples(
+    st.sampled_from(["track", "pixel", "collect", "b/ss", "tr"]),
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)))
+def test_substring_rules_match_iff_substring(parts):
+    token, noise = parts
+    rule = parse_filter("/%s/" % token)
+    url_with = "https://%s.net/%s/x" % (noise, token)
+    url_without = "https://%s.net/other/x" % noise
+    assert rule.matches_url(url_with)
+    assert ("/%s/" % token) not in url_without or \
+        rule.matches_url(url_without)
+
+
+@given(st.text(alphabet=string.ascii_lowercase + string.digits,
+               min_size=2, max_size=10))
+def test_domain_anchor_never_matches_inside_path(domain_label):
+    rule = parse_filter("||%s.net^" % domain_label)
+    assert rule.matches_url("https://%s.net/x" % domain_label)
+    assert rule.matches_url("https://a.%s.net/x" % domain_label)
+    assert not rule.matches_url("https://other.com/%s.net/x" % domain_label)
+
+
+@given(st.text(alphabet=string.ascii_lowercase + "/.-", min_size=1,
+               max_size=12))
+def test_compiled_pattern_literal_is_substring_match(literal):
+    regex = compile_pattern(literal, match_case=False)
+    assert regex.search("prefix" + literal + "suffix")

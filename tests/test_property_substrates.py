@@ -1,0 +1,99 @@
+"""Property-based tests over the substrate data structures."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashes import encoders
+from repro.netsim import (
+    Cookie,
+    Headers,
+    Url,
+    decode_query,
+    encode_query,
+    percent_decode,
+    percent_encode,
+)
+from repro.psl import default_list
+
+_HOST_LABEL = st.text(alphabet=string.ascii_lowercase + string.digits,
+                      min_size=1, max_size=8)
+_HOSTS = st.builds(lambda labels: ".".join(labels + ["com"]),
+                   st.lists(_HOST_LABEL, min_size=1, max_size=3))
+_TEXT = st.text(min_size=0, max_size=40)
+
+
+@given(_TEXT)
+def test_percent_encoding_round_trip(value):
+    assert percent_decode(percent_encode(value)) == value
+
+
+@given(st.lists(st.tuples(_TEXT.filter(bool), _TEXT), max_size=6))
+def test_query_round_trip(pairs):
+    assert decode_query(encode_query(pairs)) == pairs
+
+
+@given(_HOSTS, st.lists(st.tuples(_TEXT.filter(bool), _TEXT), max_size=4))
+def test_url_string_round_trip(host, pairs):
+    url = Url(scheme="https", host=host, path="/a/b",
+              query=tuple(pairs))
+    assert Url.parse(str(url)) == url
+
+
+@given(st.binary(max_size=64))
+def test_base58_round_trip_property(data):
+    assert encoders.base58_decode(encoders.base58_encode(data)) == data
+
+
+@given(st.binary(max_size=64))
+def test_compression_round_trips(data):
+    assert encoders.deflate_decode(encoders.deflate_encode(data)) == data
+
+
+@given(_HOSTS)
+def test_registrable_domain_is_suffix_of_host(host):
+    registrable = default_list().registrable_domain(host)
+    if registrable is not None:
+        assert host == registrable or host.endswith("." + registrable)
+        # Idempotence: the registrable domain of the registrable domain
+        # is itself.
+        assert default_list().registrable_domain(registrable) == registrable
+
+
+@given(_HOSTS, _HOSTS)
+def test_same_party_symmetric(host_a, host_b):
+    psl = default_list()
+    assert psl.same_party(host_a, host_b) == psl.same_party(host_b, host_a)
+
+
+@given(_HOSTS)
+def test_same_party_reflexive(host):
+    assert default_list().same_party(host, host)
+
+
+@given(st.lists(st.tuples(
+    st.text(alphabet=string.ascii_letters + "-", min_size=1, max_size=10),
+    _TEXT), max_size=8))
+def test_headers_preserve_order_and_multiplicity(items):
+    headers = Headers(items)
+    assert headers.items() == items
+    for name, _ in items:
+        values = [v for n, v in items if n.lower() == name.lower()]
+        assert headers.get_all(name) == values
+
+
+@given(st.sampled_from(["/", "/a", "/a/", "/a/b", "/account"]),
+       st.sampled_from(["/", "/a", "/a/b", "/a/bc", "/account/login"]))
+def test_cookie_path_match_prefix_property(cookie_path, request_path):
+    cookie = Cookie(name="c", value="1", domain="x.com", path=cookie_path)
+    if cookie.path_matches(request_path):
+        assert request_path.startswith(cookie_path.rstrip("/")) or \
+            request_path == cookie_path
+
+
+@given(_HOSTS)
+def test_host_only_cookie_matches_exactly_one_host(host):
+    cookie = Cookie(name="c", value="1", domain=host, host_only=True)
+    assert cookie.domain_matches(host)
+    assert not cookie.domain_matches("prefix." + host)

@@ -1,0 +1,82 @@
+"""Property-based tests for transforms and the candidate token set."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import hashes
+from repro.core import CandidateTokenSet, TokenSetConfig
+from repro.core.persona import DEFAULT_PERSONA
+
+_TRANSFORM_NAMES = st.sampled_from(
+    [t.name for t in hashes.all_transforms()])
+_VALUES = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789@._-",
+    min_size=1, max_size=30)
+
+
+@given(_TRANSFORM_NAMES, _VALUES)
+def test_transforms_deterministic(name, value):
+    assert hashes.apply_chain(value, [name]) == \
+        hashes.apply_chain(value, [name])
+
+
+@given(_TRANSFORM_NAMES, _VALUES)
+def test_transform_output_is_printable_ascii(name, value):
+    output = hashes.apply_chain(value, [name])
+    assert all(32 <= ord(char) < 127 for char in output)
+
+
+@given(st.sampled_from([t.name for t in hashes.all_transforms()
+                        if t.kind == hashes.KIND_HASH]), _VALUES, _VALUES)
+def test_hash_transforms_injective_in_practice(name, value_a, value_b):
+    if value_a != value_b:
+        assert hashes.apply_chain(value_a, [name]) != \
+            hashes.apply_chain(value_b, [name])
+
+
+@given(st.lists(st.sampled_from(hashes.OBSERVED_CHAIN_ALPHABET),
+                min_size=1, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_any_observed_chain_is_detectable(chain):
+    """Whatever multi-layer obfuscation a tracker builds from the observed
+    alphabet, the default candidate set contains the resulting token."""
+    token_set = _default_token_set()
+    token = hashes.apply_chain(DEFAULT_PERSONA.email, chain)
+    origins = token_set.origins_of(token)
+    assert any(tuple(chain) == origin.chain for origin in origins)
+
+
+@given(st.sampled_from([t.name for t in hashes.all_transforms()]))
+@settings(max_examples=40, deadline=None)
+def test_any_single_transform_is_detectable(name):
+    token_set = _default_token_set()
+    token = hashes.apply_chain(DEFAULT_PERSONA.email, [name])
+    if len(token) >= token_set.config.min_token_length:
+        assert token_set.origins_of(token)
+
+
+@given(_VALUES)
+@settings(max_examples=50, deadline=None)
+def test_scan_has_no_false_positives_on_random_text(value):
+    token_set = _default_token_set()
+    # Random short junk must not be reported unless it genuinely embeds a
+    # candidate token.
+    matches = token_set.scan(value)
+    for match in matches:
+        assert match.pattern in value
+
+
+def test_all_tokens_meet_min_length():
+    token_set = _default_token_set()
+    assert all(len(token) >= token_set.config.min_token_length
+               for token in token_set.tokens())
+
+
+_CACHE = {}
+
+
+def _default_token_set():
+    if "ts" not in _CACHE:
+        _CACHE["ts"] = CandidateTokenSet(DEFAULT_PERSONA)
+    return _CACHE["ts"]

@@ -1,0 +1,55 @@
+"""Property-based round trips for the HTTP/1.1 wire format."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import Headers, HttpRequest, HttpResponse, Url
+from repro.netsim.wire import (
+    parse_request,
+    parse_response,
+    serialize_request,
+    serialize_response,
+)
+
+_TOKEN = st.text(alphabet=string.ascii_letters + string.digits + "-",
+                 min_size=1, max_size=12)
+_VALUE = st.text(alphabet=string.ascii_letters + string.digits + " ;=/.",
+                 min_size=0, max_size=30).map(str.strip)
+_HOSTS = st.builds(lambda a, b: "%s.%s.example" % (a.lower(), b.lower()),
+                   _TOKEN, _TOKEN)
+_QUERY = st.lists(st.tuples(_TOKEN, _VALUE), max_size=4)
+_BODY = st.binary(max_size=64)
+_METHOD = st.sampled_from(["GET", "POST", "PUT"])
+
+
+@given(_METHOD, _HOSTS, _QUERY, _BODY,
+       st.lists(st.tuples(_TOKEN, _VALUE), max_size=3))
+@settings(max_examples=80, deadline=None)
+def test_request_round_trip(method, host, query, body, header_items):
+    headers = Headers((name, value) for name, value in header_items
+                      if name.lower() not in ("host", "content-length"))
+    request = HttpRequest(
+        method=method,
+        url=Url(scheme="https", host=host, path="/p",
+                query=tuple(query)),
+        headers=headers, body=body)
+    parsed = parse_request(serialize_request(request))
+    assert parsed.method == request.method
+    assert str(parsed.url) == str(request.url)
+    assert parsed.body == request.body
+    # Order and multiplicity preserved (duplicate names included).
+    assert parsed.headers.items() == headers.items()
+
+
+@given(st.sampled_from([200, 204, 302, 404, 500]), _BODY,
+       st.lists(st.tuples(_TOKEN, _VALUE), max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_response_round_trip(status, body, header_items):
+    headers = Headers((name, value) for name, value in header_items
+                      if name.lower() != "content-length")
+    response = HttpResponse(status=status, headers=headers, body=body)
+    parsed = parse_response(serialize_response(response))
+    assert parsed.status == status
+    assert parsed.body == body

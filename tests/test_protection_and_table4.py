@@ -1,0 +1,112 @@
+"""§7 countermeasures: browser profiles (7.1) and blocklists (7.2)."""
+
+import pytest
+
+from repro.blocklist import BlocklistEvaluator
+from repro.browser import brave, chrome, safari, firefox_etp
+from repro.datasets import paper
+from repro.protection import BrowserCountermeasureEvaluator
+
+
+@pytest.fixture(scope="module")
+def browser_study(study_spec):
+    evaluator = BrowserCountermeasureEvaluator(
+        study_spec.population, study_spec.leaking_domains)
+    catalog = study_spec.catalog
+    return evaluator.run(profiles=[chrome(), safari(),
+                                   firefox_etp(catalog), brave(catalog)])
+
+
+@pytest.fixture(scope="module")
+def table4(crawl, detector):
+    return BlocklistEvaluator(detector).evaluate(crawl.log)
+
+
+# -- §7.1 -------------------------------------------------------------------
+
+def test_baseline_matches_main_crawl(browser_study):
+    assert browser_study.baseline.senders == paper.LEAKING_SENDERS
+    assert browser_study.baseline.receivers == paper.LEAK_RECEIVERS
+
+
+def test_non_brave_browsers_do_not_reduce_leakage(browser_study):
+    for name in ("chrome", "safari", "firefox-etp"):
+        result = browser_study.results[name]
+        assert result.senders == paper.LEAKING_SENDERS, name
+        assert result.receivers == paper.LEAK_RECEIVERS, name
+        assert result.failed_signups == (), name
+
+
+def test_brave_reduction_percentages(browser_study):
+    reductions = browser_study.reductions()
+    sender_pct, receiver_pct = reductions["brave"]
+    assert abs(sender_pct - paper.BRAVE_SENDER_REDUCTION_PCT) < 0.5
+    assert abs(receiver_pct - paper.BRAVE_RECEIVER_REDUCTION_PCT) < 0.5
+
+
+def test_brave_missed_receivers_match_footnote(browser_study):
+    remaining = set(browser_study.remaining_receivers["brave"])
+    assert remaining == set(paper.BRAVE_MISSED)
+    assert browser_study.results["brave"].receivers == \
+        paper.BRAVE_REMAINING_RECEIVERS
+
+
+def test_brave_captcha_failure_site(browser_study):
+    assert browser_study.results["brave"].failed_signups == \
+        (paper.BRAVE_CAPTCHA_FAILURE_SITE,)
+
+
+# -- §7.2 -------------------------------------------------------------------
+
+def test_cookie_channel_fully_blocked(table4):
+    for list_name in ("easyprivacy", "combined"):
+        assert table4.senders[list_name]["cookie"].pct == 100.0
+        assert table4.receivers[list_name]["cookie"].pct == 100.0
+
+
+def test_easylist_barely_touches_leakage(table4):
+    assert table4.receivers["easylist"]["total"].blocked <= 10
+    assert table4.senders["easylist"]["total"].blocked <= 3
+
+
+def test_easyprivacy_dominates_easylist(table4):
+    ep = table4.senders["easyprivacy"]["total"].blocked
+    el = table4.senders["easylist"]["total"].blocked
+    assert ep > 10 * max(el, 1)
+
+
+def test_combined_coverage_shape(table4):
+    combined_senders = table4.senders["combined"]["total"]
+    combined_receivers = table4.receivers["combined"]["total"]
+    # Paper: 102/78.5% senders and 72/72% receivers.
+    assert abs(combined_senders.pct - 78.5) < 8.0
+    assert abs(combined_receivers.pct - 72.0) < 8.0
+
+
+def test_referer_receiver_split(table4):
+    assert table4.receivers["easylist"]["referer"].blocked == 1
+    assert table4.receivers["easyprivacy"]["referer"].blocked == 6
+    assert table4.receivers["combined"]["referer"].blocked == 7
+
+
+def test_unlisted_tracking_providers_survive(crawl, detector, table4):
+    evaluator = BlocklistEvaluator(detector)
+    rules = evaluator.rule_sets["combined"]
+    survivors = []
+    for entry in crawl.log:
+        if entry.was_blocked:
+            continue
+        for event in detector.detect_entry(entry):
+            if event.receiver in paper.BLOCKLIST_MISSED_PROVIDERS and \
+                    not evaluator.entry_blocked(entry, rules):
+                survivors.append(event.receiver)
+    assert set(survivors) == set(paper.BLOCKLIST_MISSED_PROVIDERS)
+
+
+def test_combined_never_below_individual_lists(table4):
+    for row in ("referer", "uri", "payload", "cookie", "total"):
+        for section in (table4.senders, table4.receivers):
+            assert section["combined"][row].blocked >= \
+                section["easyprivacy"][row].blocked
+            assert section["combined"][row].blocked >= \
+                section["easylist"][row].blocked

@@ -1,0 +1,91 @@
+"""Public Suffix List algorithm."""
+
+import pytest
+
+from repro.psl import (
+    PublicSuffixList,
+    default_list,
+    is_third_party,
+    public_suffix,
+    registrable_domain,
+)
+
+
+@pytest.mark.parametrize("host,suffix", [
+    ("example.com", "com"),
+    ("www.example.com", "com"),
+    ("shop.co.uk", "co.uk"),
+    ("www.shop.co.uk", "co.uk"),
+    ("store.co.jp", "co.jp"),
+    ("a.b.c.example.net", "net"),
+    ("app.herokuapp.com", "herokuapp.com"),
+])
+def test_public_suffix(host, suffix):
+    assert public_suffix(host) == suffix
+
+
+@pytest.mark.parametrize("host,registrable", [
+    ("example.com", "example.com"),
+    ("www.example.com", "example.com"),
+    ("deep.sub.example.com", "example.com"),
+    ("shop.co.uk", "shop.co.uk"),
+    ("www.shop.co.uk", "shop.co.uk"),
+    ("pixel-sync.herokuapp.com", "pixel-sync.herokuapp.com"),
+])
+def test_registrable_domain(host, registrable):
+    assert registrable_domain(host) == registrable
+
+
+def test_suffix_itself_has_no_registrable_domain():
+    assert registrable_domain("com") is None
+    assert registrable_domain("co.uk") is None
+    assert registrable_domain("herokuapp.com") is None
+
+
+def test_wildcard_rule():
+    # *.kobe.jp makes every label under kobe.jp a public suffix.
+    assert public_suffix("foo.kobe.jp") == "foo.kobe.jp"
+    assert registrable_domain("shop.foo.kobe.jp") == "shop.foo.kobe.jp"
+
+
+def test_exception_rule():
+    # !city.kobe.jp overrides the wildcard.
+    assert public_suffix("city.kobe.jp") == "kobe.jp"
+    assert registrable_domain("city.kobe.jp") == "city.kobe.jp"
+    assert registrable_domain("www.city.kobe.jp") == "city.kobe.jp"
+
+
+def test_unknown_tld_implicit_star():
+    assert public_suffix("tracker01.example") == "example"
+    assert registrable_domain("www.tracker01.example") == "tracker01.example"
+
+
+def test_same_party():
+    psl = default_list()
+    assert psl.same_party("www.shop.com", "cdn.shop.com")
+    assert psl.same_party("shop.com", "shop.com")
+    assert not psl.same_party("www.shop.com", "www.tracker.net")
+
+
+def test_third_party_classification():
+    assert is_third_party("www.facebook.com", "www.loccitane.com")
+    assert not is_third_party("metrics.loccitane.com", "www.loccitane.com")
+
+
+def test_case_and_trailing_dot_normalization():
+    assert registrable_domain("WWW.Example.COM.") == "example.com"
+
+
+def test_empty_host_rejected():
+    with pytest.raises(ValueError):
+        public_suffix("")
+
+
+def test_custom_rule_text():
+    psl = PublicSuffixList("com\nfoo.com\n")
+    assert psl.public_suffix("bar.foo.com") == "foo.com"
+    assert psl.registrable_domain("a.bar.foo.com") == "bar.foo.com"
+
+
+def test_default_list_is_cached():
+    assert default_list() is default_list()

@@ -1,0 +1,111 @@
+"""Table/figure renderers: structure and content of the text output."""
+
+import pytest
+
+from repro.core import LeakAnalysis, LeakEvent
+from repro.reporting import (
+    render_figure2,
+    render_headline,
+    render_leak_trace,
+    render_receiver_degree_histogram,
+    render_table1,
+    render_table3,
+)
+
+
+def _event(sender="s1.example", receiver="t.example", **kwargs):
+    defaults = dict(request_host="x." + receiver, channel="uri",
+                    location="query", pii_type="email", chain=("sha256",),
+                    parameter="uid", stage="signup",
+                    url="https://x.%s/p?uid=tok" % receiver)
+    defaults.update(kwargs)
+    return LeakEvent(sender=sender, receiver=receiver, **defaults)
+
+
+@pytest.fixture(scope="module")
+def sample_analysis():
+    return LeakAnalysis([
+        _event(sender="s1.example"),
+        _event(sender="s2.example", chain=()),
+        _event(sender="s2.example", receiver="other.example",
+               channel="payload", location="body"),
+    ])
+
+
+def test_table1_sections_and_paper_columns(sample_analysis):
+    text = render_table1(sample_analysis)
+    assert "(a) By method." in text
+    assert "(b) By encoding/hashing." in text
+    assert "(c) By PII type." in text
+    assert "paper (S, R)" in text
+    assert "uri" in text and "sha256" in text
+
+
+def test_table1_without_comparison(sample_analysis):
+    text = render_table1(sample_analysis, compare=False)
+    assert "paper" not in text
+
+
+def test_headline_mentions_paper_values(sample_analysis):
+    text = render_headline(sample_analysis, total_sites=10,
+                           leaking_requests=3)
+    assert "paper 130" in text
+    assert "leaking requests:        3 (paper 1522)" in text
+
+
+def test_figure2_bar_chart(sample_analysis):
+    text = render_figure2(sample_analysis, top_n=2)
+    lines = text.splitlines()
+    assert "t.example" in text
+    assert any("#" in line for line in lines)
+    assert "facebook.com tops the ranking" in text
+
+
+def test_figure2_empty():
+    assert "no receivers" in render_figure2(LeakAnalysis([]))
+
+
+def test_leak_trace_annotations(sample_analysis):
+    text = render_leak_trace(sample_analysis.events, "Demo:", limit=2)
+    assert text.startswith("Demo:")
+    assert "channel=uri" in text
+    assert "... 1 more events" in text
+
+
+def test_leak_trace_cloaked_note():
+    event = _event(cloaked=True)
+    text = render_leak_trace([event], "Trace:")
+    assert "CNAME cloaking" in text
+
+
+def test_degree_histogram(sample_analysis):
+    text = render_receiver_degree_histogram(sample_analysis)
+    assert "1 sender(s)" in text
+
+
+def test_table3_percentages():
+    counts = {"disclose_not_specific": 2, "disclose_specific": 1,
+              "no_description": 1, "explicitly_not_shared": 0}
+    text = render_table3(counts)
+    assert "50.0%" in text
+    assert "(paper: 102)" in text
+    assert "Total" in text
+
+
+def test_table2_renderer(events):
+    from repro.reporting import render_table2
+    from repro.tracking import PersistenceAnalyzer
+    report = PersistenceAnalyzer(events).report()
+    text = render_table2(report)
+    assert "20 providers; paper: 20" in text
+    assert "udff[em]" in text
+    assert "criteo.com" in text
+
+
+def test_table4_renderer(crawl, detector):
+    from repro.blocklist import BlocklistEvaluator
+    from repro.reporting import render_table4
+    report = BlocklistEvaluator(detector).evaluate(crawl.log)
+    text = render_table4(report)
+    assert "-- Senders --" in text and "-- Receivers --" in text
+    assert "easyprivacy" in text and "cookie" in text

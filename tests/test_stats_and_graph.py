@@ -1,0 +1,160 @@
+"""Bootstrap statistics and tracker-graph analytics."""
+
+import pytest
+
+from repro.core import LeakAnalysis, LeakEvent
+from repro.core.stats import (
+    BootstrapResult,
+    bootstrap_ci,
+    headline_intervals,
+    sender_degree_sample,
+)
+from repro.tracking import (
+    build_leak_graph,
+    coverage_curve,
+    exposure_summary,
+    receiver_cooccurrence,
+    receiver_reach,
+)
+
+
+def _event(sender, receiver, **kwargs):
+    defaults = dict(request_host="x." + receiver, channel="uri",
+                    location="query", pii_type="email", chain=("sha256",),
+                    parameter="uid", stage="signup",
+                    url="https://x.%s/p" % receiver)
+    defaults.update(kwargs)
+    return LeakEvent(sender=sender, receiver=receiver, **defaults)
+
+
+@pytest.fixture(scope="module")
+def small_analysis():
+    events = [
+        _event("s1.example", "big.example"),
+        _event("s2.example", "big.example"),
+        _event("s3.example", "big.example"),
+        _event("s1.example", "mid.example"),
+        _event("s2.example", "mid.example"),
+        _event("s3.example", "solo.example"),
+    ]
+    return LeakAnalysis(events)
+
+
+# -- bootstrap ---------------------------------------------------------------
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+def test_bootstrap_deterministic():
+    values = [1, 2, 3, 4, 5, 6]
+    first = bootstrap_ci(values, _mean, seed=7)
+    second = bootstrap_ci(values, _mean, seed=7)
+    assert first == second
+
+
+def test_bootstrap_interval_contains_estimate():
+    values = [1, 2, 3, 4, 5, 6, 7, 8]
+    result = bootstrap_ci(values, _mean)
+    assert result.low <= result.estimate <= result.high
+    assert result.samples == 8
+
+
+def test_bootstrap_constant_sample_degenerate():
+    result = bootstrap_ci([5, 5, 5, 5], _mean)
+    assert result.low == result.high == result.estimate == 5.0
+
+
+def test_bootstrap_interval_narrows_with_sample_size():
+    small = bootstrap_ci([1, 9] * 5, _mean, seed=1)
+    large = bootstrap_ci([1, 9] * 100, _mean, seed=1)
+    assert (large.high - large.low) < (small.high - small.low)
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci([], _mean)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1], _mean, confidence=1.5)
+
+
+def test_bootstrap_contains_helper():
+    result = BootstrapResult(estimate=2.0, low=1.5, high=2.5,
+                             confidence=0.95, samples=10)
+    assert result.contains(2.0) and result.contains(1.5)
+    assert not result.contains(3.0)
+    assert "95% CI" in str(result)
+
+
+def test_sender_degree_sample(small_analysis):
+    assert sorted(sender_degree_sample(small_analysis)) == [2, 2, 2]
+
+
+def test_headline_intervals(small_analysis):
+    intervals = headline_intervals(small_analysis, n_resamples=200)
+    assert intervals["mean_receivers_per_sender"].estimate == 2.0
+    assert 0 <= intervals["pct_senders_with_3plus"].estimate <= 100
+
+
+def test_headline_intervals_on_calibrated_crawl(analysis):
+    from repro.datasets import paper
+    intervals = headline_intervals(analysis, n_resamples=500)
+    mean_ci = intervals["mean_receivers_per_sender"]
+    # The paper's value lies within the measured bootstrap interval.
+    assert mean_ci.contains(paper.MEAN_RECEIVERS_PER_SENDER)
+
+
+# -- graph --------------------------------------------------------------------
+
+def test_graph_structure(small_analysis):
+    graph = build_leak_graph(small_analysis)
+    assert graph.number_of_nodes() == 6
+    assert graph.number_of_edges() == 6
+    assert graph.nodes["s1.example"]["kind"] == "sender"
+    assert graph.nodes["big.example"]["kind"] == "receiver"
+    assert graph.edges["s1.example", "big.example"]["channels"] == ("uri",)
+
+
+def test_receiver_reach(small_analysis):
+    reach = receiver_reach(build_leak_graph(small_analysis))
+    assert reach == {"big.example": 3, "mid.example": 2,
+                     "solo.example": 1}
+
+
+def test_coverage_curve_monotone(small_analysis):
+    curve = coverage_curve(build_leak_graph(small_analysis))
+    assert curve[0][0] == 1
+    percentages = [pct for _, pct in curve]
+    assert percentages == sorted(percentages)
+    assert percentages[-1] == 100.0
+
+
+def test_cooccurrence(small_analysis):
+    pairs = receiver_cooccurrence(build_leak_graph(small_analysis),
+                                  min_shared=2)
+    assert pairs == [("big.example", "mid.example", 2)]
+
+
+def test_exposure_summary(small_analysis):
+    events = small_analysis.events + [_event("s1.example", "facebook.com")]
+    summary = exposure_summary(LeakAnalysis(events))
+    assert summary.flows_with_leakage == 3
+    assert summary.max_receivers_per_flow == 3
+    assert summary.pct_flows_feeding_facebook == pytest.approx(100 / 3)
+
+
+def test_exposure_summary_empty():
+    summary = exposure_summary(LeakAnalysis([]))
+    assert summary.flows_with_leakage == 0
+    assert summary.mean_receivers_per_flow == 0.0
+
+
+def test_coverage_curve_on_calibrated_crawl(analysis):
+    curve = coverage_curve(build_leak_graph(analysis))
+    assert len(curve) == 100
+    # Blocking every receiver covers every sender.
+    assert curve[-1][1] == 100.0
+    # The ecosystem is concentrated: the top 20 receivers already fully
+    # cover a majority-sized share of senders... measured, not assumed:
+    top20 = dict(curve)[20]
+    assert top20 > 25.0

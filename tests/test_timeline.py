@@ -1,0 +1,85 @@
+"""Tracker-side timeline reconstruction."""
+
+import pytest
+
+from repro.core import LeakEvent
+from repro.tracking import (
+    reconstruct_timelines,
+    render_timeline,
+)
+
+
+def _event(sender, timestamp, receiver="t.example", token="tok123456789",
+           param="uid", stage="signup"):
+    return LeakEvent(sender=sender, receiver=receiver,
+                     request_host="x." + receiver, channel="uri",
+                     location="query", pii_type="email",
+                     chain=("sha256",), parameter=param, stage=stage,
+                     url="https://x.%s/p" % receiver, token=token,
+                     timestamp=timestamp)
+
+
+def test_timeline_ordered_by_time():
+    events = [_event("b.example", 20.0), _event("a.example", 10.0),
+              _event("c.example", 30.0, stage="subpage")]
+    timelines = reconstruct_timelines(events)
+    assert len(timelines) == 1
+    timeline = timelines[0]
+    assert [e.sender for e in timeline.entries] == \
+        ["a.example", "b.example", "c.example"]
+    assert timeline.sites == ["a.example", "b.example", "c.example"]
+    assert timeline.span == 20.0
+
+
+def test_timelines_keyed_by_identifier():
+    events = [_event("a.example", 1.0, token="user1tok00000"),
+              _event("b.example", 2.0, token="user2tok00000")]
+    timelines = reconstruct_timelines(events)
+    assert len(timelines) == 2
+    identifiers = {t.identifier for t in timelines}
+    assert identifiers == {"user1tok00000", "user2tok00000"}
+
+
+def test_parameterless_events_excluded():
+    events = [_event("a.example", 1.0, param=None)]
+    assert reconstruct_timelines(events) == []
+
+
+def test_receiver_filter_and_min_entries():
+    events = [_event("a.example", 1.0),
+              _event("b.example", 2.0),
+              _event("c.example", 3.0, receiver="other.example")]
+    timelines = reconstruct_timelines(events, receiver="t.example",
+                                      min_entries=2)
+    assert len(timelines) == 1
+    assert timelines[0].receiver == "t.example"
+    assert reconstruct_timelines(events, receiver="other.example",
+                                 min_entries=2) == []
+
+
+def test_visits_between():
+    events = [_event("a.example", 1.0), _event("b.example", 5.0),
+              _event("c.example", 9.0)]
+    timeline = reconstruct_timelines(events)[0]
+    window = timeline.visits_between(2.0, 8.0)
+    assert [e.sender for e in window] == ["b.example"]
+
+
+def test_render_timeline():
+    events = [_event("a.example", 1.0), _event("b.example", 2.0)]
+    text = render_timeline(reconstruct_timelines(events)[0], limit=1)
+    assert "2 observations over 2 sites" in text
+    assert "... 1 more observations" in text
+
+
+def test_calibrated_timelines(events):
+    """On the calibrated crawl, criteo's log spans many sites per id."""
+    timelines = reconstruct_timelines(events, receiver="criteo.com")
+    assert timelines
+    best = timelines[0]
+    assert len(best.sites) >= 2
+    # Observations are time-ordered (monotone timestamps).
+    stamps = [entry.timestamp for entry in best.entries]
+    assert stamps == sorted(stamps)
+    # Subpage visits are part of the log (persistence).
+    assert any(entry.stage == "subpage" for entry in best.entries)

@@ -1,0 +1,88 @@
+"""HTML generation and parsing."""
+
+from repro.websim.html import (
+    iter_tags,
+    parse_page,
+    render_document,
+    render_form,
+    render_tag,
+)
+
+
+def test_render_and_parse_script_tag():
+    html = render_document("T", [render_tag("script", {
+        "src": "https://t.net/tag.js", "data-tracker": "t.net"})])
+    page = parse_page(html)
+    assert len(page.scripts) == 1
+    assert page.scripts[0].get("src") == "https://t.net/tag.js"
+    assert page.scripts[0].get("data-tracker") == "t.net"
+
+
+def test_render_and_parse_form():
+    form_html = render_form("/submit", "POST", "signup-form",
+                            [("email", "email", ""),
+                             ("csrf", "hidden", "tok")])
+    page = parse_page(render_document("T", [form_html]))
+    assert len(page.forms) == 1
+    form = page.forms[0]
+    assert form.action == "/submit"
+    assert form.method == "POST"
+    assert form.form_id == "signup-form"
+    names = [name for name, _, _ in form.fields]
+    assert "email" in names and "csrf" in names
+    csrf = next(f for f in form.fields if f[0] == "csrf")
+    assert csrf == ("csrf", "hidden", "tok")
+
+
+def test_parse_multiple_resource_kinds():
+    html = render_document("T", [
+        render_tag("img", {"src": "https://t.net/p.gif"}),
+        render_tag("link", {"rel": "stylesheet", "href": "/style.css"}),
+        render_tag("iframe", {"src": "https://ads.net/frame"}),
+        render_tag("a", {"href": "/products/x"}),
+    ])
+    page = parse_page(html)
+    assert len(page.images) == 1
+    assert len(page.stylesheets) == 1
+    assert len(page.iframes) == 1
+    assert len(page.anchors) == 1
+    kinds = [kind for kind, _ in page.resource_tags()]
+    assert set(kinds) == {"image", "stylesheet", "subdocument"}
+
+
+def test_attribute_escaping_round_trip():
+    url = 'https://t.net/p?a=1&b="x"'
+    html = render_tag("img", {"src": url})
+    page = parse_page(render_document("T", [html]))
+    assert page.images[0].get("src") == url
+
+
+def test_comments_skipped():
+    html = '<!-- <script src="https://evil.net/x.js"></script> -->'
+    assert parse_page(html).scripts == []
+
+
+def test_unquoted_attributes():
+    page = parse_page('<img src=https://t.net/p.gif width=1>')
+    assert page.images[0].get("src") == "https://t.net/p.gif"
+    assert page.images[0].get("width") == "1"
+
+
+def test_malformed_html_tolerated():
+    parse_page("<")
+    parse_page("<script src='x.js'")
+    parse_page("</form>")
+    parse_page("<form action='/a'><input name='x'>")  # unclosed form kept
+    page = parse_page("<form action='/a'><input name='x'>")
+    assert len(page.forms) == 1
+
+
+def test_iter_tags_names_lowercased():
+    tags = iter_tags('<SCRIPT SRC="https://x.net/t.js"></SCRIPT>')
+    assert tags[0].name == "script"
+    assert tags[0].get("src") == "https://x.net/t.js"
+
+
+def test_form_method_defaults_to_get():
+    page = parse_page('<form action="/s"><input name="e"></form>')
+    assert page.forms[0].method == "GET"

@@ -1,0 +1,160 @@
+"""Origin server behaviour: pages, auth endpoints, tracker endpoints."""
+
+import pytest
+
+from repro.netsim import Headers, HttpRequest, Url, encode_urlencoded
+from repro.websim import (
+    SiteAuthConfig,
+    TrackerEmbed,
+    WebServer,
+    Website,
+    build_default_catalog,
+    parse_page,
+)
+
+
+@pytest.fixture()
+def server():
+    catalog = build_default_catalog()
+    mail = []
+    sites = {
+        "shop.example": Website(
+            domain="shop.example",
+            auth=SiteAuthConfig(requires_email_confirmation=True),
+            embeds=[TrackerEmbed(catalog.get("facebook.com"))],
+            cname_records={"metrics": "shop.example.sc.omtrdc.net"}),
+        "open.example": Website(domain="open.example"),
+        "down.example": Website(domain="down.example",
+                                auth=SiteAuthConfig(unreachable=True)),
+        "bot.example": Website(domain="bot.example",
+                               auth=SiteAuthConfig(bot_detection=True)),
+    }
+    web_server = WebServer(sites=sites, catalog=catalog,
+                           mail_hook=lambda site, email, url:
+                               mail.append((site, email, url)))
+    web_server.sent_mail = mail
+    return web_server
+
+
+def _get(server, url, headers=None):
+    return server.handle(HttpRequest(method="GET", url=Url.parse(url),
+                                     headers=headers or Headers()))
+
+
+def _post(server, url, fields, headers=None):
+    all_headers = headers or Headers()
+    all_headers.set("Content-Type", "application/x-www-form-urlencoded")
+    return server.handle(HttpRequest(
+        method="POST", url=Url.parse(url), headers=all_headers,
+        body=encode_urlencoded(list(fields.items()))))
+
+
+def test_homepage_served_with_embeds(server):
+    response = _get(server, "https://www.shop.example/")
+    assert response.status == 200
+    page = parse_page(response.body.decode())
+    trackers = [tag.get("data-tracker") for tag in page.scripts]
+    assert "facebook.com" in trackers
+
+
+def test_homepage_sets_session_cookie(server):
+    response = _get(server, "https://www.shop.example/")
+    assert any(header.startswith("session=")
+               for header in response.set_cookie_headers)
+
+
+def test_unreachable_site_503(server):
+    assert _get(server, "https://www.down.example/").status == 503
+
+
+def test_unknown_origin_404(server):
+    assert _get(server, "https://www.nowhere.example/").status == 404
+
+
+def test_signup_page_has_form(server):
+    response = _get(server, "https://www.shop.example/account/register")
+    page = parse_page(response.body.decode())
+    assert page.forms and page.forms[0].form_id == "signup-form"
+
+
+def test_signup_confirmation_flow(server):
+    email = "user@mail.example"
+    response = _post(server, "https://www.shop.example/account/register/submit",
+                     {"email": email})
+    assert response.status == 200
+    assert len(server.sent_mail) == 1
+    site, sent_email, confirm_url = server.sent_mail[0]
+    assert sent_email == email
+    # The confirmation URL must never embed the address itself.
+    assert email not in confirm_url
+    # Sign-in is refused until the link is visited.
+    assert _post(server, "https://www.shop.example/account/login/submit",
+                 {"email": email, "password": "x"}).status == 401
+    assert _get(server, confirm_url).status == 200
+    assert _post(server, "https://www.shop.example/account/login/submit",
+                 {"email": email, "password": "x"}).status == 200
+
+
+def test_signup_without_confirmation_immediately_active(server):
+    email = "user@mail.example"
+    _post(server, "https://www.open.example/account/register/submit",
+          {"email": email})
+    assert _post(server, "https://www.open.example/account/login/submit",
+                 {"email": email, "password": "x"}).status == 200
+
+
+def test_signup_missing_email_400(server):
+    assert _post(server, "https://www.open.example/account/register/submit",
+                 {}).status == 400
+
+
+def test_invalid_confirmation_token_400(server):
+    _post(server, "https://www.shop.example/account/register/submit",
+          {"email": "a@b.example"})
+    response = _get(server,
+                    "https://www.shop.example/account/confirm?token=bogus")
+    assert response.status == 400
+
+
+def test_bot_detection_blocks_automated_clients(server):
+    headers = Headers([("Sec-Automation", "true")])
+    response = _post(server, "https://www.bot.example/account/register/submit",
+                     {"email": "a@b.example"}, headers=headers)
+    assert response.status == 403
+    # A manual (human-like) client passes (POST-redirect-GET).
+    assert _post(server, "https://www.bot.example/account/register/submit",
+                 {"email": "a@b.example"}).status == 302
+
+
+def test_get_form_submit_accepted(server):
+    response = _get(server, "https://www.open.example/account/register/"
+                            "submit?email=a%40b.example")
+    assert response.status == 200
+
+
+def test_cloaked_subdomain_served_as_tracker(server):
+    response = _get(server, "https://metrics.shop.example/b/ss?ev=PageView")
+    assert response.status == 200
+    assert response.headers.get("Content-Type") == "image/gif"
+
+
+def test_tracker_endpoint_sets_cookie_once(server):
+    url = "https://www.facebook.com/tr?ev=PageView"
+    first = _get(server, url)
+    assert any(h.startswith("tuid=") for h in first.set_cookie_headers)
+    # With a cookie already present, no new Set-Cookie is emitted.
+    headers = Headers([("Cookie", "tuid=abc")])
+    second = _get(server, url, headers=headers)
+    assert second.set_cookie_headers == []
+
+
+def test_tracker_script_content_type(server):
+    response = _get(server, "https://connect.facebook.net/en_US/fbevents.js")
+    assert response.headers.get("Content-Type") == "application/javascript"
+
+
+def test_product_and_privacy_pages(server):
+    assert _get(server,
+                "https://www.shop.example/products/aurora-lamp").status == 200
+    assert _get(server, "https://www.shop.example/privacy").status == 200
+    assert _get(server, "https://www.shop.example/nope").status == 404
