@@ -1,6 +1,8 @@
 """Browser engine and protection profiles."""
 
 from .engine import Browser, PageResult, SimClock
+from .interfaces import ContentBlocker, OutboundFirewall, ensure_protocol
+from .resilience import CircuitBreakerRegistry, RequestFailure, RetryPolicy
 from .profiles import (
     BrowserProfile,
     COOKIES_ALLOW_ALL,
@@ -21,6 +23,12 @@ from .profiles import (
 __all__ = [
     "Browser",
     "BrowserProfile",
+    "CircuitBreakerRegistry",
+    "ContentBlocker",
+    "OutboundFirewall",
+    "RequestFailure",
+    "RetryPolicy",
+    "ensure_protocol",
     "COOKIES_ALLOW_ALL",
     "COOKIES_BLOCK_KNOWN_TRACKERS",
     "COOKIES_BLOCK_THIRD_PARTY",

@@ -31,6 +31,12 @@ from ..netsim import (
     Url,
     encode_urlencoded,
 )
+from ..netsim.faults import (
+    FAULT_SLOW,
+    RETRYABLE_STATUSES,
+    ConnectionTimeout,
+    NetworkError,
+)
 from ..psl import default_list
 from ..websim.consent import (
     CONSENT_ACCEPT_ALL,
@@ -51,7 +57,9 @@ from ..websim.scripts import (
 from ..websim.server import WebServer
 from ..websim.site import TrackerEmbed, Website
 from ..websim.trackers import TrackerCatalog
+from .interfaces import ContentBlocker, OutboundFirewall, ensure_protocol
 from .profiles import BrowserProfile, REFERER_STRICT_ORIGIN
+from .resilience import CircuitBreakerRegistry, RequestFailure, RetryPolicy
 
 _TAG_RESOURCE_TYPES = {
     "script": RESOURCE_SCRIPT,
@@ -97,19 +105,28 @@ class Browser:
     def __init__(self, profile: BrowserProfile, server: WebServer,
                  resolver: Resolver, catalog: TrackerCatalog,
                  clock: Optional[SimClock] = None,
-                 extension: Optional[object] = None,
-                 firewall: Optional[object] = None,
-                 consent_policy: str = CONSENT_ACCEPT_ALL) -> None:
-        """``extension`` is an optional content blocker exposing
-        ``filter_request(url, resource_type, page_host) -> Optional[str]``
-        (see :class:`repro.blocklist.AdblockExtension`).  ``firewall`` is
-        an optional outbound rewriter exposing
-        ``scrub_request(request, site_host) -> (request, report)`` (see
+                 extension: Optional[ContentBlocker] = None,
+                 firewall: Optional[OutboundFirewall] = None,
+                 consent_policy: str = CONSENT_ACCEPT_ALL,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreakerRegistry] = None) -> None:
+        """``extension`` is an optional content blocker satisfying
+        :class:`~repro.browser.interfaces.ContentBlocker` (see
+        :class:`repro.blocklist.AdblockExtension`).  ``firewall`` is an
+        optional outbound rewriter satisfying
+        :class:`~repro.browser.interfaces.OutboundFirewall` (see
         :class:`repro.mitigation.PiiFirewall`).  ``consent_policy`` is how
         the user answers cookie banners — the paper's procedure accepts
-        them all (the default)."""
+        them all (the default).  ``retry_policy`` enables the resilient
+        network path (per-request timeouts, retry with backoff + jitter);
+        without it every exchange is attempted exactly once, preserving
+        the historical deterministic behaviour.  ``breaker`` quarantines
+        origins that keep failing at the transport level; it defaults to a
+        fresh registry whenever a retry policy is supplied."""
         if consent_policy not in CONSENT_POLICIES:
             raise ValueError("unknown consent policy: %r" % consent_policy)
+        ensure_protocol(extension, ContentBlocker, "extension")
+        ensure_protocol(firewall, OutboundFirewall, "firewall")
         self.profile = profile
         self.server = server
         self.resolver = resolver
@@ -118,6 +135,12 @@ class Browser:
         self.extension = extension
         self.firewall = firewall
         self.consent_policy = consent_policy
+        self.retry_policy = retry_policy
+        if breaker is None and retry_policy is not None:
+            breaker = CircuitBreakerRegistry()
+        self.breaker = breaker
+        #: Why the most recent exchange failed (for the flow runner).
+        self.last_failure: Optional[RequestFailure] = None
         self._consent_decisions: Dict[str, str] = {}
         self.jar = CookieJar()
         self.log = CaptureLog()
@@ -352,17 +375,9 @@ class Browser:
                                          blocked_by=blocker))
             return None, url
 
-        if not self.resolver.exists(url.host):
-            self.log.record(CaptureEntry(request=request, response=None,
-                                         site=site.domain, stage=stage,
-                                         page_url=page_url,
-                                         blocked_by="nxdomain"))
+        response = self._exchange(request, site, stage, page_url)
+        if response is None:
             return None, url
-
-        response = self.server.handle(request)
-        self.log.record(CaptureEntry(request=request, response=response,
-                                     site=site.domain, stage=stage,
-                                     page_url=page_url))
         self._store_cookies(response, url, site, is_third_party, partition)
 
         if response.is_redirect and response.location and \
@@ -373,6 +388,101 @@ class Browser:
                                  referer=str(url), page_url=page_url,
                                  redirects=redirects + 1)
         return response, url
+
+    def _exchange(self, request: HttpRequest, site: Website, stage: str,
+                  page_url: str) -> Optional[HttpResponse]:
+        """Resolve + send one request under the resilience policy.
+
+        Without a retry policy this is the historical single-shot path.
+        With one, transport faults (timeouts, resets, DNS timeouts, slow
+        responses beyond ``request_timeout``) and retryable HTTP statuses
+        are retried with exponential backoff and deterministic jitter, up
+        to the attempt budget; transport failures feed the per-origin
+        circuit breaker, and an open breaker short-circuits every further
+        exchange with that origin.  Every failed attempt is recorded in
+        the capture log (``blocked_by="fault:<kind>"`` / ``"circuit-open"``)
+        so no exchange silently disappears.
+        """
+        self.last_failure = None
+        url = request.url
+        origin = default_list().registrable_domain(url.host) or url.host
+        policy = self.retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 1
+        attempt = 0
+        while True:
+            attempt += 1
+            if self.breaker is not None and self.breaker.is_open(origin):
+                self.log.record(CaptureEntry(
+                    request=request, response=None, site=site.domain,
+                    stage=stage, page_url=page_url,
+                    blocked_by="circuit-open"))
+                self.last_failure = RequestFailure(
+                    origin=origin, kind="circuit-open", attempts=attempt,
+                    circuit_open=True)
+                return None
+            try:
+                if not self.resolver.exists(url.host):
+                    # Authoritative NXDOMAIN: permanent, never retried.
+                    self.log.record(CaptureEntry(
+                        request=request, response=None, site=site.domain,
+                        stage=stage, page_url=page_url,
+                        blocked_by="nxdomain"))
+                    self.last_failure = RequestFailure(
+                        origin=origin, kind="nxdomain", attempts=attempt)
+                    return None
+                response = self.server.handle(request)
+                latency = getattr(response, "latency_seconds", None)
+                if policy is not None and latency is not None and \
+                        latency > policy.request_timeout:
+                    raise ConnectionTimeout(origin, kind=FAULT_SLOW,
+                                            latency=latency)
+                if latency is not None:
+                    # A tolerated slow response still costs wall-clock.
+                    self.clock.tick(latency)
+            except NetworkError as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure(origin)
+                self.log.record(CaptureEntry(
+                    request=request, response=None, site=site.domain,
+                    stage=stage, page_url=page_url,
+                    blocked_by="fault:%s" % exc.kind))
+                tripped = (self.breaker is not None
+                           and self.breaker.is_open(origin))
+                if policy is not None and attempt < max_attempts \
+                        and not tripped:
+                    request = self._retry_request(request, policy, attempt,
+                                                  url.host)
+                    continue
+                self.last_failure = RequestFailure(
+                    origin=origin, kind=exc.kind, attempts=attempt,
+                    circuit_open=tripped)
+                return None
+            self.log.record(CaptureEntry(request=request, response=response,
+                                         site=site.domain, stage=stage,
+                                         page_url=page_url))
+            if policy is not None and attempt < max_attempts and \
+                    response.status in RETRYABLE_STATUSES:
+                request = self._retry_request(request, policy, attempt,
+                                              url.host)
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success(origin)
+            if response.status in RETRYABLE_STATUSES:
+                self.last_failure = RequestFailure(
+                    origin=origin, kind="http_%d" % response.status,
+                    attempts=attempt)
+            return response
+
+    def _retry_request(self, request: HttpRequest, policy: RetryPolicy,
+                       attempt: int, host: str) -> HttpRequest:
+        """Back off, then rebuild the request with a fresh timestamp."""
+        self.clock.tick(policy.backoff_delay(attempt, host))
+        return HttpRequest(method=request.method, url=request.url,
+                           headers=request.headers.copy(),
+                           body=request.body,
+                           resource_type=request.resource_type,
+                           initiator_chain=request.initiator_chain,
+                           timestamp=self.clock.tick())
 
     def _store_cookies(self, response: HttpResponse, url: Url,
                        site: Website, is_third_party: bool,

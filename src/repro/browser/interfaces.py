@@ -1,0 +1,47 @@
+"""Structural types for the browser's pluggable countermeasures.
+
+The browser (and :class:`~repro.crawler.StudyCrawler`) accept two optional
+collaborators: a content blocker and an outbound PII firewall.  These
+Protocols pin down the exact duck type each hook must satisfy so that a
+wrong object fails with a clear ``TypeError`` at the constructor call site
+instead of an ``AttributeError`` deep inside a page load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+from ..netsim import HttpRequest
+
+
+@runtime_checkable
+class ContentBlocker(Protocol):
+    """Request-blocking extension (e.g. :class:`repro.blocklist.AdblockExtension`)."""
+
+    def filter_request(self, url: str, resource_type: str,
+                       page_host: str) -> Optional[str]:
+        """Blocker name when the request must be cancelled, else None."""
+        ...
+
+
+@runtime_checkable
+class OutboundFirewall(Protocol):
+    """Outbound request scrubber (e.g. :class:`repro.mitigation.PiiFirewall`)."""
+
+    def scrub_request(self, request: HttpRequest,
+                      site_host: str) -> Tuple[HttpRequest, object]:
+        """Return (possibly rewritten request, report)."""
+        ...
+
+
+def ensure_protocol(obj: object, protocol: type, role: str) -> None:
+    """Raise TypeError unless ``obj`` is None or satisfies ``protocol``.
+
+    ``runtime_checkable`` verifies method presence only — exactly the
+    misuse we want to catch early (passing a profile as an extension,
+    a blocklist as a firewall, ...).
+    """
+    if obj is not None and not isinstance(obj, protocol):
+        raise TypeError(
+            "%s must implement %s (got %s, which lacks the required "
+            "methods)" % (role, protocol.__name__, type(obj).__name__))

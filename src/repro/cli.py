@@ -23,17 +23,61 @@ from .core import CandidateTokenSet, LeakDetector, Study
 from .core.persona import DEFAULT_PERSONA
 
 
+def _fault_plan(args: argparse.Namespace):
+    """Build the seeded FaultPlan requested by --faults/--seed (or None)."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from .netsim.faults import FaultPlan
+    try:
+        return FaultPlan(seed=args.seed, transient_rate=args.faults)
+    except ValueError as exc:
+        raise SystemExit("repro-study: error: --faults: %s" % exc)
+
+
+def _run_session(session, checkpoint: Optional[str] = None):
+    """Drive a crawl session to completion, checkpointing after each site."""
+    while not session.done:
+        session.step()
+        if checkpoint:
+            session.save(checkpoint)
+    return session.finish()
+
+
+def _crawl_dataset(args: argparse.Namespace, study_config):
+    """The shared resilient-crawl front half of the crawling subcommands.
+
+    Returns ``(dataset, fault_plan)`` — either a fresh (optionally faulty,
+    optionally checkpointed) crawl of the calibrated population, or a
+    crawl resumed from ``--resume`` and driven to completion.
+    """
+    from .crawler import CheckpointError, CrawlSession
+    if getattr(args, "resume", None):
+        print("Resuming crawl from %s..." % args.resume, file=sys.stderr)
+        try:
+            session = CrawlSession.load(args.resume)
+        except (OSError, CheckpointError) as exc:
+            raise SystemExit("repro-study: error: --resume: %s" % exc)
+    else:
+        session = Study.calibrated(study_config).start_crawl()
+    dataset = _run_session(session, getattr(args, "checkpoint", None))
+    return dataset, session.fault_plan
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
+    from .core import StudyConfig
     from .reporting import (
+        render_crawl_health,
         render_figure2,
         render_headline,
         render_table1,
         render_table2,
         render_table3,
     )
+    plan = _fault_plan(args)
     print("Running the calibrated study (about 20 seconds)...",
           file=sys.stderr)
-    result = Study.calibrated().run()
+    dataset, plan = _crawl_dataset(args, StudyConfig(fault_plan=plan))
+    result = Study(dataset.population).analyze(dataset)
     print(render_headline(result.analysis, total_sites=307,
                           leaking_requests=result.leaking_request_count))
     print()
@@ -44,6 +88,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(render_table2(result.persistence, compare=not args.no_compare))
     print()
     print(render_table3(result.table3_counts, compare=not args.no_compare))
+    if plan is not None:
+        print()
+        print(render_crawl_health(dataset, plan))
     return 0
 
 
@@ -73,7 +120,8 @@ def _cmd_blocklists(args: argparse.Namespace) -> int:
     spec = build_study_population()
     print("Crawling and matching against EasyList/EasyPrivacy...",
           file=sys.stderr)
-    dataset = StudyCrawler(spec.population).crawl()
+    dataset = StudyCrawler(spec.population,
+                           fault_plan=_fault_plan(args)).crawl()
     detector = LeakDetector(CandidateTokenSet(DEFAULT_PERSONA),
                             catalog=spec.catalog,
                             resolver=spec.population.resolver())
@@ -129,28 +177,35 @@ def _cmd_report(args: argparse.Namespace) -> int:
     """Run the study and write the dataset release + HAR + tables."""
     import pathlib
 
+    from .core import StudyConfig
     from .datasets.export import write_release
     from .netsim import to_har_json
     from .reporting import (
+        render_crawl_health,
         render_figure2,
         render_headline,
         render_table1,
         render_table2,
         render_table3,
     )
+    plan = _fault_plan(args)
     print("Running the calibrated study...", file=sys.stderr)
-    result = Study.calibrated().run()
+    dataset, plan = _crawl_dataset(args, StudyConfig(fault_plan=plan))
+    result = Study(dataset.population).analyze(dataset)
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     written = write_release(result, str(out_dir))
-    tables = "\n\n".join([
+    sections = [
         render_headline(result.analysis, total_sites=307,
                         leaking_requests=result.leaking_request_count),
         render_table1(result.analysis),
         render_figure2(result.analysis),
         render_table2(result.persistence),
         render_table3(result.table3_counts),
-    ])
+    ]
+    if plan is not None:
+        sections.append(render_crawl_health(dataset, plan))
+    tables = "\n\n".join(sections)
     tables_path = out_dir / "tables.txt"
     tables_path.write_text(tables + "\n")
     written.append(str(tables_path))
@@ -193,6 +248,27 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _add_fault_args(sub: argparse.ArgumentParser) -> None:
+    """--seed/--faults: seeded fault injection for the resilient crawl."""
+    sub.add_argument("--faults", type=float, default=None, metavar="RATE",
+                     help="inject seeded transient network faults at this "
+                          "per-exchange rate (e.g. 0.1) and crawl "
+                          "resiliently")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="fault-plan seed (default: 0); the same seed "
+                          "reproduces the identical failure log")
+
+
+def _add_resume_args(sub: argparse.ArgumentParser) -> None:
+    """--checkpoint/--resume: interruptible-crawl persistence."""
+    sub.add_argument("--checkpoint", metavar="PATH",
+                     help="save a resumable crawl checkpoint to PATH after "
+                          "every site")
+    sub.add_argument("--resume", metavar="PATH",
+                     help="resume a crawl from a checkpoint written by "
+                          "--checkpoint (fault plan travels with it)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -204,6 +280,8 @@ def build_parser() -> argparse.ArgumentParser:
     study = subparsers.add_parser("study", help="full §3-§6 pipeline")
     study.add_argument("--no-compare", action="store_true",
                        help="omit the paper comparison columns")
+    _add_fault_args(study)
+    _add_resume_args(study)
     study.set_defaults(func=_cmd_study)
 
     browsers = subparsers.add_parser("browsers",
@@ -212,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     blocklists = subparsers.add_parser("blocklists", help="§7.2 Table 4")
     blocklists.add_argument("--no-compare", action="store_true")
+    _add_fault_args(blocklists)
     blocklists.set_defaults(func=_cmd_blocklists)
 
     crowd = subparsers.add_parser("crowd",
@@ -232,6 +311,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output directory (default: ./release)")
     report.add_argument("--har", action="store_true",
                         help="also export the full crawl as HAR 1.2")
+    _add_fault_args(report)
+    _add_resume_args(report)
     report.set_defaults(func=_cmd_report)
 
     tokens = subparsers.add_parser("tokens",

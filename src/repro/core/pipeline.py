@@ -16,9 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..browser import BrowserProfile, vanilla_firefox
-from ..crawler import CrawlDataset, StudyCrawler
+from ..browser import BrowserProfile, RetryPolicy, vanilla_firefox
+from ..crawler import CrawlDataset, CrawlSession, StudyCrawler
 from ..mailsim import KIND_MARKETING
+from ..netsim.faults import FaultPlan
 from ..policy import PolicyVerdict, classify_policies, policies_for_sites
 from ..policy import table3 as policy_table3
 from ..tracking import PersistenceAnalyzer, PersistenceReport
@@ -32,10 +33,18 @@ from .tokens import CandidateTokenSet, TokenSetConfig
 
 @dataclass
 class StudyConfig:
-    """Tunables for a full study run."""
+    """Tunables for a full study run.
+
+    ``fault_plan`` injects seeded network faults into the crawl (see
+    :mod:`repro.netsim.faults`); when set, the crawler runs its resilient
+    network path with ``retry_policy`` (defaulting to a standard
+    :class:`~repro.browser.RetryPolicy`).
+    """
 
     profile: Optional[BrowserProfile] = None
     token_config: Optional[TokenSetConfig] = None
+    fault_plan: Optional[FaultPlan] = None
+    retry_policy: Optional[RetryPolicy] = None
 
 
 @dataclass
@@ -73,6 +82,10 @@ class StudyResult:
         return [domain for domain in self.dataset.mailbox.sender_domains()
                 if domain in receivers]
 
+    def quarantined_sites(self) -> List[str]:
+        """Sites the resilient crawl gave up on (never silently dropped)."""
+        return self.dataset.quarantined_sites()
+
 
 class Study:
     """The full reproduction pipeline over a population."""
@@ -90,16 +103,34 @@ class Study:
         study.spec = spec
         return study
 
+    def crawler(self) -> StudyCrawler:
+        """The configured crawler (fault plan and retry policy applied)."""
+        profile = self.config.profile or vanilla_firefox()
+        return StudyCrawler(self.population, profile=profile,
+                            fault_plan=self.config.fault_plan,
+                            retry_policy=self.config.retry_policy)
+
+    def start_crawl(self) -> CrawlSession:
+        """Begin an incremental crawl session (checkpointable/resumable)."""
+        return self.crawler().start()
+
     def run(self) -> StudyResult:
         """Crawl, detect, and analyze; returns the combined result."""
-        profile = self.config.profile or vanilla_firefox()
-        crawler = StudyCrawler(self.population, profile=profile)
-        dataset = crawler.crawl()
+        return self.analyze(self.crawler().crawl())
 
-        tokens = CandidateTokenSet(self.population.persona,
+    def analyze(self, dataset: CrawlDataset) -> StudyResult:
+        """Detect and analyze an existing (possibly partial) dataset.
+
+        Works on datasets from interrupted-and-resumed or fault-heavy
+        crawls: analysis runs over whatever the crawl captured, sites the
+        crawl quarantined stay visible via ``dataset.status_counts()``
+        and are never silently dropped.
+        """
+        population = dataset.population
+        tokens = CandidateTokenSet(population.persona,
                                    config=self.config.token_config)
-        detector = LeakDetector(tokens, catalog=self.population.catalog,
-                                resolver=self.population.resolver())
+        detector = LeakDetector(tokens, catalog=population.catalog,
+                                resolver=population.resolver())
         events = detector.detect(dataset.log)
         analysis = LeakAnalysis(events)
         persistence = PersistenceAnalyzer(events).report()
@@ -108,9 +139,10 @@ class Study:
         suspected = heuristics.detect(dataset.log)
 
         site_classes = {
-            domain: self.population.sites[domain].policy_class
+            domain: population.sites[domain].policy_class
             for domain in analysis.senders()
-            if self.population.sites[domain].policy_class is not None}
+            if domain in population.sites
+            and population.sites[domain].policy_class is not None}
         verdicts = classify_policies(policies_for_sites(site_classes))
 
         return StudyResult(

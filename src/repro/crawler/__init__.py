@@ -1,30 +1,53 @@
 """Persona-driven authentication-flow crawler."""
 
+from ..browser.resilience import (
+    CircuitBreakerRegistry,
+    RequestFailure,
+    RetryPolicy,
+)
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .flows import (
+    ALL_STATUSES,
+    FAILURE_PERMANENT,
+    FAILURE_TRANSIENT,
     STATUS_BLOCKED,
     STATUS_BOT_BLOCKED,
     STATUS_CAPTCHA_FAILED,
     STATUS_CONFIRMATION_FAILED,
     STATUS_NO_AUTH,
+    STATUS_QUARANTINED,
     STATUS_SIGNIN_FAILED,
     STATUS_SUCCESS,
+    STATUS_TAXONOMY,
     STATUS_UNREACHABLE,
     AuthFlowRunner,
     FlowResult,
 )
-from .runner import CrawlDataset, StudyCrawler
+from .runner import CrawlDataset, CrawlSession, StudyCrawler
 
 __all__ = [
+    "ALL_STATUSES",
     "AuthFlowRunner",
+    "CheckpointError",
+    "CircuitBreakerRegistry",
     "CrawlDataset",
+    "CrawlSession",
+    "FAILURE_PERMANENT",
+    "FAILURE_TRANSIENT",
     "FlowResult",
+    "RequestFailure",
+    "RetryPolicy",
     "STATUS_BLOCKED",
     "STATUS_BOT_BLOCKED",
     "STATUS_CAPTCHA_FAILED",
     "STATUS_CONFIRMATION_FAILED",
     "STATUS_NO_AUTH",
+    "STATUS_QUARANTINED",
     "STATUS_SIGNIN_FAILED",
     "STATUS_SUCCESS",
+    "STATUS_TAXONOMY",
     "STATUS_UNREACHABLE",
     "StudyCrawler",
+    "load_checkpoint",
+    "save_checkpoint",
 ]

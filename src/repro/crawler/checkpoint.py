@@ -1,0 +1,57 @@
+"""Crawl checkpoint serialization.
+
+A :class:`~repro.crawler.runner.CrawlSession` is a closed world of plain
+Python data (browser state, cookie jar, capture log, mailbox, fault-plan
+counters, circuit breakers, pending site queue), so a checkpoint is simply
+a versioned pickle of the session.  The format carries a magic header so a
+stale or foreign file fails loudly instead of resuming garbage.
+
+Only load checkpoints you wrote yourself: like every pickle, the payload
+can execute code when deserialized.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+#: Format magic + version.  Bump the version on incompatible state changes.
+CHECKPOINT_MAGIC = b"repro-crawl-checkpoint:1\n"
+
+
+class CheckpointError(ValueError):
+    """The file is not a checkpoint this version can resume."""
+
+
+def save_checkpoint(session, path: str) -> str:
+    """Atomically write ``session`` to ``path``; returns the path.
+
+    The write goes through a temp file + rename so a crash mid-write
+    never leaves a truncated checkpoint behind — the previous complete
+    checkpoint (if any) survives.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(CHECKPOINT_MAGIC)
+            pickle.dump(session, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+def load_checkpoint(path: str):
+    """Load a session previously written by :func:`save_checkpoint`."""
+    with open(path, "rb") as handle:
+        header = handle.read(len(CHECKPOINT_MAGIC))
+        if header != CHECKPOINT_MAGIC:
+            raise CheckpointError(
+                "%s is not a version-%s crawl checkpoint"
+                % (path, CHECKPOINT_MAGIC.decode("ascii").strip()
+                   .rsplit(":", 1)[-1]))
+        return pickle.load(handle)

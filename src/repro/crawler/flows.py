@@ -39,6 +39,40 @@ STATUS_CAPTCHA_FAILED = "captcha_failed"
 STATUS_SIGNIN_FAILED = "signin_failed"
 STATUS_BOT_BLOCKED = "bot_blocked"                 # automated mode only
 STATUS_CONFIRMATION_FAILED = "confirmation_failed"  # automated mode only
+STATUS_QUARANTINED = "quarantined"  # circuit breaker gave up on the origin
+
+# Transient-vs-permanent failure taxonomy.  The paper's §3.2 accounting
+# distinguishes sites worth revisiting (temporarily unreachable) from
+# sites that are definitively out of the study; the resilient crawl
+# engine classifies every failed flow the same way.
+FAILURE_TRANSIENT = "transient"
+FAILURE_PERMANENT = "permanent"
+
+#: status -> failure class (None for success).
+STATUS_TAXONOMY = {
+    STATUS_SUCCESS: None,
+    STATUS_UNREACHABLE: FAILURE_TRANSIENT,
+    STATUS_QUARANTINED: FAILURE_PERMANENT,
+    STATUS_NO_AUTH: FAILURE_PERMANENT,
+    STATUS_BLOCKED: FAILURE_PERMANENT,
+    STATUS_CAPTCHA_FAILED: FAILURE_PERMANENT,
+    STATUS_SIGNIN_FAILED: FAILURE_PERMANENT,
+    STATUS_BOT_BLOCKED: FAILURE_PERMANENT,
+    STATUS_CONFIRMATION_FAILED: FAILURE_PERMANENT,
+}
+
+#: Canonical display order for population accounting.
+ALL_STATUSES = (
+    STATUS_SUCCESS,
+    STATUS_UNREACHABLE,
+    STATUS_QUARANTINED,
+    STATUS_NO_AUTH,
+    STATUS_BLOCKED,
+    STATUS_CAPTCHA_FAILED,
+    STATUS_SIGNIN_FAILED,
+    STATUS_BOT_BLOCKED,
+    STATUS_CONFIRMATION_FAILED,
+)
 
 
 @dataclass
@@ -48,10 +82,19 @@ class FlowResult:
     site: str
     status: str
     block_reason: Optional[str] = None
+    #: Attempts the failing exchange consumed (1 when nothing retried).
+    attempts: int = 1
+    #: Transport/HTTP fault kind behind a network failure, when known.
+    failure_kind: Optional[str] = None
 
     @property
     def succeeded(self) -> bool:
         return self.status == STATUS_SUCCESS
+
+    @property
+    def failure_class(self) -> Optional[str]:
+        """Transient-vs-permanent classification of this outcome."""
+        return STATUS_TAXONOMY.get(self.status, FAILURE_PERMANENT)
 
 
 class AuthFlowRunner:
@@ -74,12 +117,30 @@ class AuthFlowRunner:
             self.browser.profile = replace(self.browser.profile,
                                            automation_detectable=True)
 
+    def _network_failure(self, site: Website) -> FlowResult:
+        """Classify a failed page load via the browser's failure record.
+
+        An open circuit breaker means the origin failed repeatedly at the
+        transport level — the site is quarantined (permanent); anything
+        else stays in the paper's ``unreachable`` bucket (transient).
+        """
+        failure = getattr(self.browser, "last_failure", None)
+        if failure is not None and failure.circuit_open:
+            return FlowResult(site.domain, STATUS_QUARANTINED,
+                              attempts=failure.attempts,
+                              failure_kind=failure.kind)
+        if failure is not None:
+            return FlowResult(site.domain, STATUS_UNREACHABLE,
+                              attempts=failure.attempts,
+                              failure_kind=failure.kind)
+        return FlowResult(site.domain, STATUS_UNREACHABLE)
+
     def run(self, site: Website) -> FlowResult:
         # Step 0: policy gates known before/while browsing.
         homepage = self.browser.visit(site, site.page_url("home"),
                                       STAGE_HOMEPAGE)
         if not homepage.ok:
-            return FlowResult(site.domain, STATUS_UNREACHABLE)
+            return self._network_failure(site)
         if not site.auth.has_auth:
             return FlowResult(site.domain, STATUS_NO_AUTH)
         if site.auth.signup_block is not None:
@@ -90,7 +151,7 @@ class AuthFlowRunner:
         signup_page = self.browser.visit(site, site.page_url(PAGE_SIGNUP),
                                          STAGE_SIGNUP)
         if not signup_page.ok or signup_page.page is None:
-            return FlowResult(site.domain, STATUS_UNREACHABLE)
+            return self._network_failure(site)
         form = _find_form(signup_page.page, "signup-form")
         if form is None:
             return FlowResult(site.domain, STATUS_NO_AUTH)
@@ -102,7 +163,7 @@ class AuthFlowRunner:
                 return FlowResult(site.domain, STATUS_BOT_BLOCKED)
             return FlowResult(site.domain, STATUS_CAPTCHA_FAILED)
         if not submitted.ok:
-            return FlowResult(site.domain, STATUS_UNREACHABLE)
+            return self._network_failure(site)
 
         # Step 2: e-mail confirmation ("open another browser and get the
         # email confirmation link" — the link is fetched out of the mailbox
@@ -118,13 +179,13 @@ class AuthFlowRunner:
             confirmed = self.browser.visit(site, message.confirm_url,
                                            STAGE_CONFIRM, keep_pii=True)
             if not confirmed.ok:
-                return FlowResult(site.domain, STATUS_UNREACHABLE)
+                return self._network_failure(site)
 
         # Step 3: sign-in with the created account.
         signin_page = self.browser.visit(site, site.page_url(PAGE_SIGNIN),
                                          STAGE_SIGNIN)
         if not signin_page.ok or signin_page.page is None:
-            return FlowResult(site.domain, STATUS_UNREACHABLE)
+            return self._network_failure(site)
         signin_form = _find_form(signin_page.page, "signin-form")
         if signin_form is None:
             return FlowResult(site.domain, STATUS_NO_AUTH)

@@ -5,20 +5,40 @@ browser session (one persona, one cookie jar — cross-site tracking only
 exists because state persists across sites), collects the combined capture
 log, mailbox and per-site flow outcomes, and delivers each successful
 site's marketing-mail campaign afterwards (the §4.2.3 e-mail analysis).
+
+The crawl itself runs inside a :class:`CrawlSession` — an incremental,
+picklable engine that can be stepped one site at a time, checkpointed to
+disk mid-crawl, and resumed to a bit-identical final dataset.  Under a
+seeded :class:`~repro.netsim.faults.FaultPlan` the session's browser
+retries transient failures with backoff, quarantines origins whose
+circuit breaker trips, and classifies every failed flow under the
+transient-vs-permanent taxonomy — no site silently disappears.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from ..browser import Browser, BrowserProfile, SimClock, vanilla_firefox
+from ..browser import (
+    Browser,
+    BrowserProfile,
+    ContentBlocker,
+    OutboundFirewall,
+    RetryPolicy,
+    SimClock,
+    ensure_protocol,
+    vanilla_firefox,
+)
 from ..core.persona import Persona
-from ..mailsim import Mailbox
+from ..mailsim import ConfirmationMailHook, Mailbox
 from ..netsim import CaptureLog
+from ..netsim.faults import FaultPlan
 from ..websim.population import Population
 from ..websim.site import Website
-from .flows import STATUS_SUCCESS, AuthFlowRunner, FlowResult
+from .checkpoint import load_checkpoint, save_checkpoint
+from .flows import STATUS_QUARANTINED, AuthFlowRunner, FlowResult
 
 
 @dataclass
@@ -42,6 +62,170 @@ class CrawlDataset:
             counts[flow.status] = counts.get(flow.status, 0) + 1
         return counts
 
+    def quarantined_sites(self) -> List[str]:
+        """Sites the circuit breaker gave up on (sorted)."""
+        return sorted(domain for domain, flow in self.flows.items()
+                      if flow.status == STATUS_QUARANTINED)
+
+    def failure_class_counts(self) -> Dict[str, int]:
+        """{'transient': n, 'permanent': m} over the failed flows."""
+        counts: Dict[str, int] = {}
+        for flow in self.flows.values():
+            if flow.failure_class is not None:
+                counts[flow.failure_class] = \
+                    counts.get(flow.failure_class, 0) + 1
+        return counts
+
+    def retried_flow_count(self) -> int:
+        """Flows whose final page load consumed more than one attempt."""
+        return sum(1 for flow in self.flows.values() if flow.attempts > 1)
+
+    def fingerprint(self) -> str:
+        """Stable digest of everything observable in this dataset.
+
+        Two crawls are *the same crawl* iff their fingerprints match:
+        every capture-log exchange (URLs, headers, bodies, timestamps,
+        block verdicts), the end-of-crawl cookie store, every flow
+        outcome and every mailbox message is folded in.  This is the
+        equality the checkpoint/resume invariant is stated over.
+        """
+        digest = hashlib.sha256()
+
+        def fold(*parts: object) -> None:
+            digest.update(repr(parts).encode("utf-8"))
+            digest.update(b"\x00")
+
+        fold("profile", self.profile_name)
+        fold("persona", self.persona.email)
+        for entry in self.log.entries:
+            request = entry.request
+            response = entry.response
+            fold("entry", request.method, str(request.url),
+                 request.headers.items(), request.body,
+                 request.resource_type, round(request.timestamp, 6),
+                 None if response is None else (response.status,
+                                                response.headers.items(),
+                                                response.body),
+                 entry.site, entry.stage, entry.page_url, entry.blocked_by)
+        for cookie in self.log.stored_cookies:
+            fold("cookie", cookie)
+        for domain in sorted(self.flows):
+            flow = self.flows[domain]
+            fold("flow", domain, flow.status, flow.block_reason,
+                 flow.attempts, flow.failure_kind)
+        fold("mail-address", self.mailbox.address)
+        for message in self.mailbox.messages():
+            fold("mail", message)
+        return digest.hexdigest()
+
+
+class CrawlSession:
+    """A resumable in-flight crawl over one population.
+
+    The session owns every piece of mutable crawl state — browser (cookie
+    jar, capture log, tracker storage, circuit breakers, clock), mailbox,
+    fault-plan counters and the pending site queue — and is therefore
+    picklable as a unit: :meth:`save` checkpoints it, :meth:`load`
+    resumes it, and a resumed session finishes with a dataset whose
+    :meth:`CrawlDataset.fingerprint` equals an uninterrupted run's.
+    """
+
+    def __init__(self, crawler: "StudyCrawler",
+                 sites: Optional[Iterable[Website]] = None) -> None:
+        population = crawler.population
+        self.population = population
+        self.profile = crawler.profile
+        self.persona = population.persona
+        self.mailbox = Mailbox(self.persona.email)
+        server = population.build_server(
+            mail_hook=ConfirmationMailHook(self.mailbox),
+            fault_plan=crawler.fault_plan)
+        self.fault_plan = crawler.fault_plan
+        self.browser = Browser(
+            profile=crawler.profile, server=server,
+            resolver=population.resolver(fault_plan=crawler.fault_plan),
+            catalog=population.catalog, clock=crawler.clock,
+            extension=crawler.extension, firewall=crawler.firewall,
+            consent_policy=crawler.consent_policy,
+            retry_policy=crawler.retry_policy)
+        self.runner = AuthFlowRunner(self.browser, self.persona,
+                                     self.mailbox,
+                                     automated=crawler.automated)
+        self._sites: List[Website] = (list(sites) if sites is not None
+                                      else population.site_list())
+        self._next_index = 0
+        self.flows: Dict[str, FlowResult] = {}
+        self._finished = False
+
+    # -- progress --------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._next_index >= len(self._sites)
+
+    @property
+    def crawled_count(self) -> int:
+        return self._next_index
+
+    @property
+    def remaining_sites(self) -> List[str]:
+        return [site.domain for site in self._sites[self._next_index:]]
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> Optional[FlowResult]:
+        """Crawl the next pending site; None when nothing is left."""
+        if self.done:
+            return None
+        site = self._sites[self._next_index]
+        result = self.runner.run(site)
+        self.flows[site.domain] = result
+        self._next_index += 1
+        return result
+
+    def run(self) -> CrawlDataset:
+        """Crawl everything still pending and finish."""
+        while not self.done:
+            self.step()
+        return self.finish()
+
+    def finish(self) -> CrawlDataset:
+        """Deliver post-crawl mail, snapshot cookies, build the dataset.
+
+        Idempotent: finishing twice neither re-delivers marketing mail
+        nor duplicates the cookie snapshot.
+        """
+        if not self._finished:
+            # Marketing campaigns arrive after the crawl completes
+            # (§4.2.3) — only for the sites actually crawled so far.
+            for site in self._sites[:self._next_index]:
+                if not self.flows[site.domain].succeeded:
+                    continue
+                inbox_count, spam_count = site.marketing_mail
+                if inbox_count:
+                    self.mailbox.deliver_marketing(site.domain, inbox_count,
+                                                   spam=False)
+                if spam_count:
+                    self.mailbox.deliver_marketing(site.domain, spam_count,
+                                                   spam=True)
+            self.browser.snapshot_cookies()
+            self._finished = True
+        return CrawlDataset(profile_name=self.profile.name,
+                            log=self.browser.log, flows=self.flows,
+                            mailbox=self.mailbox, persona=self.persona,
+                            population=self.population)
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Checkpoint this session (atomically) to ``path``."""
+        return save_checkpoint(self, path)
+
+    @staticmethod
+    def load(path: str) -> "CrawlSession":
+        """Resume a session checkpointed by :meth:`save`."""
+        return load_checkpoint(path)
+
 
 class StudyCrawler:
     """Crawls a population under one browser profile."""
@@ -49,17 +233,25 @@ class StudyCrawler:
     def __init__(self, population: Population,
                  profile: Optional[BrowserProfile] = None,
                  clock: Optional[SimClock] = None,
-                 extension: Optional[object] = None,
-                 firewall: Optional[object] = None,
+                 extension: Optional[ContentBlocker] = None,
+                 firewall: Optional[OutboundFirewall] = None,
                  consent_policy: Optional[str] = None,
-                 automated: bool = False) -> None:
+                 automated: bool = False,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         """``extension`` (a content blocker such as
-        :class:`repro.blocklist.AdblockExtension`), ``firewall`` (an
+        :class:`repro.blocklist.AdblockExtension`) and ``firewall`` (an
         outbound scrubber such as :class:`repro.mitigation.PiiFirewall`)
-        and ``consent_policy`` (how cookie banners are answered; default
-        accept-all, like the paper's operator) are forwarded to the
-        browser."""
+        must satisfy their respective Protocols — a wrong object raises
+        ``TypeError`` here rather than mid-crawl.  ``consent_policy`` (how
+        cookie banners are answered; default accept-all, like the paper's
+        operator) is forwarded to the browser.  ``fault_plan`` makes the
+        synthetic web flaky; supplying one enables the resilient network
+        path with a default :class:`~repro.browser.RetryPolicy` unless an
+        explicit ``retry_policy`` is given."""
         from ..websim.consent import CONSENT_ACCEPT_ALL
+        ensure_protocol(extension, ContentBlocker, "extension")
+        ensure_protocol(firewall, OutboundFirewall, "firewall")
         self.population = population
         self.profile = profile or vanilla_firefox()
         self.clock = clock or SimClock()
@@ -67,40 +259,15 @@ class StudyCrawler:
         self.firewall = firewall
         self.consent_policy = consent_policy or CONSENT_ACCEPT_ALL
         self.automated = automated
+        self.fault_plan = fault_plan
+        if retry_policy is None and fault_plan is not None:
+            retry_policy = RetryPolicy()
+        self.retry_policy = retry_policy
+
+    def start(self, sites: Optional[Iterable[Website]] = None) -> CrawlSession:
+        """Begin an incremental (checkpointable) crawl session."""
+        return CrawlSession(self, sites)
 
     def crawl(self, sites: Optional[Iterable[Website]] = None) -> CrawlDataset:
         """Run the full study crawl; returns the combined dataset."""
-        persona = self.population.persona
-        mailbox = Mailbox(persona.email)
-        server = self.population.build_server(
-            mail_hook=lambda site, email, url:
-                mailbox.deliver_confirmation(site, url))
-        browser = Browser(profile=self.profile, server=server,
-                          resolver=self.population.resolver(),
-                          catalog=self.population.catalog, clock=self.clock,
-                          extension=self.extension, firewall=self.firewall,
-                          consent_policy=self.consent_policy)
-        runner = AuthFlowRunner(browser, persona, mailbox,
-                                automated=self.automated)
-
-        flows: Dict[str, FlowResult] = {}
-        site_list = list(sites) if sites is not None \
-            else self.population.site_list()
-        for site in site_list:
-            flows[site.domain] = runner.run(site)
-
-        # Marketing campaigns arrive after the crawl completes (§4.2.3).
-        for site in site_list:
-            if not flows[site.domain].succeeded:
-                continue
-            inbox_count, spam_count = site.marketing_mail
-            if inbox_count:
-                mailbox.deliver_marketing(site.domain, inbox_count,
-                                          spam=False)
-            if spam_count:
-                mailbox.deliver_marketing(site.domain, spam_count, spam=True)
-
-        browser.snapshot_cookies()
-        return CrawlDataset(profile_name=self.profile.name, log=browser.log,
-                            flows=flows, mailbox=mailbox, persona=persona,
-                            population=self.population)
+        return self.start(sites).run()

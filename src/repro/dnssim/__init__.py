@@ -1,6 +1,7 @@
 """DNS substrate: zones, resolver, CNAME cloaking detection."""
 
 from .cache import CacheStats, CachingResolver
+from .flaky import FlakyResolver
 from .cloaking import (
     DEFAULT_CLOAKING_ZONES,
     CloakingVerdict,
@@ -23,6 +24,7 @@ __all__ = [
     "CloakingVerdict",
     "CnameCloakingDetector",
     "DnsError",
+    "FlakyResolver",
     "RECORD_A",
     "RECORD_CNAME",
     "Resolution",

@@ -1,0 +1,41 @@
+"""Fault-injecting wrapper around the simulated resolver.
+
+Real field studies lose sites to resolvers that time out, not only to
+origins that are down.  :class:`FlakyResolver` injects those lookup
+timeouts from a :class:`~repro.netsim.faults.FaultPlan`: ``exists()`` —
+the browser's network gate — raises a transient
+:class:`~repro.netsim.faults.ConnectionTimeout` on planned faults, while
+genuine NXDOMAIN keeps returning ``False`` (a permanent answer that a
+resilient client must *not* retry).  Analysis-side lookups
+(``resolve``/``cname_chain``) are never faulted: the paper's CNAME
+uncloaking runs offline against authoritative data.
+"""
+
+from __future__ import annotations
+
+from ..netsim.faults import FAULT_DNS, ConnectionTimeout, FaultPlan
+from ..psl import default_list
+from .resolver import Resolution, Resolver
+
+
+class FlakyResolver:
+    """Drop-in :class:`Resolver` wrapper with planned lookup timeouts."""
+
+    def __init__(self, resolver: Resolver, plan: FaultPlan) -> None:
+        self.resolver = resolver
+        self.plan = plan
+
+    def exists(self, name: str) -> bool:
+        # DNS faults share the per-origin streak with the HTTP gate (the
+        # convergence contract), so the lookup is keyed by registrable
+        # domain just like the server wrapper.
+        origin = default_list().registrable_domain(name) or name
+        if self.plan.next_dns_fault(name, origin=origin) is not None:
+            raise ConnectionTimeout(name, kind=FAULT_DNS)
+        return self.resolver.exists(name)
+
+    def resolve(self, name: str) -> Resolution:
+        return self.resolver.resolve(name)
+
+    def cname_chain(self, name: str):
+        return self.resolver.cname_chain(name)

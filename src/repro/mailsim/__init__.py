@@ -5,11 +5,13 @@ from .mailbox import (
     FOLDER_SPAM,
     KIND_CONFIRMATION,
     KIND_MARKETING,
+    ConfirmationMailHook,
     EmailMessage,
     Mailbox,
 )
 
 __all__ = [
+    "ConfirmationMailHook",
     "EmailMessage",
     "FOLDER_INBOX",
     "FOLDER_SPAM",

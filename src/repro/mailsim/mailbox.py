@@ -93,3 +93,24 @@ class Mailbox:
 
     def __len__(self) -> int:
         return len(self._messages)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mailbox):
+            return NotImplemented
+        return (self.address == other.address
+                and self._messages == other._messages)
+
+
+class ConfirmationMailHook:
+    """Pickleable ``MailHook`` delivering confirmation links to a mailbox.
+
+    The crawl engine needs its mail hook to survive checkpoint
+    serialization, which a closure over the mailbox cannot; this small
+    callable object can.
+    """
+
+    def __init__(self, mailbox: Mailbox) -> None:
+        self.mailbox = mailbox
+
+    def __call__(self, site_domain: str, email: str, url: str) -> None:
+        self.mailbox.deliver_confirmation(site_domain, url)

@@ -12,6 +12,7 @@ from .figures import (
     render_receiver_degree_histogram,
 )
 from .tables import (
+    render_crawl_health,
     render_headline,
     render_table1,
     render_table2,
@@ -25,6 +26,7 @@ __all__ = [
     "table1_latex",
     "table2_latex",
     "table3_latex",
+    "render_crawl_health",
     "render_headline",
     "render_leak_trace",
     "render_receiver_degree_histogram",

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.analysis import BreakdownRow, LeakAnalysis
+from ..crawler.flows import ALL_STATUSES, STATUS_TAXONOMY
 from ..datasets import paper
 from ..tracking import PersistenceReport, Table2Row
 
@@ -108,6 +109,41 @@ def render_table4(report, compare: bool = True) -> str:
                     text += " (%d)" % ref[0]
                 line += " %-18s" % text
             lines.append(line)
+    return "\n".join(lines)
+
+
+def render_crawl_health(dataset, fault_plan=None) -> str:
+    """Crawl-health accounting: §3.2 population table under faults.
+
+    Every attempted site appears in exactly one outcome row (the total
+    line equals the number of flows — nothing is silently dropped), each
+    failure row carries its transient-vs-permanent class, and quarantined
+    sites are listed by name.  Pass the crawl's ``FaultPlan`` to append
+    the ground-truth injected-fault counts.
+    """
+    counts = dataset.status_counts()
+    lines = ["Crawl health: %d sites attempted" % len(dataset.flows)]
+    lines.append("%-22s %6s  %s" % ("outcome", "sites", "class"))
+    for status in ALL_STATUSES:
+        count = counts.get(status, 0)
+        if count == 0 and status != "success":
+            continue
+        failure_class = STATUS_TAXONOMY.get(status)
+        lines.append("%-22s %6d  %s"
+                     % (status, count, failure_class or "-"))
+    for status in sorted(set(counts) - set(ALL_STATUSES)):
+        lines.append("%-22s %6d  %s" % (status, counts[status], "?"))
+    lines.append("%-22s %6d" % ("total", len(dataset.flows)))
+    retried = dataset.retried_flow_count()
+    if retried:
+        lines.append("flows that needed retries: %d" % retried)
+    quarantined = dataset.quarantined_sites()
+    if quarantined:
+        lines.append("quarantined sites: %s" % ", ".join(quarantined))
+    if fault_plan is not None and fault_plan.events:
+        parts = ["%s=%d" % (kind, count) for kind, count
+                 in sorted(fault_plan.fault_counts().items())]
+        lines.append("injected faults: %s" % ", ".join(parts))
     return "\n".join(lines)
 
 

@@ -13,7 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.persona import DEFAULT_PERSONA, Persona
-from ..dnssim import Resolver, Zone
+from ..dnssim import FlakyResolver, Resolver, Zone
+from ..netsim.faults import FaultPlan
+from .faults import wrap_server
 from .server import CAPTCHA_PROVIDER, MailHook, WebServer
 from .site import Website
 from .trackers import TrackerCatalog
@@ -32,12 +34,19 @@ class Population:
         if not self.zone.records:
             self.zone = build_zone(self.sites, self.catalog)
 
-    def resolver(self) -> Resolver:
-        return Resolver(self.zone)
+    def resolver(self, fault_plan: Optional[FaultPlan] = None) -> Resolver:
+        """The population's resolver, optionally made flaky by a plan."""
+        resolver = Resolver(self.zone)
+        if fault_plan is not None:
+            return FlakyResolver(resolver, fault_plan)
+        return resolver
 
-    def build_server(self, mail_hook: Optional[MailHook] = None) -> WebServer:
-        return WebServer(sites=self.sites, catalog=self.catalog,
-                         mail_hook=mail_hook)
+    def build_server(self, mail_hook: Optional[MailHook] = None,
+                     fault_plan: Optional[FaultPlan] = None) -> WebServer:
+        """The population's origin server, optionally fault-injected."""
+        server = WebServer(sites=self.sites, catalog=self.catalog,
+                           mail_hook=mail_hook)
+        return wrap_server(server, fault_plan)
 
     def site_list(self) -> List[Website]:
         return list(self.sites.values())

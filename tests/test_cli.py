@@ -65,3 +65,38 @@ def test_selection_subcommand(capsys):
 def test_unknown_subcommand_rejected():
     with pytest.raises(SystemExit):
         main(["not-a-command"])
+
+
+def test_study_accepts_fault_and_resume_flags():
+    args = build_parser().parse_args(
+        ["study", "--faults", "0.2", "--seed", "7",
+         "--checkpoint", "crawl.ckpt", "--resume", "old.ckpt"])
+    assert args.faults == 0.2
+    assert args.seed == 7
+    assert args.checkpoint == "crawl.ckpt"
+    assert args.resume == "old.ckpt"
+
+
+def test_fault_flags_default_off():
+    for argv in (["study"], ["report"], ["blocklists"]):
+        args = build_parser().parse_args(argv)
+        assert args.faults is None
+        assert args.seed == 0
+
+
+def test_report_and_blocklists_accept_fault_flags():
+    args = build_parser().parse_args(
+        ["report", "--faults", "0.1", "--resume", "x.ckpt"])
+    assert args.faults == 0.1 and args.resume == "x.ckpt"
+    args = build_parser().parse_args(["blocklists", "--faults", "0.1"])
+    assert args.faults == 0.1
+
+
+def test_fault_plan_built_from_args():
+    from repro.cli import _fault_plan
+    args = build_parser().parse_args(["study", "--faults", "0.3",
+                                      "--seed", "9"])
+    plan = _fault_plan(args)
+    assert plan is not None
+    assert plan.seed == 9 and plan.transient_rate == 0.3
+    assert _fault_plan(build_parser().parse_args(["study"])) is None

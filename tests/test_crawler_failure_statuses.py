@@ -1,0 +1,113 @@
+"""Dedicated coverage for every FlowResult failure status (§3.2)."""
+
+import pytest
+
+from repro.browser import Browser, brave, vanilla_firefox
+from repro.core.persona import DEFAULT_PERSONA
+from repro.crawler import (
+    AuthFlowRunner,
+    FAILURE_PERMANENT,
+    FAILURE_TRANSIENT,
+    FlowResult,
+    STATUS_BLOCKED,
+    STATUS_BOT_BLOCKED,
+    STATUS_CAPTCHA_FAILED,
+    STATUS_CONFIRMATION_FAILED,
+    STATUS_NO_AUTH,
+    STATUS_SIGNIN_FAILED,
+    STATUS_UNREACHABLE,
+    StudyCrawler,
+)
+from repro.mailsim import Mailbox
+from repro.netsim import HttpResponse
+from repro.websim import (
+    BLOCK_PHONE,
+    SiteAuthConfig,
+    TrackerEmbed,
+    Website,
+    build_default_catalog,
+)
+from repro.websim.population import Population
+from repro.websim.server import WebServer
+
+
+def _population(**auth_kwargs):
+    site = Website(domain="site.example",
+                   auth=SiteAuthConfig(**auth_kwargs))
+    return Population(sites={site.domain: site},
+                      catalog=build_default_catalog())
+
+
+def _crawl_one(population, **crawler_kwargs):
+    dataset = StudyCrawler(population, **crawler_kwargs).crawl()
+    return dataset.flows["site.example"]
+
+
+def test_unreachable_is_transient():
+    flow = _crawl_one(_population(unreachable=True))
+    assert flow.status == STATUS_UNREACHABLE
+    assert flow.failure_class == FAILURE_TRANSIENT
+    assert not flow.succeeded
+
+
+def test_no_auth_is_permanent():
+    flow = _crawl_one(_population(has_auth=False))
+    assert flow.status == STATUS_NO_AUTH
+    assert flow.failure_class == FAILURE_PERMANENT
+
+
+def test_signup_blocked_records_reason():
+    flow = _crawl_one(_population(signup_block=BLOCK_PHONE))
+    assert flow.status == STATUS_BLOCKED
+    assert flow.block_reason == BLOCK_PHONE
+    assert flow.failure_class == FAILURE_PERMANENT
+
+
+def test_captcha_failed_under_brave():
+    population = _population(captcha_blocks_brave=True)
+    flow = _crawl_one(population, profile=brave(population.catalog))
+    assert flow.status == STATUS_CAPTCHA_FAILED
+    assert flow.failure_class == FAILURE_PERMANENT
+
+
+def test_bot_blocked_in_automated_mode():
+    flow = _crawl_one(_population(bot_detection=True), automated=True)
+    assert flow.status == STATUS_BOT_BLOCKED
+    assert flow.failure_class == FAILURE_PERMANENT
+
+
+def test_confirmation_failed_in_automated_mode():
+    flow = _crawl_one(_population(requires_email_confirmation=True),
+                      automated=True)
+    assert flow.status == STATUS_CONFIRMATION_FAILED
+    assert flow.failure_class == FAILURE_PERMANENT
+
+
+class _BrokenSigninServer(WebServer):
+    """Origin whose sign-in endpoint rejects every credential."""
+
+    def _handle_signin_submit(self, site, request):
+        return HttpResponse(status=401, body=b"bad credentials")
+
+
+def test_signin_failed_when_credentials_rejected():
+    population = _population()
+    site = population.sites["site.example"]
+    server = _BrokenSigninServer(sites=population.sites,
+                                 catalog=population.catalog)
+    browser = Browser(profile=vanilla_firefox(), server=server,
+                      resolver=population.resolver(),
+                      catalog=population.catalog)
+    runner = AuthFlowRunner(browser, DEFAULT_PERSONA,
+                            Mailbox(DEFAULT_PERSONA.email))
+    flow = runner.run(site)
+    assert flow.status == STATUS_SIGNIN_FAILED
+    assert flow.failure_class == FAILURE_PERMANENT
+
+
+def test_flow_result_defaults():
+    flow = FlowResult("site.example", STATUS_UNREACHABLE)
+    assert flow.attempts == 1
+    assert flow.failure_kind is None
+    assert FlowResult("site.example", "unheard_of").failure_class == \
+        FAILURE_PERMANENT

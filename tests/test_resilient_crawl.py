@@ -1,0 +1,199 @@
+"""Resilient crawl: convergence, determinism, quarantine, checkpoint/resume."""
+
+import os
+
+import pytest
+
+from repro.core import Study, StudyConfig
+from repro.crawler import (
+    CheckpointError,
+    CrawlSession,
+    FAILURE_PERMANENT,
+    FAILURE_TRANSIENT,
+    RetryPolicy,
+    STATUS_QUARANTINED,
+    STATUS_SUCCESS,
+    STATUS_TAXONOMY,
+    StudyCrawler,
+)
+from repro.netsim.faults import FaultPlan
+from repro.reporting import render_crawl_health
+from repro.websim.generator import GeneratorConfig, generate_population
+
+_CONFIG = dict(n_sites=8, n_trackers=4, leak_probability=0.6,
+               confirmation_probability=0.4)
+
+
+def _population():
+    return generate_population(seed=5, config=GeneratorConfig(**_CONFIG))
+
+
+def _leak_signature(events):
+    """Leak identity without timestamps (retries shift the clock)."""
+    return sorted(set((event.sender, event.receiver, event.channel,
+                       event.location, event.pii_type, event.chain,
+                       event.parameter, event.stage)
+                      for event in events))
+
+
+def test_faulty_crawl_converges_to_fault_free_results():
+    baseline = Study(_population()).run()
+    assert set(baseline.dataset.status_counts()) == {STATUS_SUCCESS}
+
+    plan = FaultPlan(seed=11, transient_rate=0.25)
+    faulty = Study(_population(), StudyConfig(fault_plan=plan)).run()
+    assert set(faulty.dataset.status_counts()) == {STATUS_SUCCESS}
+    assert plan.failure_log()  # faults actually fired
+    assert _leak_signature(faulty.events) == _leak_signature(baseline.events)
+
+
+def test_same_seed_reproduces_identical_failure_log():
+    runs = []
+    for _ in range(2):
+        plan = FaultPlan(seed=7, transient_rate=0.25)
+        dataset = StudyCrawler(_population(), fault_plan=plan).crawl()
+        runs.append((plan.failure_log(), dataset.fingerprint()))
+    assert runs[0][0] and runs[0][0] == runs[1][0]
+    assert runs[0][1] == runs[1][1]
+
+
+def test_retries_are_visible_in_capture_log():
+    plan = FaultPlan(seed=11, transient_rate=0.25)
+    dataset = StudyCrawler(_population(), fault_plan=plan).crawl()
+    fault_entries = [entry for entry in dataset.log.entries
+                     if entry.blocked_by
+                     and entry.blocked_by.startswith("fault:")]
+    assert fault_entries  # failed attempts are recorded, never hidden
+    assert all(entry.response is None for entry in fault_entries)
+
+
+def test_dead_origin_is_quarantined_not_dropped():
+    population = _population()
+    dead = sorted(population.sites)[0]
+    plan = FaultPlan(seed=7, transient_rate=0.1, dead_origins=[dead])
+    dataset = StudyCrawler(population, fault_plan=plan).crawl()
+
+    counts = dataset.status_counts()
+    assert counts[STATUS_QUARANTINED] == 1
+    assert sum(counts.values()) == len(population.sites)
+    assert dataset.quarantined_sites() == [dead]
+    flow = dataset.flows[dead]
+    assert flow.failure_class == FAILURE_PERMANENT
+    assert flow.attempts >= 1 and flow.failure_kind is not None
+    assert dataset.failure_class_counts() == {FAILURE_PERMANENT: 1}
+
+    report = render_crawl_health(dataset, plan)
+    assert STATUS_QUARANTINED in report and dead in report
+    assert "dead_origin" in report
+
+
+def test_quarantined_sites_survive_analysis():
+    population = _population()
+    dead = sorted(population.sites)[0]
+    plan = FaultPlan(seed=7, transient_rate=0.1, dead_origins=[dead])
+    result = Study(population, StudyConfig(fault_plan=plan)).run()
+    assert result.quarantined_sites() == [dead]
+    assert dead not in result.analysis.senders()
+
+
+def test_checkpoint_resume_matches_uninterrupted_run(tmp_path):
+    full = StudyCrawler(
+        _population(),
+        fault_plan=FaultPlan(seed=21, transient_rate=0.25)).crawl()
+
+    session = StudyCrawler(
+        _population(),
+        fault_plan=FaultPlan(seed=21, transient_rate=0.25)).start()
+    for _ in range(3):
+        session.step()
+    path = str(tmp_path / "crawl.ckpt")
+    session.save(path)
+    del session  # the interrupted crawl is gone; only the file survives
+
+    resumed = CrawlSession.load(path)
+    assert resumed.crawled_count == 3
+    assert len(resumed.remaining_sites) == _CONFIG["n_sites"] - 3
+    dataset = resumed.run()
+    assert dataset.fingerprint() == full.fingerprint()
+    assert dataset.status_counts() == full.status_counts()
+
+
+def test_checkpoint_after_every_site(tmp_path):
+    path = str(tmp_path / "crawl.ckpt")
+    session = StudyCrawler(
+        _population(),
+        fault_plan=FaultPlan(seed=3, transient_rate=0.2)).start()
+    while not session.done:
+        session.step()
+        session.save(path)
+    expected = session.finish().fingerprint()
+    assert CrawlSession.load(path).run().fingerprint() == expected
+
+
+def test_checkpoint_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.ckpt"
+    path.write_bytes(b"not a checkpoint")
+    with pytest.raises(CheckpointError):
+        CrawlSession.load(str(path))
+
+
+def test_checkpoint_save_is_atomic(tmp_path):
+    session = StudyCrawler(_population()).start()
+    path = str(tmp_path / "crawl.ckpt")
+    session.save(path)
+    assert os.listdir(str(tmp_path)) == ["crawl.ckpt"]
+
+
+def test_plain_crawl_without_faults_unchanged():
+    # No plan, no retry policy: the historical single-shot network path.
+    crawler = StudyCrawler(_population())
+    assert crawler.retry_policy is None
+    dataset = crawler.crawl()
+    assert set(dataset.status_counts()) == {STATUS_SUCCESS}
+    assert dataset.retried_flow_count() == 0
+
+
+def test_fault_plan_implies_default_retry_policy():
+    crawler = StudyCrawler(_population(), fault_plan=FaultPlan())
+    assert isinstance(crawler.retry_policy, RetryPolicy)
+    # The convergence contract: the retry budget and breaker threshold
+    # must both exceed the plan's worst-case fault burst.
+    assert crawler.retry_policy.max_attempts > FaultPlan().max_consecutive
+
+
+def test_backoff_delay_is_deterministic_and_bounded():
+    policy = RetryPolicy(base_delay=0.5, backoff_factor=2.0, max_delay=4.0,
+                        jitter=0.1)
+    delays = [policy.backoff_delay(attempt, "www.shop.example")
+              for attempt in range(1, 8)]
+    assert delays == [policy.backoff_delay(attempt, "www.shop.example")
+                      for attempt in range(1, 8)]
+    assert all(0.0 < delay <= 4.0 * 1.1 for delay in delays)
+    assert delays[1] > delays[0]
+
+
+def test_taxonomy_is_exhaustive():
+    from repro.crawler import ALL_STATUSES
+    assert set(STATUS_TAXONOMY) == set(ALL_STATUSES)
+    assert STATUS_TAXONOMY[STATUS_SUCCESS] is None
+    classes = set(STATUS_TAXONOMY.values()) - {None}
+    assert classes == {FAILURE_TRANSIENT, FAILURE_PERMANENT}
+
+
+def test_protocol_misuse_raises_typeerror():
+    population = _population()
+    with pytest.raises(TypeError):
+        StudyCrawler(population, extension=object())
+    with pytest.raises(TypeError):
+        StudyCrawler(population, firewall="not a firewall")
+
+
+def test_real_implementations_satisfy_protocols():
+    from repro.blocklist import AdblockExtension, RuleSet
+    from repro.browser import ContentBlocker, OutboundFirewall
+    from repro.core import CandidateTokenSet
+    from repro.core.persona import DEFAULT_PERSONA
+    from repro.mitigation import PiiFirewall
+    assert isinstance(AdblockExtension(RuleSet([])), ContentBlocker)
+    assert isinstance(PiiFirewall(CandidateTokenSet(DEFAULT_PERSONA)),
+                      OutboundFirewall)
