@@ -1,0 +1,155 @@
+"""Reproducible benchmark harness.
+
+Small, dependency-free timing utilities shared by the performance
+benchmarks (today: ``bench_parallel_crawl.py``).  The point is not
+microsecond precision but a *machine-readable perf trajectory*: every
+run emits a JSON document with enough context (host CPU count, Python
+version, per-case wall-clock and throughput) that future PRs can diff
+one run against another and catch regressions.
+
+Usage::
+
+    from harness import BenchCase, BenchReport, timed
+
+    report = BenchReport(name="parallel_crawl")
+    with timed() as t:
+        do_work()
+    report.add(BenchCase(label="serial-404", wall_seconds=t.seconds,
+                         items=404, params={"workers": 1}))
+    report.write("benchmarks/out/BENCH_parallel_crawl.json")
+
+Timing honesty: wall-clock comes from :func:`time.perf_counter`, runs
+are not repeated unless the caller repeats them, and the report records
+``cpu_count`` because parallel speedup is bounded by physical cores —
+a 1-core container cannot show one, and pretending otherwise would
+poison the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Schema version of the emitted JSON; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+class _Timer:
+    """Result object yielded by :func:`timed`."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+@contextmanager
+def timed() -> Iterator[_Timer]:
+    """Context manager measuring wall-clock seconds of its body."""
+    timer = _Timer()
+    start = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - start
+
+
+@dataclass
+class BenchCase:
+    """One measured configuration.
+
+    ``items`` is the unit of throughput (for crawl benches: sites);
+    ``params`` carries the configuration knobs (worker count, shard
+    count, population size, ...) so the JSON is self-describing.
+    """
+
+    label: str
+    wall_seconds: float
+    items: int = 0
+    params: Dict[str, object] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def items_per_second(self) -> float:
+        """Throughput (0.0 when nothing was counted or time was ~0)."""
+        if self.items <= 0 or self.wall_seconds <= 0.0:
+            return 0.0
+        return self.items / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "label": self.label,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "items": self.items,
+            "items_per_second": round(self.items_per_second, 2),
+        }
+        if self.params:
+            data["params"] = dict(self.params)
+        if self.extra:
+            data.update(self.extra)
+        return data
+
+
+@dataclass
+class BenchReport:
+    """An accumulating benchmark report with a JSON serialization."""
+
+    name: str
+    cases: List[BenchCase] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, case: BenchCase) -> BenchCase:
+        """Record one case (returned unchanged, for chaining)."""
+        self.cases.append(case)
+        return case
+
+    def note(self, text: str) -> None:
+        """Attach a free-form annotation to the report."""
+        self.notes.append(text)
+
+    def baseline(self, label: str) -> Optional[BenchCase]:
+        """The first case with ``label``, if recorded."""
+        for case in self.cases:
+            if case.label == label:
+                return case
+        return None
+
+    def speedup_over(self, baseline_label: str,
+                     case: BenchCase) -> Optional[float]:
+        """Wall-clock speedup of ``case`` relative to a named baseline.
+
+        Returns ``None`` when the baseline is missing or unmeasurable.
+        """
+        base = self.baseline(baseline_label)
+        if base is None or case.wall_seconds <= 0.0:
+            return None
+        return base.wall_seconds / case.wall_seconds
+
+    def environment(self) -> Dict[str, object]:
+        """Host facts that bound what the numbers can mean."""
+        return {
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "environment": self.environment(),
+            "cases": [case.as_dict() for case in self.cases],
+            "notes": list(self.notes),
+        }
+
+    def write(self, path: str) -> str:
+        """Serialize the report to ``path`` (pretty JSON); returns path."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return path

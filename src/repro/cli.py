@@ -3,6 +3,7 @@
 Exposes the main experiments as subcommands::
 
     repro-study study                # headline + Tables 1-3 + Figure 2
+    repro-study study --workers 4    # same study, parallel sharded crawl
     repro-study browsers             # §7.1 browser comparison
     repro-study blocklists           # §7.2 Table 4
     repro-study crowd --seed 21      # crowdsourced expansion demo
@@ -43,18 +44,46 @@ def _run_session(session, checkpoint: Optional[str] = None):
     return session.finish()
 
 
+def _parallel_crawl(args: argparse.Namespace, study_config):
+    """Run the sharded multi-process crawl the CLI flags describe.
+
+    ``--checkpoint``/``--resume`` name a *directory* of per-shard
+    checkpoints in this mode (resume simply points at the directory a
+    previous run checkpointed into).  Returns ``(dataset, fault_plan)``
+    where the plan carries the merged per-shard fault events.
+    """
+    from .crawler import CheckpointError
+    checkpoint_dir = (getattr(args, "resume", None)
+                      or getattr(args, "checkpoint", None))
+    if getattr(args, "resume", None):
+        print("Resuming %d-worker crawl from %s/..."
+              % (args.workers, args.resume), file=sys.stderr)
+    study = Study.calibrated(study_config)
+    engine = study.parallel_crawler(checkpoint_dir=checkpoint_dir)
+    try:
+        result = engine.run()
+    except CheckpointError as exc:
+        raise SystemExit("repro-study: error: --resume: %s" % exc)
+    return result.dataset, result.fault_plan
+
+
 def _crawl_dataset(args: argparse.Namespace, study_config):
     """The shared resilient-crawl front half of the crawling subcommands.
 
     Returns ``(dataset, fault_plan)`` — either a fresh (optionally faulty,
-    optionally checkpointed) crawl of the calibrated population, or a
-    crawl resumed from ``--resume`` and driven to completion.
+    optionally checkpointed, optionally parallel) crawl of the calibrated
+    population, or a crawl resumed from ``--resume`` and driven to
+    completion.
     """
     from .crawler import CheckpointError, CrawlSession
+    study_config.workers = getattr(args, "workers", 1) or 1
+    study_config.num_shards = getattr(args, "shards", None)
+    if study_config.workers > 1:
+        return _parallel_crawl(args, study_config)
     if getattr(args, "resume", None):
         print("Resuming crawl from %s..." % args.resume, file=sys.stderr)
         try:
-            session = CrawlSession.load(args.resume)
+            session = CrawlSession.load(args.resume, expect_shard=None)
         except (OSError, CheckpointError) as exc:
             raise SystemExit("repro-study: error: --resume: %s" % exc)
     else:
@@ -263,10 +292,24 @@ def _add_resume_args(sub: argparse.ArgumentParser) -> None:
     """--checkpoint/--resume: interruptible-crawl persistence."""
     sub.add_argument("--checkpoint", metavar="PATH",
                      help="save a resumable crawl checkpoint to PATH after "
-                          "every site")
+                          "every site (with --workers > 1: a directory of "
+                          "per-shard checkpoints)")
     sub.add_argument("--resume", metavar="PATH",
                      help="resume a crawl from a checkpoint written by "
-                          "--checkpoint (fault plan travels with it)")
+                          "--checkpoint (fault plan travels with it; with "
+                          "--workers > 1: the checkpoint directory)")
+
+
+def _add_parallel_args(sub: argparse.ArgumentParser) -> None:
+    """--workers/--shards: the parallel sharded crawl engine."""
+    sub.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="crawl with N worker processes (default: 1, the "
+                          "serial engine); the merged dataset fingerprint "
+                          "is identical for every N")
+    sub.add_argument("--shards", type=int, default=None, metavar="M",
+                     help="partition the site list into M deterministic "
+                          "shards (default: automatic, independent of "
+                          "--workers)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -282,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="omit the paper comparison columns")
     _add_fault_args(study)
     _add_resume_args(study)
+    _add_parallel_args(study)
     study.set_defaults(func=_cmd_study)
 
     browsers = subparsers.add_parser("browsers",
@@ -313,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also export the full crawl as HAR 1.2")
     _add_fault_args(report)
     _add_resume_args(report)
+    _add_parallel_args(report)
     report.set_defaults(func=_cmd_report)
 
     tokens = subparsers.add_parser("tokens",

@@ -39,12 +39,23 @@ class StudyConfig:
     :mod:`repro.netsim.faults`); when set, the crawler runs its resilient
     network path with ``retry_policy`` (defaulting to a standard
     :class:`~repro.browser.RetryPolicy`).
+
+    ``workers`` selects the crawl engine: ``1`` (default) is the
+    historical single-session serial crawl; ``N > 1`` fans the
+    population's shards out over N worker processes via
+    :class:`~repro.crawler.ParallelCrawler` and merges to a dataset
+    whose fingerprint is invariant to the worker count.  ``num_shards``
+    pins the shard layout (default:
+    :func:`~repro.crawler.default_shard_count`, which is independent of
+    ``workers`` so fingerprints stay comparable across machines).
     """
 
     profile: Optional[BrowserProfile] = None
     token_config: Optional[TokenSetConfig] = None
     fault_plan: Optional[FaultPlan] = None
     retry_policy: Optional[RetryPolicy] = None
+    workers: int = 1
+    num_shards: Optional[int] = None
 
 
 @dataclass
@@ -88,34 +99,75 @@ class StudyResult:
 
 
 class Study:
-    """The full reproduction pipeline over a population."""
+    """The full reproduction pipeline over a population.
+
+    ``population`` is the synthetic web to study; ``config`` a
+    :class:`StudyConfig` (defaults apply when omitted).  The instance
+    exposes each stage separately (:meth:`crawler`, :meth:`start_crawl`,
+    :meth:`analyze`) plus the one-call :meth:`run`.
+    """
 
     def __init__(self, population, config: Optional[StudyConfig] = None) -> None:
         self.population = population
         self.config = config or StudyConfig()
+        #: Picklable recipe used by the parallel engine to rebuild the
+        #: population inside worker processes.  ``None`` (the default)
+        #: means the live population is deep-copied per shard; factory
+        #: constructors set a cheaper spec.
+        self.population_spec = None
 
     @classmethod
     def calibrated(cls, config: Optional[StudyConfig] = None) -> "Study":
-        """A study over the paper-calibrated shopping population."""
+        """A study over the paper-calibrated shopping population.
+
+        Returns a :class:`Study` whose ``spec`` attribute carries the
+        full calibrated :class:`~repro.websim.shopping` study spec.
+        """
+        from ..crawler import CalibratedPopulationSpec
         from ..websim.shopping import build_study_population
         spec = build_study_population()
         study = cls(spec.population, config=config)
         study.spec = spec
+        study.population_spec = CalibratedPopulationSpec()
         return study
 
     def crawler(self) -> StudyCrawler:
-        """The configured crawler (fault plan and retry policy applied)."""
+        """The configured serial crawler (fault plan and retries applied)."""
         profile = self.config.profile or vanilla_firefox()
         return StudyCrawler(self.population, profile=profile,
                             fault_plan=self.config.fault_plan,
                             retry_policy=self.config.retry_policy)
 
+    def parallel_crawler(self, checkpoint_dir: Optional[str] = None):
+        """The sharded multi-process crawl engine for this study.
+
+        Honors ``config.workers`` / ``config.num_shards``; pass
+        ``checkpoint_dir`` to enable per-shard checkpointing and resume.
+        Returns a :class:`~repro.crawler.ParallelCrawler` whose merged
+        dataset fingerprint is invariant to the worker count.
+        """
+        from ..crawler import ParallelCrawler, PrebuiltPopulationSpec
+        spec = self.population_spec or PrebuiltPopulationSpec(self.population)
+        return ParallelCrawler(spec, workers=self.config.workers,
+                               num_shards=self.config.num_shards,
+                               profile=self.config.profile or vanilla_firefox(),
+                               fault_plan=self.config.fault_plan,
+                               retry_policy=self.config.retry_policy,
+                               checkpoint_dir=checkpoint_dir)
+
     def start_crawl(self) -> CrawlSession:
-        """Begin an incremental crawl session (checkpointable/resumable)."""
+        """Begin an incremental serial crawl session (checkpointable)."""
         return self.crawler().start()
 
     def run(self) -> StudyResult:
-        """Crawl, detect, and analyze; returns the combined result."""
+        """Crawl, detect, and analyze; returns the combined result.
+
+        Uses the serial engine for ``config.workers == 1`` and the
+        sharded parallel engine otherwise; either way the analysis runs
+        over the complete merged dataset.
+        """
+        if self.config.workers > 1:
+            return self.analyze(self.parallel_crawler().crawl())
         return self.analyze(self.crawler().crawl())
 
     def analyze(self, dataset: CrawlDataset) -> StudyResult:

@@ -1,0 +1,398 @@
+"""Parallel sharded crawl engine.
+
+Fans a population's site list out over a pool of worker *processes* and
+deterministically merges the per-shard results back into one
+:class:`~repro.crawler.CrawlDataset`.  The engine's contract (asserted in
+``tests/test_parallel_crawl.py``) is **fingerprint invariance**: for a
+fixed ``(population, seed, shard layout)``, the merged dataset's
+:meth:`~repro.crawler.CrawlDataset.fingerprint` is bit-identical no
+matter how many workers execute the shards — one in-process worker
+(``workers=1``, the serial reference) or any pool size, with or without
+fault injection, with or without checkpoint interruptions.
+
+How the invariance is achieved
+------------------------------
+* **Shards, not sites, are the unit of state.**  Each shard is crawled
+  by a completely independent :class:`~repro.crawler.CrawlSession` —
+  its own browser (cookie jar, capture log, simulated clock), mailbox
+  and circuit breakers — built from a *picklable*
+  :class:`PopulationSpec`, never from live server objects.  Worker
+  processes rebuild the synthetic web locally (population construction
+  is seeded and cheap), so nothing mutable is shared across processes.
+* **Fault plans are per-shard and order-free.**  Every shard receives a
+  :meth:`~repro.netsim.faults.FaultPlan.fresh_copy` of the study plan.
+  Fault decisions are a pure function of ``(seed, namespace, origin,
+  per-origin counter)`` — namespaced per-origin, not per-process-order —
+  so a shard draws the identical fault stream wherever and whenever it
+  runs.
+* **The merge is deterministic.**  Shard results are concatenated in
+  shard-index order (capture log, cookie snapshots, mailbox, flow
+  outcomes), which depends only on the layout.
+
+The deliberate semantic consequence: browser state never spans shards,
+so cookie-based cross-site linkage exists only *within* a shard.  The
+paper's subject — PII-leakage-based tracking, where the identifier is a
+hash of the persona's email — is unaffected, because that identifier is
+recomputed identically on every site regardless of shard placement.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..mailsim import Mailbox
+from ..netsim import CaptureLog
+from ..netsim.faults import FaultEvent, FaultPlan
+from ..websim.population import Population
+from .runner import CrawlDataset, CrawlSession, StudyCrawler
+from .sharding import ShardInfo, ShardLayout
+
+
+# ---------------------------------------------------------------------------
+# Population specs: picklable recipes a worker process rebuilds a web from.
+# ---------------------------------------------------------------------------
+
+class PopulationSpec:
+    """A picklable recipe for (re)building a :class:`Population`.
+
+    Workers receive a spec — never a live :class:`~repro.websim.server.
+    WebServer` or resolver — and call :meth:`build` locally, so every
+    process owns its synthetic web outright.  ``build`` must be
+    deterministic: two calls (in any process) return populations that
+    crawl identically.
+    """
+
+    def build(self) -> Population:
+        """Construct the population; must be deterministic."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable identity (for logs and errors)."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class CalibratedPopulationSpec(PopulationSpec):
+    """The paper-calibrated 404-site shopping population."""
+
+    def build(self) -> Population:
+        from ..websim.shopping import build_study_population
+        return build_study_population().population
+
+    def describe(self) -> str:
+        return "calibrated shopping population"
+
+
+@dataclass(frozen=True)
+class GeneratedPopulationSpec(PopulationSpec):
+    """A seeded random population (see :mod:`repro.websim.generator`).
+
+    ``config`` is a :class:`~repro.websim.generator.GeneratorConfig`
+    (frozen, hence picklable); ``None`` means the generator's defaults.
+    """
+
+    seed: int = 0
+    config: Optional[object] = None
+
+    def build(self) -> Population:
+        from ..websim.generator import generate_population
+        return generate_population(seed=self.seed, config=self.config)
+
+    def describe(self) -> str:
+        return "generated population (seed=%d)" % self.seed
+
+
+@dataclass
+class PrebuiltPopulationSpec(PopulationSpec):
+    """Wraps an already-built population.
+
+    :meth:`build` returns a deep copy so that shards can never observe
+    each other's (or the caller's) mutations through a shared object —
+    the same isolation a worker process gets for free from pickling.
+    """
+
+    population: Population
+
+    def build(self) -> Population:
+        return copy.deepcopy(self.population)
+
+    def describe(self) -> str:
+        return "prebuilt population (%d sites)" % len(self.population.sites)
+
+
+# ---------------------------------------------------------------------------
+# Shard jobs and results (the pool's picklable currency).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardJob:
+    """Everything one worker needs to crawl one shard."""
+
+    spec: PopulationSpec
+    shard: ShardInfo
+    profile: Optional[object] = None          # BrowserProfile
+    consent_policy: Optional[str] = None
+    automated: bool = False
+    fault_plan: Optional[FaultPlan] = None    # fresh per-shard copy
+    retry_policy: Optional[object] = None     # RetryPolicy
+    extension: Optional[object] = None        # ContentBlocker
+    firewall: Optional[object] = None         # OutboundFirewall
+    checkpoint_path: Optional[str] = None
+
+
+@dataclass
+class ShardResult:
+    """One shard's finished crawl, as returned by a worker.
+
+    ``dataset.population`` is stripped (``None``) before crossing the
+    process boundary — the parent re-attaches its own population during
+    the merge — so the synthetic web is never pickled back N times.
+    """
+
+    index: int
+    dataset: CrawlDataset
+    fault_events: Tuple[FaultEvent, ...] = ()
+
+
+def _session_for_job(job: ShardJob) -> CrawlSession:
+    """Build (or resume) the crawl session a job describes."""
+    if job.checkpoint_path and os.path.exists(job.checkpoint_path):
+        return CrawlSession.load(job.checkpoint_path,
+                                 expect_shard=job.shard)
+    population = job.spec.build()
+    crawler = StudyCrawler(
+        population, profile=job.profile, extension=job.extension,
+        firewall=job.firewall, consent_policy=job.consent_policy,
+        automated=job.automated, fault_plan=job.fault_plan,
+        retry_policy=job.retry_policy)
+    return crawler.start(shard=job.shard)
+
+
+def run_shard_job(job: ShardJob) -> ShardResult:
+    """Crawl one shard to completion (the worker-process entry point).
+
+    Resumes from ``job.checkpoint_path`` when a valid checkpoint exists
+    (a mismatched layout raises
+    :class:`~repro.crawler.CheckpointError`), checkpoints after every
+    site when a path is configured, and returns the finished
+    :class:`ShardResult`.  Runs identically in-process and in a worker.
+    """
+    session = _session_for_job(job)
+    while not session.done:
+        session.step()
+        if job.checkpoint_path:
+            session.save(job.checkpoint_path)
+    dataset = session.finish()
+    if job.checkpoint_path:
+        # Persist the finished state too: a re-run of an already-complete
+        # shard resumes here and re-finishes idempotently.
+        session.save(job.checkpoint_path)
+    plan = session.fault_plan
+    stripped = CrawlDataset(
+        profile_name=dataset.profile_name, log=dataset.log,
+        flows=dataset.flows, mailbox=dataset.mailbox,
+        persona=dataset.persona, population=None)
+    return ShardResult(index=session.shard.index, dataset=stripped,
+                       fault_events=tuple(plan.events) if plan else ())
+
+
+# ---------------------------------------------------------------------------
+# The merge step.
+# ---------------------------------------------------------------------------
+
+def merge_shard_datasets(results: Sequence[ShardResult],
+                         population: Population) -> CrawlDataset:
+    """Recombine per-shard results into one :class:`CrawlDataset`.
+
+    Results are concatenated in shard-index order: capture-log entries,
+    end-of-crawl cookie snapshots, mailbox messages and flow outcomes.
+    ``population`` is re-attached as the merged dataset's universe.
+    Raises :class:`ValueError` on an empty result list, on two shards
+    reporting the same site, or on mismatched personas/profiles (which
+    would mean the shards did not come from one study).
+    """
+    ordered = sorted(results, key=lambda result: result.index)
+    if not ordered:
+        raise ValueError("no shard results to merge")
+    first = ordered[0].dataset
+    log = CaptureLog()
+    flows: Dict[str, object] = {}
+    mailbox = Mailbox(first.mailbox.address)
+    for result in ordered:
+        dataset = result.dataset
+        if dataset.persona.email != first.persona.email or \
+                dataset.profile_name != first.profile_name:
+            raise ValueError(
+                "shard %d was crawled as (%s, %s), not (%s, %s); refusing "
+                "to merge shards from different studies"
+                % (result.index, dataset.persona.email,
+                   dataset.profile_name, first.persona.email,
+                   first.profile_name))
+        overlap = set(flows) & set(dataset.flows)
+        if overlap:
+            raise ValueError("sites crawled by more than one shard: %s"
+                             % ", ".join(sorted(overlap)))
+        log.entries.extend(dataset.log.entries)
+        log.stored_cookies.extend(dataset.log.stored_cookies)
+        flows.update(dataset.flows)
+        mailbox.absorb(dataset.mailbox)
+    return CrawlDataset(profile_name=first.profile_name, log=log,
+                        flows=flows, mailbox=mailbox,
+                        persona=first.persona, population=population)
+
+
+# ---------------------------------------------------------------------------
+# The engine.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ParallelCrawlResult:
+    """Everything a parallel crawl produced, beyond the dataset itself."""
+
+    dataset: CrawlDataset
+    layout: ShardLayout
+    workers: int
+    #: A plan carrying the concatenated per-shard fault events (for
+    #: crawl-health reporting); ``None`` when no faults were injected.
+    fault_plan: Optional[FaultPlan] = None
+    #: (shard index, sites crawled, capture entries) per shard.
+    shard_stats: Tuple[Tuple[int, int, int], ...] = ()
+
+
+class ParallelCrawler:
+    """Crawls a population's shards over a ``multiprocessing`` pool.
+
+    ``population`` may be a live :class:`Population` (wrapped in a
+    :class:`PrebuiltPopulationSpec`) or any :class:`PopulationSpec`.
+    ``workers=1`` (the default) runs every shard sequentially in-process
+    — the serial reference the fingerprint contract is stated against;
+    ``workers=N`` fans the same shards out over N processes and merges
+    to the bit-identical dataset.  ``num_shards`` defaults to
+    :func:`~repro.crawler.sharding.default_shard_count` and is
+    deliberately independent of ``workers``.
+
+    ``checkpoint_dir`` enables per-shard checkpointing: each shard
+    writes ``shard-NNN.ckpt`` after every site, and a later crawl with
+    the same directory resumes every shard from wherever it stopped
+    (missing checkpoints restart that shard from scratch; checkpoints
+    from a different layout raise
+    :class:`~repro.crawler.CheckpointError`).
+
+    Raises :class:`ValueError` for ``workers < 1`` or an invalid shard
+    count.
+    """
+
+    def __init__(self, population, workers: int = 1,
+                 num_shards: Optional[int] = None,
+                 profile: Optional[object] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[object] = None,
+                 consent_policy: Optional[str] = None,
+                 automated: bool = False,
+                 extension: Optional[object] = None,
+                 firewall: Optional[object] = None,
+                 checkpoint_dir: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if isinstance(population, PopulationSpec):
+            self.spec: PopulationSpec = population
+            self._population: Optional[Population] = None
+        else:
+            self.spec = PrebuiltPopulationSpec(population)
+            self._population = population
+        self.workers = workers
+        self.num_shards = num_shards
+        self.profile = profile
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        self.consent_policy = consent_policy
+        self.automated = automated
+        self.extension = extension
+        self.firewall = firewall
+        self.checkpoint_dir = checkpoint_dir
+        self._layout: Optional[ShardLayout] = None
+
+    # -- layout ----------------------------------------------------------
+
+    def population(self) -> Population:
+        """The parent-side population (built once, reused for the merge)."""
+        if self._population is None:
+            self._population = self.spec.build()
+        return self._population
+
+    @property
+    def layout(self) -> ShardLayout:
+        """The deterministic shard layout this crawl executes."""
+        if self._layout is None:
+            self._layout = ShardLayout.for_domains(
+                self.population().sites, self.num_shards)
+        return self._layout
+
+    def shard_session(self, index: int) -> CrawlSession:
+        """A fresh in-process session for shard ``index``.
+
+        Builds exactly the session a worker would build (own population,
+        own fresh fault plan) — useful for tests and for stepping a
+        single shard by hand.  Raises :class:`IndexError` on an
+        out-of-range index.
+        """
+        return _session_for_job(self._job(index, checkpointed=False))
+
+    # -- execution -------------------------------------------------------
+
+    def crawl(self) -> CrawlDataset:
+        """Run all shards and return the merged dataset (see :meth:`run`)."""
+        return self.run().dataset
+
+    def run(self) -> ParallelCrawlResult:
+        """Execute every shard and merge.
+
+        Returns a :class:`ParallelCrawlResult`; its ``dataset``
+        fingerprint depends only on ``(population, fault seed, layout)``
+        — never on ``workers``.  Raises
+        :class:`~repro.crawler.CheckpointError` when resuming against a
+        mismatched shard layout.
+        """
+        jobs = [self._job(index) for index in range(self.layout.num_shards)]
+        if self.checkpoint_dir:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
+        if self.workers == 1 or len(jobs) <= 1:
+            results = [run_shard_job(job) for job in jobs]
+        else:
+            with multiprocessing.get_context().Pool(
+                    processes=min(self.workers, len(jobs))) as pool:
+                results = pool.map(run_shard_job, jobs)
+        dataset = merge_shard_datasets(results, self.population())
+        merged_plan = None
+        if self.fault_plan is not None:
+            merged_plan = self.fault_plan.fresh_copy()
+            for result in sorted(results, key=lambda r: r.index):
+                merged_plan.events.extend(result.fault_events)
+        stats = tuple(
+            (result.index, len(result.dataset.flows),
+             len(result.dataset.log.entries))
+            for result in sorted(results, key=lambda r: r.index))
+        return ParallelCrawlResult(dataset=dataset, layout=self.layout,
+                                   workers=self.workers,
+                                   fault_plan=merged_plan,
+                                   shard_stats=stats)
+
+    # -- internals -------------------------------------------------------
+
+    def _job(self, index: int, checkpointed: bool = True) -> ShardJob:
+        checkpoint_path = None
+        if checkpointed and self.checkpoint_dir:
+            checkpoint_path = os.path.join(self.checkpoint_dir,
+                                           "shard-%03d.ckpt" % index)
+        plan = self.fault_plan.fresh_copy() if self.fault_plan else None
+        return ShardJob(spec=self.spec, shard=self.layout.info(index),
+                        profile=self.profile,
+                        consent_policy=self.consent_policy,
+                        automated=self.automated, fault_plan=plan,
+                        retry_policy=self.retry_policy,
+                        extension=self.extension, firewall=self.firewall,
+                        checkpoint_path=checkpoint_path)

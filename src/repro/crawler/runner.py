@@ -37,13 +37,26 @@ from ..netsim import CaptureLog
 from ..netsim.faults import FaultPlan
 from ..websim.population import Population
 from ..websim.site import Website
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .flows import STATUS_QUARANTINED, AuthFlowRunner, FlowResult
+from .sharding import ShardInfo
+
+#: Sentinel for :meth:`CrawlSession.load`'s ``expect_shard`` parameter:
+#: "the caller has no expectation, skip the layout check".
+ANY_SHARD = object()
 
 
 @dataclass
 class CrawlDataset:
-    """Everything one crawl produced."""
+    """Everything one crawl produced: the input to all analysis.
+
+    Bundles the full HTTP capture log, the per-site :class:`FlowResult`
+    outcomes, the persona's mailbox and the crawled population.  This is
+    the artifact the leak detector, tracking analysis and reporting all
+    consume — and the unit of the reproducibility contract:
+    :meth:`fingerprint` digests every exchange, cookie, flow outcome and
+    mail message, and must be bit-identical across replays, resumed
+    crawls and parallel crawls at any worker count (DESIGN.md §7)."""
 
     profile_name: str
     log: CaptureLog
@@ -131,8 +144,21 @@ class CrawlSession:
     """
 
     def __init__(self, crawler: "StudyCrawler",
-                 sites: Optional[Iterable[Website]] = None) -> None:
+                 sites: Optional[Iterable[Website]] = None,
+                 shard: Optional[ShardInfo] = None) -> None:
+        """Start a fresh session over ``crawler``'s population.
+
+        ``sites`` restricts the crawl to an explicit site sequence
+        (default: the whole population in population order).  ``shard``
+        stamps the session with its :class:`~repro.crawler.sharding.ShardInfo`
+        identity — when given and ``sites`` is omitted, the shard's own
+        domain sequence is crawled.  Raises :class:`KeyError` if a shard
+        domain is not in the population.
+        """
         population = crawler.population
+        self.shard = shard
+        if sites is None and shard is not None:
+            sites = [population.sites[domain] for domain in shard.domains]
         self.population = population
         self.profile = crawler.profile
         self.persona = population.persona
@@ -218,17 +244,71 @@ class CrawlSession:
     # -- persistence -----------------------------------------------------
 
     def save(self, path: str) -> str:
-        """Checkpoint this session (atomically) to ``path``."""
+        """Checkpoint this session (atomically) to ``path``.
+
+        Returns the path written.  Raises :class:`OSError` if the
+        destination directory is not writable.
+        """
         return save_checkpoint(self, path)
 
     @staticmethod
-    def load(path: str) -> "CrawlSession":
-        """Resume a session checkpointed by :meth:`save`."""
-        return load_checkpoint(path)
+    def load(path: str, expect_shard: object = ANY_SHARD) -> "CrawlSession":
+        """Resume a session checkpointed by :meth:`save`.
+
+        ``expect_shard`` declares what kind of session the caller is
+        prepared to resume:
+
+        * :data:`ANY_SHARD` (default) — no expectation, load anything;
+        * ``None`` — expect an *unsharded* (whole-population) session;
+        * a :class:`~repro.crawler.sharding.ShardInfo` — expect exactly
+          that shard of exactly that layout.
+
+        Raises :class:`~repro.crawler.CheckpointError` when the file is
+        not a checkpoint, or when the checkpointed session's shard
+        identity does not match the expectation — a checkpoint written
+        under a different shard layout (different shard count, different
+        site membership, or a serial-vs-sharded mismatch) must never be
+        silently resumed against the wrong site list.  Raises
+        :class:`OSError` if the file cannot be read.
+        """
+        session = load_checkpoint(path)
+        if expect_shard is ANY_SHARD:
+            return session
+        found = getattr(session, "shard", None)
+        if expect_shard is None:
+            if found is not None:
+                raise CheckpointError(
+                    "%s holds %s of a parallel crawl, not a serial "
+                    "(whole-population) session; resume it with the "
+                    "worker pool that wrote it" % (path, found.describe()))
+            return session
+        if found is None:
+            raise CheckpointError(
+                "%s holds a serial (unsharded) session but %s was "
+                "expected; a serial checkpoint cannot seed a parallel "
+                "crawl" % (path, expect_shard.describe()))
+        if found != expect_shard:
+            raise CheckpointError(
+                "%s was written by %s but the running layout expects %s; "
+                "shard layouts must match exactly to resume (same shard "
+                "count and same site partition)"
+                % (path, found.describe(), expect_shard.describe()))
+        return session
 
 
 class StudyCrawler:
-    """Crawls a population under one browser profile."""
+    """Crawls a population under one browser profile (the §3.2 operator).
+
+    Owns one crawl's mutable state — the scripted browser (cookie jar,
+    capture log, simulated clock), the persona's mailbox and, when a
+    :class:`~repro.netsim.faults.FaultPlan` is supplied, the resilient
+    network stack (retries, backoff, per-origin circuit breakers).
+    :meth:`crawl` runs every site to completion and returns the
+    :class:`CrawlDataset`; :meth:`start` returns a stepwise, resumable
+    :class:`CrawlSession` instead (optionally scoped to one shard of a
+    parallel layout).  For multi-process crawling use
+    :class:`~repro.crawler.ParallelCrawler`, which builds one of these
+    per shard."""
 
     def __init__(self, population: Population,
                  profile: Optional[BrowserProfile] = None,
@@ -264,10 +344,23 @@ class StudyCrawler:
             retry_policy = RetryPolicy()
         self.retry_policy = retry_policy
 
-    def start(self, sites: Optional[Iterable[Website]] = None) -> CrawlSession:
-        """Begin an incremental (checkpointable) crawl session."""
-        return CrawlSession(self, sites)
+    def start(self, sites: Optional[Iterable[Website]] = None,
+              shard: Optional[ShardInfo] = None) -> CrawlSession:
+        """Begin an incremental (checkpointable) crawl session.
+
+        ``sites`` restricts the crawl to an explicit sequence; ``shard``
+        stamps the session with a shard identity (and, when ``sites`` is
+        omitted, selects the shard's domains).  Returns a fresh
+        :class:`CrawlSession` positioned before the first site.
+        """
+        return CrawlSession(self, sites, shard=shard)
 
     def crawl(self, sites: Optional[Iterable[Website]] = None) -> CrawlDataset:
-        """Run the full study crawl; returns the combined dataset."""
+        """Run the full study crawl serially in this process.
+
+        ``sites`` optionally restricts/reorders the crawl.  Returns the
+        finished :class:`CrawlDataset`.  For a sharded or multi-process
+        crawl with the identical fingerprint contract, use
+        :class:`~repro.crawler.ParallelCrawler`.
+        """
         return self.start(sites).run()

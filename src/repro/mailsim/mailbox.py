@@ -60,6 +60,18 @@ class Mailbox:
                 subject="Offers from %s (#%d)" % (site_domain, index + 1),
                 kind=KIND_MARKETING, folder=folder))
 
+    def absorb(self, other: "Mailbox") -> None:
+        """Append every message of ``other`` (same address) to this box.
+
+        Used when merging per-shard crawl results back into one mailbox;
+        messages keep their relative order.  Raises :class:`ValueError`
+        if the two mailboxes belong to different addresses.
+        """
+        if other.address != self.address:
+            raise ValueError("cannot merge mailbox for %r into %r"
+                             % (other.address, self.address))
+        self._messages.extend(other._messages)
+
     # -- queries ---------------------------------------------------------
 
     def messages(self, folder: Optional[str] = None,

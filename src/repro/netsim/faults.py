@@ -203,6 +203,24 @@ class FaultPlan:
             return FAULT_DNS
         return None
 
+    # -- lifecycle -------------------------------------------------------
+
+    def fresh_copy(self) -> "FaultPlan":
+        """A new plan with this plan's configuration and zero history.
+
+        Same seed, rates and dead origins; empty counters, streaks and
+        event log.  This is how a parallel crawl hands each shard its own
+        plan: fault decisions are a pure function of ``(seed, namespace,
+        origin, n)``, so every shard that starts its counters from zero
+        draws the identical per-origin fault stream no matter which
+        worker process executes it (or in which order).
+        """
+        return FaultPlan(seed=self.seed, transient_rate=self.transient_rate,
+                         dead_rate=self.dead_rate, dns_rate=self.dns_rate,
+                         max_consecutive=self.max_consecutive,
+                         slow_seconds=self.slow_seconds,
+                         dead_origins=self.dead_origins)
+
     # -- observability ---------------------------------------------------
 
     def failure_log(self) -> Tuple[FaultEvent, ...]:
