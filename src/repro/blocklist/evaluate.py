@@ -16,7 +16,7 @@ method are prevented, mirroring the paper's per-method percentages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.detector import LeakDetector
 from ..core.leakmodel import LeakEvent

@@ -11,7 +11,7 @@ Shields on equal footing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..psl import default_list
 from .evaluate import default_rule_sets

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional
 
 RESOURCE_OPTIONS = frozenset({
     "script", "image", "stylesheet", "xmlhttprequest", "subdocument",

@@ -12,10 +12,10 @@ a :class:`~repro.netsim.CaptureLog` — the raw dataset all analyses consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..dnssim import DnsError, Resolver
+from ..dnssim import Resolver
 from ..netsim import (
     CaptureEntry,
     CaptureLog,

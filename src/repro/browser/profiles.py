@@ -19,8 +19,8 @@ paper's finding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
 
 from ..websim.trackers import BRAVE_MISSED_DOMAINS, TrackerCatalog
 

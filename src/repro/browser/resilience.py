@@ -14,8 +14,8 @@ crawl replays identically and a checkpointed crawl resumes bit-identically.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Set
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from . import __version__
 from .core import CandidateTokenSet, LeakDetector, Study
@@ -248,8 +248,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_tokens(args: argparse.Namespace) -> int:
+    from .reporting import redact_email
     tokens = CandidateTokenSet(DEFAULT_PERSONA)
-    print("persona email: %s" % DEFAULT_PERSONA.email)
+    email = (DEFAULT_PERSONA.email if args.show_pii
+             else redact_email(DEFAULT_PERSONA.email))
+    print("persona email: %s" % email)  # statan: ignore[PII201] --show-pii
     print("candidate tokens: %d" % tokens.token_count)
     by_depth: dict = {}
     for token in tokens.tokens():
@@ -263,17 +266,29 @@ def _cmd_tokens(args: argparse.Namespace) -> int:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    from .reporting import redact_spans
     tokens = CandidateTokenSet(DEFAULT_PERSONA)
     exit_code = 0
     for url in args.urls:
-        origins = tokens.scan_distinct(url)
-        if not origins:
+        matches = tokens.scan(url)
+        if not matches:
             print("%s: clean" % url)
             continue
         exit_code = 1
-        for origin in origins:
+        if args.show_pii:
+            shown = url
+        else:
+            # The URL embeds the leaked tokens (possibly plaintext PII)
+            # — mask exactly the matched spans before echoing it.
+            shown = redact_spans(url, [(m.start, m.end) for m in matches])
+        seen = []
+        for match in matches:
+            if match.payload in seen:
+                continue
+            seen.append(match.payload)
             print("%s: LEAK pii=%s encoding=%s"
-                  % (url, origin.pii_type, origin.encoding_label))
+                  % (shown, match.payload.pii_type,
+                     match.payload.encoding_label))
     return exit_code
 
 
@@ -310,6 +325,13 @@ def _add_parallel_args(sub: argparse.ArgumentParser) -> None:
                      help="partition the site list into M deterministic "
                           "shards (default: automatic, independent of "
                           "--workers)")
+
+
+def _add_show_pii_arg(sub: argparse.ArgumentParser) -> None:
+    """--show-pii: print persona PII / leaked tokens unredacted."""
+    sub.add_argument("--show-pii", action="store_true",
+                     help="print PII values unredacted (default: mask "
+                          "them; see repro.reporting.redact)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -362,11 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     tokens = subparsers.add_parser("tokens",
                                    help="candidate-token statistics")
+    _add_show_pii_arg(tokens)
     tokens.set_defaults(func=_cmd_tokens)
 
     scan = subparsers.add_parser(
         "scan", help="scan URLs for the persona's PII tokens")
     scan.add_argument("urls", nargs="+")
+    _add_show_pii_arg(scan)
     scan.set_defaults(func=_cmd_scan)
     return parser
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .. import hashes
-from .leakmodel import CHANNELS, LeakEvent
+from .leakmodel import LeakEvent
 
 # Canonical Table 1b encoding rows.
 ENCODING_ROWS = ("plaintext", "base64", "md5", "sha1", "sha256",

@@ -16,7 +16,7 @@ Given the raw capture log of a crawl, the detector:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..dnssim import CnameCloakingDetector, Resolver

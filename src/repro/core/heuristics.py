@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set
 
 from ..netsim import CaptureEntry, CaptureLog, decode_urlencoded
 from ..psl import PublicSuffixList, default_list

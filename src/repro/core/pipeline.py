@@ -14,7 +14,7 @@ wires them together the way the paper's methodology chains them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..browser import BrowserProfile, RetryPolicy, vanilla_firefox
 from ..crawler import CrawlDataset, CrawlSession, StudyCrawler
@@ -27,7 +27,6 @@ from .analysis import LeakAnalysis
 from .detector import LeakDetector, leaking_requests
 from .heuristics import HeuristicDetector, SuspectedLeak
 from .leakmodel import LeakEvent
-from .persona import Persona
 from .tokens import CandidateTokenSet, TokenSetConfig
 
 

@@ -14,7 +14,7 @@ whose policy blocks sign-up, and CAPTCHA failures (the Brave/nykaa case).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..browser import Browser
 from ..core.persona import Persona

@@ -47,6 +47,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..mailsim import Mailbox
 from ..netsim import CaptureLog
 from ..netsim.faults import FaultEvent, FaultPlan
+from ..reporting.redact import redact_email
 from ..websim.population import Population
 from .runner import CrawlDataset, CrawlSession, StudyCrawler
 from .sharding import ShardInfo, ShardLayout
@@ -226,11 +227,13 @@ def merge_shard_datasets(results: Sequence[ShardResult],
         dataset = result.dataset
         if dataset.persona.email != first.persona.email or \
                 dataset.profile_name != first.profile_name:
+            # Redacted: this message ends up in logs/tracebacks, which
+            # are exactly the unintended PII sinks the paper is about.
             raise ValueError(
                 "shard %d was crawled as (%s, %s), not (%s, %s); refusing "
                 "to merge shards from different studies"
-                % (result.index, dataset.persona.email,
-                   dataset.profile_name, first.persona.email,
+                % (result.index, redact_email(dataset.persona.email),
+                   dataset.profile_name, redact_email(first.persona.email),
                    first.profile_name))
         overlap = set(flows) & set(dataset.flows)
         if overlap:

@@ -22,7 +22,7 @@ report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..browser import BrowserProfile, vanilla_firefox

@@ -20,11 +20,10 @@ import csv
 import io
 import json
 import pathlib
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from ..core.analysis import LeakAnalysis
 from ..core.pipeline import StudyResult
-from ..tracking import PersistenceReport, TrackIdAnalyzer
+from ..tracking import TrackIdAnalyzer
 
 
 def senders_csv(result: StudyResult) -> str:

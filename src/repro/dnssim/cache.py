@@ -10,7 +10,7 @@ the same simulated clock the browser uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from .resolver import DnsError, Resolution, Resolver

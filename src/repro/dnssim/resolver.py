@@ -10,7 +10,7 @@ that capability for the synthetic web.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 RECORD_A = "A"
 RECORD_CNAME = "CNAME"

@@ -16,7 +16,6 @@ Verified against the official ISO test vectors in the test suite.
 
 from __future__ import annotations
 
-import struct
 from typing import List
 
 _ROUNDS = 10

@@ -10,7 +10,7 @@ of the leakage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 FOLDER_INBOX = "inbox"

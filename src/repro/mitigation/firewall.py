@@ -18,14 +18,12 @@ would have flagged, the firewall removes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.tokens import CandidateTokenSet
 from ..dnssim import CnameCloakingDetector, Resolver
 from ..netsim import (
-    Headers,
     HttpRequest,
-    Url,
     decode_urlencoded,
     encode_urlencoded,
     percent_decode,

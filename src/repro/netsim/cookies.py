@@ -10,7 +10,7 @@ state in the browser-countermeasure experiments (§7.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .url import Url

@@ -10,7 +10,7 @@ percent-encoding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 _UNRESERVED = frozenset(

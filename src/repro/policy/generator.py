@@ -10,7 +10,7 @@ per class (real policies do not share a template), so the classifier in
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..websim.shopping import (
     POLICY_NO_DESCRIPTION,

@@ -12,15 +12,14 @@ eight missed receivers, and one CAPTCHA-broken sign-up flow).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..browser import BrowserProfile, evaluation_profiles, vanilla_firefox
 from ..core.analysis import LeakAnalysis
 from ..core.detector import LeakDetector
 from ..core.tokens import CandidateTokenSet
-from ..crawler import STATUS_CAPTCHA_FAILED, CrawlDataset, StudyCrawler
+from ..crawler import STATUS_CAPTCHA_FAILED, StudyCrawler
 from ..websim.population import Population
-from ..websim.site import Website
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,11 @@
-"""Text renderers for the paper's tables and figures."""
+"""Text renderers for the paper's tables and figures, plus redaction."""
 
+from .redact import (
+    redact,
+    redact_email,
+    redact_spans,
+    redact_value,
+)
 from .latex import (
     latex_escape,
     table1_latex,
@@ -34,4 +40,8 @@ __all__ = [
     "render_table2",
     "render_table3",
     "render_table4",
+    "redact",
+    "redact_email",
+    "redact_spans",
+    "redact_value",
 ]

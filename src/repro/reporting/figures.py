@@ -6,7 +6,7 @@ and 3 are mechanism walkthroughs rendered as annotated HTTP traces.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Sequence
 
 from ..core.analysis import LeakAnalysis
 from ..core.leakmodel import LeakEvent

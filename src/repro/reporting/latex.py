@@ -8,7 +8,7 @@ caption carrying the paper-vs-measured framing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..core.analysis import BreakdownRow, LeakAnalysis
 from ..datasets import paper

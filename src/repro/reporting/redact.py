@@ -1,0 +1,108 @@
+"""PII redaction for operator-facing output.
+
+The paper's subject is PII escaping to unintended sinks; the
+reproduction must not itself be a sink.  Every place the CLI, logs or
+reports surface persona PII or recovered leak payloads routes the value
+through these helpers — and the :mod:`repro.statan` PII-taint rule
+(PII201) enforces exactly that: these functions are its sanitizers.
+
+Redaction is deterministic and shape-preserving enough to debug with
+(``jdoe1991@mailbox.org`` → ``j*******@m******.org``): same input, same
+mask, so redacted output still diffs cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["redact", "redact_email", "redact_spans", "redact_value"]
+
+#: Shortest prefix of a masked segment kept in the clear.
+_KEEP = 1
+_MASK = "*"
+
+
+def _mask_segment(segment: str) -> str:
+    """Mask one token segment, keeping the first character as an anchor."""
+    if len(segment) <= _KEEP:
+        return _MASK * max(len(segment), 1)
+    return segment[:_KEEP] + _MASK * (len(segment) - _KEEP)
+
+
+def redact_email(email: str) -> str:
+    """``jdoe1991@mailbox.org`` → ``j*******@m******.org``.
+
+    The local part and every domain label except the public suffix are
+    masked to their first character; the TLD stays readable so the
+    *shape* of the address (which mail ecosystem) survives redaction.
+    Falls back to :func:`redact_value` for strings without an ``@``.
+    """
+    if "@" not in email:
+        return redact_value(email)
+    local, _, domain = email.partition("@")
+    labels = domain.split(".")
+    if len(labels) > 1:
+        masked = [_mask_segment(label) for label in labels[:-1]]
+        masked.append(labels[-1])
+    else:
+        masked = [_mask_segment(domain)]
+    return "%s@%s" % (_mask_segment(local), ".".join(masked))
+
+
+def redact_value(value: str) -> str:
+    """Generic PII mask: keep the first character per word, mask the rest.
+
+    ``John Smith`` → ``J*** S****``; hex/hashed tokens keep their first
+    character and length (``5d41...`` → ``5***...``), enough to eyeball
+    which token family a finding is about without re-leaking it.
+    """
+    return " ".join(_mask_segment(word) if word else word
+                    for word in value.split(" "))
+
+
+def redact(value: str) -> str:
+    """The general entry point: email-aware, otherwise a generic mask."""
+    if "@" in value:
+        return redact_email(value)
+    return redact_value(value)
+
+
+def redact_spans(text: str, spans: Iterable[Tuple[int, int]]) -> str:
+    """Mask the ``[start, end)`` character spans of ``text`` in place.
+
+    The tool for "this URL/body contains leaked tokens at these
+    offsets": everything outside the spans is preserved verbatim, each
+    span is masked with :func:`redact` (so an embedded e-mail address
+    keeps its ``@``-shape).  Overlapping or unsorted spans are merged
+    first.  Raises :class:`ValueError` for spans out of range or
+    inverted.
+    """
+    merged = _merge_spans(text, spans)
+    out: List[str] = []
+    cursor = 0
+    for start, end in merged:
+        out.append(text[cursor:start])
+        out.append(redact(text[start:end]))
+        cursor = end
+    out.append(text[cursor:])
+    return "".join(out)
+
+
+def _merge_spans(text: str,
+                 spans: Iterable[Tuple[int, int]],
+                 ) -> Sequence[Tuple[int, int]]:
+    cleaned: List[Tuple[int, int]] = []
+    for start, end in spans:
+        if not (0 <= start <= end <= len(text)):
+            raise ValueError("span (%d, %d) out of range for %d-char text"
+                             % (start, end, len(text)))
+        if start < end:
+            cleaned.append((start, end))
+    cleaned.sort()
+    merged: List[Tuple[int, int]] = []
+    for start, end in cleaned:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged

@@ -7,12 +7,12 @@ the benchmark harness and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-from ..core.analysis import BreakdownRow, LeakAnalysis
+from ..core.analysis import LeakAnalysis
 from ..crawler.flows import ALL_STATUSES, STATUS_TAXONOMY
 from ..datasets import paper
-from ..tracking import PersistenceReport, Table2Row
+from ..tracking import PersistenceReport
 
 
 def _format_cell(count: int, pct: float) -> str:

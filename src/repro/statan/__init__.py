@@ -1,0 +1,56 @@
+"""Static analysis gate (``repro-lint``).
+
+The repo's two load-bearing contracts are enforced here *by analysis*,
+not just by observation:
+
+* **Determinism** — seed → population → fault plan → bit-identical
+  :meth:`~repro.crawler.CrawlDataset.fingerprint` at any worker count
+  (DESIGN.md §"Reproducibility").  Wall-clock reads, unseeded ``random``
+  module calls, OS entropy and ``PYTHONHASHSEED``-sensitive builtin
+  ``hash()`` are forbidden in the fingerprint-affecting modules.
+* **PII containment** — the paper's own subject has a meta-instance in
+  our code: persona PII and leaked-token payloads must not reach output
+  sinks (``print``, ``logging``, file writes, exception messages) except
+  through :mod:`repro.reporting.redact`.
+
+Plus **pickle safety**: classes crossing the ``crawler.parallel``
+multiprocessing boundary must stay picklable (no lambdas, local classes
+or open handles in their state).
+
+Architecture: :mod:`~repro.statan.engine` parses each file once and runs
+every :class:`~repro.statan.engine.Rule` over the shared
+:class:`~repro.statan.engine.ModuleContext`; rules live in
+:mod:`repro.statan.rules`; :mod:`~repro.statan.taint` is the
+intraprocedural dataflow engine the PII rules are built on;
+:mod:`~repro.statan.baseline` implements the accepted-findings file and
+:mod:`~repro.statan.cli` the ``repro-lint`` command (human + JSON
+output, ``# statan: ignore[RULE]`` inline suppression).
+"""
+
+from .baseline import Baseline
+from .engine import (
+    AnalysisReport,
+    Finding,
+    ModuleContext,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    module_name_for_path,
+)
+from .rules import default_rules, rules_by_family, rules_by_id
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "default_rules",
+    "iter_python_files",
+    "module_name_for_path",
+    "rules_by_family",
+    "rules_by_id",
+]

@@ -1,0 +1,109 @@
+"""Accepted-findings baseline (the "ratchet" file).
+
+A baseline records findings that existed when the gate was introduced
+(or were explicitly accepted later) so the CI job fails only on *new*
+findings.  Matching is by :attr:`Finding.baseline_key` — rule id, file
+path and source snippet, deliberately *not* the line number — counted
+as a multiset, so:
+
+* moving a baselined line around its file does not resurface it;
+* adding a *second* identical violation in the same file does fail
+  (the count exceeds the baselined count).
+
+The file is plain sorted JSON so diffs review like code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from .engine import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted finding keys."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            key = finding.baseline_key
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file.
+
+        Raises :class:`OSError` if unreadable and :class:`ValueError`
+        if the JSON is malformed or the wrong version.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError("%s: not a baseline file (%s)"
+                                 % (path, exc))
+        if not isinstance(payload, dict) or \
+                payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                "%s: unsupported baseline version %r (expected %d)"
+                % (path, payload.get("version")
+                   if isinstance(payload, dict) else None,
+                   BASELINE_VERSION))
+        entries: Dict[str, int] = {}
+        for entry in payload.get("entries", []):
+            key = "%s::%s::%s" % (entry["rule"], entry["path"],
+                                  entry["snippet"])
+            entries[key] = int(entry.get("count", 1))
+        return cls(entries)
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the baseline as stable, sorted JSON."""
+        entries: List[Dict[str, object]] = []
+        for key in sorted(self.entries):
+            rule, file_path, snippet = key.split("::", 2)
+            entries.append({"rule": rule, "path": file_path,
+                            "snippet": snippet,
+                            "count": self.entries[key]})
+        payload = {"version": BASELINE_VERSION, "tool": "repro-lint",
+                   "entries": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- filtering -------------------------------------------------------
+
+    def split(self, findings: Iterable[Finding],
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, baselined).
+
+        Each baseline entry absorbs at most ``count`` occurrences of
+        its key; everything beyond that is new.
+        """
+        budget = dict(self.entries)
+        new: List[Finding] = []
+        accepted: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        return new, accepted
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,170 @@
+"""The ``repro-lint`` command.
+
+Usage::
+
+    repro-lint src/                         # human output, exit 1 on
+                                            # new (non-baselined) findings
+    repro-lint src/ --format json           # machine-readable report
+    repro-lint src/ --write-baseline        # accept current findings
+    repro-lint src/ --select determinism    # one family (or rule id)
+    repro-lint --list-rules
+
+Exit codes: 0 clean (every finding baselined or none), 1 new findings,
+2 usage / parse errors.  The default baseline is
+``.repro-lint-baseline.json`` in the current directory when it exists;
+``--no-baseline`` ignores it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import AnalysisReport, Finding
+from .engine import analyze_paths as _analyze_paths
+from .rules import default_rules, rules_by_id
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: JSON report schema version (bump on incompatible change).
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism / PII-taint / pickle-safety "
+                    "gate for the repro codebase.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="output format")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline file of accepted findings "
+                             "(default: %s when present)"
+                             % DEFAULT_BASELINE_NAME)
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to the "
+                             "baseline file and exit 0")
+    parser.add_argument("--select", action="append", metavar="RULE",
+                        help="restrict to a rule id (DET101) or family "
+                             "(determinism); repeatable")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_rule_listing())
+        return EXIT_CLEAN
+
+    try:
+        rules = rules_by_id(args.select)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    report = _analyze_paths(args.paths, rules)
+
+    baseline_path = _baseline_path(args)
+    baseline = Baseline()
+    if args.write_baseline:
+        path = baseline_path or DEFAULT_BASELINE_NAME
+        Baseline.from_findings(report.findings).save(path)
+        print("repro-lint: wrote %d finding(s) to %s"
+              % (len(report.findings), path))
+        return EXIT_CLEAN
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print("repro-lint: error: %s" % exc, file=sys.stderr)
+            return EXIT_ERROR
+
+    new, accepted = baseline.split(report.findings)
+
+    if args.format == "json":
+        print(_json_report(report, new, accepted, baseline_path))
+    else:
+        _print_human(report, new, accepted, baseline_path)
+
+    if report.errors:
+        return EXIT_ERROR
+    return EXIT_FINDINGS if new else EXIT_CLEAN
+
+
+def _baseline_path(args: argparse.Namespace) -> Optional[str]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    if os.path.exists(DEFAULT_BASELINE_NAME):
+        return DEFAULT_BASELINE_NAME
+    return None
+
+
+def _rule_listing() -> str:
+    lines: List[str] = []
+    for rule in default_rules():
+        lines.append("%s  %-18s [%s]" % (rule.id, rule.name, rule.family))
+        lines.append("        %s" % rule.description)
+    return "\n".join(lines)
+
+
+def _json_report(report: AnalysisReport, new: List[Finding],
+                 accepted: List[Finding],
+                 baseline_path: Optional[str]) -> str:
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "files_analyzed": report.files_analyzed,
+        "errors": [{"path": path, "message": message}
+                   for path, message in report.errors],
+        "findings": [finding.to_json() for finding in new],
+        "baselined": [finding.to_json() for finding in accepted],
+        "suppressed_count": report.suppressed_count,
+        "counts": {
+            "total": len(report.findings),
+            "new": len(new),
+            "baselined": len(accepted),
+            "by_rule": report.counts_by_rule(),
+            "by_family": report.counts_by_family(),
+        },
+        "baseline": baseline_path,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _print_human(report: AnalysisReport, new: List[Finding],
+                 accepted: List[Finding],
+                 baseline_path: Optional[str]) -> None:
+    for path, message in report.errors:
+        print("%s: parse error: %s" % (path, message), file=sys.stderr)
+    for finding in new:
+        print(finding.format())
+    bits = ["%d file(s)" % report.files_analyzed,
+            "%d new finding(s)" % len(new)]
+    if accepted:
+        bits.append("%d baselined (%s)"
+                    % (len(accepted), baseline_path))
+    if report.suppressed_count:
+        bits.append("%d inline-suppressed" % report.suppressed_count)
+    if report.errors:
+        bits.append("%d parse error(s)" % len(report.errors))
+    print("repro-lint: " + ", ".join(bits))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,337 @@
+"""The rule engine: parse once, run every rule, honour suppressions.
+
+A :class:`ModuleContext` is one parsed Python file — source, AST, a
+best-effort dotted module name, the import alias table and the inline
+suppression table.  A :class:`Rule` inspects a context and yields
+:class:`Finding` records; :func:`analyze_paths` drives the whole thing
+over a file tree and returns an :class:`AnalysisReport`.
+
+Suppression syntax (scoped to the physical line of the finding)::
+
+    t = time.time()          # statan: ignore[DET101]
+    t = time.time()          # statan: ignore          (any rule)
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Rule families (every rule declares one).
+FAMILY_DETERMINISM = "determinism"
+FAMILY_PII_TAINT = "pii-taint"
+FAMILY_PICKLE = "pickle-safety"
+
+FAMILIES = (FAMILY_DETERMINISM, FAMILY_PII_TAINT, FAMILY_PICKLE)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*statan:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str       # rule id, e.g. "DET101"
+    family: str     # rule family, e.g. "determinism"
+    path: str       # file path as analyzed (posix separators)
+    line: int       # 1-based
+    col: int        # 0-based, as reported by ast
+    message: str
+    snippet: str = ""   # the stripped physical source line
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-number-independent identity used for baseline matching.
+
+        Deliberately excludes ``line``/``col`` so that unrelated edits
+        moving a baselined finding up or down the file do not resurface
+        it as "new".
+        """
+        return "%s::%s::%s" % (self.rule, self.path, self.snippet)
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` (the human output line)."""
+        return "%s:%d:%d: %s %s" % (self.path, self.line, self.col,
+                                    self.rule, self.message)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class ModuleContext:
+    """One parsed source file, shared by every rule.
+
+    Parsing, import resolution and suppression-comment scanning happen
+    once per file here, not once per rule.
+    """
+
+    def __init__(self, path: str, source: str,
+                 module: Optional[str] = None) -> None:
+        """Parse ``source``.  Raises :class:`SyntaxError` on bad input."""
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.module = module if module is not None \
+            else module_name_for_path(path)
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=path)
+        self.imports: Dict[str, str] = _import_table(self.tree)
+        self._suppressions: Dict[int, Optional[Set[str]]] = \
+            _suppression_table(self.lines)
+
+    # -- queries ---------------------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        """The stripped physical source line (1-based; "" if absent)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True if ``# statan: ignore[...]`` on ``line`` covers ``rule_id``."""
+        if line not in self._suppressions:
+            return False
+        rules = self._suppressions[line]
+        return rules is None or rule_id in rules
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted name, if possible.
+
+        Import aliases are expanded: with ``from datetime import
+        datetime as dt``, the call ``dt.now()`` resolves to
+        ``datetime.datetime.now``.  Returns ``None`` for expressions
+        that are not plain dotted chains (calls, subscripts, ...).
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.imports.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def module_matches(self, prefixes: Sequence[str]) -> bool:
+        """Is this module under any of the dotted ``prefixes``?"""
+        for prefix in prefixes:
+            if self.module == prefix or \
+                    self.module.startswith(prefix + "."):
+                return True
+        return False
+
+
+class Rule:
+    """Base class every statan rule derives from.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    Use :meth:`finding` to build findings — it fills in the location,
+    snippet and family uniformly.
+    """
+
+    id: str = ""
+    name: str = ""
+    family: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST,
+                message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=self.id, family=self.family, path=ctx.path,
+                       line=line, col=col, message=message,
+                       snippet=ctx.line_text(line))
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Files that could not be parsed: (path, error message).
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+    files_analyzed: int = 0
+    suppressed_count: int = 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def counts_by_family(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.family] = counts.get(finding.family, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+# ---------------------------------------------------------------------------
+# Driving the rules.
+# ---------------------------------------------------------------------------
+
+def module_name_for_path(path: str) -> str:
+    """Best-effort dotted module name for a file path.
+
+    Recognizes ``src``-layout roots (everything after the last ``src``
+    component) and bare package paths (from the first ``repro``
+    component); otherwise falls back to the file stem.  ``__init__.py``
+    maps to its package.
+    """
+    parts = path.replace(os.sep, "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    return ".".join(part for part in parts if part) or "<unknown>"
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directories are walked recursively; hidden directories and
+    ``__pycache__`` are skipped.  Raises :class:`FileNotFoundError` for
+    a path that does not exist.
+    """
+    out: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            out.add(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if not d.startswith(".")
+                                 and d != "__pycache__")
+                for name in files:
+                    if name.endswith(".py"):
+                        out.add(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(path)
+    return sorted(out)
+
+
+def analyze_source(source: str, rules: Iterable[Rule],
+                   path: str = "<string>",
+                   module: Optional[str] = None) -> List[Finding]:
+    """Run ``rules`` over one source string (the fixture-test entry point).
+
+    Returns the surviving findings, sorted; inline suppressions are
+    honoured.  Raises :class:`SyntaxError` on unparseable source.
+    """
+    ctx = ModuleContext(path, source, module=module)
+    findings, _ = _run_rules(ctx, list(rules))
+    return findings
+
+
+def analyze_paths(paths: Sequence[str], rules: Iterable[Rule],
+                  ) -> AnalysisReport:
+    """Analyze every Python file under ``paths`` with ``rules``.
+
+    Unparseable files are reported in :attr:`AnalysisReport.errors`
+    rather than raised — a syntax error in one file must not hide
+    findings in the rest of the tree.
+    """
+    rule_list = list(rules)
+    report = AnalysisReport()
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            ctx = ModuleContext(filename, source)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.errors.append((filename.replace(os.sep, "/"), str(exc)))
+            continue
+        report.files_analyzed += 1
+        findings, suppressed = _run_rules(ctx, rule_list)
+        report.findings.extend(findings)
+        report.suppressed_count += suppressed
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def _run_rules(ctx: ModuleContext,
+               rules: List[Rule]) -> Tuple[List[Finding], int]:
+    """All non-suppressed findings for one context + suppressed count."""
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding.line, finding.rule):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort(key=lambda f: (f.line, f.col, f.rule))
+    return kept, suppressed
+
+
+# ---------------------------------------------------------------------------
+# Per-file tables.
+# ---------------------------------------------------------------------------
+
+def _import_table(tree: ast.Module) -> Dict[str, str]:
+    """Map local alias -> imported dotted name, over the whole file.
+
+    ``import os.path`` binds ``os``; ``import numpy as np`` binds
+    ``np -> numpy``; ``from datetime import datetime as dt`` binds
+    ``dt -> datetime.datetime``.  Relative imports keep their bare
+    module path (level dots dropped) — good enough for matching
+    project-local names.
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    table[alias.name.split(".")[0]] = \
+                        alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = ("%s.%s" % (base, alias.name)
+                                if base else alias.name)
+    return table
+
+
+def _suppression_table(lines: List[str]) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line -> suppressed rule ids (None = all rules)."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for number, text in enumerate(lines, start=1):
+        if "statan" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            table[number] = None
+        else:
+            rules = {part.strip() for part in spec.split(",")
+                     if part.strip()}
+            table[number] = rules or None
+    return table

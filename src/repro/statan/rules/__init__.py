@@ -1,0 +1,80 @@
+"""Rule registry: every statan rule, grouped by family."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..engine import Rule
+from .determinism import (
+    BuiltinHashRule,
+    OsEntropyRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from .pickle_safety import (
+    LocalClassRule,
+    StoredLambdaRule,
+    UnpicklableHandleRule,
+)
+from .pii_taint import PiiSinkRule
+
+__all__ = [
+    "BuiltinHashRule",
+    "LocalClassRule",
+    "OsEntropyRule",
+    "PiiSinkRule",
+    "StoredLambdaRule",
+    "UnpicklableHandleRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+    "default_rules",
+    "rules_by_family",
+    "rules_by_id",
+]
+
+
+def default_rules() -> List[Rule]:
+    """One instance of every rule, in a stable order."""
+    return [
+        WallClockRule(),
+        UnseededRandomRule(),
+        OsEntropyRule(),
+        BuiltinHashRule(),
+        PiiSinkRule(),
+        StoredLambdaRule(),
+        LocalClassRule(),
+        UnpicklableHandleRule(),
+    ]
+
+
+def rules_by_id(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """The default rules, optionally filtered to ids/families in ``select``.
+
+    Each selector matches a rule id (``DET101``) or a family name
+    (``determinism``).  Raises :class:`ValueError` for a selector that
+    matches nothing.
+    """
+    rules = default_rules()
+    if not select:
+        return rules
+    chosen: List[Rule] = []
+    for selector in select:
+        matched = [rule for rule in rules
+                   if rule.id == selector or rule.family == selector]
+        if not matched:
+            known = ", ".join(sorted({r.id for r in rules}
+                                     | {r.family for r in rules}))
+            raise ValueError("unknown rule or family %r (known: %s)"
+                             % (selector, known))
+        for rule in matched:
+            if rule not in chosen:
+                chosen.append(rule)
+    return chosen
+
+
+def rules_by_family() -> Dict[str, List[Rule]]:
+    """{family: [rules]} over the default rule set."""
+    table: Dict[str, List[Rule]] = {}
+    for rule in default_rules():
+        table.setdefault(rule.family, []).append(rule)
+    return table

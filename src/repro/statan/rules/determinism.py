@@ -1,0 +1,210 @@
+"""Determinism rules (DET1xx).
+
+The fingerprint contract — seed → population → fault plan →
+bit-identical :meth:`~repro.crawler.CrawlDataset.fingerprint` at any
+worker count — only holds if nothing on the crawl path reads
+nondeterministic inputs.  These rules forbid the four ways
+nondeterminism usually sneaks in, inside the fingerprint-affecting
+module scope:
+
+* **DET101** wall-clock reads (``time.time``, naive ``datetime.now``)
+  — the simulated clock (:class:`repro.browser.SimClock`) is the only
+  time source a crawl may observe.
+* **DET102** unseeded ``random`` *module* calls — every draw must come
+  from an explicitly seeded ``random.Random(seed)`` instance (the
+  :mod:`repro.websim.generator` / :mod:`repro.netsim.faults` idiom).
+* **DET103** OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets``,
+  ``random.SystemRandom``) — unreproducible by construction.
+* **DET104** builtin ``hash()`` — salted per-process by
+  ``PYTHONHASHSEED`` for ``str``/``bytes``, so any fingerprint,
+  shard-layout or ordering decision built on it differs across
+  processes.  Use ``hashlib`` digests (the :mod:`repro.crawler.sharding`
+  idiom) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Set, Tuple
+
+from ..engine import FAMILY_DETERMINISM, Finding, ModuleContext, Rule
+
+#: Modules the determinism contract is stated over: everything that
+#: feeds a crawl, a shard layout or a dataset fingerprint.
+DETERMINISM_SCOPE: Tuple[str, ...] = (
+    "repro.browser",
+    "repro.core",
+    "repro.crawler",
+    "repro.dnssim",
+    "repro.hashes",
+    "repro.mailsim",
+    "repro.netsim",
+    "repro.websim",
+)
+
+#: ``time``-module calls that read the host clock.
+WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.localtime",
+    "time.gmtime",
+}
+
+#: ``datetime`` constructors that read the host clock.  ``now`` is only
+#: nondeterministic when called on the datetime classes — ``clock.now()``
+#: on the simulated clock is fine, hence the qualified-name match.
+DATETIME_CALLS = {
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: Stateful module-level functions on the shared, unseeded global RNG.
+UNSEEDED_RANDOM_CALLS = {
+    "random." + name for name in (
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "betavariate", "expovariate", "gauss",
+        "normalvariate", "lognormvariate", "triangular", "vonmisesvariate",
+        "paretovariate", "weibullvariate", "getrandbits", "randbytes",
+        "seed",
+    )
+}
+
+#: OS-entropy reads: different on every call, on purpose.
+OS_ENTROPY_CALLS = {
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "random.SystemRandom",
+}
+OS_ENTROPY_PREFIXES = ("secrets.",)
+
+
+class _ScopedRule(Rule):
+    """Shared behaviour: rules that apply only inside a module scope."""
+
+    family = FAMILY_DETERMINISM
+
+    def __init__(self, scope: Sequence[str] = DETERMINISM_SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def in_scope(self, ctx: ModuleContext) -> bool:
+        return ctx.module_matches(self.scope)
+
+    def calls(self, ctx: ModuleContext) -> Iterator[ast.Call]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+class WallClockRule(_ScopedRule):
+    id = "DET101"
+    name = "wall-clock-read"
+    description = ("no wall-clock reads (time.time, naive datetime.now) "
+                   "in fingerprint-affecting modules; use the simulated "
+                   "clock (SimClock)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        for call in self.calls(ctx):
+            qual = ctx.qualname(call.func)
+            if qual is None:
+                continue
+            if qual in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, call,
+                    "wall-clock read %s() breaks crawl determinism; "
+                    "use the session's SimClock" % qual)
+            elif qual in DATETIME_CALLS:
+                if qual.endswith(".now") and _has_tz_argument(call):
+                    # tz-aware now() is explicit about being wall-clock;
+                    # the contract (ISSUE wording) bans the *naive* form.
+                    continue
+                yield self.finding(
+                    ctx, call,
+                    "%s() reads the host clock; crawl time must come "
+                    "from the simulated clock" % qual)
+
+
+def _has_tz_argument(call: ast.Call) -> bool:
+    return bool(call.args) or any(kw.arg == "tz" for kw in call.keywords)
+
+
+class UnseededRandomRule(_ScopedRule):
+    id = "DET102"
+    name = "unseeded-random"
+    description = ("no module-level random.* calls (the shared global "
+                   "RNG); draw from an explicit random.Random(seed)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        for call in self.calls(ctx):
+            qual = ctx.qualname(call.func)
+            if qual in UNSEEDED_RANDOM_CALLS:
+                yield self.finding(
+                    ctx, call,
+                    "%s() draws from the process-global RNG; use a "
+                    "seeded random.Random(seed) instance so replays "
+                    "are bit-identical" % qual)
+
+
+class OsEntropyRule(_ScopedRule):
+    id = "DET103"
+    name = "os-entropy"
+    description = ("no OS entropy (os.urandom, uuid.uuid4, secrets, "
+                   "SystemRandom) in fingerprint-affecting modules")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        for call in self.calls(ctx):
+            qual = ctx.qualname(call.func)
+            if qual is None:
+                continue
+            if qual in OS_ENTROPY_CALLS or \
+                    qual.startswith(OS_ENTROPY_PREFIXES):
+                yield self.finding(
+                    ctx, call,
+                    "%s() is unreproducible OS entropy; derive "
+                    "identifiers from the seed (hashlib over seeded "
+                    "inputs)" % qual)
+
+
+class BuiltinHashRule(_ScopedRule):
+    id = "DET104"
+    name = "builtin-hash"
+    description = ("builtin hash() is PYTHONHASHSEED-salted for "
+                   "str/bytes; use hashlib digests for any value that "
+                   "feeds a fingerprint, shard layout or ordering")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        if "hash" in ctx.imports and ctx.imports["hash"] != "hash":
+            return  # a different 'hash' was imported over the builtin
+        shadowed = _module_level_definitions(ctx.tree)
+        if "hash" in shadowed:
+            return
+        for call in self.calls(ctx):
+            func = call.func
+            if isinstance(func, ast.Name) and func.id == "hash":
+                yield self.finding(
+                    ctx, call,
+                    "builtin hash() differs across processes "
+                    "(PYTHONHASHSEED); use a hashlib digest for "
+                    "stable hashing (see crawler.sharding)")
+
+
+def _module_level_definitions(tree: ast.Module) -> Set[str]:
+    """Names defined at module level (functions, classes, assignments)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names

@@ -1,0 +1,60 @@
+"""PII-taint rules (PII2xx).
+
+The paper's subject — PII escaping to unintended sinks — has a
+meta-instance in any reproduction: the operator's persona is real-shaped
+PII, and the leaked-token payloads the detector recovers *are* that PII.
+Neither may reach an output sink (``print``, ``logging``, file writes,
+exception messages) as raw text; they must pass through
+:mod:`repro.reporting.redact` first (or the call site must opt out with
+an explicit ``# statan: ignore[PII201]`` — e.g. behind a ``--show-pii``
+flag).
+
+The analysis is the intraprocedural dataflow in
+:mod:`repro.statan.taint`: sources are configured attribute reads
+(``persona.email``, ``origin.surface_form``, ...), taint propagates
+through assignments and every common string-building shape, and the
+``redact*`` helpers sanitize.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..engine import FAMILY_PII_TAINT, Finding, ModuleContext, Rule
+from ..taint import SinkTable, TaintAnalysis, TaintConfig
+
+#: Modules exempt from the PII rules: the redaction helpers themselves
+#: (they must touch raw PII to mask it) and statan's own fixtures.
+PII_EXEMPT_MODULES: Tuple[str, ...] = (
+    "repro.reporting.redact",
+    "repro.statan",
+)
+
+
+class PiiSinkRule(Rule):
+    id = "PII201"
+    name = "pii-reaches-sink"
+    family = FAMILY_PII_TAINT
+    description = ("persona PII / leak payloads must not reach print, "
+                   "logging, file writes or exception messages except "
+                   "through repro.reporting.redact")
+
+    def __init__(self, config: Optional[TaintConfig] = None,
+                 exempt: Sequence[str] = PII_EXEMPT_MODULES,
+                 raise_is_sink: bool = True) -> None:
+        self.analysis = TaintAnalysis(config)
+        self.exempt = tuple(exempt)
+        self.sinks = SinkTable(raise_is_sink=raise_is_sink)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module_matches(self.exempt):
+            return
+        for scope_name, body in self.analysis.function_bodies(ctx.tree):
+            for hit in self.analysis.sink_hits(body, self.sinks):
+                yield self.finding(
+                    ctx, hit.node,
+                    "PII from %s reaches %s in %s without redaction; "
+                    "route it through repro.reporting.redact"
+                    % (hit.source, hit.sink,
+                       "module scope" if scope_name == "<module>"
+                       else "%s()" % scope_name))

@@ -1,0 +1,390 @@
+"""Intraprocedural PII taint dataflow.
+
+The model, deliberately simple enough to reason about:
+
+* **Sources** are expressions that *are* PII: attribute reads like
+  ``persona.email`` (a PII field on a persona-shaped object) and leak
+  payload fields like ``origin.surface_form``.  What counts is
+  configured by a :class:`TaintConfig`.
+* **Propagation** is forward, in statement order, per function body
+  (module top-level counts as a body).  Assigning a tainted expression
+  taints the target name; reassigning it clean clears it.  String
+  building in every common shape (``%``, ``+``, ``.format``,
+  f-strings, ``str.join``, containers) propagates taint, as do calls
+  with tainted arguments (a conservative over-approximation).
+  Branches (``if``/``try``/loops) are analyzed against the same
+  environment and their taints merge — a name tainted on *any* path
+  stays tainted afterwards.
+* **Sanitizers** stop taint: any call whose callee matches the
+  configured redaction helpers (``repro.reporting.redact``) returns a
+  clean value.
+* **Sinks** are where tainted data must not arrive; the caller (the
+  PII rules) asks :class:`TaintAnalysis` for sink hits.
+
+This is a linter, not a verifier: it over-taints (any call argument)
+and under-taints (no interprocedural flow, no aliasing through
+containers read back later).  Both trade-offs are the conventional ones
+for a CI gate — findings must be cheap to confirm, and escapes are
+caught by the next rule pass over the callee.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TaintConfig:
+    """What counts as a source and what stops taint."""
+
+    #: Attribute names that hold raw PII when read off a PII-shaped base.
+    pii_attrs: Tuple[str, ...] = (
+        "email", "username", "full_name", "first_name", "last_name",
+        "phone", "dob", "gender", "job", "address",
+    )
+    #: Base-expression substrings marking a persona-shaped object
+    #: (matched case-insensitively against the dotted base name).
+    pii_bases: Tuple[str, ...] = ("persona",)
+    #: Attribute names that hold leaked-token payloads wherever they
+    #: appear (TokenOrigin.surface_form is the leaked value itself).
+    payload_attrs: Tuple[str, ...] = (
+        "surface_form", "leaked_value", "pii_value",
+    )
+    #: Callee name suffixes that sanitize their arguments.
+    sanitizers: Tuple[str, ...] = (
+        "redact", "redact_email", "redact_value", "redact_text",
+        "redact_spans",
+    )
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """One tainted expression arriving at a sink."""
+
+    node: ast.AST          # the sink call / raise statement
+    sink: str              # human label, e.g. "print()"
+    source: str            # where the taint came from, e.g. "persona.email"
+
+
+@dataclass
+class _Env:
+    """Mutable taint environment: tainted name -> source description."""
+
+    tainted: Dict[str, str] = field(default_factory=dict)
+
+    def copy(self) -> "_Env":
+        return _Env(dict(self.tainted))
+
+    def merge(self, *others: "_Env") -> None:
+        for other in others:
+            self.tainted.update(other.tainted)
+
+
+class TaintAnalysis:
+    """Run the dataflow over one function body (or the module body)."""
+
+    def __init__(self, config: Optional[TaintConfig] = None) -> None:
+        self.config = config or TaintConfig()
+
+    # -- public ----------------------------------------------------------
+
+    def function_bodies(self, tree: ast.Module,
+                        ) -> List[Tuple[str, List[ast.stmt]]]:
+        """Every analysis scope in ``tree``: (scope name, body).
+
+        The module top-level is one scope; every (async) function —
+        nested ones included — is another.  Class bodies are *not*
+        scopes of their own (their statements run at module scope), but
+        methods inside them are.
+        """
+        scopes: List[Tuple[str, List[ast.stmt]]] = [
+            ("<module>", list(tree.body))]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node.name, list(node.body)))
+        return scopes
+
+    def sink_hits(self, body: List[ast.stmt],
+                  sinks: "SinkTable") -> List[SinkHit]:
+        """All tainted-value-reaches-sink events in one scope."""
+        hits: List[SinkHit] = []
+        self._run_body(body, _Env(), sinks, hits, top=True)
+        return hits
+
+    # -- statement walk --------------------------------------------------
+
+    def _run_body(self, body: List[ast.stmt], env: _Env,
+                  sinks: "SinkTable", hits: List[SinkHit],
+                  top: bool = False) -> None:
+        for stmt in body:
+            self._run_stmt(stmt, env, sinks, hits, top=top)
+
+    def _run_stmt(self, stmt: ast.stmt, env: _Env, sinks: "SinkTable",
+                  hits: List[SinkHit], top: bool = False) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested scopes are analyzed separately
+        if isinstance(stmt, ast.ClassDef):
+            if top:
+                self._run_body(list(stmt.body), env, sinks, hits)
+            return
+        if isinstance(stmt, ast.Assign):
+            source = self.taint_of(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, source, env)
+            self._check_expr(stmt.value, env, sinks, hits)
+            return
+        if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                source = self.taint_of(value, env)
+                if isinstance(stmt, ast.AugAssign):
+                    # x += tainted leaves x tainted; += clean keeps the
+                    # existing verdict.
+                    if source is not None:
+                        self._assign(stmt.target, source, env)
+                else:
+                    self._assign(stmt.target, source, env)
+                self._check_expr(value, env, sinks, hits)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._check_expr(stmt.value, env, sinks, hits)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, env, sinks, hits)
+            return
+        if isinstance(stmt, ast.Raise):
+            exc = stmt.exc
+            if exc is not None:
+                source = self.taint_of(exc, env)
+                if source is not None and sinks.raise_is_sink:
+                    hits.append(SinkHit(node=stmt,
+                                        sink="raise",
+                                        source=source))
+                self._check_expr(exc, env, sinks, hits,
+                                 skip_top_call=sinks.raise_is_sink)
+            return
+        if isinstance(stmt, (ast.If,)):
+            self._check_expr(stmt.test, env, sinks, hits)
+            self._run_branches(env, sinks, hits,
+                               [stmt.body, stmt.orelse])
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            source = self.taint_of(stmt.iter, env)
+            self._assign(stmt.target, source, env)
+            self._check_expr(stmt.iter, env, sinks, hits)
+            self._run_branches(env, sinks, hits,
+                               [stmt.body, stmt.orelse])
+            return
+        if isinstance(stmt, ast.While):
+            self._check_expr(stmt.test, env, sinks, hits)
+            self._run_branches(env, sinks, hits,
+                               [stmt.body, stmt.orelse])
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                source = self.taint_of(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, source, env)
+                self._check_expr(item.context_expr, env, sinks, hits)
+            self._run_body(list(stmt.body), env, sinks, hits)
+            return
+        if isinstance(stmt, ast.Try):
+            branches = [list(stmt.body)]
+            for handler in stmt.handlers:
+                branches.append(list(handler.body))
+            branches.append(list(stmt.orelse))
+            self._run_branches(env, sinks, hits, branches)
+            self._run_body(list(stmt.finalbody), env, sinks, hits)
+            return
+        # Fallback: scan any remaining expressions for sink calls.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._check_expr(child, env, sinks, hits)
+
+    def _run_branches(self, env: _Env, sinks: "SinkTable",
+                      hits: List[SinkHit],
+                      branch_bodies: List[List[ast.stmt]]) -> None:
+        """Run each branch on a copy of ``env``; merge taints (union)."""
+        outcomes: List[_Env] = []
+        for body in branch_bodies:
+            branch_env = env.copy()
+            self._run_body(list(body), branch_env, sinks, hits)
+            outcomes.append(branch_env)
+        env.merge(*outcomes)
+
+    def _assign(self, target: ast.expr, source: Optional[str],
+                env: _Env) -> None:
+        if isinstance(target, ast.Name):
+            if source is None:
+                env.tainted.pop(target.id, None)
+            else:
+                env.tainted[target.id] = source
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, source, env)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, source, env)
+        # Attribute/subscript targets: no alias tracking; skip.
+
+    # -- expression taint ------------------------------------------------
+
+    def taint_of(self, node: Optional[ast.expr],
+                 env: _Env) -> Optional[str]:
+        """Why ``node`` is tainted (a source description), or None."""
+        if node is None:
+            return None
+        config = self.config
+        if isinstance(node, ast.Name):
+            return env.tainted.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if node.attr in config.payload_attrs:
+                return "leak payload .%s" % node.attr
+            if node.attr in config.pii_attrs:
+                base = _dotted_text(node.value)
+                lowered = base.lower()
+                if any(marker in lowered for marker in config.pii_bases):
+                    return "%s.%s" % (base, node.attr)
+            return self.taint_of(node.value, env)
+        if isinstance(node, ast.Call):
+            if self._is_sanitizer(node.func):
+                return None
+            for arg in node.args:
+                found = self.taint_of(arg, env)
+                if found:
+                    return found
+            for keyword in node.keywords:
+                found = self.taint_of(keyword.value, env)
+                if found:
+                    return found
+            # A call on a tainted receiver (email.upper(), etc.).
+            if isinstance(node.func, ast.Attribute):
+                return self.taint_of(node.func.value, env)
+            return None
+        if isinstance(node, ast.BinOp):
+            return self.taint_of(node.left, env) \
+                or self.taint_of(node.right, env)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                found = self.taint_of(value, env)
+                if found:
+                    return found
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    found = self.taint_of(value.value, env)
+                    if found:
+                        return found
+            return None
+        if isinstance(node, ast.FormattedValue):
+            return self.taint_of(node.value, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                found = self.taint_of(element, env)
+                if found:
+                    return found
+            return None
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                found = self.taint_of(value, env)
+                if found:
+                    return found
+            return None
+        if isinstance(node, (ast.Subscript, ast.Starred, ast.Await,
+                             ast.UnaryOp)):
+            return self.taint_of(getattr(node, "value",
+                                         getattr(node, "operand", None)),
+                                 env)
+        if isinstance(node, ast.IfExp):
+            return self.taint_of(node.body, env) \
+                or self.taint_of(node.orelse, env)
+        if isinstance(node, ast.NamedExpr):
+            return self.taint_of(node.value, env)
+        return None
+
+    def _is_sanitizer(self, func: ast.expr) -> bool:
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name is not None and name in self.config.sanitizers
+
+    # -- sink scanning ---------------------------------------------------
+
+    def _check_expr(self, node: ast.expr, env: _Env, sinks: "SinkTable",
+                    hits: List[SinkHit],
+                    skip_top_call: bool = False) -> None:
+        """Find sink calls anywhere inside ``node`` with tainted args."""
+        for call in _walk_calls(node):
+            if skip_top_call and call is node:
+                continue
+            label = sinks.match(call)
+            if label is None:
+                continue
+            for arg in list(call.args) + [kw.value
+                                          for kw in call.keywords]:
+                source = self.taint_of(arg, env)
+                if source is not None:
+                    hits.append(SinkHit(node=call, sink=label,
+                                        source=source))
+                    break
+
+
+class SinkTable:
+    """Which calls count as output sinks.
+
+    * ``print(...)``
+    * ``logging.<level>(...)`` and ``<log|logger>.<level>(...)``
+    * ``<anything>.write(...)`` / ``.writelines(...)``
+    * optionally ``raise`` statements (PII in exception messages
+      escapes through tracebacks, logs and user-facing error output).
+    """
+
+    _LOG_METHODS = {"debug", "info", "warning", "warn", "error",
+                    "exception", "critical", "log"}
+    _WRITE_METHODS = {"write", "writelines"}
+
+    def __init__(self, raise_is_sink: bool = True) -> None:
+        self.raise_is_sink = raise_is_sink
+
+    def match(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "print":
+                return "print()"
+            return None
+        if isinstance(func, ast.Attribute):
+            if func.attr in self._WRITE_METHODS:
+                return ".%s()" % func.attr
+            if func.attr in self._LOG_METHODS:
+                base = _dotted_text(func.value).lower()
+                if base == "logging" or "log" in base.rsplit(".", 1)[-1]:
+                    return "logging"
+            return None
+        return None
+
+
+def _walk_calls(node: ast.expr) -> Iterator[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def _dotted_text(node: ast.expr) -> str:
+    """Best-effort dotted rendering of a Name/Attribute chain."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    elif isinstance(current, ast.Call):
+        parts.append(_dotted_text(current.func) + "()")
+    else:
+        parts.append("<expr>")
+    return ".".join(reversed(parts))

@@ -12,12 +12,11 @@ Uses :mod:`networkx` for the graph substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 
 from ..core.analysis import LeakAnalysis
-from ..core.leakmodel import LeakEvent
 
 SENDER = "sender"
 RECEIVER = "receiver"

@@ -14,12 +14,12 @@ Implements the paper's three-step funnel:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..core.analysis import LeakAnalysis, encoding_label
 from ..core.leakmodel import LeakEvent
 from ..netsim import STAGE_SUBPAGE
-from .trackid import TrackIdAnalyzer, TrackIdParameter
+from .trackid import TrackIdAnalyzer
 
 
 @dataclass(frozen=True)

@@ -9,10 +9,10 @@ identifier slot (Facebook's ``udff[em]``, Criteo's ``p0``, …).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
-from ..core.analysis import LeakAnalysis, encoding_label
+from ..core.analysis import encoding_label
 from ..core.leakmodel import LeakEvent
 
 #: Generic event parameters that are never identifiers even if a PII token

@@ -34,7 +34,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.leakmodel import (
     CHANNEL_COOKIE,
     CHANNEL_PAYLOAD,
-    CHANNEL_REFERER,
     CHANNEL_URI,
 )
 

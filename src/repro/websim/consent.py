@@ -17,7 +17,7 @@ whose trackers fire regardless.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 # Browser-side consent policies.
 CONSENT_ACCEPT_ALL = "accept-all"       # the paper's §3.2 behaviour

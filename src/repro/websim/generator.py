@@ -11,8 +11,8 @@ whirlpool?").  Same machinery, different universe.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..core.leakmodel import (
     CHANNEL_COOKIE,

@@ -26,7 +26,6 @@ from ..netsim import (
     FORM_URLENCODED,
     RESOURCE_IMAGE,
     RESOURCE_PING,
-    RESOURCE_SCRIPT,
     Url,
     encode_json,
     encode_urlencoded,

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
-from ..netsim import Headers, HttpRequest, HttpResponse, Url
+from ..netsim import Headers, HttpRequest, HttpResponse
 from ..psl import default_list
 from .html import render_document, render_form, render_tag
 from .site import (

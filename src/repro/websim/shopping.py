@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from ..core.persona import DEFAULT_PERSONA, Persona
 from .consent import CMP_PROVIDERS, ConsentBanner

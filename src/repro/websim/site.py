@@ -13,7 +13,7 @@ and bot detection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .consent import ConsentBanner
 from .trackers import TrackerService

@@ -16,7 +16,7 @@ to services — the entity-mapping step every measurement pipeline needs
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..psl import default_list

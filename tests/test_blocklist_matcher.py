@@ -1,6 +1,5 @@
 """Rule-set matching: blocking, exceptions, context options, bundled lists."""
 
-import pytest
 
 from repro.blocklist import (
     RequestContext,

@@ -1,11 +1,8 @@
 """ABP filter parsing and pattern compilation."""
 
-import pytest
 
 from repro.blocklist import (
-    Filter,
-    FilterSyntaxError,
-    compile_pattern,
+            compile_pattern,
     parse_filter,
     parse_filter_list,
 )

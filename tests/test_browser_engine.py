@@ -1,11 +1,9 @@
 """Browser engine: navigation, forms, cookies, protections."""
 
-import pytest
 
 from repro import hashes
 from repro.browser import (
     Browser,
-    SimClock,
     brave,
     chrome,
     firefox_etp,

@@ -19,11 +19,18 @@ def test_version_flag(capsys):
     assert "repro" in capsys.readouterr().out
 
 
-def test_tokens_subcommand(capsys):
+def test_tokens_subcommand_redacts_email(capsys):
+    from repro.reporting import redact_email
     assert main(["tokens"]) == 0
     output = capsys.readouterr().out
-    assert DEFAULT_PERSONA.email in output
+    assert DEFAULT_PERSONA.email not in output
+    assert redact_email(DEFAULT_PERSONA.email) in output
     assert "candidate tokens" in output
+
+
+def test_tokens_show_pii_escape_hatch(capsys):
+    assert main(["tokens", "--show-pii"]) == 0
+    assert DEFAULT_PERSONA.email in capsys.readouterr().out
 
 
 def test_scan_detects_leaky_url(capsys):
@@ -32,6 +39,20 @@ def test_scan_detects_leaky_url(capsys):
     assert exit_code == 1
     output = capsys.readouterr().out
     assert "LEAK" in output and "sha256" in output
+
+
+def test_scan_redacts_leaked_tokens_by_default(capsys):
+    url = "https://t.net/p?uid=%s" % DEFAULT_PERSONA.email
+    assert main(["scan", url]) == 1
+    output = capsys.readouterr().out
+    assert DEFAULT_PERSONA.email not in output
+    assert "https://t.net/p?uid=" in output  # non-PII part intact
+
+
+def test_scan_show_pii_escape_hatch(capsys):
+    url = "https://t.net/p?uid=%s" % DEFAULT_PERSONA.email
+    assert main(["scan", "--show-pii", url]) == 1
+    assert DEFAULT_PERSONA.email in capsys.readouterr().out
 
 
 def test_scan_clean_url(capsys):

@@ -1,6 +1,5 @@
 """Leak aggregation: relationships, Table 1 semantics, Figure 2."""
 
-import pytest
 
 from repro.core import LeakAnalysis, LeakEvent, encoding_label
 

@@ -9,7 +9,6 @@ from repro.core.persona import (
     PII_EMAIL,
     PII_NAME,
     PII_TYPES,
-    PII_USERNAME,
     Persona,
 )
 

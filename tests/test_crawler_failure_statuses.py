@@ -1,6 +1,5 @@
 """Dedicated coverage for every FlowResult failure status (§3.2)."""
 
-import pytest
 
 from repro.browser import Browser, brave, vanilla_firefox
 from repro.core.persona import DEFAULT_PERSONA
@@ -23,7 +22,6 @@ from repro.netsim import HttpResponse
 from repro.websim import (
     BLOCK_PHONE,
     SiteAuthConfig,
-    TrackerEmbed,
     Website,
     build_default_catalog,
 )

@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.browser import Browser, brave, vanilla_firefox
-from repro.core.persona import DEFAULT_PERSONA
+from repro.browser import brave
 from repro.crawler import (
-    AuthFlowRunner,
-    STATUS_BLOCKED,
+        STATUS_BLOCKED,
     STATUS_CAPTCHA_FAILED,
     STATUS_NO_AUTH,
     STATUS_SUCCESS,
@@ -24,7 +22,6 @@ from repro.mailsim import (
 from repro.websim import (
     BLOCK_PHONE,
     SiteAuthConfig,
-    TrackerEmbed,
     Website,
     build_default_catalog,
 )

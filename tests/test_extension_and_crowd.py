@@ -6,7 +6,7 @@ from repro.blocklist import AdblockExtension, RuleSet
 from repro.core import CandidateTokenSet, LeakAnalysis, LeakDetector
 from repro.core.persona import DEFAULT_PERSONA
 from repro.crawler import StudyCrawler
-from repro.crowd import Contributor, CrowdStudy, make_panel
+from repro.crowd import CrowdStudy, make_panel
 from repro.websim.generator import GeneratorConfig, generate_population
 
 

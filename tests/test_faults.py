@@ -8,7 +8,6 @@ from repro.netsim.faults import (
     FAULT_DEAD,
     FAULT_DNS,
     FAULT_HTTP_429,
-    FAULT_SLOW,
     FAULT_TIMEOUT,
     RETRYABLE_STATUSES,
     TRANSIENT_FAULT_KINDS,

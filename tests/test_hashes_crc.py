@@ -2,7 +2,6 @@
 
 import zlib
 
-import pytest
 
 from repro.hashes.crc import (
     adler32,

@@ -1,6 +1,5 @@
 """Reversible encoders: round trips and RFC 4648 vectors."""
 
-import base64
 import bz2
 import gzip
 

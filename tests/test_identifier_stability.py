@@ -8,7 +8,6 @@ import pytest
 
 from repro.browser import Browser, chrome, vanilla_firefox
 from repro.core import CandidateTokenSet, LeakDetector
-from repro.core.persona import DEFAULT_PERSONA
 from repro.crawler import AuthFlowRunner, StudyCrawler
 from repro.mailsim import Mailbox
 from repro.websim import (

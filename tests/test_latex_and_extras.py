@@ -1,6 +1,5 @@
 """LaTeX export, suspected leaks in the pipeline, generator options."""
 
-import pytest
 
 from repro.reporting import (
     latex_escape,

@@ -7,10 +7,8 @@ from repro.core import CandidateTokenSet, LeakDetector
 from repro.core.persona import DEFAULT_PERSONA
 from repro.mitigation import PiiFirewall, REDACTION
 from repro.netsim import (
-    CaptureEntry,
     Headers,
     HttpRequest,
-    HttpResponse,
     Url,
     decode_urlencoded,
     encode_urlencoded,
@@ -137,7 +135,6 @@ def test_cloaking_aware_firewall_scrubs_cloaked_cookie(study_spec):
 
 def test_firewalled_crawl_has_no_detectable_leaks(study_spec):
     """The headline guarantee: detector-grade scrubbing at the edge."""
-    from repro.core import LeakAnalysis
     from repro.crawler import StudyCrawler
     tokens = CandidateTokenSet(DEFAULT_PERSONA)
     firewall = PiiFirewall(tokens,

@@ -1,8 +1,7 @@
 """RFC 6265 cookie jar semantics."""
 
-import pytest
 
-from repro.netsim import Cookie, CookieJar, Url, parse_set_cookie
+from repro.netsim import CookieJar, Url, parse_set_cookie
 
 
 def _url(text="https://www.shop.com/account"):

@@ -1,6 +1,5 @@
 """Property-based tests for the PII firewall's scrubbing guarantee."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -8,7 +7,7 @@ from repro import hashes
 from repro.core import CandidateTokenSet
 from repro.core.persona import DEFAULT_PERSONA
 from repro.mitigation import PiiFirewall, REDACTION
-from repro.netsim import Headers, HttpRequest, Url
+from repro.netsim import HttpRequest, Url
 
 _CACHE = {}
 

@@ -1,9 +1,8 @@
 """Property-based tests for the matchers (Aho-Corasick, ABP patterns)."""
 
-import re
 import string
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.blocklist import compile_pattern, parse_filter

@@ -2,7 +2,7 @@
 
 import string
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.hashes import encoders

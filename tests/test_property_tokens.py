@@ -1,11 +1,10 @@
 """Property-based tests for transforms and the candidate token set."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import hashes
-from repro.core import CandidateTokenSet, TokenSetConfig
+from repro.core import CandidateTokenSet
 from repro.core.persona import DEFAULT_PERSONA
 
 _TRANSFORM_NAMES = st.sampled_from(

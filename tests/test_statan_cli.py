@@ -1,0 +1,146 @@
+"""repro-lint CLI: exit codes, JSON schema, baseline workflow."""
+
+import json
+import os
+import textwrap
+
+from repro.statan.cli import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    JSON_SCHEMA_VERSION,
+    main,
+)
+
+CLEAN_SOURCE = "import hashlib\nx = hashlib.sha256(b'ok').hexdigest()\n"
+DIRTY_SOURCE = textwrap.dedent("""
+    import time
+    def stamp():
+        return time.time()
+""")
+
+
+def _write_module(tmp_path, source, name="mod.py"):
+    pkg = tmp_path / "src" / "repro" / "crawler"
+    pkg.mkdir(parents=True, exist_ok=True)
+    path = pkg / name
+    path.write_text(source)
+    return str(path)
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    path = _write_module(tmp_path, CLEAN_SOURCE)
+    assert main([path, "--no-baseline"]) == EXIT_CLEAN
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one_and_print_location(tmp_path, capsys):
+    path = _write_module(tmp_path, DIRTY_SOURCE)
+    assert main([path, "--no-baseline"]) == EXIT_FINDINGS
+    output = capsys.readouterr().out
+    assert "DET101" in output
+    assert "mod.py:4:" in output  # path:line: prefix
+
+
+def test_json_output_schema(tmp_path, capsys):
+    path = _write_module(tmp_path, DIRTY_SOURCE)
+    assert main([path, "--no-baseline", "--format", "json"]) == \
+        EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["tool"] == "repro-lint"
+    assert payload["files_analyzed"] == 1
+    assert payload["counts"]["new"] == 1
+    assert payload["counts"]["by_rule"] == {"DET101": 1}
+    assert payload["counts"]["by_family"] == {"determinism": 1}
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "family", "path", "line", "col",
+                            "message", "snippet"}
+    assert finding["rule"] == "DET101"
+    assert payload["errors"] == [] and payload["baselined"] == []
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    path = _write_module(tmp_path, DIRTY_SOURCE)
+    baseline = str(tmp_path / "baseline.json")
+    assert main([path, "--baseline", baseline,
+                 "--write-baseline"]) == EXIT_CLEAN
+    capsys.readouterr()
+    # Same findings, now baselined: gate passes.
+    assert main([path, "--baseline", baseline]) == EXIT_CLEAN
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_new_finding_on_top_of_baseline_fails(tmp_path, capsys):
+    path = _write_module(tmp_path, DIRTY_SOURCE)
+    baseline = str(tmp_path / "baseline.json")
+    assert main([path, "--baseline", baseline,
+                 "--write-baseline"]) == EXIT_CLEAN
+    _write_module(tmp_path, DIRTY_SOURCE + "y = time.monotonic()\n")
+    assert main([path, "--baseline", baseline]) == EXIT_FINDINGS
+    output = capsys.readouterr().out
+    assert "monotonic" in output  # only the new finding is printed
+    assert "time.time()" not in output
+
+
+def test_select_restricts_rules(tmp_path, capsys):
+    source = DIRTY_SOURCE + "h = hash('domain')\n"
+    path = _write_module(tmp_path, source)
+    assert main([path, "--no-baseline", "--select", "DET104",
+                 "--format", "json"]) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["by_rule"] == {"DET104": 1}
+
+
+def test_select_family(tmp_path, capsys):
+    source = DIRTY_SOURCE + textwrap.dedent("""
+        class Job:
+            def __init__(self):
+                self.f = lambda: 1
+    """)
+    path = _write_module(tmp_path, source)
+    assert main([path, "--no-baseline", "--select", "pickle-safety",
+                 "--format", "json"]) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["counts"]["by_family"]) == {"pickle-safety"}
+
+
+def test_unknown_select_is_usage_error(tmp_path, capsys):
+    import pytest
+    path = _write_module(tmp_path, CLEAN_SOURCE)
+    with pytest.raises(SystemExit) as excinfo:
+        main([path, "--select", "NOPE"])
+    assert excinfo.value.code == EXIT_ERROR
+
+
+def test_parse_error_exits_two(tmp_path, capsys):
+    path = _write_module(tmp_path, "def f(:\n")
+    assert main([path, "--no-baseline"]) == EXIT_ERROR
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    output = capsys.readouterr().out
+    for rule_id in ("DET101", "DET102", "DET103", "DET104",
+                    "PII201", "PKL301", "PKL302", "PKL303"):
+        assert rule_id in output
+
+
+def test_suppression_counted(tmp_path, capsys):
+    path = _write_module(
+        tmp_path,
+        "import time\nt = time.time()  # statan: ignore[DET101]\n")
+    assert main([path, "--no-baseline"]) == EXIT_CLEAN
+    assert "1 inline-suppressed" in capsys.readouterr().out
+
+
+def test_default_baseline_discovered_in_cwd(tmp_path, capsys,
+                                            monkeypatch):
+    path = _write_module(tmp_path, DIRTY_SOURCE)
+    monkeypatch.chdir(tmp_path)
+    assert main([path, "--write-baseline"]) == EXIT_CLEAN
+    assert os.path.exists(str(tmp_path / ".repro-lint-baseline.json"))
+    capsys.readouterr()
+    assert main([path]) == EXIT_CLEAN
+    assert "baselined" in capsys.readouterr().out

@@ -1,0 +1,170 @@
+"""Determinism rules: positive and negative fixtures per rule."""
+
+import textwrap
+
+from repro.statan import analyze_source, default_rules
+
+IN_SCOPE = "repro.crawler.fixture"
+OUT_OF_SCOPE = "repro.reporting.fixture"
+
+
+def _rules_fired(source, module=IN_SCOPE):
+    findings = analyze_source(textwrap.dedent(source), default_rules(),
+                              module=module)
+    return [finding.rule for finding in findings]
+
+
+# -- DET101: wall clock ------------------------------------------------------
+
+def test_time_time_flagged():
+    assert "DET101" in _rules_fired("""
+        import time
+        def stamp():
+            return time.time()
+    """)
+
+
+def test_time_alias_flagged():
+    assert "DET101" in _rules_fired("""
+        import time as clock
+        t = clock.monotonic()
+    """)
+
+
+def test_naive_datetime_now_flagged():
+    assert "DET101" in _rules_fired("""
+        from datetime import datetime
+        t = datetime.now()
+    """)
+
+
+def test_datetime_utcnow_flagged():
+    assert "DET101" in _rules_fired("""
+        import datetime
+        t = datetime.datetime.utcnow()
+    """)
+
+
+def test_tz_aware_now_not_flagged():
+    assert _rules_fired("""
+        import datetime
+        t = datetime.datetime.now(tz=datetime.timezone.utc)
+    """) == []
+
+
+def test_simclock_now_not_flagged():
+    # .now() on anything that is not the datetime classes is fine —
+    # that is exactly the simulated-clock idiom the rule points to.
+    assert _rules_fired("""
+        def stamp(clock):
+            return clock.now()
+    """) == []
+
+
+def test_wall_clock_out_of_scope_not_flagged():
+    assert _rules_fired("""
+        import time
+        t = time.time()
+    """, module=OUT_OF_SCOPE) == []
+
+
+# -- DET102: unseeded random -------------------------------------------------
+
+def test_module_level_random_flagged():
+    fired = _rules_fired("""
+        import random
+        x = random.random()
+        y = random.choice([1, 2])
+    """)
+    assert fired.count("DET102") == 2
+
+
+def test_from_import_random_flagged():
+    assert "DET102" in _rules_fired("""
+        from random import shuffle
+        shuffle([1, 2, 3])
+    """)
+
+
+def test_seeded_random_instance_allowed():
+    assert _rules_fired("""
+        import random
+        rng = random.Random(42)
+        x = rng.random()
+        y = rng.choice([1, 2])
+    """) == []
+
+
+# -- DET103: OS entropy ------------------------------------------------------
+
+def test_os_urandom_flagged():
+    assert "DET103" in _rules_fired("""
+        import os
+        salt = os.urandom(16)
+    """)
+
+
+def test_uuid4_and_secrets_flagged():
+    fired = _rules_fired("""
+        import uuid
+        import secrets
+        a = uuid.uuid4()
+        b = secrets.token_hex(8)
+    """)
+    assert fired.count("DET103") == 2
+
+
+def test_system_random_flagged():
+    assert "DET103" in _rules_fired("""
+        import random
+        rng = random.SystemRandom()
+    """)
+
+
+def test_uuid5_allowed():
+    # uuid5 is a deterministic hash of (namespace, name).
+    assert _rules_fired("""
+        import uuid
+        a = uuid.uuid5(uuid.NAMESPACE_DNS, "example.org")
+    """) == []
+
+
+# -- DET104: builtin hash() --------------------------------------------------
+
+def test_builtin_hash_flagged():
+    assert "DET104" in _rules_fired("""
+        def shard_of(domain, n):
+            return hash(domain) % n
+    """)
+
+
+def test_hashlib_idiom_allowed():
+    assert _rules_fired("""
+        import hashlib
+        def shard_of(domain, n):
+            digest = hashlib.sha256(domain.encode()).hexdigest()
+            return int(digest, 16) % n
+    """) == []
+
+
+def test_locally_defined_hash_not_flagged():
+    assert _rules_fired("""
+        def hash(value):
+            return 0
+        x = hash("stable")
+    """) == []
+
+
+def test_object_hash_method_not_flagged():
+    assert _rules_fired("""
+        class Key:
+            def __hash__(self):
+                return 7
+        def use(key):
+            return key.__hash__()
+    """) == []
+
+
+def test_builtin_hash_out_of_scope_not_flagged():
+    assert _rules_fired("x = hash('anything')\n",
+                        module="repro.policy.fixture") == []

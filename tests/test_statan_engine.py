@@ -1,0 +1,187 @@
+"""statan engine: contexts, suppression, baselines, file walking."""
+
+import os
+import textwrap
+
+import pytest
+
+from repro.statan import (
+    Baseline,
+    Finding,
+    ModuleContext,
+    analyze_paths,
+    analyze_source,
+    default_rules,
+    iter_python_files,
+    module_name_for_path,
+)
+from repro.statan.rules.determinism import WallClockRule
+
+
+def _ctx(source, module="repro.crawler.fixture"):
+    return ModuleContext("fixture.py", textwrap.dedent(source),
+                         module=module)
+
+
+# -- module naming -----------------------------------------------------------
+
+def test_module_name_from_src_layout():
+    assert module_name_for_path("src/repro/crawler/runner.py") == \
+        "repro.crawler.runner"
+
+
+def test_module_name_init_maps_to_package():
+    assert module_name_for_path("src/repro/statan/__init__.py") == \
+        "repro.statan"
+
+
+def test_module_name_without_src_root():
+    assert module_name_for_path("repro/core/tokens.py") == \
+        "repro.core.tokens"
+    assert module_name_for_path("scratch/tool.py") == "tool"
+
+
+# -- qualified-name resolution ----------------------------------------------
+
+def test_qualname_resolves_import_aliases():
+    ctx = _ctx("""
+        import time as clock
+        from datetime import datetime as dt
+        a = clock.time
+        b = dt.now
+    """)
+    import ast
+    assigns = [node for node in ast.walk(ctx.tree)
+               if isinstance(node, ast.Assign)]
+    assert ctx.qualname(assigns[0].value) == "time.time"
+    assert ctx.qualname(assigns[1].value) == "datetime.datetime.now"
+
+
+def test_module_matches_prefixes():
+    ctx = _ctx("x = 1", module="repro.websim.generator")
+    assert ctx.module_matches(("repro.websim",))
+    assert not ctx.module_matches(("repro.web",))  # prefix, not substring
+
+
+# -- suppression -------------------------------------------------------------
+
+def test_inline_suppression_specific_rule():
+    findings = analyze_source(
+        "import time\nt = time.time()  # statan: ignore[DET101]\n",
+        default_rules(), module="repro.crawler.fixture")
+    assert findings == []
+
+
+def test_inline_suppression_bare_ignores_all():
+    findings = analyze_source(
+        "import time\nt = time.time()  # statan: ignore\n",
+        default_rules(), module="repro.crawler.fixture")
+    assert findings == []
+
+
+def test_suppression_for_other_rule_does_not_apply():
+    findings = analyze_source(
+        "import time\nt = time.time()  # statan: ignore[PII201]\n",
+        default_rules(), module="repro.crawler.fixture")
+    assert [f.rule for f in findings] == ["DET101"]
+
+
+# -- findings ----------------------------------------------------------------
+
+def test_finding_format_and_json_round_trip():
+    finding = Finding(rule="DET101", family="determinism", path="a.py",
+                      line=3, col=4, message="msg", snippet="t = x")
+    assert finding.format() == "a.py:3:4: DET101 msg"
+    payload = finding.to_json()
+    assert payload["rule"] == "DET101" and payload["line"] == 3
+
+
+def test_baseline_key_ignores_line_numbers():
+    one = Finding(rule="R", family="f", path="a.py", line=3, col=0,
+                  message="m", snippet="t = time.time()")
+    two = Finding(rule="R", family="f", path="a.py", line=99, col=0,
+                  message="m", snippet="t = time.time()")
+    assert one.baseline_key == two.baseline_key
+
+
+# -- baseline machinery ------------------------------------------------------
+
+def _finding(line=1, snippet="t = time.time()", path="a.py"):
+    return Finding(rule="DET101", family="determinism", path=path,
+                   line=line, col=0, message="m", snippet=snippet)
+
+
+def test_baseline_round_trip(tmp_path):
+    path = str(tmp_path / "base.json")
+    baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+    assert len(loaded) == 2
+
+
+def test_baseline_split_counts_as_multiset():
+    baseline = Baseline.from_findings([_finding()])
+    new, accepted = baseline.split([_finding(line=5), _finding(line=8)])
+    assert len(accepted) == 1  # one absorbed by the baselined count
+    assert len(new) == 1       # the second identical finding is new
+
+
+def test_baseline_moved_finding_stays_baselined():
+    baseline = Baseline.from_findings([_finding(line=10)])
+    new, accepted = baseline.split([_finding(line=200)])
+    assert new == [] and len(accepted) == 1
+
+
+def test_baseline_rejects_wrong_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(ValueError):
+        Baseline.load(str(path))
+
+
+def test_baseline_rejects_malformed_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("not json")
+    with pytest.raises(ValueError):
+        Baseline.load(str(path))
+
+
+# -- analyze_paths -----------------------------------------------------------
+
+def test_iter_python_files_walks_and_sorts(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "note.txt").write_text("not python\n")
+    files = iter_python_files([str(tmp_path)])
+    names = [os.path.basename(f) for f in files]
+    assert names == ["a.py", "b.py"]
+
+
+def test_iter_python_files_missing_path():
+    with pytest.raises(FileNotFoundError):
+        iter_python_files(["/no/such/path"])
+
+
+def test_analyze_paths_reports_syntax_errors_without_raising(tmp_path):
+    good = tmp_path / "repro" / "crawler"
+    good.mkdir(parents=True)
+    (good / "ok.py").write_text("import time\nt = time.time()\n")
+    (good / "broken.py").write_text("def f(:\n")
+    report = analyze_paths([str(tmp_path)], [WallClockRule()])
+    assert report.files_analyzed == 1
+    assert len(report.errors) == 1
+    assert [f.rule for f in report.findings] == ["DET101"]
+
+
+def test_report_counts(tmp_path):
+    pkg = tmp_path / "repro" / "crawler"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(
+        "import time\na = time.time()\nb = time.monotonic()\n")
+    report = analyze_paths([str(pkg)], [WallClockRule()])
+    assert report.counts_by_rule() == {"DET101": 2}
+    assert report.counts_by_family() == {"determinism": 2}

@@ -1,0 +1,124 @@
+"""Pickle-safety rules: lambdas, local classes, handles in state."""
+
+import textwrap
+
+from repro.statan import analyze_source, default_rules
+
+IN_SCOPE = "repro.crawler.fixture"
+
+
+def _fired(source, module=IN_SCOPE):
+    findings = analyze_source(textwrap.dedent(source), default_rules(),
+                              module=module)
+    return [finding.rule for finding in findings]
+
+
+# -- PKL301: lambdas in state ------------------------------------------------
+
+def test_lambda_on_self_flagged():
+    assert "PKL301" in _fired("""
+        class ShardJob:
+            def __init__(self):
+                self.key = lambda item: item.index
+    """)
+
+
+def test_class_level_lambda_flagged():
+    assert "PKL301" in _fired("""
+        class ShardJob:
+            sort_key = lambda item: item.index
+    """)
+
+
+def test_dataclass_lambda_default_flagged():
+    assert "PKL301" in _fired("""
+        from dataclasses import dataclass
+        @dataclass
+        class ShardJob:
+            key: object = lambda item: item.index
+    """)
+
+
+def test_default_factory_lambda_allowed():
+    # default_factory runs at construction; the lambda lives on the
+    # class Field object, never in instance state.
+    assert _fired("""
+        from dataclasses import dataclass, field
+        @dataclass
+        class ShardJob:
+            domains: list = field(default_factory=lambda: [])
+    """) == []
+
+
+def test_local_sort_lambda_allowed():
+    assert _fired("""
+        def merge(results):
+            return sorted(results, key=lambda r: r.index)
+    """) == []
+
+
+# -- PKL302: local classes ---------------------------------------------------
+
+def test_local_class_flagged():
+    assert "PKL302" in _fired("""
+        def build_job():
+            class Job:
+                pass
+            return Job()
+    """)
+
+
+def test_module_level_class_allowed():
+    assert _fired("""
+        class Job:
+            pass
+        def build_job():
+            return Job()
+    """) == []
+
+
+# -- PKL303: handles in state ------------------------------------------------
+
+def test_open_handle_on_self_flagged():
+    assert "PKL303" in _fired("""
+        class Checkpointer:
+            def __init__(self, path):
+                self.handle = open(path, "wb")
+    """)
+
+
+def test_lock_on_self_flagged():
+    assert "PKL303" in _fired("""
+        import threading
+        class Coordinator:
+            def __init__(self):
+                self.lock = threading.Lock()
+    """)
+
+
+def test_generator_on_self_flagged():
+    assert "PKL303" in _fired("""
+        class Feeder:
+            def __init__(self, items):
+                self.stream = (item for item in items)
+    """)
+
+
+def test_with_open_not_stored_allowed():
+    assert _fired("""
+        class Checkpointer:
+            def save(self, path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+    """) == []
+
+
+# -- scoping -----------------------------------------------------------------
+
+def test_out_of_scope_module_not_checked():
+    assert _fired("""
+        class Renderer:
+            def __init__(self, path):
+                self.handle = open(path, "w")
+                self.key = lambda row: row[0]
+    """, module="repro.reporting.fixture") == []

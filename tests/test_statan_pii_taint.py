@@ -1,0 +1,183 @@
+"""PII-taint rule: sources, propagation, sanitizers, sinks."""
+
+import textwrap
+
+from repro.statan import analyze_source
+from repro.statan.rules.pii_taint import PiiSinkRule
+
+
+def _findings(source, module="repro.cli"):
+    return analyze_source(textwrap.dedent(source), [PiiSinkRule()],
+                          module=module)
+
+
+def _fired(source, module="repro.cli"):
+    return [finding.rule for finding in _findings(source, module)]
+
+
+# -- direct source → sink ----------------------------------------------------
+
+def test_persona_email_to_print_flagged():
+    assert _fired("""
+        def show(persona):
+            print(persona.email)
+    """) == ["PII201"]
+
+
+def test_default_persona_attribute_flagged():
+    assert _fired("""
+        def show():
+            print("email: %s" % DEFAULT_PERSONA.email)
+    """) == ["PII201"]
+
+
+def test_leak_payload_field_flagged():
+    assert _fired("""
+        def show(origin):
+            print(origin.surface_form)
+    """) == ["PII201"]
+
+
+def test_non_pii_attribute_not_flagged():
+    assert _fired("""
+        def show(origin, persona):
+            print(origin.pii_type)
+            print(persona.site_count)
+    """) == []
+
+
+def test_email_on_non_persona_base_not_flagged():
+    assert _fired("""
+        def show(settings):
+            print(settings.email)
+    """) == []
+
+
+# -- propagation -------------------------------------------------------------
+
+def test_taint_flows_through_assignment_and_formatting():
+    assert _fired("""
+        def show(persona):
+            value = persona.email
+            line = "persona: %s" % value
+            print(line)
+    """) == ["PII201"]
+
+
+def test_taint_flows_through_fstring():
+    assert _fired("""
+        def show(persona):
+            print(f"who: {persona.email}")
+    """) == ["PII201"]
+
+
+def test_taint_flows_through_method_call():
+    assert _fired("""
+        def show(persona):
+            lowered = persona.email.lower()
+            print(lowered)
+    """) == ["PII201"]
+
+
+def test_reassignment_clears_taint():
+    assert _fired("""
+        def show(persona):
+            value = persona.email
+            value = "clean"
+            print(value)
+    """) == []
+
+
+def test_branch_taint_merges():
+    assert _fired("""
+        def show(persona, raw):
+            value = "clean"
+            if raw:
+                value = persona.email
+            print(value)
+    """) == ["PII201"]
+
+
+def test_taint_into_raise_flagged():
+    assert _fired("""
+        def merge(persona):
+            raise ValueError("mismatch for %s" % persona.email)
+    """) == ["PII201"]
+
+
+def test_logging_sink_flagged():
+    assert _fired("""
+        import logging
+        def show(persona):
+            logging.info("user %s", persona.email)
+    """) == ["PII201"]
+
+
+def test_file_write_sink_flagged():
+    assert _fired("""
+        def dump(persona, handle):
+            handle.write(persona.email)
+    """) == ["PII201"]
+
+
+# -- sanitizers --------------------------------------------------------------
+
+def test_redact_sanitizes():
+    assert _fired("""
+        from repro.reporting import redact_email
+        def show(persona):
+            print(redact_email(persona.email))
+    """) == []
+
+
+def test_redacted_assignment_stays_clean():
+    assert _fired("""
+        from repro.reporting import redact
+        def show(persona):
+            masked = redact(persona.email)
+            print("persona: %s" % masked)
+    """) == []
+
+
+def test_digest_of_pii_still_tainted():
+    # Hashing is how the trackers launder PII — a digest of the email
+    # is still a stable identifier, so it is NOT a sanitizer.
+    assert _fired("""
+        import hashlib
+        def show(persona):
+            uid = hashlib.md5(persona.email.encode()).hexdigest()
+            print(uid)
+    """) == ["PII201"]
+
+
+# -- scoping -----------------------------------------------------------------
+
+def test_redact_module_is_exempt():
+    assert _fired("""
+        def redact_email(email):
+            print(email[:1])
+            return email[:1] + "***"
+    """, module="repro.reporting.redact") == []
+
+
+def test_fingerprint_fold_is_not_a_sink():
+    # Folding the persona email into a hashlib digest (the fingerprint
+    # idiom in crawler.runner) is computation, not output.
+    assert _fired("""
+        import hashlib
+        def fingerprint(persona):
+            digest = hashlib.sha256()
+            digest.update(persona.email.encode())
+            return digest.hexdigest()
+    """) == []
+
+
+def test_finding_names_source_and_sink():
+    findings = _findings("""
+        def show(persona):
+            print(persona.email)
+    """)
+    assert len(findings) == 1
+    message = findings[0].message
+    assert "persona.email" in message and "print()" in message
+    assert "redact" in message

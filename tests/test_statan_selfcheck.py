@@ -1,0 +1,78 @@
+"""The gate, aimed at ourselves: src/repro must be clean, and a seeded
+violation of each rule family must be caught.
+
+This mirrors the CI ``lint`` job exactly: ``repro-lint src/`` against
+the committed ``.repro-lint-baseline.json`` exits 0, and introducing a
+violation of any family flips the exit code to 1.
+"""
+
+import os
+import textwrap
+
+from repro.statan import analyze_paths, default_rules
+from repro.statan.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.statan.cli import EXIT_CLEAN, EXIT_FINDINGS, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+BASELINE = os.path.join(REPO_ROOT, DEFAULT_BASELINE_NAME)
+
+#: One violation per rule family, as it would be typed into a real
+#: module in scope.
+SEEDED_VIOLATIONS = {
+    "determinism": "import time\nT0 = time.time()\n",
+    "pii-taint": textwrap.dedent("""
+        def debug_dump(persona):
+            print(persona.email)
+    """),
+    "pickle-safety": textwrap.dedent("""
+        class Job:
+            def __init__(self):
+                self.key = lambda item: item
+    """),
+}
+
+
+def test_committed_baseline_exists():
+    assert os.path.exists(BASELINE), \
+        "missing %s — run: repro-lint src/ --write-baseline" % BASELINE
+
+
+def test_src_is_clean_against_committed_baseline(capsys):
+    report = analyze_paths([SRC], default_rules())
+    assert report.errors == []
+    new, _ = Baseline.load(BASELINE).split(report.findings)
+    assert new == [], "new findings:\n" + \
+        "\n".join(finding.format() for finding in new)
+
+
+def test_cli_gate_passes_like_ci(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["src"]) == EXIT_CLEAN
+
+
+def _gate(tmp_path, family, capsys):
+    """Exit code of the gate over src/ plus one seeded violation."""
+    pkg = tmp_path / "repro" / "crawler"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "seeded_violation.py").write_text(SEEDED_VIOLATIONS[family])
+    code = main([SRC, str(tmp_path), "--baseline", BASELINE])
+    capsys.readouterr()
+    return code
+
+
+def test_seeded_determinism_violation_fails_gate(tmp_path, capsys):
+    assert _gate(tmp_path, "determinism", capsys) == EXIT_FINDINGS
+
+
+def test_seeded_pii_taint_violation_fails_gate(tmp_path, capsys):
+    assert _gate(tmp_path, "pii-taint", capsys) == EXIT_FINDINGS
+
+
+def test_seeded_pickle_violation_fails_gate(tmp_path, capsys):
+    assert _gate(tmp_path, "pickle-safety", capsys) == EXIT_FINDINGS
+
+
+def test_every_family_has_at_least_one_rule_and_fixture():
+    families = {rule.family for rule in default_rules()}
+    assert families == set(SEEDED_VIOLATIONS)

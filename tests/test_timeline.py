@@ -1,6 +1,5 @@
 """Tracker-side timeline reconstruction."""
 
-import pytest
 
 from repro.core import LeakEvent
 from repro.tracking import (

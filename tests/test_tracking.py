@@ -1,6 +1,5 @@
 """Tracking analysis: trackid inference, persistence funnel, cross-device."""
 
-import pytest
 
 from repro.core import LeakEvent
 from repro.tracking import (
