@@ -36,13 +36,15 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from harness import BenchCase, BenchReport, timed  # noqa: E402
+from harness import BenchCase, BenchReport, StageTimes, timed  # noqa: E402
 
+from repro.core import Study, StudyConfig  # noqa: E402
 from repro.crawler import (  # noqa: E402
     CalibratedPopulationSpec,
     GeneratedPopulationSpec,
     ParallelCrawler,
 )
+from repro.obs import Recorder, write_trace  # noqa: E402
 from repro.websim.generator import GeneratorConfig  # noqa: E402
 
 #: Shard count used for every measurement: fixed (and >= the largest
@@ -73,12 +75,18 @@ def _sweeps(quick: bool):
 
 
 def run(quick: bool = False, out_path: str = OUT_PATH,
-        worker_counts=None) -> BenchReport:
+        worker_counts=None, trace_path=None) -> BenchReport:
     """Execute the sweep and write the JSON report; returns the report.
 
     Raises :class:`AssertionError` if any worker count produces a
     different merged fingerprint than the serial reference — the bench
     refuses to record timings for a broken engine.
+
+    ``trace_path`` additionally runs every engine with a
+    :class:`repro.obs.Recorder`, asserts the merged recorder snapshot is
+    identical across worker counts (the tracing analogue of the
+    fingerprint contract), and writes the first population's baseline
+    trace — crawl plus detect/analyze stages — as JSONL.
     """
     if worker_counts is None:
         worker_counts = (1, 2) if quick else (1, 2, 4)
@@ -91,19 +99,41 @@ def run(quick: bool = False, out_path: str = OUT_PATH,
         report.note("host has %d CPU(s): worker processes serialize and "
                     "speedup cannot exceed ~1.0x here" % cpu_count)
 
+    traced = None  # (population label, baseline recorder) for --trace
     for label, spec, n_sites in _sweeps(quick):
         fingerprints = {}
+        snapshots = {}
         for workers in worker_counts:
+            recorder = Recorder() if trace_path else None
             engine = ParallelCrawler(spec, workers=workers,
-                                     num_shards=NUM_SHARDS)
+                                     num_shards=NUM_SHARDS,
+                                     recorder=recorder)
+            stages = StageTimes()
             with timed() as timer:
-                dataset = engine.crawl()
+                with stages.time("crawl"):
+                    dataset = engine.crawl()
             fingerprints[workers] = dataset.fingerprint()
+            if recorder is not None:
+                # Snapshot before any analyze spans are added: the
+                # crawl trace must be identical at every worker count.
+                snapshots[workers] = recorder.snapshot()
+            if workers == worker_counts[0]:
+                # Per-stage breakdown: the baseline case also times the
+                # detect/analyze back half over the crawled dataset
+                # (wall_seconds stays crawl-only for trajectory
+                # comparability with earlier reports).
+                study = Study(dataset.population,
+                              config=StudyConfig(recorder=recorder))
+                with stages.time("analyze"):
+                    study.analyze(dataset)
+                if recorder is not None:
+                    traced = traced or (label, recorder)
             case = report.add(BenchCase(
                 label="%s/workers-%d" % (label, workers),
                 wall_seconds=timer.seconds, items=len(dataset.flows),
                 params={"population": label, "sites": n_sites,
-                        "workers": workers, "num_shards": NUM_SHARDS}))
+                        "workers": workers, "num_shards": NUM_SHARDS},
+                stages=stages.as_dict()))
             baseline = "%s/workers-1" % label
             speedup = report.speedup_over(baseline, case)
             if speedup is not None:
@@ -116,6 +146,20 @@ def run(quick: bool = False, out_path: str = OUT_PATH,
             "fingerprint mismatch across worker counts for %s" % label)
         report.note("%s: merged fingerprint %s identical across workers %s"
                     % (label, serial_fp[:16], list(worker_counts)))
+        if snapshots:
+            first = snapshots[worker_counts[0]]
+            assert all(snap == first for snap in snapshots.values()), (
+                "merged recorder snapshot differs across worker counts "
+                "for %s" % label)
+            report.note("%s: merged trace identical across workers %s"
+                        % (label, list(worker_counts)))
+
+    if trace_path and traced is not None:
+        label, recorder = traced
+        write_trace(recorder, trace_path)
+        report.note("trace (%s baseline run) written to %s"
+                    % (label, trace_path))
+        print("wrote %s" % trace_path)
 
     path = report.write(out_path)
     print("wrote %s" % path)
@@ -134,9 +178,15 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, nargs="+", default=None,
                         metavar="N", help="override the worker counts "
                                           "to sweep (first is baseline)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="also record repro.obs traces, assert the "
+                             "merged trace is identical across worker "
+                             "counts, and write the baseline trace here "
+                             "as JSONL")
     args = parser.parse_args(argv)
     run(quick=args.quick, out_path=args.out,
-        worker_counts=tuple(args.workers) if args.workers else None)
+        worker_counts=tuple(args.workers) if args.workers else None,
+        trace_path=args.trace)
     return 0
 
 

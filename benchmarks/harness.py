@@ -57,13 +57,49 @@ def timed() -> Iterator[_Timer]:
         timer.seconds = time.perf_counter() - start
 
 
+class StageTimes:
+    """Per-stage wall-clock breakdown for one bench case.
+
+    Use :meth:`time` around each stage; attach the finished mapping as
+    ``BenchCase(stages=...)`` so the JSON answers *where* the wall-clock
+    went (crawl vs. detect vs. analyze), not just how long it was::
+
+        stages = StageTimes()
+        with stages.time("crawl"):
+            dataset = crawl()
+        with stages.time("analyze"):
+            study.analyze(dataset)
+        report.add(BenchCase(..., stages=stages.as_dict()))
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def time(self, label: str) -> Iterator[None]:
+        """Measure the body's wall-clock under ``label`` (accumulating)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[label] = self._seconds.get(label, 0.0) + elapsed
+
+    def as_dict(self) -> Dict[str, float]:
+        """{stage: seconds} in recording order, rounded for the JSON."""
+        return {label: round(seconds, 4)
+                for label, seconds in self._seconds.items()}
+
+
 @dataclass
 class BenchCase:
     """One measured configuration.
 
     ``items`` is the unit of throughput (for crawl benches: sites);
     ``params`` carries the configuration knobs (worker count, shard
-    count, population size, ...) so the JSON is self-describing.
+    count, population size, ...) so the JSON is self-describing;
+    ``stages`` optionally breaks the wall-clock down per pipeline stage
+    (see :class:`StageTimes`).
     """
 
     label: str
@@ -71,6 +107,7 @@ class BenchCase:
     items: int = 0
     params: Dict[str, object] = field(default_factory=dict)
     extra: Dict[str, object] = field(default_factory=dict)
+    stages: Dict[str, float] = field(default_factory=dict)
 
     @property
     def items_per_second(self) -> float:
@@ -88,6 +125,8 @@ class BenchCase:
         }
         if self.params:
             data["params"] = dict(self.params)
+        if self.stages:
+            data["stages"] = dict(self.stages)
         if self.extra:
             data.update(self.extra)
         return data

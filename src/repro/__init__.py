@@ -33,6 +33,7 @@ from .core import (
     LeakDetector,
     LeakEvent,
     Persona,
+    CrawlOutcome,
     Study,
     StudyConfig,
     StudyResult,
@@ -48,6 +49,7 @@ __all__ = [
     "LeakDetector",
     "LeakEvent",
     "Persona",
+    "CrawlOutcome",
     "Study",
     "StudyConfig",
     "StudyResult",

@@ -4,6 +4,7 @@ Exposes the main experiments as subcommands::
 
     repro-study study                # headline + Tables 1-3 + Figure 2
     repro-study study --workers 4    # same study, parallel sharded crawl
+    repro-study study --trace t.jsonl  # same study, with structured tracing
     repro-study browsers             # §7.1 browser comparison
     repro-study blocklists           # §7.2 Table 4
     repro-study crowd --seed 21      # crowdsourced expansion demo
@@ -35,61 +36,64 @@ def _fault_plan(args: argparse.Namespace):
         raise SystemExit("repro-study: error: --faults: %s" % exc)
 
 
-def _run_session(session, checkpoint: Optional[str] = None):
-    """Drive a crawl session to completion, checkpointing after each site."""
-    while not session.done:
-        session.step()
-        if checkpoint:
-            session.save(checkpoint)
-    return session.finish()
+def _study_for_args(args: argparse.Namespace, study_config) -> Study:
+    """The calibrated study the CLI flags describe.
 
-
-def _parallel_crawl(args: argparse.Namespace, study_config):
-    """Run the sharded multi-process crawl the CLI flags describe.
-
-    ``--checkpoint``/``--resume`` name a *directory* of per-shard
-    checkpoints in this mode (resume simply points at the directory a
-    previous run checkpointed into).  Returns ``(dataset, fault_plan)``
-    where the plan carries the merged per-shard fault events.
+    Applies ``--workers``/``--shards`` and, when ``--trace`` was given,
+    enables observability on the config so the crawl and the analysis
+    record into one recorder.
     """
-    from .crawler import CheckpointError
-    checkpoint_dir = (getattr(args, "resume", None)
-                      or getattr(args, "checkpoint", None))
-    if getattr(args, "resume", None):
-        print("Resuming %d-worker crawl from %s/..."
-              % (args.workers, args.resume), file=sys.stderr)
-    study = Study.calibrated(study_config)
-    engine = study.parallel_crawler(checkpoint_dir=checkpoint_dir)
-    try:
-        result = engine.run()
-    except CheckpointError as exc:
-        raise SystemExit("repro-study: error: --resume: %s" % exc)
-    return result.dataset, result.fault_plan
+    config = study_config.replace(
+        workers=getattr(args, "workers", 1) or 1,
+        num_shards=getattr(args, "shards", None))
+    if getattr(args, "trace", None):
+        config = config.with_observability()
+    return Study.calibrated(config)
 
 
-def _crawl_dataset(args: argparse.Namespace, study_config):
+def _crawl_study(args: argparse.Namespace, study_config):
     """The shared resilient-crawl front half of the crawling subcommands.
 
-    Returns ``(dataset, fault_plan)`` — either a fresh (optionally faulty,
-    optionally checkpointed, optionally parallel) crawl of the calibrated
-    population, or a crawl resumed from ``--resume`` and driven to
-    completion.
+    Builds the calibrated :class:`Study` and runs its single crawl
+    entry point — :meth:`Study.crawl` dispatches on ``--workers`` and
+    honors ``--checkpoint``/``--resume`` for both engines.  Returns
+    ``(study, outcome)`` so callers analyze with the same study (and
+    recorder) that crawled.
     """
-    from .crawler import CheckpointError, CrawlSession
-    study_config.workers = getattr(args, "workers", 1) or 1
-    study_config.num_shards = getattr(args, "shards", None)
-    if study_config.workers > 1:
-        return _parallel_crawl(args, study_config)
-    if getattr(args, "resume", None):
-        print("Resuming crawl from %s..." % args.resume, file=sys.stderr)
-        try:
-            session = CrawlSession.load(args.resume, expect_shard=None)
-        except (OSError, CheckpointError) as exc:
+    from .crawler import CheckpointError
+    study = _study_for_args(args, study_config)
+    resume = getattr(args, "resume", None)
+    if resume:
+        if study.config.workers > 1:
+            print("Resuming %d-worker crawl from %s/..."
+                  % (study.config.workers, resume), file=sys.stderr)
+        else:
+            print("Resuming crawl from %s..." % resume, file=sys.stderr)
+    try:
+        outcome = study.crawl(checkpoint=getattr(args, "checkpoint", None),
+                              resume=resume)
+    except CheckpointError as exc:
+        raise SystemExit("repro-study: error: --resume: %s" % exc)
+    except OSError as exc:
+        if resume:
             raise SystemExit("repro-study: error: --resume: %s" % exc)
-    else:
-        session = Study.calibrated(study_config).start_crawl()
-    dataset = _run_session(session, getattr(args, "checkpoint", None))
-    return dataset, session.fault_plan
+        raise
+    return study, outcome
+
+
+def _write_trace(args: argparse.Namespace, study: Study) -> None:
+    """Write the study recorder to ``--trace`` (JSONL) if requested."""
+    path = getattr(args, "trace", None)
+    recorder = study.config.recorder
+    if not path or recorder is None:
+        return
+    from .obs import write_trace
+    try:
+        write_trace(recorder, path)
+    except OSError as exc:
+        raise SystemExit("repro-study: error: --trace: %s" % exc)
+    print("trace: %d spans -> %s (summarize with: repro-trace summarize %s)"
+          % (recorder.span_count(), path, path), file=sys.stderr)
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -105,8 +109,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     plan = _fault_plan(args)
     print("Running the calibrated study (about 20 seconds)...",
           file=sys.stderr)
-    dataset, plan = _crawl_dataset(args, StudyConfig(fault_plan=plan))
-    result = Study(dataset.population).analyze(dataset)
+    study, outcome = _crawl_study(args, StudyConfig(fault_plan=plan))
+    dataset, plan = outcome.dataset, outcome.fault_plan
+    result = study.analyze(dataset)
     print(render_headline(result.analysis, total_sites=307,
                           leaking_requests=result.leaking_request_count))
     print()
@@ -120,6 +125,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if plan is not None:
         print()
         print(render_crawl_health(dataset, plan))
+    _write_trace(args, study)
     return 0
 
 
@@ -219,8 +225,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
     plan = _fault_plan(args)
     print("Running the calibrated study...", file=sys.stderr)
-    dataset, plan = _crawl_dataset(args, StudyConfig(fault_plan=plan))
-    result = Study(dataset.population).analyze(dataset)
+    study, outcome = _crawl_study(args, StudyConfig(fault_plan=plan))
+    dataset, plan = outcome.dataset, outcome.fault_plan
+    result = study.analyze(dataset)
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     written = write_release(result, str(out_dir))
@@ -244,6 +251,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         written.append(str(har_path))
     for path in written:
         print(path)
+    _write_trace(args, study)
     return 0
 
 
@@ -327,6 +335,15 @@ def _add_parallel_args(sub: argparse.ArgumentParser) -> None:
                           "--workers)")
 
 
+def _add_trace_arg(sub: argparse.ArgumentParser) -> None:
+    """--trace: structured-tracing export (repro.obs)."""
+    sub.add_argument("--trace", metavar="PATH",
+                     help="record structured spans/metrics for the whole "
+                          "pipeline and write them to PATH as JSONL "
+                          "(inspect with `repro-trace summarize PATH`); "
+                          "tracing never changes the dataset fingerprint")
+
+
 def _add_show_pii_arg(sub: argparse.ArgumentParser) -> None:
     """--show-pii: print persona PII / leaked tokens unredacted."""
     sub.add_argument("--show-pii", action="store_true",
@@ -348,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(study)
     _add_resume_args(study)
     _add_parallel_args(study)
+    _add_trace_arg(study)
     study.set_defaults(func=_cmd_study)
 
     browsers = subparsers.add_parser("browsers",
@@ -380,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(report)
     _add_resume_args(report)
     _add_parallel_args(report)
+    _add_trace_arg(report)
     report.set_defaults(func=_cmd_report)
 
     tokens = subparsers.add_parser("tokens",

@@ -38,7 +38,7 @@ from .persona import (
     PII_USERNAME,
     Persona,
 )
-from .pipeline import Study, StudyConfig, StudyResult
+from .pipeline import CrawlOutcome, Study, StudyConfig, StudyResult
 from .tokens import CandidateTokenSet, TokenOrigin, TokenSetConfig
 
 __all__ = [
@@ -50,6 +50,7 @@ __all__ = [
     "CHANNEL_REFERER",
     "CHANNEL_URI",
     "CandidateTokenSet",
+    "CrawlOutcome",
     "DEFAULT_PERSONA",
     "ENCODING_ROWS",
     "HeuristicDetector",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..dnssim import CnameCloakingDetector, Resolver
+from ..obs import NULL_RECORDER, Recorder
 from ..netsim import (
     CaptureEntry,
     CaptureLog,
@@ -59,11 +60,16 @@ class LeakDetector:
                  resolver: Optional[Resolver] = None,
                  psl: Optional[PublicSuffixList] = None,
                  scan_first_party: bool = False,
-                 locations: Optional[Sequence[str]] = None) -> None:
+                 locations: Optional[Sequence[str]] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         """``locations`` restricts which request parts are scanned (for
         ablation studies, e.g. URL-only detection as in prior work);
-        ``None`` scans everything."""
+        ``None`` scans everything.  ``recorder`` (a
+        :class:`repro.obs.Recorder`) records detection-funnel counters
+        — entries scanned, pruned and matched — at no cost when left
+        ``None``."""
         self.tokens = tokens
+        self.recorder = recorder or NULL_RECORDER
         self.catalog = catalog
         self.psl = psl or default_list()
         self.scan_first_party = scan_first_party
@@ -84,12 +90,29 @@ class LeakDetector:
 
     def detect(self, log: CaptureLog,
                include_blocked: bool = False) -> List[LeakEvent]:
-        """All leak events in a capture log."""
+        """All leak events in a capture log.
+
+        With a recorder attached, the §4.1 detection funnel becomes
+        visible as counters: how many entries were scanned vs. skipped
+        as blocked, how many produced at least one event, and how many
+        events survived in total.
+        """
+        recorder = self.recorder
         events: List[LeakEvent] = []
+        scanned = skipped = leaking = 0
         for entry in log:
             if entry.was_blocked and not include_blocked:
+                skipped += 1
                 continue
-            events.extend(self.detect_entry(entry))
+            scanned += 1
+            found = self.detect_entry(entry)
+            if found:
+                leaking += 1
+            events.extend(found)
+        recorder.count("detector.entries_scanned", scanned)
+        recorder.count("detector.entries_blocked_skipped", skipped)
+        recorder.count("detector.entries_leaking", leaking)
+        recorder.count("detector.events", len(events))
         return events
 
     def detect_entry(self, entry: CaptureEntry) -> List[LeakEvent]:
@@ -143,15 +166,21 @@ class LeakDetector:
 
     def _attribute_uncached(self, host: str,
                             site_host: str) -> Optional[_Attribution]:
+        # Counter totals are per unique (host, site) pair — the cache
+        # guarantees one uncached call each — so they are independent
+        # of scan order and of how the crawl was sharded.
         if self.psl.is_third_party(host, site_host):
             receiver = self._service_domain(host)
+            self.recorder.count("detector.attribution.third_party")
             return _Attribution(receiver=receiver, cloaked=False)
         # First-party by registrable domain: check for CNAME cloaking.
         if self._cloaking is not None:
             verdict = self._cloaking.classify(host, site_host)
             if verdict.cloaked and verdict.tracker_zone is not None:
+                self.recorder.count("detector.attribution.cloaked")
                 return _Attribution(receiver=verdict.tracker_zone,
                                     cloaked=True)
+        self.recorder.count("detector.attribution.first_party")
         if self.scan_first_party:
             return _Attribution(receiver=self._service_domain(host),
                                 cloaked=False)

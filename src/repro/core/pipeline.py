@@ -9,10 +9,20 @@ wires them together the way the paper's methodology chains them:
     §3 data collection -> §4 leak detection -> §5 tracking analysis
     -> §6 policy audit (and, via :mod:`repro.protection` /
     :mod:`repro.blocklist`, the §7 countermeasure studies).
+
+Crawling goes through the single entry point :meth:`Study.crawl`, which
+dispatches on ``config.workers`` (serial session vs. sharded
+multi-process engine) and handles checkpoint/resume for both.  The
+pipeline is observable end to end: give the config a
+:class:`repro.obs.Recorder` (``StudyConfig.with_observability()``) and
+every stage — crawl, token generation, detection, analysis — records
+spans and counters without perturbing a single byte of the dataset
+fingerprint.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -20,6 +30,7 @@ from ..browser import BrowserProfile, RetryPolicy, vanilla_firefox
 from ..crawler import CrawlDataset, CrawlSession, StudyCrawler
 from ..mailsim import KIND_MARKETING
 from ..netsim.faults import FaultPlan
+from ..obs import NULL_RECORDER, Recorder
 from ..policy import PolicyVerdict, classify_policies, policies_for_sites
 from ..policy import table3 as policy_table3
 from ..tracking import PersistenceAnalyzer, PersistenceReport
@@ -30,9 +41,8 @@ from .leakmodel import LeakEvent
 from .tokens import CandidateTokenSet, TokenSetConfig
 
 
-@dataclass
 class StudyConfig:
-    """Tunables for a full study run.
+    """Tunables for a full study run (all fields keyword-only).
 
     ``fault_plan`` injects seeded network faults into the crawl (see
     :mod:`repro.netsim.faults`); when set, the crawler runs its resilient
@@ -47,14 +57,83 @@ class StudyConfig:
     pins the shard layout (default:
     :func:`~repro.crawler.default_shard_count`, which is independent of
     ``workers`` so fingerprints stay comparable across machines).
+
+    ``recorder`` opts the whole pipeline into structured tracing (see
+    :mod:`repro.obs`); prefer :meth:`with_observability` over setting
+    it by hand.  ``None`` (the default) records nothing and costs
+    nothing.
     """
 
-    profile: Optional[BrowserProfile] = None
-    token_config: Optional[TokenSetConfig] = None
+    _FIELDS = ("profile", "token_config", "fault_plan", "retry_policy",
+               "workers", "num_shards", "recorder")
+
+    def __init__(self, *,
+                 profile: Optional[BrowserProfile] = None,
+                 token_config: Optional[TokenSetConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 workers: int = 1,
+                 num_shards: Optional[int] = None,
+                 recorder: Optional[Recorder] = None) -> None:
+        self.profile = profile
+        self.token_config = token_config
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        self.workers = workers
+        self.num_shards = num_shards
+        self.recorder = recorder
+
+    def replace(self, **changes: object) -> "StudyConfig":
+        """A copy of this config with ``changes`` applied.
+
+        Raises :class:`TypeError` for names that are not config fields.
+        """
+        unknown = set(changes) - set(self._FIELDS)
+        if unknown:
+            raise TypeError("unknown StudyConfig field(s): %s"
+                            % ", ".join(sorted(unknown)))
+        values = {name: getattr(self, name) for name in self._FIELDS}
+        values.update(changes)
+        return StudyConfig(**values)
+
+    def with_observability(self,
+                           recorder: Optional[Recorder] = None
+                           ) -> "StudyConfig":
+        """A copy of this config with tracing enabled.
+
+        ``recorder`` defaults to a fresh :class:`repro.obs.Recorder`
+        (deterministic tick clock).  This is the supported way to turn
+        tracing on — through config, not a side-channel global — so two
+        studies can trace independently in one process.
+        """
+        return self.replace(recorder=recorder or Recorder())
+
+    def __repr__(self) -> str:
+        parts = ", ".join("%s=%r" % (name, getattr(self, name))
+                          for name in self._FIELDS)
+        return "StudyConfig(%s)" % parts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StudyConfig):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in self._FIELDS)
+
+
+@dataclass
+class CrawlOutcome:
+    """What :meth:`Study.crawl` produced.
+
+    ``fault_plan`` carries the executed fault events (merged across
+    shards for a parallel crawl) for crawl-health reporting; ``None``
+    when no faults were injected.  ``recorder`` is the study's recorder
+    when tracing was enabled — after a parallel crawl it already holds
+    the per-shard traces merged in layout order.
+    """
+
+    dataset: CrawlDataset
     fault_plan: Optional[FaultPlan] = None
-    retry_policy: Optional[RetryPolicy] = None
-    workers: int = 1
-    num_shards: Optional[int] = None
+    recorder: Optional[Recorder] = None
 
 
 @dataclass
@@ -101,50 +180,96 @@ class Study:
     """The full reproduction pipeline over a population.
 
     ``population`` is the synthetic web to study; ``config`` a
-    :class:`StudyConfig` (defaults apply when omitted).  The instance
-    exposes each stage separately (:meth:`crawler`, :meth:`start_crawl`,
+    :class:`StudyConfig` (defaults apply when omitted);
+    ``population_spec`` an optional picklable
+    :class:`~repro.crawler.PopulationSpec` recipe the parallel engine
+    uses to rebuild the population inside worker processes (``None``
+    deep-copies the live population per shard).  The instance exposes
+    each stage separately (:meth:`crawler`, :meth:`crawl`,
     :meth:`analyze`) plus the one-call :meth:`run`.
     """
 
-    def __init__(self, population, config: Optional[StudyConfig] = None) -> None:
+    def __init__(self, population,
+                 config: Optional[StudyConfig] = None,
+                 population_spec=None) -> None:
         self.population = population
         self.config = config or StudyConfig()
-        #: Picklable recipe used by the parallel engine to rebuild the
-        #: population inside worker processes.  ``None`` (the default)
-        #: means the live population is deep-copied per shard; factory
-        #: constructors set a cheaper spec.
-        self.population_spec = None
+        self.population_spec = population_spec
 
     @classmethod
     def calibrated(cls, config: Optional[StudyConfig] = None) -> "Study":
         """A study over the paper-calibrated shopping population.
 
         Returns a :class:`Study` whose ``spec`` attribute carries the
-        full calibrated :class:`~repro.websim.shopping` study spec.
+        full calibrated :class:`~repro.websim.shopping` study spec and
+        whose ``population_spec`` is the cheap picklable
+        :class:`~repro.crawler.CalibratedPopulationSpec` recipe.
         """
         from ..crawler import CalibratedPopulationSpec
         from ..websim.shopping import build_study_population
         spec = build_study_population()
-        study = cls(spec.population, config=config)
+        study = cls(spec.population, config=config,
+                    population_spec=CalibratedPopulationSpec())
         study.spec = spec
-        study.population_spec = CalibratedPopulationSpec()
         return study
+
+    # -- crawling --------------------------------------------------------
 
     def crawler(self) -> StudyCrawler:
         """The configured serial crawler (fault plan and retries applied)."""
         profile = self.config.profile or vanilla_firefox()
         return StudyCrawler(self.population, profile=profile,
                             fault_plan=self.config.fault_plan,
-                            retry_policy=self.config.retry_policy)
+                            retry_policy=self.config.retry_policy,
+                            recorder=self.config.recorder)
 
-    def parallel_crawler(self, checkpoint_dir: Optional[str] = None):
-        """The sharded multi-process crawl engine for this study.
+    def crawl(self, checkpoint: Optional[str] = None,
+              resume: Optional[str] = None) -> CrawlOutcome:
+        """Crawl the population — the single crawl entry point.
 
-        Honors ``config.workers`` / ``config.num_shards``; pass
-        ``checkpoint_dir`` to enable per-shard checkpointing and resume.
-        Returns a :class:`~repro.crawler.ParallelCrawler` whose merged
-        dataset fingerprint is invariant to the worker count.
+        Dispatches on ``config.workers``: ``1`` runs the serial
+        :class:`~repro.crawler.CrawlSession`, ``N > 1`` the sharded
+        :class:`~repro.crawler.ParallelCrawler`; either way the
+        resulting dataset's fingerprint depends only on (population,
+        fault seed, shard layout).
+
+        ``checkpoint``/``resume`` follow the CLI semantics: for a
+        serial crawl they name a checkpoint *file* (saved after every
+        site / loaded before crawling); for a parallel crawl they name
+        a *directory* of per-shard checkpoints (resume simply points at
+        the directory a previous run checkpointed into).  Raises
+        :class:`~repro.crawler.CheckpointError` (or :class:`OSError`)
+        when a resume source is unusable.
         """
+        recorder = self.config.recorder
+        rec = recorder or NULL_RECORDER
+        with rec.span("crawl", kind="stage"):
+            if self.config.workers > 1:
+                engine = self._parallel_engine(
+                    checkpoint_dir=resume or checkpoint)
+                result = engine.run()
+                return CrawlOutcome(dataset=result.dataset,
+                                    fault_plan=result.fault_plan,
+                                    recorder=recorder)
+            if resume is not None:
+                session = CrawlSession.load(resume, expect_shard=None)
+            else:
+                session = self.crawler().start()
+            while not session.done:
+                session.step()
+                if checkpoint:
+                    session.save(checkpoint)
+            dataset = session.finish()
+            if recorder is not None and session.recorder is not recorder:
+                # A resumed session carries its own (pickled) recorder;
+                # graft its history under this study's crawl span.
+                recorder.adopt(session.recorder)
+            return CrawlOutcome(dataset=dataset,
+                                fault_plan=session.fault_plan,
+                                recorder=recorder)
+
+    def _parallel_engine(self, checkpoint_dir: Optional[str] = None):
+        """The sharded multi-process engine for this study's population."""
         from ..crawler import ParallelCrawler, PrebuiltPopulationSpec
         spec = self.population_spec or PrebuiltPopulationSpec(self.population)
         return ParallelCrawler(spec, workers=self.config.workers,
@@ -152,11 +277,30 @@ class Study:
                                profile=self.config.profile or vanilla_firefox(),
                                fault_plan=self.config.fault_plan,
                                retry_policy=self.config.retry_policy,
-                               checkpoint_dir=checkpoint_dir)
+                               checkpoint_dir=checkpoint_dir,
+                               recorder=self.config.recorder)
+
+    # -- deprecated crawl surfaces --------------------------------------
+
+    def parallel_crawler(self, checkpoint_dir: Optional[str] = None):
+        """Deprecated: use :meth:`crawl` (or build a
+        :class:`~repro.crawler.ParallelCrawler` directly)."""
+        warnings.warn(
+            "Study.parallel_crawler() is deprecated; use Study.crawl(), "
+            "which dispatches on config.workers",
+            DeprecationWarning, stacklevel=2)
+        return self._parallel_engine(checkpoint_dir=checkpoint_dir)
 
     def start_crawl(self) -> CrawlSession:
-        """Begin an incremental serial crawl session (checkpointable)."""
+        """Deprecated: use :meth:`crawl` (or ``crawler().start()`` for a
+        stepwise session)."""
+        warnings.warn(
+            "Study.start_crawl() is deprecated; use Study.crawl() for a "
+            "full crawl or Study.crawler().start() for a stepwise session",
+            DeprecationWarning, stacklevel=2)
         return self.crawler().start()
+
+    # -- the pipeline ----------------------------------------------------
 
     def run(self) -> StudyResult:
         """Crawl, detect, and analyze; returns the combined result.
@@ -165,9 +309,10 @@ class Study:
         sharded parallel engine otherwise; either way the analysis runs
         over the complete merged dataset.
         """
-        if self.config.workers > 1:
-            return self.analyze(self.parallel_crawler().crawl())
-        return self.analyze(self.crawler().crawl())
+        rec = self.config.recorder or NULL_RECORDER
+        with rec.span("study"):
+            outcome = self.crawl()
+            return self.analyze(outcome.dataset)
 
     def analyze(self, dataset: CrawlDataset) -> StudyResult:
         """Detect and analyze an existing (possibly partial) dataset.
@@ -177,24 +322,38 @@ class Study:
         crawl quarantined stay visible via ``dataset.status_counts()``
         and are never silently dropped.
         """
+        recorder = self.config.recorder
+        rec = recorder or NULL_RECORDER
         population = dataset.population
-        tokens = CandidateTokenSet(population.persona,
-                                   config=self.config.token_config)
-        detector = LeakDetector(tokens, catalog=population.catalog,
-                                resolver=population.resolver())
-        events = detector.detect(dataset.log)
-        analysis = LeakAnalysis(events)
-        persistence = PersistenceAnalyzer(events).report()
-        heuristics = HeuristicDetector(
-            known_tokens={event.token for event in events})
-        suspected = heuristics.detect(dataset.log)
 
-        site_classes = {
-            domain: population.sites[domain].policy_class
-            for domain in analysis.senders()
-            if domain in population.sites
-            and population.sites[domain].policy_class is not None}
-        verdicts = classify_policies(policies_for_sites(site_classes))
+        with rec.span("tokens", kind="stage"):
+            tokens = CandidateTokenSet(population.persona,
+                                       config=self.config.token_config,
+                                       recorder=recorder)
+        with rec.span("detect", kind="stage"):
+            detector = LeakDetector(tokens, catalog=population.catalog,
+                                    resolver=population.resolver(),
+                                    recorder=recorder)
+            events = detector.detect(dataset.log)
+            leaking_request_count = len(leaking_requests(dataset.log,
+                                                         detector))
+        with rec.span("analysis", kind="stage"):
+            analysis = LeakAnalysis(events)
+            persistence = PersistenceAnalyzer(events).report()
+            rec.count("analysis.receivers", len(analysis.receivers()))
+        with rec.span("heuristics", kind="stage"):
+            heuristics = HeuristicDetector(
+                known_tokens={event.token for event in events})
+            suspected = heuristics.detect(dataset.log)
+            rec.count("heuristics.suspected_leaks", len(suspected))
+        with rec.span("policy", kind="stage"):
+            site_classes = {
+                domain: population.sites[domain].policy_class
+                for domain in analysis.senders()
+                if domain in population.sites
+                and population.sites[domain].policy_class is not None}
+            verdicts = classify_policies(policies_for_sites(site_classes))
+            rec.count("policy.verdicts", len(verdicts))
 
         return StudyResult(
             dataset=dataset,
@@ -203,7 +362,6 @@ class Study:
             analysis=analysis,
             persistence=persistence,
             policy_verdicts=verdicts,
-            leaking_request_count=len(leaking_requests(dataset.log,
-                                                       detector)),
+            leaking_request_count=leaking_request_count,
             suspected_leaks=suspected,
         )

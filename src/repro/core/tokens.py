@@ -26,6 +26,7 @@ from itertools import product
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import hashes
+from ..obs import NULL_RECORDER, Recorder
 from .aho import AhoCorasick, Match
 from .persona import Persona
 
@@ -69,13 +70,19 @@ class CandidateTokenSet:
     """All strings whose appearance in traffic constitutes a PII leak."""
 
     def __init__(self, persona: Persona,
-                 config: Optional[TokenSetConfig] = None) -> None:
+                 config: Optional[TokenSetConfig] = None,
+                 recorder: Optional[Recorder] = None) -> None:
+        """``recorder`` (a :class:`repro.obs.Recorder`) records the
+        candidate-generation funnel — tokens emitted, pruned as too
+        short, and deduplicated — as counters and gauges."""
         self.persona = persona
         self.config = config or TokenSetConfig()
+        self.recorder = recorder or NULL_RECORDER
         self._origins: Dict[str, List[TokenOrigin]] = {}
         self._automaton: AhoCorasick[TokenOrigin] = AhoCorasick()
         self._generate()
         self._automaton.build()
+        self.recorder.gauge("tokens.candidates", len(self._origins))
 
     # -- generation --------------------------------------------------------
 
@@ -106,6 +113,7 @@ class CandidateTokenSet:
 
     def _add_token(self, token: str, origin: TokenOrigin) -> None:
         if len(token) < self.config.min_token_length:
+            self.recorder.count("tokens.pruned_too_short")
             return
         self._register(token, origin)
         if self.config.include_case_variants and _is_hex(token):
@@ -116,6 +124,9 @@ class CandidateTokenSet:
         if origin not in bucket:
             bucket.append(origin)
             self._automaton.add(token, origin)
+            self.recorder.count("tokens.origins")
+        else:
+            self.recorder.count("tokens.duplicate_origins")
 
     # -- queries -----------------------------------------------------------
 

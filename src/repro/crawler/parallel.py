@@ -47,6 +47,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..mailsim import Mailbox
 from ..netsim import CaptureLog
 from ..netsim.faults import FaultEvent, FaultPlan
+from ..obs import Recorder, merge_recorders
 from ..reporting.redact import redact_email
 from ..websim.population import Population
 from .runner import CrawlDataset, CrawlSession, StudyCrawler
@@ -143,6 +144,10 @@ class ShardJob:
     extension: Optional[object] = None        # ContentBlocker
     firewall: Optional[object] = None         # OutboundFirewall
     checkpoint_path: Optional[str] = None
+    #: Record a per-shard observability trace (spans + metrics) and
+    #: ship it back with the result.  Off by default: tracing must
+    #: never be a tax on untraced crawls.
+    trace: bool = False
 
 
 @dataclass
@@ -152,11 +157,15 @@ class ShardResult:
     ``dataset.population`` is stripped (``None``) before crossing the
     process boundary — the parent re-attaches its own population during
     the merge — so the synthetic web is never pickled back N times.
+    ``recorder`` carries the shard's trace when the job asked for one;
+    it is a plain picklable value object (PKL301-303 hold) whose
+    content depends only on the shard, never on which worker ran it.
     """
 
     index: int
     dataset: CrawlDataset
     fault_events: Tuple[FaultEvent, ...] = ()
+    recorder: Optional[Recorder] = None
 
 
 def _session_for_job(job: ShardJob) -> CrawlSession:
@@ -169,7 +178,8 @@ def _session_for_job(job: ShardJob) -> CrawlSession:
         population, profile=job.profile, extension=job.extension,
         firewall=job.firewall, consent_policy=job.consent_policy,
         automated=job.automated, fault_plan=job.fault_plan,
-        retry_policy=job.retry_policy)
+        retry_policy=job.retry_policy,
+        recorder=Recorder() if job.trace else None)
     return crawler.start(shard=job.shard)
 
 
@@ -197,8 +207,14 @@ def run_shard_job(job: ShardJob) -> ShardResult:
         profile_name=dataset.profile_name, log=dataset.log,
         flows=dataset.flows, mailbox=dataset.mailbox,
         persona=dataset.persona, population=None)
+    # A resumed-from-untraced-checkpoint session carries a NullRecorder
+    # even when the job asks for tracing; ship a recorder only when it
+    # actually recorded.
+    recorder = (session.recorder
+                if job.trace and session.recorder.enabled else None)
     return ShardResult(index=session.shard.index, dataset=stripped,
-                       fault_events=tuple(plan.events) if plan else ())
+                       fault_events=tuple(plan.events) if plan else (),
+                       recorder=recorder)
 
 
 # ---------------------------------------------------------------------------
@@ -264,6 +280,10 @@ class ParallelCrawlResult:
     fault_plan: Optional[FaultPlan] = None
     #: (shard index, sites crawled, capture entries) per shard.
     shard_stats: Tuple[Tuple[int, int, int], ...] = ()
+    #: The merged per-shard trace (shard recorders folded together in
+    #: layout order) when the engine was constructed with a recorder;
+    #: its snapshot is identical at every worker count.
+    recorder: Optional[Recorder] = None
 
 
 class ParallelCrawler:
@@ -285,6 +305,13 @@ class ParallelCrawler:
     from a different layout raise
     :class:`~repro.crawler.CheckpointError`).
 
+    ``recorder`` (a :class:`repro.obs.Recorder`) turns on per-shard
+    tracing: every worker records its shard's spans and metrics into a
+    local recorder, the results travel back with the
+    :class:`ShardResult`, and the engine folds them into ``recorder``
+    in shard-layout order — so the merged trace, like the dataset
+    fingerprint, is bit-identical at every worker count.
+
     Raises :class:`ValueError` for ``workers < 1`` or an invalid shard
     count.
     """
@@ -298,7 +325,8 @@ class ParallelCrawler:
                  automated: bool = False,
                  extension: Optional[object] = None,
                  firewall: Optional[object] = None,
-                 checkpoint_dir: Optional[str] = None) -> None:
+                 checkpoint_dir: Optional[str] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if isinstance(population, PopulationSpec):
@@ -317,6 +345,7 @@ class ParallelCrawler:
         self.extension = extension
         self.firewall = firewall
         self.checkpoint_dir = checkpoint_dir
+        self.recorder = recorder
         self._layout: Optional[ShardLayout] = None
 
     # -- layout ----------------------------------------------------------
@@ -370,19 +399,30 @@ class ParallelCrawler:
                     processes=min(self.workers, len(jobs))) as pool:
                 results = pool.map(run_shard_job, jobs)
         dataset = merge_shard_datasets(results, self.population())
+        ordered = sorted(results, key=lambda r: r.index)
         merged_plan = None
         if self.fault_plan is not None:
             merged_plan = self.fault_plan.fresh_copy()
-            for result in sorted(results, key=lambda r: r.index):
+            for result in ordered:
                 merged_plan.events.extend(result.fault_events)
         stats = tuple(
             (result.index, len(result.dataset.flows),
              len(result.dataset.log.entries))
-            for result in sorted(results, key=lambda r: r.index))
+            for result in ordered)
+        merged_recorder = None
+        if self.recorder is not None:
+            # Shard recorders merge in layout order, so the combined
+            # trace — like the dataset fingerprint — cannot depend on
+            # which worker ran which shard, or on the worker count.
+            merged_recorder = merge_recorders(
+                [result.recorder for result in ordered
+                 if result.recorder is not None])
+            self.recorder.adopt(merged_recorder)
         return ParallelCrawlResult(dataset=dataset, layout=self.layout,
                                    workers=self.workers,
                                    fault_plan=merged_plan,
-                                   shard_stats=stats)
+                                   shard_stats=stats,
+                                   recorder=merged_recorder)
 
     # -- internals -------------------------------------------------------
 
@@ -398,4 +438,5 @@ class ParallelCrawler:
                         automated=self.automated, fault_plan=plan,
                         retry_policy=self.retry_policy,
                         extension=self.extension, firewall=self.firewall,
-                        checkpoint_path=checkpoint_path)
+                        checkpoint_path=checkpoint_path,
+                        trace=self.recorder is not None)

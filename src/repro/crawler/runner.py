@@ -35,6 +35,7 @@ from ..core.persona import Persona
 from ..mailsim import ConfirmationMailHook, Mailbox
 from ..netsim import CaptureLog
 from ..netsim.faults import FaultPlan
+from ..obs import NULL_RECORDER, Recorder
 from ..websim.population import Population
 from ..websim.site import Website
 from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
@@ -157,6 +158,12 @@ class CrawlSession:
         """
         population = crawler.population
         self.shard = shard
+        #: Observability sink for this session.  Shard sessions record
+        #: everything under one "shard" root span; a serial session
+        #: records site spans directly under whatever span its (shared)
+        #: recorder currently has open.  Picklable, so the trace
+        #: survives checkpoint/resume along with the rest of the state.
+        self.recorder: Recorder = crawler.recorder or NULL_RECORDER
         if sites is None and shard is not None:
             sites = [population.sites[domain] for domain in shard.domains]
         self.population = population
@@ -182,6 +189,11 @@ class CrawlSession:
         self._next_index = 0
         self.flows: Dict[str, FlowResult] = {}
         self._finished = False
+        self._root_span = None
+        if shard is not None and self.recorder.enabled:
+            self._root_span = self.recorder.start_span(
+                "shard", start=self.browser.clock.now(),
+                index=shard.index, sites=len(self._sites))
 
     # -- progress --------------------------------------------------------
 
@@ -200,11 +212,39 @@ class CrawlSession:
     # -- execution -------------------------------------------------------
 
     def step(self) -> Optional[FlowResult]:
-        """Crawl the next pending site; None when nothing is left."""
+        """Crawl the next pending site; None when nothing is left.
+
+        With an enabled recorder, each site becomes a span (stamped
+        with deterministic simulated-clock times) whose children are
+        one point-span per captured request, plus per-status flow
+        counters and site-level histograms — the per-site/per-request
+        layer of the study → stage → shard → site → request hierarchy.
+        """
         if self.done:
             return None
         site = self._sites[self._next_index]
+        recorder = self.recorder
+        entries_before = len(self.browser.log.entries)
+        sim_start = self.browser.clock.now()
+        recorder.start_span("site", start=sim_start, domain=site.domain)
         result = self.runner.run(site)
+        sim_end = self.browser.clock.now()
+        new_entries = self.browser.log.entries[entries_before:]
+        if recorder.enabled:
+            for entry in new_entries:
+                recorder.add_span(
+                    "request", start=entry.request.timestamp,
+                    end=entry.request.timestamp,
+                    host=entry.request.url.host, stage=entry.stage,
+                    blocked=entry.was_blocked)
+        recorder.end_span(end=sim_end)
+        recorder.count("crawl.sites")
+        recorder.count("crawl.flows.%s" % result.status)
+        recorder.count("crawl.requests", len(new_entries))
+        if result.attempts > 1:
+            recorder.count("crawl.retried_flows")
+        recorder.observe("crawl.site_sim_seconds", sim_end - sim_start)
+        recorder.observe("crawl.site_requests", len(new_entries))
         self.flows[site.domain] = result
         self._next_index += 1
         return result
@@ -235,6 +275,8 @@ class CrawlSession:
                     self.mailbox.deliver_marketing(site.domain, spam_count,
                                                    spam=True)
             self.browser.snapshot_cookies()
+            if self._root_span is not None and self._root_span.end is None:
+                self.recorder.end_span(end=self.browser.clock.now())
             self._finished = True
         return CrawlDataset(profile_name=self.profile.name,
                             log=self.browser.log, flows=self.flows,
@@ -318,7 +360,8 @@ class StudyCrawler:
                  consent_policy: Optional[str] = None,
                  automated: bool = False,
                  fault_plan: Optional[FaultPlan] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         """``extension`` (a content blocker such as
         :class:`repro.blocklist.AdblockExtension`) and ``firewall`` (an
         outbound scrubber such as :class:`repro.mitigation.PiiFirewall`)
@@ -328,7 +371,10 @@ class StudyCrawler:
         operator) is forwarded to the browser.  ``fault_plan`` makes the
         synthetic web flaky; supplying one enables the resilient network
         path with a default :class:`~repro.browser.RetryPolicy` unless an
-        explicit ``retry_policy`` is given."""
+        explicit ``retry_policy`` is given.  ``recorder`` (a
+        :class:`repro.obs.Recorder`) turns on structured tracing for the
+        sessions this crawler starts; ``None`` (the default) records
+        nothing and costs nothing."""
         from ..websim.consent import CONSENT_ACCEPT_ALL
         ensure_protocol(extension, ContentBlocker, "extension")
         ensure_protocol(firewall, OutboundFirewall, "firewall")
@@ -343,6 +389,7 @@ class StudyCrawler:
         if retry_policy is None and fault_plan is not None:
             retry_policy = RetryPolicy()
         self.retry_policy = retry_policy
+        self.recorder = recorder
 
     def start(self, sites: Optional[Iterable[Website]] = None,
               shard: Optional[ShardInfo] = None) -> CrawlSession:

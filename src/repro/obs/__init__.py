@@ -1,0 +1,55 @@
+"""Structured observability for the crawl→detect→analyze pipeline.
+
+Dependency-free counters, gauges, timing histograms and hierarchical
+spans (study → stage → shard → site → request), recorded against an
+injectable deterministic clock so tracing never perturbs dataset
+fingerprints: a crawl with tracing on is bit-identical to one with
+tracing off, and the merged trace of a parallel crawl is identical at
+every worker count.
+
+Entry points: pass a :class:`Recorder` via
+``StudyConfig.with_observability()`` (library), ``--trace out.jsonl``
+on ``repro-study`` (CLI), and ``repro-trace summarize`` to read the
+exported JSONL.
+"""
+
+from .clock import Clock, TickClock, WallClock
+from .export import (
+    TRACE_SCHEMA_VERSION,
+    TraceError,
+    read_trace,
+    summarize_recorder,
+    summarize_trace,
+    trace_lines,
+    write_trace,
+)
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    Span,
+    merge_recorders,
+)
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "TickClock",
+    "TraceError",
+    "WallClock",
+    "merge_recorders",
+    "read_trace",
+    "summarize_recorder",
+    "summarize_trace",
+    "trace_lines",
+    "write_trace",
+]

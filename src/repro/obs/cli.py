@@ -1,0 +1,60 @@
+"""``repro-trace``: read and summarize JSONL traces.
+
+Usage::
+
+    repro-trace summarize out.jsonl            # per-stage breakdown
+    repro-trace summarize out.jsonl --top 40   # longer tables
+
+Traces are produced by ``repro-study study --trace out.jsonl`` (and by
+``benchmarks/bench_parallel_crawl.py --trace``); the summary shows the
+span breakdown per stage plus every counter/gauge/histogram the run
+recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .export import TraceError, read_trace, summarize_trace
+
+EXIT_OK = 0
+EXIT_ERROR = 2
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    try:
+        records = read_trace(args.path)
+    except (OSError, TraceError) as exc:
+        print("repro-trace: error: %s" % exc, file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        print(summarize_trace(records, top=args.top))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        sys.stderr.close()
+    return EXIT_OK
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Summarize repro.obs JSONL traces.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    summarize = subparsers.add_parser(
+        "summarize", help="per-stage breakdown of a trace file")
+    summarize.add_argument("path", help="JSONL trace written by --trace")
+    summarize.add_argument("--top", type=int, default=20, metavar="N",
+                           help="rows per table (default: 20)")
+    summarize.set_defaults(func=_cmd_summarize)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Injectable clocks for the observability layer.
+
+Everything in :mod:`repro.obs` records times through a :class:`Clock`
+so the determinism gate (DET101-104) stays green: the default
+:class:`TickClock` is a pure counter — two identical runs produce
+bit-identical traces — and the crawl path stamps spans with the
+browser's :class:`~repro.browser.SimClock` (simulated seconds), which
+is already deterministic.  :class:`WallClock` is the explicit opt-out
+for interactive profiling; it must never feed anything that is compared
+across runs or worker counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Minimal clock interface: a monotonic :meth:`now`.
+
+    :class:`~repro.browser.SimClock` satisfies it structurally; so does
+    any object with a ``now() -> float`` method.
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class TickClock(Clock):
+    """Deterministic logical clock: each read advances one tick.
+
+    Durations measured against it count *events between start and end*,
+    not seconds — meaningless as wall time, but identical across runs,
+    processes and worker counts, which is what the trace-equality
+    contract needs.  Picklable (plain state), so it travels inside
+    checkpointed sessions and shard results.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self._now = start
+        self._step = step
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self._step
+        return value
+
+
+class WallClock(Clock):
+    """Real wall-clock time (``time.perf_counter``).
+
+    Opt-in only: traces recorded against it are *not* reproducible and
+    must never be merged, fingerprinted or compared across worker
+    counts.  The inline suppression below is the sanctioned escape
+    hatch — :mod:`repro.obs` is inside the statan determinism scope on
+    purpose, and this is the one place reading the host clock is
+    acceptable because nothing downstream of a wall-clock trace feeds a
+    dataset fingerprint.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()  # statan: ignore[DET101]

@@ -1,0 +1,196 @@
+"""Trace export: recorder → JSONL, JSONL → summary.
+
+One line per record, stable field order (``sort_keys``), spans in
+depth-first tree order with an explicit ``path`` (root index, child
+index, ...) so the file is diffable: two deterministic runs produce
+byte-identical traces.  The format is self-describing — the first line
+is a ``meta`` record with the schema version.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+from .recorder import Recorder, Span
+
+#: Schema version of the JSONL trace; bump on incompatible changes.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceError(ValueError):
+    """A trace file could not be parsed."""
+
+
+# -- writing ---------------------------------------------------------------
+
+def trace_lines(recorder: Recorder) -> Iterator[str]:
+    """The JSONL lines for everything ``recorder`` holds."""
+    yield _dumps({"type": "meta", "schema": TRACE_SCHEMA_VERSION,
+                  "kind": "repro-trace"})
+    for index, root in enumerate(recorder.roots):
+        for line in _span_lines(root, (index,)):
+            yield line
+    for name in sorted(recorder.counters):
+        yield _dumps({"type": "counter", "name": name,
+                      "value": recorder.counters[name].value})
+    for name in sorted(recorder.gauges):
+        yield _dumps({"type": "gauge", "name": name,
+                      "value": recorder.gauges[name].value})
+    for name in sorted(recorder.histograms):
+        record = recorder.histograms[name].as_dict()
+        record["type"] = "histogram"
+        yield _dumps(record)
+
+
+def _span_lines(span: Span, path) -> Iterator[str]:
+    yield _dumps({
+        "type": "span",
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "depth": len(path) - 1,
+        "path": list(path),
+        "attrs": {key: span.attrs[key] for key in sorted(span.attrs)},
+    })
+    for index, child in enumerate(span.children):
+        for line in _span_lines(child, path + (index,)):
+            yield line
+
+
+def _dumps(record: Dict[str, object]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace(recorder: Recorder, path: str) -> str:
+    """Write ``recorder`` as a JSONL trace to ``path``; returns it."""
+    with open(path, "w") as handle:
+        for line in trace_lines(recorder):
+            handle.write(line + "\n")
+    return path
+
+
+# -- reading ---------------------------------------------------------------
+
+def read_trace(path: str) -> Dict[str, List[Dict[str, object]]]:
+    """Parse a JSONL trace into ``{record type: [records]}``.
+
+    Raises :class:`TraceError` on malformed JSON or on a file that
+    does not carry the trace meta header.
+    """
+    records: Dict[str, List[Dict[str, object]]] = {
+        "span": [], "counter": [], "gauge": [], "histogram": [],
+    }
+    meta: Optional[Dict[str, object]] = None
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError("%s:%d: not JSON: %s"
+                                 % (path, number, exc)) from exc
+            kind = record.get("type") if isinstance(record, dict) else None
+            if kind == "meta":
+                meta = record
+            elif kind in records:
+                records[kind].append(record)
+            else:
+                raise TraceError("%s:%d: unknown record type %r"
+                                 % (path, number, kind))
+    if meta is None or meta.get("kind") != "repro-trace":
+        raise TraceError("%s: missing repro-trace meta header" % path)
+    return records
+
+
+# -- summarizing -----------------------------------------------------------
+
+def summarize_trace(records: Dict[str, List[Dict[str, object]]],
+                    top: int = 20) -> str:
+    """Human-readable per-stage breakdown of a parsed trace.
+
+    Span durations are aggregated *per span name* — names share a
+    clock domain (simulated seconds for sites/requests, logical ticks
+    for study stages), so within a row the totals are comparable.
+    """
+    lines: List[str] = []
+    spans = records["span"]
+    lines.append("spans: %d   counters: %d   gauges: %d   histograms: %d"
+                 % (len(spans), len(records["counter"]),
+                    len(records["gauge"]), len(records["histogram"])))
+
+    by_name: Dict[str, List[float]] = {}
+    open_spans = 0
+    for span in spans:
+        end = span.get("end")
+        if end is None:
+            open_spans += 1
+            continue
+        by_name.setdefault(str(span["name"]), []).append(
+            float(end) - float(span["start"]))
+    if by_name:
+        lines.append("")
+        lines.append("span breakdown (durations are clock-domain-local):")
+        lines.append("  %-24s %8s %12s %12s" % ("name", "count", "total",
+                                                "mean"))
+        ranked = sorted(by_name.items(),
+                        key=_total_duration_then_name)[:top]
+        for name, durations in ranked:
+            total = sum(durations)
+            lines.append("  %-24s %8d %12.3f %12.4f"
+                         % (name, len(durations), total,
+                            total / len(durations)))
+    if open_spans:
+        lines.append("  (%d span(s) still open)" % open_spans)
+
+    if records["counter"]:
+        lines.append("")
+        lines.append("counters:")
+        for record in records["counter"][:top]:
+            lines.append("  %-40s %12g" % (record["name"], record["value"]))
+        if len(records["counter"]) > top:
+            lines.append("  ... and %d more"
+                         % (len(records["counter"]) - top))
+
+    if records["gauge"]:
+        lines.append("")
+        lines.append("gauges:")
+        for record in records["gauge"][:top]:
+            lines.append("  %-40s %12g" % (record["name"], record["value"]))
+
+    if records["histogram"]:
+        lines.append("")
+        lines.append("histograms:")
+        for record in records["histogram"][:top]:
+            count = int(record["count"]) or 1
+            lines.append("  %-32s n=%-6d min=%-9.4g mean=%-9.4g max=%-9.4g"
+                         % (record["name"], record["count"], record["min"],
+                            float(record["total"]) / count, record["max"]))
+    return "\n".join(lines)
+
+
+def _total_duration_then_name(item):
+    name, durations = item
+    return (-sum(durations), name)
+
+
+def summarize_recorder(recorder: Recorder, top: int = 20) -> str:
+    """Summary straight from a live recorder (no file round-trip)."""
+    records: Dict[str, List[Dict[str, object]]] = {
+        "span": [], "counter": [], "gauge": [], "histogram": [],
+    }
+    for span, depth in recorder.all_spans():
+        records["span"].append({"name": span.name, "start": span.start,
+                                "end": span.end, "depth": depth,
+                                "attrs": span.attrs})
+    for name in sorted(recorder.counters):
+        records["counter"].append({"name": name,
+                                   "value": recorder.counters[name].value})
+    for name in sorted(recorder.gauges):
+        records["gauge"].append({"name": name,
+                                 "value": recorder.gauges[name].value})
+    for name in sorted(recorder.histograms):
+        records["histogram"].append(recorder.histograms[name].as_dict())
+    return summarize_trace(records, top=top)

@@ -1,0 +1,120 @@
+"""Metric primitives: counters, gauges, timing histograms.
+
+Dependency-free and deliberately boring: plain picklable dataclasses
+with deterministic merge semantics, so per-shard metric sets can cross
+the :mod:`repro.crawler.parallel` process boundary and be folded back
+together in shard-layout order with a reproducible result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Default histogram bucket upper bounds.  Geometric in powers of four
+#: from 1ms to ~17min plus +inf, wide enough for both simulated-seconds
+#: site timings and request counts.  Fixed (never host-derived) so two
+#: histograms built anywhere always merge bucket-for-bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket distribution (for timings and size counts).
+
+    ``bounds`` are inclusive upper edges; one implicit +inf bucket
+    catches the overflow.  Merging requires identical bounds — a
+    mismatch raises :class:`ValueError` rather than silently skewing
+    the distribution.
+    """
+
+    name: str
+    bounds: Tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: List[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.total += value
+        self.bucket_counts[self._bucket_index(value)] += 1
+
+    def _bucket_index(self, value: float) -> int:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                return index
+        return len(self.bounds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (same bounds required)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histogram %r: bucket bounds differ"
+                % other.name)
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min, self.max = other.min, other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+        for index, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }

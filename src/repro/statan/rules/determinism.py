@@ -39,6 +39,7 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro.hashes",
     "repro.mailsim",
     "repro.netsim",
+    "repro.obs",
     "repro.websim",
 )
 

@@ -25,6 +25,7 @@ from ..engine import FAMILY_PICKLE, Finding, ModuleContext, Rule
 #: Modules whose classes cross the multiprocessing boundary.
 PICKLE_SCOPE: Tuple[str, ...] = (
     "repro.crawler",
+    "repro.obs",
 )
 
 #: Constructors whose results must never be stored on picklable state.

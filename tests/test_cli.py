@@ -121,3 +121,61 @@ def test_fault_plan_built_from_args():
     assert plan is not None
     assert plan.seed == 9 and plan.transient_rate == 0.3
     assert _fault_plan(build_parser().parse_args(["study"])) is None
+
+
+def test_study_parser_accepts_trace_flag():
+    args = build_parser().parse_args(
+        ["study", "--workers", "4", "--trace", "out.jsonl"])
+    assert args.trace == "out.jsonl"
+    assert build_parser().parse_args(["study"]).trace is None
+    assert build_parser().parse_args(
+        ["report", "--trace", "t.jsonl"]).trace == "t.jsonl"
+
+
+def test_study_for_args_wires_workers_shards_and_trace():
+    from repro.cli import _study_for_args
+    from repro.core import StudyConfig
+    from repro.obs import Recorder
+
+    args = build_parser().parse_args(
+        ["study", "--workers", "2", "--shards", "6", "--trace", "t.jsonl"])
+    study = _study_for_args(args, StudyConfig())
+    assert study.config.workers == 2
+    assert study.config.num_shards == 6
+    assert isinstance(study.config.recorder, Recorder)
+
+    plain = _study_for_args(build_parser().parse_args(["study"]),
+                            StudyConfig())
+    assert plain.config.workers == 1
+    assert plain.config.recorder is None
+
+
+def test_write_trace_helper_writes_jsonl(tmp_path, capsys):
+    from repro.cli import _write_trace
+    from repro.core import Study, StudyConfig
+    from repro.obs import read_trace
+
+    path = str(tmp_path / "t.jsonl")
+    config = StudyConfig().with_observability()
+    study = Study(object(), config=config)
+    with config.recorder.span("crawl"):
+        pass
+
+    class _Args:
+        trace = path
+
+    _write_trace(_Args(), study)
+    records = read_trace(path)
+    assert [span["name"] for span in records["span"]] == ["crawl"]
+    assert "repro-trace summarize" in capsys.readouterr().err
+
+
+def test_write_trace_helper_noop_without_flag(tmp_path, capsys):
+    from repro.cli import _write_trace
+    from repro.core import Study
+
+    class _Args:
+        trace = None
+
+    _write_trace(_Args(), Study(object()))
+    assert capsys.readouterr().err == ""

@@ -76,3 +76,28 @@ def test_seeded_pickle_violation_fails_gate(tmp_path, capsys):
 def test_every_family_has_at_least_one_rule_and_fixture():
     families = {rule.family for rule in default_rules()}
     assert families == set(SEEDED_VIOLATIONS)
+
+
+# -- the observability package is inside the gate's scope ----------------
+
+
+def test_obs_package_is_in_determinism_scope():
+    from repro.statan.rules.determinism import DETERMINISM_SCOPE
+    assert "repro.obs" in DETERMINISM_SCOPE
+
+
+def test_obs_package_is_in_pickle_scope():
+    from repro.statan.rules.pickle_safety import PICKLE_SCOPE
+    assert "repro.obs" in PICKLE_SCOPE
+
+
+def test_seeded_violation_under_obs_fails_gate(tmp_path, capsys):
+    """A wall-clock read planted in repro/obs must trip DET101 — the
+    recorder's clocks stay deterministic by rule, not by convention."""
+    pkg = tmp_path / "repro" / "obs"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "seeded_violation.py").write_text(
+        SEEDED_VIOLATIONS["determinism"])
+    code = main([SRC, str(tmp_path), "--baseline", BASELINE])
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
