@@ -23,17 +23,34 @@ are not repeated unless the caller repeats them, and the report records
 ``cpu_count`` because parallel speedup is bounded by physical cores —
 a 1-core container cannot show one, and pretending otherwise would
 poison the trajectory.
+
+The harness is also the CLI front end of the committed baseline
+registry (``benchmarks/baselines/``, gate logic in
+:mod:`repro.obs.regress`)::
+
+    # refresh the committed baseline (median-of-N samples)
+    PYTHONPATH=src python benchmarks/harness.py --update-baseline --repeat 3
+
+    # gate fresh report(s) against the committed baseline (CI)
+    PYTHONPATH=src python benchmarks/harness.py \\
+        --check benchmarks/out/BENCH_parallel_crawl.json
+
+    # append a run to the append-only history JSONL
+    PYTHONPATH=src python benchmarks/harness.py \\
+        --append-history benchmarks/out/BENCH_parallel_crawl.json
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
+import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 #: Schema version of the emitted JSON; bump on incompatible changes.
 SCHEMA_VERSION = 1
@@ -192,3 +209,163 @@ class BenchReport:
             json.dump(self.as_dict(), handle, indent=2, sort_keys=False)
             handle.write("\n")
         return path
+
+
+# ---------------------------------------------------------------------------
+# The baseline-registry CLI (gate logic lives in repro.obs.regress).
+# ---------------------------------------------------------------------------
+
+#: The committed registry directory (relative to this file).
+BASELINES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "baselines")
+
+#: The bench the CLI operates on by default (today: the only one with a
+#: committed baseline).
+DEFAULT_BENCH = "parallel_crawl"
+
+
+def _registry(args: argparse.Namespace):
+    from repro.obs.regress import BaselineRegistry
+    return BaselineRegistry(args.baseline_dir)
+
+
+def _load_report(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError("%s: not a bench report" % path)
+    return document
+
+
+def _cmd_update_baseline(args: argparse.Namespace) -> int:
+    """Run the bench ``--repeat`` times and fold samples into the baseline."""
+    import bench_parallel_crawl
+    if args.repeat < 1:
+        print("harness: error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    registry = _registry(args)
+    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "out", "BENCH_%s.json" % args.bench)
+    path = registry.path(args.bench)
+    for repeat in range(args.repeat):
+        print("== baseline sample %d/%d ==" % (repeat + 1, args.repeat))
+        report = bench_parallel_crawl.run(quick=not args.full,
+                                          out_path=out_path)
+        path = registry.update(args.bench, report.as_dict())
+        registry.append_history(report.as_dict(),
+                                extra=_history_stamp("update-baseline"))
+    print("baseline updated: %s" % path)
+    print("history appended: %s" % registry.history_path)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Gate fresh report JSON(s) against the committed baseline."""
+    from repro.obs.regress import BaselineError, check_report
+    registry = _registry(args)
+    try:
+        baseline = registry.load(args.bench)
+    except BaselineError as exc:
+        print("harness: error: %s" % exc, file=sys.stderr)
+        return 2
+    # Multiple reports (e.g. separate workers-1 and workers-2 runs)
+    # merge into one case table before the check.
+    merged: Dict[str, object] = {"cases": [], "environment": None}
+    for path in args.check:
+        try:
+            report = _load_report(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print("harness: error: %s: %s" % (path, exc), file=sys.stderr)
+            return 2
+        merged["cases"].extend(report.get("cases") or [])  # type: ignore
+        merged["environment"] = report.get("environment")
+    result = check_report(baseline, merged,
+                          thresholds={"wall_seconds": args.threshold,
+                                      "stage": args.threshold}
+                          if args.threshold is not None else None,
+                          require_all=args.require_all)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def _cmd_append_history(args: argparse.Namespace) -> int:
+    """Append report JSON(s) to the append-only history JSONL."""
+    registry = _registry(args)
+    target = args.history
+    for path in args.append_history:
+        try:
+            report = _load_report(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print("harness: error: %s: %s" % (path, exc), file=sys.stderr)
+            return 2
+        target = registry.append_history(
+            report, extra=_history_stamp("run"), path=args.history)
+    print("history appended: %s" % target)
+    return 0
+
+
+def _history_stamp(kind: str) -> Dict[str, object]:
+    """Host-side context for a history entry.
+
+    The registry itself never reads the clock (it sits inside the
+    statan determinism scope); the stamp is supplied here, on the
+    benchmarking side, where wall-clock is the whole point.
+    """
+    return {
+        "kind": kind,
+        "unix_time": round(time.time(), 3),
+        "commit": os.environ.get("GITHUB_SHA", ""),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Bench baseline registry: record, gate, and log "
+                    "perf trajectories (see repro.obs.regress).")
+    parser.add_argument("--bench", default=DEFAULT_BENCH,
+                        help="bench name (default: %(default)s)")
+    parser.add_argument("--baseline-dir", default=BASELINES_DIR,
+                        metavar="DIR",
+                        help="registry directory (default: "
+                             "benchmarks/baselines/)")
+    actions = parser.add_mutually_exclusive_group(required=True)
+    actions.add_argument("--update-baseline", action="store_true",
+                         help="run the bench and fold fresh samples "
+                              "into the committed baseline")
+    actions.add_argument("--check", nargs="+", metavar="REPORT",
+                         help="gate bench-report JSON file(s) against "
+                              "the committed baseline; exit 1 on a "
+                              "regression")
+    actions.add_argument("--append-history", nargs="+", metavar="REPORT",
+                         help="append bench-report JSON file(s) to the "
+                              "history JSONL")
+    parser.add_argument("--repeat", type=int, default=3, metavar="N",
+                        help="samples to record with --update-baseline "
+                             "(default: 3; the gate compares medians)")
+    parser.add_argument("--full", action="store_true",
+                        help="with --update-baseline: run the full "
+                             "sweep instead of --quick")
+    parser.add_argument("--threshold", type=float, default=None,
+                        metavar="REL",
+                        help="override the relative regression "
+                             "threshold for --check (e.g. 0.75)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="with --check: a baseline case missing "
+                             "from the report is a failure, not a note")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="history JSONL path (default: "
+                             "<baseline-dir>/BENCH_history.jsonl)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.update_baseline:
+        return _cmd_update_baseline(args)
+    if args.check:
+        return _cmd_check(args)
+    return _cmd_append_history(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,16 +39,39 @@ def _fault_plan(args: argparse.Namespace):
 def _study_for_args(args: argparse.Namespace, study_config) -> Study:
     """The calibrated study the CLI flags describe.
 
-    Applies ``--workers``/``--shards`` and, when ``--trace`` was given,
-    enables observability on the config so the crawl and the analysis
-    record into one recorder.
+    Applies ``--workers``/``--shards``; ``--trace`` enables
+    observability on the config so the crawl and the analysis record
+    into one recorder; ``--progress``/``--progress-log`` attach a live
+    :class:`~repro.obs.ProgressAggregator` heartbeat sink.
     """
     config = study_config.replace(
         workers=getattr(args, "workers", 1) or 1,
         num_shards=getattr(args, "shards", None))
     if getattr(args, "trace", None):
         config = config.with_observability()
+    progress = _progress_sink(args)
+    if progress is not None:
+        config = config.replace(progress=progress)
     return Study.calibrated(config)
+
+
+def _progress_sink(args: argparse.Namespace):
+    """The ProgressAggregator ``--progress``/``--progress-log`` ask for.
+
+    Status lines render to stderr (stdout stays reserved for the
+    study's tables); the JSONL sink is the machine-readable twin.
+    Returns ``None`` when neither flag was given.
+    """
+    render = getattr(args, "progress", False)
+    log_path = getattr(args, "progress_log", None)
+    if not render and not log_path:
+        return None
+    from .obs import ProgressAggregator
+    try:
+        return ProgressAggregator(stream=sys.stderr if render else None,
+                                  jsonl_path=log_path)
+    except OSError as exc:
+        raise SystemExit("repro-study: error: --progress-log: %s" % exc)
 
 
 def _crawl_study(args: argparse.Namespace, study_config):
@@ -78,6 +101,10 @@ def _crawl_study(args: argparse.Namespace, study_config):
         if resume:
             raise SystemExit("repro-study: error: --resume: %s" % exc)
         raise
+    finally:
+        progress = study.config.progress
+        if progress is not None and hasattr(progress, "close"):
+            progress.close()    # flush the --progress-log JSONL sink
     return study, outcome
 
 
@@ -340,8 +367,21 @@ def _add_trace_arg(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--trace", metavar="PATH",
                      help="record structured spans/metrics for the whole "
                           "pipeline and write them to PATH as JSONL "
-                          "(inspect with `repro-trace summarize PATH`); "
+                          "(inspect with `repro-trace summarize PATH`, "
+                          "compare runs with `repro-trace diff A B`); "
                           "tracing never changes the dataset fingerprint")
+
+
+def _add_progress_args(sub: argparse.ArgumentParser) -> None:
+    """--progress/--progress-log: live per-site crawl heartbeats."""
+    sub.add_argument("--progress", action="store_true",
+                     help="render a live line-oriented progress stream "
+                          "(sites crawled, failures, retries, "
+                          "circuit-breaker quarantines) to stderr; "
+                          "never changes the dataset fingerprint")
+    sub.add_argument("--progress-log", metavar="PATH",
+                     help="append every crawl heartbeat to PATH as JSONL "
+                          "(the machine-readable twin of --progress)")
 
 
 def _add_show_pii_arg(sub: argparse.ArgumentParser) -> None:
@@ -366,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resume_args(study)
     _add_parallel_args(study)
     _add_trace_arg(study)
+    _add_progress_args(study)
     study.set_defaults(func=_cmd_study)
 
     browsers = subparsers.add_parser("browsers",
@@ -399,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resume_args(report)
     _add_parallel_args(report)
     _add_trace_arg(report)
+    _add_progress_args(report)
     report.set_defaults(func=_cmd_report)
 
     tokens = subparsers.add_parser("tokens",

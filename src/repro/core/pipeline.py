@@ -62,10 +62,16 @@ class StudyConfig:
     :mod:`repro.obs`); prefer :meth:`with_observability` over setting
     it by hand.  ``None`` (the default) records nothing and costs
     nothing.
+
+    ``progress`` is a live heartbeat sink — any callable taking a
+    :class:`repro.obs.progress.HeartbeatEvent`, typically a
+    :class:`repro.obs.progress.ProgressAggregator` — fed one event per
+    crawled site by whichever crawl engine runs.  Like tracing,
+    progress never changes a dataset fingerprint.
     """
 
     _FIELDS = ("profile", "token_config", "fault_plan", "retry_policy",
-               "workers", "num_shards", "recorder")
+               "workers", "num_shards", "recorder", "progress")
 
     def __init__(self, *,
                  profile: Optional[BrowserProfile] = None,
@@ -74,7 +80,8 @@ class StudyConfig:
                  retry_policy: Optional[RetryPolicy] = None,
                  workers: int = 1,
                  num_shards: Optional[int] = None,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 progress: Optional[object] = None) -> None:
         self.profile = profile
         self.token_config = token_config
         self.fault_plan = fault_plan
@@ -82,6 +89,7 @@ class StudyConfig:
         self.workers = workers
         self.num_shards = num_shards
         self.recorder = recorder
+        self.progress = progress
 
     def replace(self, **changes: object) -> "StudyConfig":
         """A copy of this config with ``changes`` applied.
@@ -255,10 +263,33 @@ class Study:
                 session = CrawlSession.load(resume, expect_shard=None)
             else:
                 session = self.crawler().start()
+            emit = self.config.progress
+            total = session.crawled_count + len(session.remaining_sites)
+            retried = quarantined = 0
             while not session.done:
-                session.step()
+                entries_before = len(session.browser.log.entries)
+                result = session.step()
                 if checkpoint:
                     session.save(checkpoint)
+                if emit is not None and result is not None:
+                    from ..crawler.flows import STATUS_QUARANTINED
+                    from ..obs.progress import step_heartbeat
+                    retried += 1 if result.attempts > 1 else 0
+                    quarantined += (1 if result.status == STATUS_QUARANTINED
+                                    else 0)
+                    emit(step_heartbeat(
+                        shard=0, crawled=session.crawled_count,
+                        total=total, domain=result.site,
+                        status=result.status, attempts=result.attempts,
+                        requests=(len(session.browser.log.entries)
+                                  - entries_before),
+                        retried=retried, quarantined=quarantined))
+            if emit is not None:
+                from ..obs.progress import final_heartbeat
+                emit(final_heartbeat(shard=0,
+                                     crawled=session.crawled_count,
+                                     total=total, retried=retried,
+                                     quarantined=quarantined))
             dataset = session.finish()
             if recorder is not None and session.recorder is not recorder:
                 # A resumed session carries its own (pickled) recorder;
@@ -278,7 +309,8 @@ class Study:
                                fault_plan=self.config.fault_plan,
                                retry_policy=self.config.retry_policy,
                                checkpoint_dir=checkpoint_dir,
-                               recorder=self.config.recorder)
+                               recorder=self.config.recorder,
+                               progress=self.config.progress)
 
     # -- deprecated crawl surfaces --------------------------------------
 

@@ -41,17 +41,24 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import os
+import queue as queue_module
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..mailsim import Mailbox
 from ..netsim import CaptureLog
 from ..netsim.faults import FaultEvent, FaultPlan
 from ..obs import Recorder, merge_recorders
+from ..obs.progress import HeartbeatEvent, final_heartbeat, step_heartbeat
 from ..reporting.redact import redact_email
 from ..websim.population import Population
+from .flows import STATUS_QUARANTINED
 from .runner import CrawlDataset, CrawlSession, StudyCrawler
 from .sharding import ShardInfo, ShardLayout
+
+#: A parent-side heartbeat sink (e.g. a
+#: :class:`~repro.obs.progress.ProgressAggregator`).
+ProgressSink = Callable[[HeartbeatEvent], None]
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +155,10 @@ class ShardJob:
     #: ship it back with the result.  Off by default: tracing must
     #: never be a tax on untraced crawls.
     trace: bool = False
+    #: Emit per-site :class:`~repro.obs.progress.HeartbeatEvent`\ s
+    #: while crawling.  Like tracing, off by default and — invariantly
+    #: — never an influence on the dataset fingerprint.
+    progress: bool = False
 
 
 @dataclass
@@ -183,7 +194,27 @@ def _session_for_job(job: ShardJob) -> CrawlSession:
     return crawler.start(shard=job.shard)
 
 
-def run_shard_job(job: ShardJob) -> ShardResult:
+#: Worker-process heartbeat queue, installed by the pool initializer.
+#: A module global (not job state) on purpose: multiprocessing queues
+#: may only reach children through process inheritance, and the PKL303
+#: contract forbids live handles on the picklable :class:`ShardJob`.
+_PROGRESS_QUEUE: Optional[object] = None
+
+
+def _init_progress_queue(progress_queue: object) -> None:
+    """Pool initializer: remember the parent's heartbeat queue."""
+    global _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = progress_queue
+
+
+def _queue_emit(event: HeartbeatEvent) -> None:
+    """Ship a heartbeat to the parent (no-op outside a progress pool)."""
+    if _PROGRESS_QUEUE is not None:
+        _PROGRESS_QUEUE.put(event)  # type: ignore[attr-defined]
+
+
+def run_shard_job(job: ShardJob,
+                  emit: Optional[ProgressSink] = None) -> ShardResult:
     """Crawl one shard to completion (the worker-process entry point).
 
     Resumes from ``job.checkpoint_path`` when a valid checkpoint exists
@@ -191,12 +222,40 @@ def run_shard_job(job: ShardJob) -> ShardResult:
     :class:`~repro.crawler.CheckpointError`), checkpoints after every
     site when a path is configured, and returns the finished
     :class:`ShardResult`.  Runs identically in-process and in a worker.
+
+    ``emit`` receives one :class:`~repro.obs.progress.HeartbeatEvent`
+    per crawled site (plus a final completion marker); when ``None``
+    and ``job.progress`` is set, events go to the pool's inherited
+    heartbeat queue instead.  Emission only *reads* crawl state — a
+    crawl with progress on finishes with the identical dataset.
     """
     session = _session_for_job(job)
+    if emit is None and job.progress:
+        emit = _queue_emit
+    shard_index = session.shard.index if session.shard is not None else 0
+    total = session.crawled_count + len(session.remaining_sites)
+    retried = 0
+    quarantined = 0
     while not session.done:
-        session.step()
+        entries_before = len(session.browser.log.entries)
+        result = session.step()
         if job.checkpoint_path:
             session.save(job.checkpoint_path)
+        if emit is not None and result is not None:
+            if result.attempts > 1:
+                retried += 1
+            if result.status == STATUS_QUARANTINED:
+                quarantined += 1
+            emit(step_heartbeat(
+                shard=shard_index, crawled=session.crawled_count,
+                total=total, domain=result.site, status=result.status,
+                attempts=result.attempts,
+                requests=len(session.browser.log.entries) - entries_before,
+                retried=retried, quarantined=quarantined))
+    if emit is not None:
+        emit(final_heartbeat(shard=shard_index,
+                             crawled=session.crawled_count, total=total,
+                             retried=retried, quarantined=quarantined))
     dataset = session.finish()
     if job.checkpoint_path:
         # Persist the finished state too: a re-run of an already-complete
@@ -312,6 +371,16 @@ class ParallelCrawler:
     in shard-layout order — so the merged trace, like the dataset
     fingerprint, is bit-identical at every worker count.
 
+    ``progress`` (any callable taking a
+    :class:`~repro.obs.progress.HeartbeatEvent`, typically a
+    :class:`~repro.obs.progress.ProgressAggregator`) turns on live
+    per-site heartbeats: workers stream events to the parent over a
+    multiprocessing queue and the engine drains them into the sink
+    while shards run.  Events arrive in completion order — progress is
+    a *live view*, deliberately outside every determinism contract —
+    but emission never mutates crawl state, so the merged dataset and
+    trace stay bit-identical with progress on or off.
+
     Raises :class:`ValueError` for ``workers < 1`` or an invalid shard
     count.
     """
@@ -326,7 +395,8 @@ class ParallelCrawler:
                  extension: Optional[object] = None,
                  firewall: Optional[object] = None,
                  checkpoint_dir: Optional[str] = None,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 progress: Optional[ProgressSink] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if isinstance(population, PopulationSpec):
@@ -346,6 +416,7 @@ class ParallelCrawler:
         self.firewall = firewall
         self.checkpoint_dir = checkpoint_dir
         self.recorder = recorder
+        self.progress = progress
         self._layout: Optional[ShardLayout] = None
 
     # -- layout ----------------------------------------------------------
@@ -393,11 +464,10 @@ class ParallelCrawler:
         if self.checkpoint_dir:
             os.makedirs(self.checkpoint_dir, exist_ok=True)
         if self.workers == 1 or len(jobs) <= 1:
-            results = [run_shard_job(job) for job in jobs]
+            results = [run_shard_job(job, emit=self.progress)
+                       for job in jobs]
         else:
-            with multiprocessing.get_context().Pool(
-                    processes=min(self.workers, len(jobs))) as pool:
-                results = pool.map(run_shard_job, jobs)
+            results = self._run_pool(jobs)
         dataset = merge_shard_datasets(results, self.population())
         ordered = sorted(results, key=lambda r: r.index)
         merged_plan = None
@@ -426,6 +496,40 @@ class ParallelCrawler:
 
     # -- internals -------------------------------------------------------
 
+    def _run_pool(self, jobs) -> Sequence[ShardResult]:
+        """Fan the jobs out over a process pool.
+
+        Without a progress sink this is a plain ``pool.map``.  With
+        one, the pool inherits a heartbeat queue through its
+        initializer (queues may not ride the pickled job — PKL303) and
+        the parent drains events into the sink while the map runs, so
+        progress is genuinely live rather than batched at the end.
+        """
+        context = multiprocessing.get_context()
+        processes = min(self.workers, len(jobs))
+        if self.progress is None:
+            with context.Pool(processes=processes) as pool:
+                return pool.map(run_shard_job, jobs)
+        heartbeat_queue = context.Queue()
+        with context.Pool(processes=processes,
+                          initializer=_init_progress_queue,
+                          initargs=(heartbeat_queue,)) as pool:
+            pending = pool.map_async(run_shard_job, jobs)
+            while True:
+                try:
+                    self.progress(heartbeat_queue.get(timeout=0.05))
+                except queue_module.Empty:
+                    if pending.ready():
+                        break
+            while True:
+                # The map can finish with events still in flight through
+                # the queue's feeder threads; drain with a short grace.
+                try:
+                    self.progress(heartbeat_queue.get(timeout=0.2))
+                except queue_module.Empty:
+                    break
+            return pending.get()
+
     def _job(self, index: int, checkpointed: bool = True) -> ShardJob:
         checkpoint_path = None
         if checkpointed and self.checkpoint_dir:
@@ -439,4 +543,5 @@ class ParallelCrawler:
                         retry_policy=self.retry_policy,
                         extension=self.extension, firewall=self.firewall,
                         checkpoint_path=checkpoint_path,
-                        trace=self.recorder is not None)
+                        trace=self.recorder is not None,
+                        progress=self.progress is not None)

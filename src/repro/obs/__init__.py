@@ -9,21 +9,37 @@ every worker count.
 
 Entry points: pass a :class:`Recorder` via
 ``StudyConfig.with_observability()`` (library), ``--trace out.jsonl``
-on ``repro-study`` (CLI), and ``repro-trace summarize`` to read the
-exported JSONL.
+and ``--progress`` on ``repro-study`` (CLI), ``repro-trace summarize``
+/ ``repro-trace diff`` to read and compare the exported JSONL, and
+:mod:`repro.obs.regress` to gate bench reports against the committed
+baselines under ``benchmarks/baselines/``.
 """
 
 from .clock import Clock, TickClock, WallClock
+from .diff import (
+    FailCondition,
+    FailOnError,
+    TraceDiff,
+    diff_traces,
+    parse_fail_on,
+    render_diff,
+)
 from .export import (
     TRACE_SCHEMA_VERSION,
     TraceError,
     read_trace,
     summarize_recorder,
     summarize_trace,
+    summary_dict,
     trace_lines,
     write_trace,
 )
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram
+from .progress import (
+    HeartbeatEvent,
+    ProgressAggregator,
+    read_progress_log,
+)
 from .recorder import (
     NULL_RECORDER,
     NullRecorder,
@@ -31,25 +47,51 @@ from .recorder import (
     Span,
     merge_recorders,
 )
+from .regress import (
+    BaselineError,
+    BaselineRegistry,
+    RegressionFinding,
+    RegressionReport,
+    check_report,
+    fold_report,
+    new_baseline,
+)
 
 __all__ = [
+    "BaselineError",
+    "BaselineRegistry",
     "Clock",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FailCondition",
+    "FailOnError",
     "Gauge",
+    "HeartbeatEvent",
     "Histogram",
     "NULL_RECORDER",
     "NullRecorder",
+    "ProgressAggregator",
     "Recorder",
+    "RegressionFinding",
+    "RegressionReport",
     "Span",
     "TRACE_SCHEMA_VERSION",
     "TickClock",
+    "TraceDiff",
     "TraceError",
     "WallClock",
+    "check_report",
+    "diff_traces",
+    "fold_report",
     "merge_recorders",
+    "new_baseline",
+    "parse_fail_on",
+    "read_progress_log",
     "read_trace",
+    "render_diff",
     "summarize_recorder",
     "summarize_trace",
+    "summary_dict",
     "trace_lines",
     "write_trace",
 ]

@@ -107,6 +107,48 @@ def read_trace(path: str) -> Dict[str, List[Dict[str, object]]]:
 
 # -- summarizing -----------------------------------------------------------
 
+def summary_dict(records: Dict[str, List[Dict[str, object]]],
+                 top: int = 20) -> Dict[str, object]:
+    """Machine-readable summary of a parsed trace (``summarize --json``).
+
+    The same aggregation :func:`summarize_trace` renders for humans —
+    per-span-name duration totals, counters, gauges, histograms — as a
+    plain JSON-able dict.
+    """
+    spans = records["span"]
+    by_name: Dict[str, List[float]] = {}
+    open_spans = 0
+    for span in spans:
+        end = span.get("end")
+        if end is None:
+            open_spans += 1
+            continue
+        by_name.setdefault(str(span["name"]), []).append(
+            float(end) - float(span["start"]))  # type: ignore[arg-type]
+    breakdown = []
+    for name, durations in sorted(by_name.items(),
+                                  key=_total_duration_then_name)[:top]:
+        total = sum(durations)
+        breakdown.append({"name": name, "count": len(durations),
+                          "total": total,
+                          "mean": total / len(durations)})
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "spans": len(spans),
+        "open_spans": open_spans,
+        "span_breakdown": breakdown,
+        "counters": [{"name": record["name"], "value": record["value"]}
+                     for record in records["counter"]],
+        "gauges": [{"name": record["name"], "value": record["value"]}
+                   for record in records["gauge"]],
+        "histograms": [
+            {"name": record["name"], "count": record["count"],
+             "total": record["total"], "min": record["min"],
+             "max": record["max"]}
+            for record in records["histogram"]],
+    }
+
+
 def summarize_trace(records: Dict[str, List[Dict[str, object]]],
                     top: int = 20) -> str:
     """Human-readable per-stage breakdown of a parsed trace.

@@ -1,0 +1,260 @@
+"""Live crawl progress: per-shard heartbeats, aggregated in the parent.
+
+Each crawl step emits one picklable :class:`HeartbeatEvent` — sites
+crawled so far, the flow status, retry and circuit-breaker tallies,
+and a dict of *counter deltas* using exactly the
+:class:`~repro.obs.Recorder` counter names (``crawl.sites``,
+``crawl.flows.<status>``, ...).  Workers in a
+:class:`~repro.crawler.ParallelCrawler` pool put events on a
+``multiprocessing`` queue; the parent drains it into a
+:class:`ProgressAggregator`, which renders a line-oriented status
+stream and optionally appends every event to a machine-readable
+``progress.jsonl``.
+
+Two invariants, mirrored from the tracing layer:
+
+* **Progress never changes a dataset fingerprint.**  Heartbeats are
+  derived from crawl state, never fed back into it — a crawl with
+  ``--progress`` on is bit-identical to one with it off, at any worker
+  count (asserted in ``tests/test_obs_progress.py``).
+* **Heartbeat counters reconcile with the trace.**  Because deltas use
+  the recorder's own counter names and are computed from the same step
+  outcome, summing every heartbeat's ``counters`` reproduces the
+  merged recorder's ``crawl.*`` counters exactly.
+
+Heartbeat payloads cross the process boundary, so the PKL301–303
+pickle-safety rules apply to this module (it is inside the statan
+pickle scope): events are plain dataclasses — no lambdas, no handles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+#: Schema version of progress.jsonl records; bump on incompatible changes.
+PROGRESS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class HeartbeatEvent:
+    """One crawl step (or shard completion), as seen by the parent.
+
+    ``counters`` holds the step's counter *deltas* under the recorder's
+    counter names; ``retried`` and ``quarantined`` are cumulative per
+    shard (the circuit-breaker state the paper's resilient crawl
+    exposes).  ``final`` marks the shard's completion event, whose
+    ``counters`` are empty — sums over a shard's events are unaffected
+    by whether the final marker is counted.
+    """
+
+    shard: int                  # shard index (0 for a serial crawl)
+    crawled: int                # sites finished in this shard so far
+    total: int                  # sites this shard will crawl
+    domain: str = ""            # the site this step crawled
+    status: str = ""            # its FlowResult status
+    counters: Dict[str, float] = field(default_factory=dict)
+    retried: int = 0            # cumulative flows that needed retries
+    quarantined: int = 0        # cumulative circuit-breaker give-ups
+    final: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "heartbeat",
+            "schema": PROGRESS_SCHEMA_VERSION,
+            "shard": self.shard,
+            "crawled": self.crawled,
+            "total": self.total,
+            "domain": self.domain,
+            "status": self.status,
+            "counters": {key: self.counters[key]
+                         for key in sorted(self.counters)},
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "final": self.final,
+        }
+
+
+def step_heartbeat(shard: int, crawled: int, total: int, domain: str,
+                   status: str, attempts: int, requests: int,
+                   retried: int, quarantined: int) -> HeartbeatEvent:
+    """The heartbeat for one finished crawl step.
+
+    The counter deltas mirror :meth:`repro.crawler.CrawlSession.step`'s
+    recorder counts one for one — same names, same increments — which
+    is what makes heartbeat sums reconcile with the merged trace.
+    """
+    counters: Dict[str, float] = {
+        "crawl.sites": 1,
+        "crawl.flows.%s" % status: 1,
+        "crawl.requests": float(requests),
+    }
+    if attempts > 1:
+        counters["crawl.retried_flows"] = 1
+    return HeartbeatEvent(shard=shard, crawled=crawled, total=total,
+                          domain=domain, status=status, counters=counters,
+                          retried=retried, quarantined=quarantined)
+
+
+def final_heartbeat(shard: int, crawled: int, total: int, retried: int,
+                    quarantined: int) -> HeartbeatEvent:
+    """The completion marker a shard emits after its last site."""
+    return HeartbeatEvent(shard=shard, crawled=crawled, total=total,
+                          retried=retried, quarantined=quarantined,
+                          final=True)
+
+
+@dataclass
+class _ShardProgress:
+    """The aggregator's view of one shard."""
+
+    crawled: int = 0
+    total: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    done: bool = False
+
+
+class ProgressAggregator:
+    """Folds heartbeat events into a crawl-wide progress view.
+
+    The aggregator is the parent-side sink: call it (or :meth:`handle`)
+    with every :class:`HeartbeatEvent`.  ``stream`` (e.g. ``sys.stderr``)
+    gets one rendered status line per event; ``jsonl_path`` appends
+    every event as one JSON line (the machine-readable twin).  Both are
+    optional — with neither, the aggregator still accumulates totals
+    for programmatic use (:meth:`counter_totals`, :meth:`snapshot`).
+
+    Instances live in the parent process only; what crosses the worker
+    boundary is the plain :class:`HeartbeatEvent`.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 jsonl_path: Optional[str] = None) -> None:
+        self.stream = stream
+        self.jsonl_path = jsonl_path
+        self.events_seen = 0
+        self.status_counts: Dict[str, int] = {}
+        self._counters: Dict[str, float] = {}
+        self._shards: Dict[int, _ShardProgress] = {}
+        self._jsonl: Optional[TextIO] = None
+        if jsonl_path is not None:
+            # Parent-side only: the aggregator never crosses the process
+            # boundary (HeartbeatEvent does), so holding the sink open
+            # is safe.
+            self._jsonl = open(jsonl_path, "w")  # statan: ignore[PKL303]
+
+    # -- sinking ---------------------------------------------------------
+
+    def __call__(self, event: HeartbeatEvent) -> None:
+        self.handle(event)
+
+    def handle(self, event: HeartbeatEvent) -> None:
+        """Fold one event in; render and log it if configured."""
+        self.events_seen += 1
+        shard = self._shards.setdefault(event.shard, _ShardProgress())
+        shard.crawled = event.crawled
+        shard.total = event.total
+        shard.retried = event.retried
+        shard.quarantined = event.quarantined
+        if event.final:
+            shard.done = True
+        if event.status:
+            self.status_counts[event.status] = \
+                self.status_counts.get(event.status, 0) + 1
+        for name, delta in event.counters.items():
+            self._counters[name] = self._counters.get(name, 0.0) + delta
+        if self._jsonl is not None:
+            self._jsonl.write(json.dumps(event.as_dict(), sort_keys=True,
+                                         separators=(",", ":")) + "\n")
+        if self.stream is not None:
+            self.stream.write(self.render_line(event) + "\n")
+            self.stream.flush()
+
+    def close(self) -> None:
+        """Flush and close the progress.jsonl sink (idempotent)."""
+        if self._jsonl is not None:
+            self._jsonl.close()
+            self._jsonl = None
+
+    def __enter__(self) -> "ProgressAggregator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def crawled(self) -> int:
+        return sum(shard.crawled for shard in self._shards.values())
+
+    @property
+    def total(self) -> int:
+        return sum(shard.total for shard in self._shards.values())
+
+    @property
+    def retried(self) -> int:
+        return sum(shard.retried for shard in self._shards.values())
+
+    @property
+    def quarantined(self) -> int:
+        return sum(shard.quarantined for shard in self._shards.values())
+
+    @property
+    def shards_done(self) -> int:
+        return sum(1 for shard in self._shards.values() if shard.done)
+
+    @property
+    def shards_seen(self) -> int:
+        return len(self._shards)
+
+    def counter_totals(self) -> Dict[str, float]:
+        """Summed counter deltas over every event handled so far.
+
+        Matches the merged recorder's ``crawl.*`` counters for the same
+        crawl (see the module docstring's reconciliation invariant).
+        """
+        return dict(sorted(self._counters.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-able summary of the whole crawl's progress."""
+        return {
+            "crawled": self.crawled,
+            "total": self.total,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "shards_seen": self.shards_seen,
+            "shards_done": self.shards_done,
+            "statuses": dict(sorted(self.status_counts.items())),
+            "counters": self.counter_totals(),
+            "events": self.events_seen,
+        }
+
+    def render_line(self, event: Optional[HeartbeatEvent] = None) -> str:
+        """One status line: crawl-wide totals plus the triggering event."""
+        ok = self.status_counts.get("success", 0)
+        failed = sum(count for status, count in self.status_counts.items()
+                     if status != "success")
+        line = ("crawl %d/%d sites  ok %d  failed %d  retried %d  "
+                "quarantined %d  shards %d/%d done"
+                % (self.crawled, self.total, ok, failed, self.retried,
+                   self.quarantined, self.shards_done, self.shards_seen))
+        if event is not None and event.domain:
+            line += "  [shard %d: %s %s]" % (event.shard, event.domain,
+                                             event.status)
+        elif event is not None and event.final:
+            line += "  [shard %d: done]" % event.shard
+        return line
+
+
+def read_progress_log(path: str) -> List[Dict[str, object]]:
+    """Parse a progress.jsonl file back into event dicts."""
+    events: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,358 @@
+"""Noise-aware perf-regression detection against a committed baseline.
+
+The bench harness (``benchmarks/harness.py``) records wall-clock
+trajectories; this module turns them into a *gate*.  A **baseline** is
+a committed JSON document holding, per bench case, the last N
+wall-clock samples (and per-stage breakdowns); a **check** compares a
+fresh :class:`~harness.BenchReport` JSON against the baseline's
+medians and fails only on changes that clear a relative threshold —
+median-of-N on the baseline side plus a per-metric relative threshold
+plus an absolute floor keeps one noisy CI run from crying wolf.
+
+The registry layout (committed under ``benchmarks/baselines/``)::
+
+    benchmarks/baselines/BENCH_parallel_crawl.json   # the gate input
+    benchmarks/baselines/BENCH_history.jsonl         # append-only log
+
+Nothing here reads the host clock (this module is inside the statan
+determinism scope); callers that want run timestamps in the history
+pass them in explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Schema version of the baseline JSON; bump on incompatible changes.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Samples kept per case: enough for a stable median, small enough to
+#: keep the committed file readable.
+MAX_SAMPLES = 10
+
+#: Relative increase (current vs. baseline median) that counts as a
+#: regression, per metric family.  Deliberately generous: the baseline
+#: may have been recorded on different hardware than the run under
+#: test, and wall-clock on shared CI runners is noisy — the gate is
+#: for *real* slowdowns (the acceptance case is a 2x stage slowdown,
+#: i.e. +100%), not 10% jitter.
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "wall_seconds": 0.75,
+    "stage": 0.75,
+}
+
+#: Metrics whose baseline median is below this many seconds are not
+#: gated: a 0.02s stage doubling to 0.04s is scheduler noise, not a
+#: regression.
+MIN_GATED_SECONDS = 0.05
+
+
+class BaselineError(ValueError):
+    """A baseline document is missing or malformed."""
+
+
+def median(values: Sequence[float]) -> float:
+    """The median of ``values``; raises :class:`ValueError` when empty."""
+    if not values:
+        raise ValueError("median of an empty sample set")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (float(ordered[mid - 1]) + float(ordered[mid])) / 2.0
+
+
+# ---------------------------------------------------------------------------
+# Findings and reports.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One metric that regressed past its threshold."""
+
+    case: str           # bench case label
+    metric: str         # "wall_seconds" or "stage:<name>"
+    baseline: float     # baseline median (seconds)
+    current: float      # the run under test (seconds)
+    threshold: float    # the relative threshold that was cleared
+
+    @property
+    def relative(self) -> float:
+        if self.baseline == 0:
+            return float("inf")
+        return self.current / self.baseline - 1.0
+
+    def format(self) -> str:
+        return ("%s %s: %.4fs -> %.4fs (%+.0f%%, threshold +%.0f%%)"
+                % (self.case, self.metric, self.baseline, self.current,
+                   100.0 * self.relative, 100.0 * self.threshold))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"case": self.case, "metric": self.metric,
+                "baseline": self.baseline, "current": self.current,
+                "relative": self.relative, "threshold": self.threshold}
+
+
+@dataclass
+class RegressionReport:
+    """The outcome of one baseline check."""
+
+    findings: List[RegressionFinding] = field(default_factory=list)
+    compared: int = 0                   # metrics actually gated
+    skipped: List[str] = field(default_factory=list)   # human notes
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines: List[str] = []
+        if self.ok:
+            lines.append("perf gate: OK (%d metric(s) within threshold)"
+                         % self.compared)
+        else:
+            lines.append("perf gate: %d regression(s) over %d metric(s)"
+                         % (len(self.findings), self.compared))
+            for finding in self.findings:
+                lines.append("  REGRESSION %s" % finding.format())
+        for note in self.skipped:
+            lines.append("  note: %s" % note)
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"ok": self.ok, "compared": self.compared,
+                "findings": [f.as_dict() for f in self.findings],
+                "skipped": list(self.skipped)}
+
+
+# ---------------------------------------------------------------------------
+# Baseline documents.
+# ---------------------------------------------------------------------------
+
+def _case_table(report: Mapping[str, object]) -> Dict[str, Dict[str, object]]:
+    """{label: case dict} from a BenchReport JSON document."""
+    cases = report.get("cases")
+    if not isinstance(cases, list):
+        raise BaselineError("bench report has no 'cases' list")
+    table: Dict[str, Dict[str, object]] = {}
+    for case in cases:
+        if isinstance(case, dict) and "label" in case:
+            table[str(case["label"])] = case
+    return table
+
+
+def new_baseline(bench: str) -> Dict[str, object]:
+    """An empty baseline document for ``bench``."""
+    return {"schema_version": BASELINE_SCHEMA_VERSION, "bench": bench,
+            "cases": {}, "environment": None}
+
+
+def fold_report(baseline: Dict[str, object],
+                report: Mapping[str, object],
+                max_samples: int = MAX_SAMPLES) -> Dict[str, object]:
+    """Fold one bench-report JSON into ``baseline`` (in place).
+
+    Appends each case's ``wall_seconds`` (and per-stage seconds) to the
+    kept sample lists, dropping the oldest past ``max_samples``, and
+    records the report's environment as the baseline's most recent one.
+    Returns the baseline for chaining.
+    """
+    cases = baseline.setdefault("cases", {})
+    assert isinstance(cases, dict)
+    for label, case in _case_table(report).items():
+        slot = cases.setdefault(label, {"wall_seconds": [], "stages": {},
+                                        "items": case.get("items", 0)})
+        samples = slot.setdefault("wall_seconds", [])
+        samples.append(float(case.get("wall_seconds", 0.0)))
+        del samples[:-max_samples]
+        stages = slot.setdefault("stages", {})
+        for stage, seconds in (case.get("stages") or {}).items():
+            stage_samples = stages.setdefault(stage, [])
+            stage_samples.append(float(seconds))
+            del stage_samples[:-max_samples]
+    baseline["environment"] = report.get("environment")
+    return baseline
+
+
+def check_report(baseline: Mapping[str, object],
+                 report: Mapping[str, object],
+                 thresholds: Optional[Mapping[str, float]] = None,
+                 min_seconds: float = MIN_GATED_SECONDS,
+                 require_all: bool = False) -> RegressionReport:
+    """Gate a fresh bench report against a committed baseline.
+
+    For every case label present in both documents, compares the run's
+    ``wall_seconds`` (and each per-stage time) against the baseline's
+    *median* sample; a relative increase beyond the per-metric
+    threshold is a :class:`RegressionFinding`.  Metrics whose baseline
+    median is under ``min_seconds`` are skipped as noise-dominated.
+
+    Baseline cases missing from the report are coverage loss: noted in
+    ``skipped`` by default, findings when ``require_all`` is set.
+    Report cases missing from the baseline are always just noted — new
+    coverage must not fail the gate before the baseline is updated.
+    """
+    limits = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        limits.update(thresholds)
+    out = RegressionReport()
+    baseline_cases = baseline.get("cases")
+    if not isinstance(baseline_cases, dict) or not baseline_cases:
+        raise BaselineError("baseline has no cases; record one with "
+                            "harness.py --update-baseline")
+    current = _case_table(report)
+
+    for label in sorted(baseline_cases):
+        if label in current:
+            continue
+        if require_all:
+            out.findings.append(RegressionFinding(
+                case=label, metric="coverage", baseline=1.0, current=0.0,
+                threshold=0.0))
+        else:
+            out.skipped.append("baseline case %r not in this run" % label)
+    for label in sorted(current):
+        if label not in baseline_cases:
+            out.skipped.append("case %r has no baseline yet" % label)
+
+    for label, case in sorted(current.items()):
+        slot = baseline_cases.get(label)
+        if not isinstance(slot, dict):
+            continue
+        metrics = [("wall_seconds", limits["wall_seconds"],
+                    slot.get("wall_seconds") or [],
+                    float(case.get("wall_seconds", 0.0)))]
+        stages = slot.get("stages") or {}
+        for stage, stage_samples in sorted(stages.items()):
+            current_stages = case.get("stages") or {}
+            if stage not in current_stages:
+                out.skipped.append("%s stage %r missing from this run"
+                                   % (label, stage))
+                continue
+            metrics.append(("stage:%s" % stage, limits["stage"],
+                            stage_samples,
+                            float(current_stages[stage])))
+        for metric, threshold, samples, value in metrics:
+            if not samples:
+                out.skipped.append("%s %s has no baseline samples"
+                                   % (label, metric))
+                continue
+            base = median([float(sample) for sample in samples])
+            if base < min_seconds:
+                out.skipped.append(
+                    "%s %s baseline median %.4fs under the %.2fs noise "
+                    "floor; not gated" % (label, metric, base,
+                                          min_seconds))
+                continue
+            out.compared += 1
+            if value > base * (1.0 + threshold):
+                out.findings.append(RegressionFinding(
+                    case=label, metric=metric, baseline=base,
+                    current=value, threshold=threshold))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The on-disk registry.
+# ---------------------------------------------------------------------------
+
+class BaselineRegistry:
+    """Reads and writes the committed baseline files.
+
+    ``root`` is the registry directory (``benchmarks/baselines/`` in
+    this repo); baselines are named ``BENCH_<bench>.json`` and the
+    shared append-only history is ``BENCH_history.jsonl``.
+    """
+
+    HISTORY_NAME = "BENCH_history.jsonl"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def path(self, bench: str) -> str:
+        return os.path.join(self.root, "BENCH_%s.json" % bench)
+
+    @property
+    def history_path(self) -> str:
+        return os.path.join(self.root, self.HISTORY_NAME)
+
+    def load(self, bench: str) -> Dict[str, object]:
+        """The committed baseline for ``bench``.
+
+        Raises :class:`BaselineError` when missing or malformed.
+        """
+        path = self.path(bench)
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            raise BaselineError(
+                "no committed baseline at %s; record one with "
+                "harness.py --update-baseline" % path) from None
+        except json.JSONDecodeError as exc:
+            raise BaselineError("%s: not JSON: %s" % (path, exc)) from exc
+        if not isinstance(document, dict) or "cases" not in document:
+            raise BaselineError("%s: not a baseline document" % path)
+        return document
+
+    def save(self, bench: str, baseline: Mapping[str, object]) -> str:
+        """Write ``baseline`` (pretty, sorted keys); returns the path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path(bench)
+        with open(path, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def update(self, bench: str, report: Mapping[str, object],
+               max_samples: int = MAX_SAMPLES) -> str:
+        """Fold a fresh report into the (possibly new) baseline on disk."""
+        try:
+            baseline = self.load(bench)
+        except BaselineError:
+            baseline = new_baseline(bench)
+        fold_report(baseline, report, max_samples=max_samples)
+        return self.save(bench, baseline)
+
+    def append_history(self, report: Mapping[str, object],
+                       extra: Optional[Mapping[str, object]] = None,
+                       path: Optional[str] = None) -> str:
+        """Append one run to the history JSONL; returns the path.
+
+        The entry carries the per-case wall-clock (and stage) numbers
+        plus the report environment; ``extra`` (e.g. a caller-supplied
+        timestamp or commit id — this module never reads the clock
+        itself) is merged in.
+        """
+        entry: Dict[str, object] = {
+            "bench": report.get("name"),
+            "environment": report.get("environment"),
+            "cases": {label: {"wall_seconds": case.get("wall_seconds"),
+                              "items_per_second":
+                                  case.get("items_per_second"),
+                              "stages": case.get("stages") or {}}
+                      for label, case in _case_table(report).items()},
+        }
+        if extra:
+            entry.update(extra)
+        target = path or self.history_path
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        with open(target, "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        return target
+
+
+def read_history(path: str) -> List[Dict[str, object]]:
+    """Parse a history JSONL file (skipping blank lines)."""
+    entries: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries

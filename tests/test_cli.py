@@ -132,6 +132,36 @@ def test_study_parser_accepts_trace_flag():
         ["report", "--trace", "t.jsonl"]).trace == "t.jsonl"
 
 
+def test_study_parser_accepts_progress_flags():
+    args = build_parser().parse_args(
+        ["study", "--progress", "--progress-log", "p.jsonl"])
+    assert args.progress is True
+    assert args.progress_log == "p.jsonl"
+    plain = build_parser().parse_args(["study"])
+    assert plain.progress is False and plain.progress_log is None
+    assert build_parser().parse_args(
+        ["report", "--progress-log", "q.jsonl"]).progress_log == "q.jsonl"
+
+
+def test_study_for_args_wires_progress_sink(tmp_path):
+    from repro.cli import _study_for_args
+    from repro.core import StudyConfig
+    from repro.obs import ProgressAggregator
+
+    path = str(tmp_path / "p.jsonl")
+    args = build_parser().parse_args(
+        ["study", "--progress", "--progress-log", path])
+    study = _study_for_args(args, StudyConfig())
+    sink = study.config.progress
+    assert isinstance(sink, ProgressAggregator)
+    assert sink.jsonl_path == path
+    sink.close()
+
+    plain = _study_for_args(build_parser().parse_args(["study"]),
+                            StudyConfig())
+    assert plain.config.progress is None
+
+
 def test_study_for_args_wires_workers_shards_and_trace():
     from repro.cli import _study_for_args
     from repro.core import StudyConfig

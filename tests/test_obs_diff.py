@@ -1,0 +1,250 @@
+"""Trace diffing: alignment, deltas, --fail-on gating, CLI exit codes.
+
+The acceptance contract: diffing two traces of the *same* seed and
+config yields an empty delta and exit 0; diffing two *different* seeds
+reports counter deltas and exits nonzero under ``--fail-on``.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Study, StudyConfig
+from repro.crawler import GeneratedPopulationSpec
+from repro.obs import (
+    FailOnError,
+    diff_traces,
+    parse_fail_on,
+    read_trace,
+    render_diff,
+    write_trace,
+)
+from repro.obs.cli import main as trace_main
+from repro.obs.diff import TimingDelta, TraceDiff
+from repro.websim.generator import GeneratorConfig
+
+_CONFIG = GeneratorConfig(n_sites=8, n_trackers=4, leak_probability=0.6,
+                          confirmation_probability=0.4)
+
+
+def _trace_path(tmp_path, seed, name):
+    """Crawl+analyze one small traced study; return its trace path."""
+    spec = GeneratedPopulationSpec(seed=seed, config=_CONFIG)
+    config = StudyConfig().with_observability()
+    study = Study(spec.build(), config=config, population_spec=spec)
+    study.run()
+    path = str(tmp_path / name)
+    write_trace(config.recorder, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    """Three traces: seed 0 twice (identical) and seed 1 (drifted)."""
+    tmp_path = tmp_path_factory.mktemp("traces")
+    return {
+        "a": _trace_path(tmp_path, 0, "a.jsonl"),
+        "a2": _trace_path(tmp_path, 0, "a2.jsonl"),
+        "b": _trace_path(tmp_path, 1, "b.jsonl"),
+    }
+
+
+# -- the diff itself -----------------------------------------------------
+
+
+def test_same_seed_traces_diff_empty(traces):
+    diff = diff_traces(read_trace(traces["a"]), read_trace(traces["a2"]))
+    assert diff.is_empty
+    assert diff.counters == [] and diff.added == [] and diff.removed == []
+    assert render_diff(diff) == \
+        "traces are observably identical (empty delta)"
+
+
+def test_different_seed_traces_report_counter_deltas(traces):
+    diff = diff_traces(read_trace(traces["a"]), read_trace(traces["b"]))
+    assert not diff.is_empty
+    names = {delta.name for delta in diff.counters}
+    assert any(name.startswith("crawl.") for name in names)
+    rendered = render_diff(diff, "a", "b")
+    assert "counters:" in rendered
+
+
+def test_diff_as_dict_round_trips_through_json(traces):
+    diff = diff_traces(read_trace(traces["a"]), read_trace(traces["b"]))
+    document = json.loads(json.dumps(diff.as_dict()))
+    assert document["empty"] is False
+    assert {d["kind"] for d in document["counters"]} == {"counter"}
+
+
+def test_alignment_is_stable_under_subtree_insertion():
+    """Inserting one site early must not misalign every later span."""
+    def span(name, path, start, end, **attrs):
+        return {"type": "span", "name": name, "path": path,
+                "start": start, "end": end, "attrs": attrs}
+
+    base = [span("crawl", [0], 0, 10, kind="stage"),
+            span("site", [0, 0], 0, 4, domain="x.com"),
+            span("site", [0, 1], 4, 10, domain="y.com")]
+    shifted = [span("crawl", [0], 0, 12, kind="stage"),
+               span("site", [0, 0], 0, 2, domain="new.net"),
+               span("site", [0, 1], 2, 6, domain="x.com"),
+               span("site", [0, 2], 6, 12, domain="y.com")]
+    diff = diff_traces({"span": base, "counter": [], "gauge": [],
+                        "histogram": []},
+                       {"span": shifted, "counter": [], "gauge": [],
+                        "histogram": []})
+    # The one new site is the only structural change ...
+    assert [change.key for change in diff.added] == \
+        ["/crawl[kind=stage]/site[domain=new.net]"]
+    assert diff.removed == []
+    # ... and x.com/y.com aligned by domain, not by position.
+    matched = {d.name: d for d in diff.spans}
+    assert matched["site"].a_count == matched["site"].b_count == 2
+
+
+def test_removed_subtrees_report_topmost_root_only():
+    def span(name, path, **attrs):
+        return {"type": "span", "name": name, "path": path,
+                "start": 0, "end": 1, "attrs": attrs}
+
+    full = [span("crawl", [0], kind="stage"),
+            span("site", [0, 0], domain="x.com"),
+            span("request", [0, 0, 0], host="t.net"),
+            span("request", [0, 0, 1], host="u.net")]
+    empty = [span("crawl", [0], kind="stage")]
+    diff = diff_traces({"span": full, "counter": [], "gauge": [],
+                        "histogram": []},
+                       {"span": empty, "counter": [], "gauge": [],
+                        "histogram": []})
+    assert [change.key for change in diff.removed] == \
+        ["/crawl[kind=stage]/site[domain=x.com]"]
+    assert diff.removed[0].spans == 3   # site + its two requests
+
+
+# -- --fail-on parsing and gating ----------------------------------------
+
+
+def test_parse_fail_on_grammar():
+    cond = parse_fail_on("stage_time>20%")
+    assert (cond.kind, cond.pattern, cond.op) == ("stage_time", "*", ">")
+    assert cond.percent and cond.limit == pytest.approx(0.2)
+
+    cond = parse_fail_on("stage_time:detect>0.5")
+    assert cond.pattern == "detect" and not cond.percent
+    assert cond.limit == 0.5
+
+    cond = parse_fail_on("counter:leaks_detected!=0")
+    assert (cond.kind, cond.pattern, cond.op) == \
+        ("counter", "leaks_detected", "!=")
+
+    assert parse_fail_on("counter:*!=0").pattern == "*"
+    assert parse_fail_on("spans!=0").kind == "spans"
+    assert parse_fail_on("histogram:*.count!=0").kind == "histogram"
+    assert parse_fail_on("gauge:shards.total>=1").op == ">="
+
+
+@pytest.mark.parametrize("bad", [
+    "stage_time",                   # no operator
+    "counter:x>abc",                # not a number
+    "bogus:x!=0",                   # unknown kind
+    "spans:detect!=0",              # spans takes no name
+    "counter:x>20%",                # % only applies to stage_time
+])
+def test_parse_fail_on_rejects_bad_specs(bad):
+    with pytest.raises(FailOnError):
+        parse_fail_on(bad)
+
+
+def test_stage_time_percent_condition_trips_on_relative_growth():
+    diff = TraceDiff(stages=[
+        TimingDelta(name="detect", a_total=10.0, b_total=13.0,
+                    a_count=1, b_count=1, stage=True),
+        TimingDelta(name="crawl", a_total=10.0, b_total=11.0,
+                    a_count=1, b_count=1, stage=True)])
+    hits = diff.violations([parse_fail_on("stage_time>20%")])
+    assert len(hits) == 1 and "detect" in hits[0]
+    # A tighter threshold catches both stages.
+    assert len(diff.violations([parse_fail_on("stage_time>5%")])) == 2
+    # Scoped to one stage name.
+    assert diff.violations([parse_fail_on("stage_time:crawl>20%")]) == []
+
+
+def test_counter_glob_condition(traces):
+    diff = diff_traces(read_trace(traces["a"]), read_trace(traces["b"]))
+    assert diff.violations([parse_fail_on("counter:*!=0")])
+    assert diff.violations([parse_fail_on("counter:no.such.name!=0")]) \
+        == []
+
+
+# -- the repro-trace CLI -------------------------------------------------
+
+
+def test_cli_diff_same_seed_exits_zero(traces, capsys):
+    assert trace_main(["diff", traces["a"], traces["a2"],
+                       "--fail-on", "counter:*!=0",
+                       "--fail-on", "spans!=0",
+                       "--fail-on", "stage_time>20%"]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_cli_diff_different_seed_fails_under_fail_on(traces, capsys):
+    assert trace_main(["diff", traces["a"], traces["b"],
+                       "--fail-on", "counter:*!=0"]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.err
+    assert "counter" in captured.err
+
+
+def test_cli_diff_without_fail_on_is_report_only(traces, capsys):
+    assert trace_main(["diff", traces["a"], traces["b"]]) == 0
+    assert "trace diff" in capsys.readouterr().out
+
+
+def test_cli_diff_json_output(traces, capsys):
+    assert trace_main(["diff", traces["a"], traces["b"], "--json",
+                       "--fail-on", "counter:*!=0"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["empty"] is False
+    assert document["fail_on"] == ["counter:*!=0"]
+    assert document["violations"]
+
+
+def test_cli_diff_bad_fail_on_exits_two(traces, capsys):
+    assert trace_main(["diff", traces["a"], traces["b"],
+                       "--fail-on", "nonsense"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_summarize_json(traces, capsys):
+    assert trace_main(["summarize", traces["a"], "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["spans"] > 0 and document["open_spans"] == 0
+    names = {row["name"] for row in document["span_breakdown"]}
+    assert "site" in names
+    assert any(c["name"] == "crawl.sites" for c in document["counters"])
+
+
+def test_cli_summarize_text_still_works(traces, capsys):
+    assert trace_main(["summarize", traces["a"]]) == 0
+    assert "span breakdown" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("content", [
+    "",                                       # empty file
+    '{"type": "span", "name": "x"',           # truncated JSON
+    '{"type": "mystery"}',                    # unknown record type
+    '{"no": "meta header"}',                  # valid JSON, not a trace
+])
+def test_cli_graceful_error_on_bad_trace(tmp_path, capsys, content):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(content)
+    assert trace_main(["summarize", str(path)]) == 2
+    captured = capsys.readouterr()
+    assert "repro-trace: error:" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_cli_graceful_error_on_missing_file(capsys):
+    assert trace_main(["diff", "/no/such/a.jsonl",
+                       "/no/such/b.jsonl"]) == 2
+    assert "repro-trace: error:" in capsys.readouterr().err

@@ -1,0 +1,300 @@
+"""Noise-aware perf-regression gating against the committed baseline.
+
+The acceptance contract: a synthetic 2x stage slowdown against the
+committed baseline FAILS the gate, while run-to-run jitter passes.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+from repro.obs import (
+    BaselineError,
+    BaselineRegistry,
+    check_report,
+    fold_report,
+    new_baseline,
+)
+from repro.obs.regress import (
+    MAX_SAMPLES,
+    MIN_GATED_SECONDS,
+    median,
+    read_history,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+COMMITTED = os.path.join(REPO_ROOT, "benchmarks", "baselines")
+
+
+def _report(wall=8.0, crawl=8.0, analyze=6.0,
+            label="generated-404/workers-1"):
+    """A minimal BenchReport-shaped JSON document."""
+    return {
+        "schema_version": 1,
+        "name": "parallel_crawl",
+        "environment": {"cpu_count": 1, "python": "3.11"},
+        "cases": [{"label": label, "wall_seconds": wall, "items": 404,
+                   "stages": {"crawl": crawl, "analyze": analyze}}],
+        "notes": [],
+    }
+
+
+def _seeded_baseline(samples=(8.0, 8.1, 7.9)):
+    baseline = new_baseline("parallel_crawl")
+    for wall in samples:
+        fold_report(baseline, _report(wall=wall, crawl=wall))
+    return baseline
+
+
+# -- the statistics ------------------------------------------------------
+
+
+def test_median_odd_even_and_empty():
+    assert median([3.0]) == 3.0
+    assert median([9.0, 1.0, 5.0]) == 5.0
+    assert median([1.0, 2.0, 3.0, 10.0]) == 2.5
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_fold_report_caps_samples_and_keeps_newest():
+    baseline = new_baseline("parallel_crawl")
+    for index in range(MAX_SAMPLES + 5):
+        fold_report(baseline, _report(wall=float(index)))
+    samples = baseline["cases"]["generated-404/workers-1"]["wall_seconds"]
+    assert len(samples) == MAX_SAMPLES
+    assert samples[-1] == float(MAX_SAMPLES + 4)   # newest kept
+    assert samples[0] == 5.0                        # oldest dropped
+
+
+def test_fold_report_tracks_stage_samples():
+    baseline = _seeded_baseline()
+    slot = baseline["cases"]["generated-404/workers-1"]
+    assert len(slot["stages"]["crawl"]) == 3
+    assert len(slot["stages"]["analyze"]) == 3
+
+
+# -- the gate ------------------------------------------------------------
+
+
+def test_two_x_stage_slowdown_fails_the_gate():
+    """The acceptance case: a synthetic 2x slowdown must trip."""
+    baseline = _seeded_baseline()
+    slowed = _report(wall=16.0, crawl=16.0)   # 2x = +100% > +75%
+    result = check_report(baseline, slowed)
+    assert not result.ok
+    metrics = {finding.metric for finding in result.findings}
+    assert "wall_seconds" in metrics and "stage:crawl" in metrics
+    finding = next(f for f in result.findings
+                   if f.metric == "wall_seconds")
+    assert finding.relative == pytest.approx(1.0, rel=0.05)
+    assert "REGRESSION" in result.render()
+
+
+def test_small_jitter_passes_the_gate():
+    baseline = _seeded_baseline()
+    jittered = _report(wall=9.5, crawl=9.5, analyze=6.5)   # ~+19%
+    result = check_report(baseline, jittered)
+    assert result.ok
+    assert result.compared >= 3
+    assert "OK" in result.render()
+
+
+def test_speedups_never_fail_the_gate():
+    result = check_report(_seeded_baseline(), _report(wall=2.0, crawl=2.0))
+    assert result.ok
+
+
+def test_noise_floor_skips_tiny_metrics():
+    """A 0.02s stage doubling is scheduler noise, not a regression."""
+    tiny = MIN_GATED_SECONDS / 2
+    baseline = new_baseline("parallel_crawl")
+    fold_report(baseline, _report(wall=8.0, crawl=8.0, analyze=tiny))
+    slowed = _report(wall=8.0, crawl=8.0, analyze=tiny * 10)
+    result = check_report(baseline, slowed)
+    assert result.ok
+    assert any("noise floor" in note for note in result.skipped)
+
+
+def test_custom_threshold_override():
+    baseline = _seeded_baseline()
+    jittered = _report(wall=9.5, crawl=9.5)   # +19%
+    assert check_report(baseline, jittered).ok
+    tight = check_report(baseline, jittered,
+                         thresholds={"wall_seconds": 0.1, "stage": 0.1})
+    assert not tight.ok
+
+
+def test_missing_case_is_a_note_unless_require_all():
+    baseline = _seeded_baseline()
+    other = _report(label="generated-404/workers-2")
+    relaxed = check_report(baseline, other)
+    assert relaxed.ok
+    assert any("not in this run" in note for note in relaxed.skipped)
+    strict = check_report(baseline, other, require_all=True)
+    assert not strict.ok
+    assert strict.findings[0].metric == "coverage"
+
+
+def test_new_case_never_fails_the_gate():
+    baseline = _seeded_baseline()
+    report = _report()
+    report["cases"].append({"label": "brand-new", "wall_seconds": 99.0})
+    result = check_report(baseline, report)
+    assert result.ok
+    assert any("no baseline yet" in note for note in result.skipped)
+
+
+def test_empty_baseline_raises():
+    with pytest.raises(BaselineError):
+        check_report(new_baseline("parallel_crawl"), _report())
+
+
+# -- the registry --------------------------------------------------------
+
+
+def test_registry_round_trip(tmp_path):
+    registry = BaselineRegistry(str(tmp_path))
+    with pytest.raises(BaselineError):
+        registry.load("parallel_crawl")
+    registry.update("parallel_crawl", _report(wall=8.0))
+    registry.update("parallel_crawl", _report(wall=8.2))
+    baseline = registry.load("parallel_crawl")
+    assert baseline["cases"]["generated-404/workers-1"]["wall_seconds"] \
+        == [8.0, 8.2]
+    # The saved file is deterministic, committed-diff-friendly JSON.
+    text = open(registry.path("parallel_crawl")).read()
+    assert text == json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+
+
+def test_registry_rejects_malformed_baseline(tmp_path):
+    registry = BaselineRegistry(str(tmp_path))
+    path = registry.path("parallel_crawl")
+    os.makedirs(str(tmp_path), exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write("not json")
+    with pytest.raises(BaselineError):
+        registry.load("parallel_crawl")
+
+
+def test_history_append_and_read(tmp_path):
+    registry = BaselineRegistry(str(tmp_path))
+    registry.append_history(_report(wall=8.0),
+                            extra={"unix_time": 1000.0, "kind": "run"})
+    registry.append_history(_report(wall=8.5),
+                            extra={"unix_time": 2000.0, "kind": "run"})
+    entries = read_history(registry.history_path)
+    assert len(entries) == 2
+    assert entries[0]["unix_time"] == 1000.0
+    assert entries[1]["cases"]["generated-404/workers-1"]["wall_seconds"] \
+        == 8.5
+    # Append-only: a third write extends, never rewrites.
+    registry.append_history(_report(wall=9.0))
+    assert len(read_history(registry.history_path)) == 3
+
+
+# -- the committed baseline ----------------------------------------------
+
+
+def test_committed_baseline_is_loadable_and_gates_a_2x_slowdown():
+    """The real registry file under benchmarks/baselines/ works."""
+    registry = BaselineRegistry(COMMITTED)
+    baseline = registry.load("parallel_crawl")
+    cases = baseline["cases"]
+    assert "generated-404/workers-1" in cases
+    assert "generated-404/workers-2" in cases
+
+    label = "generated-404/workers-1"
+    base_median = median([float(s)
+                          for s in cases[label]["wall_seconds"]])
+    doubled = {
+        "cases": [{"label": label, "wall_seconds": 2.0 * base_median,
+                   "stages": {stage: 2.0 * median(samples)
+                              for stage, samples
+                              in cases[label]["stages"].items()}}],
+        "environment": None,
+    }
+    result = check_report(baseline, doubled)
+    assert not result.ok
+
+
+def test_committed_history_matches_baseline_sample_count():
+    entries = read_history(
+        BaselineRegistry(COMMITTED).history_path)
+    assert entries, "seeded history must not be empty"
+    for entry in entries:
+        assert entry["bench"] == "parallel_crawl"
+        assert "unix_time" in entry
+
+
+# -- the harness CLI -----------------------------------------------------
+
+
+def _load_harness():
+    path = os.path.join(REPO_ROOT, "benchmarks", "harness.py")
+    spec = importlib.util.spec_from_file_location("bench_harness", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_harness"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_harness_check_passes_and_fails_correctly(tmp_path, capsys):
+    harness = _load_harness()
+    registry = BaselineRegistry(str(tmp_path / "baselines"))
+    registry.update("parallel_crawl", _report(wall=8.0))
+
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_report(wall=8.1)))
+    assert harness.main(["--check", str(good),
+                         "--baseline-dir", registry.root]) == 0
+    assert "perf gate: OK" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(_report(wall=16.0, crawl=16.0)))
+    assert harness.main(["--check", str(bad),
+                         "--baseline-dir", registry.root]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_harness_check_merges_multiple_reports(tmp_path, capsys):
+    harness = _load_harness()
+    registry = BaselineRegistry(str(tmp_path / "baselines"))
+    registry.update("parallel_crawl", _report(wall=8.0))
+    registry.update("parallel_crawl",
+                    _report(wall=10.0, label="generated-404/workers-2"))
+
+    one = tmp_path / "one.json"
+    one.write_text(json.dumps(_report(wall=8.1)))
+    two = tmp_path / "two.json"
+    two.write_text(json.dumps(
+        _report(wall=10.2, label="generated-404/workers-2")))
+    assert harness.main(["--check", str(one), str(two),
+                         "--baseline-dir", registry.root]) == 0
+    out = capsys.readouterr().out
+    assert "not in this run" not in out
+
+
+def test_harness_check_missing_baseline_exits_two(tmp_path, capsys):
+    harness = _load_harness()
+    report = tmp_path / "r.json"
+    report.write_text(json.dumps(_report()))
+    assert harness.main(["--check", str(report),
+                         "--baseline-dir", str(tmp_path / "empty")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_harness_append_history(tmp_path, capsys):
+    harness = _load_harness()
+    report = tmp_path / "r.json"
+    report.write_text(json.dumps(_report(wall=8.0)))
+    history = tmp_path / "hist.jsonl"
+    assert harness.main(["--append-history", str(report),
+                         "--baseline-dir", str(tmp_path),
+                         "--history", str(history)]) == 0
+    entries = read_history(str(history))
+    assert len(entries) == 1
+    assert entries[0]["kind"] == "run" and "unix_time" in entries[0]

@@ -101,3 +101,88 @@ def test_seeded_violation_under_obs_fails_gate(tmp_path, capsys):
     code = main([SRC, str(tmp_path), "--baseline", BASELINE])
     capsys.readouterr()
     assert code == EXIT_FINDINGS
+
+
+# -- the PR-5 observability modules stay inside both scopes ---------------
+#
+# Scope matching is by dotted prefix, so repro.obs.diff / .regress /
+# .progress and repro.crawler.parallel are covered automatically — but
+# that coverage is itself a contract worth pinning: heartbeat payloads
+# cross the multiprocessing boundary (PKL301–303) and the regression
+# gate must never read the host clock (DET1xx).
+
+
+def test_new_obs_submodules_are_in_both_scopes():
+    from repro.statan.engine import ModuleContext
+    from repro.statan.rules.determinism import DETERMINISM_SCOPE
+    from repro.statan.rules.pickle_safety import PICKLE_SCOPE
+    for module in ("repro.obs.diff", "repro.obs.regress",
+                   "repro.obs.progress", "repro.crawler.parallel"):
+        ctx = ModuleContext(path="test.py", source="", module=module)
+        assert ctx.module_matches(DETERMINISM_SCOPE), module
+        assert ctx.module_matches(PICKLE_SCOPE), module
+
+
+def _seed(tmp_path, relpath, source):
+    """Plant ``source`` at tmp_path/<relpath> and run the CI gate."""
+    target = tmp_path
+    for part in relpath.split("/")[:-1]:
+        target = target / part
+    target.mkdir(parents=True, exist_ok=True)
+    (target / relpath.split("/")[-1]).write_text(source)
+    return main([SRC, str(tmp_path), "--baseline", BASELINE])
+
+
+def test_seeded_lambda_in_heartbeat_state_fails_gate(tmp_path, capsys):
+    """PKL301 covers heartbeat payloads: a lambda smuggled into an
+    event dataclass would die at the worker->parent queue boundary."""
+    code = _seed(tmp_path, "repro/obs/progress_seeded.py", textwrap.dedent("""
+        class HeartbeatEventSeeded:
+            def __init__(self, shard):
+                self.shard = shard
+                self.render = lambda: "shard %d" % shard
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
+
+
+def test_seeded_handle_in_heartbeat_state_fails_gate(tmp_path, capsys):
+    """PKL303 covers heartbeat payloads: events must carry data, not
+    live queues or files (those stay parent-side in the aggregator)."""
+    code = _seed(tmp_path, "repro/obs/progress_seeded.py", textwrap.dedent("""
+        import multiprocessing
+
+        class HeartbeatEventSeeded:
+            def __init__(self):
+                self.queue = multiprocessing.Queue()
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
+
+
+def test_seeded_local_class_in_crawler_fails_gate(tmp_path, capsys):
+    """PKL302: shard jobs built from function-local classes cannot be
+    re-imported by pickle in the worker process."""
+    code = _seed(tmp_path, "repro/crawler/parallel_seeded.py",
+                 textwrap.dedent("""
+        def make_job():
+            class LocalJob:
+                pass
+            return LocalJob()
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
+
+
+def test_seeded_clock_read_in_regress_fails_gate(tmp_path, capsys):
+    """DET101 covers the regression gate: baselines and history carry
+    caller-supplied timestamps, never a clock read of their own."""
+    code = _seed(tmp_path, "repro/obs/regress_seeded.py", textwrap.dedent("""
+        import time
+
+        def stamp_entry(entry):
+            entry["unix_time"] = time.time()
+            return entry
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
