@@ -52,7 +52,41 @@ def _study_for_args(args: argparse.Namespace, study_config) -> Study:
     progress = _progress_sink(args)
     if progress is not None:
         config = config.replace(progress=progress)
+    config = _apply_supervision_args(args, config)
     return Study.calibrated(config)
+
+
+def _apply_supervision_args(args: argparse.Namespace, config):
+    """Fold --chaos and the supervision knobs into the study config."""
+    chaos_specs = getattr(args, "chaos", None)
+    if chaos_specs:
+        from .crawler import ChaosError, parse_chaos_plan
+        if config.workers < 2:
+            raise SystemExit(
+                "repro-study: error: --chaos requires --workers >= 2 "
+                "(faults kill or hang worker processes; with one worker "
+                "that process is the study itself)")
+        try:
+            config = config.replace(chaos=parse_chaos_plan(chaos_specs))
+        except ChaosError as exc:
+            raise SystemExit("repro-study: error: %s" % exc)
+    knobs = {}
+    deadline = getattr(args, "watchdog_deadline", None)
+    if deadline is not None:
+        knobs["heartbeat_deadline"] = deadline
+    retries = getattr(args, "max_shard_retries", None)
+    if retries is not None:
+        knobs["max_retries"] = retries
+    drain = getattr(args, "drain_timeout", None)
+    if drain is not None:
+        knobs["drain_timeout"] = drain
+    if knobs:
+        from .crawler import SupervisorConfig
+        try:
+            config = config.replace(supervision=SupervisorConfig(**knobs))
+        except ValueError as exc:
+            raise SystemExit("repro-study: error: %s" % exc)
+    return config
 
 
 def _progress_sink(args: argparse.Namespace):
@@ -108,6 +142,39 @@ def _crawl_study(args: argparse.Namespace, study_config):
     return study, outcome
 
 
+def _require_complete(args: argparse.Namespace, outcome) -> None:
+    """Refuse to analyze a partial crawl; exit with the resume recipe.
+
+    A SIGINT/SIGTERM'd supervised crawl drains, checkpoints, and
+    returns an outcome marked incomplete; analysis over the salvaged
+    shards would produce tables that look authoritative but are not.
+    Exit 130 (interrupted) with the exact resume invocation instead.
+    Quarantined poison shards exit 1 — re-running will not fix those.
+    """
+    if outcome.complete:
+        return
+    supervision = outcome.supervision
+    interrupted = supervision is not None and supervision.interrupted
+    missing = ", ".join(str(index) for index in outcome.incomplete_shards)
+    target = getattr(args, "resume", None) or getattr(args, "checkpoint",
+                                                      None)
+    if interrupted:
+        hint = (" ; resume with: repro-study %s --workers %d --resume %s"
+                % (args.command, getattr(args, "workers", 1), target)
+                if target else
+                " (no --checkpoint directory was set, so the progress "
+                "was not persisted)")
+        print("repro-study: crawl interrupted before completion; "
+              "shard(s) %s unfinished%s" % (missing, hint),
+              file=sys.stderr)
+        raise SystemExit(130)
+    print("repro-study: crawl incomplete: shard(s) %s quarantined after "
+          "repeated worker failures (see the study manifest%s)"
+          % (missing, " in %s" % target if target else ""),
+          file=sys.stderr)
+    raise SystemExit(1)
+
+
 def _write_trace(args: argparse.Namespace, study: Study) -> None:
     """Write the study recorder to ``--trace`` (JSONL) if requested."""
     path = getattr(args, "trace", None)
@@ -137,6 +204,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print("Running the calibrated study (about 20 seconds)...",
           file=sys.stderr)
     study, outcome = _crawl_study(args, StudyConfig(fault_plan=plan))
+    _require_complete(args, outcome)
     dataset, plan = outcome.dataset, outcome.fault_plan
     result = study.analyze(dataset)
     print(render_headline(result.analysis, total_sites=307,
@@ -253,6 +321,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     plan = _fault_plan(args)
     print("Running the calibrated study...", file=sys.stderr)
     study, outcome = _crawl_study(args, StudyConfig(fault_plan=plan))
+    _require_complete(args, outcome)
     dataset, plan = outcome.dataset, outcome.fault_plan
     result = study.analyze(dataset)
     out_dir = pathlib.Path(args.out)
@@ -362,6 +431,31 @@ def _add_parallel_args(sub: argparse.ArgumentParser) -> None:
                           "--workers)")
 
 
+def _add_supervision_args(sub: argparse.ArgumentParser) -> None:
+    """--chaos + supervised-executor knobs (workers > 1 only)."""
+    sub.add_argument("--chaos", action="append", metavar="SPEC",
+                     default=None,
+                     help="inject a deterministic worker fault (repeatable; "
+                          "requires --workers >= 2): "
+                          "KIND:SHARD[:AFTER_SITES[:ATTEMPTS]] with KIND "
+                          "kill|hang|slow, e.g. 'kill:0' or 'hang:2:1'; "
+                          "the supervisor must retry or quarantine the "
+                          "shard, and the merged fingerprint is unchanged")
+    sub.add_argument("--watchdog-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="declare a worker lost after this many seconds "
+                          "without a heartbeat (default: 60)")
+    sub.add_argument("--max-shard-retries", type=int, default=None,
+                     metavar="N",
+                     help="retry a lost shard at most N times before "
+                          "quarantining it (default: 2)")
+    sub.add_argument("--drain-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="on SIGINT/SIGTERM, give in-flight shards this "
+                          "long to finish before killing them (default: "
+                          "10; per-site checkpoints survive either way)")
+
+
 def _add_trace_arg(sub: argparse.ArgumentParser) -> None:
     """--trace: structured-tracing export (repro.obs)."""
     sub.add_argument("--trace", metavar="PATH",
@@ -405,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(study)
     _add_resume_args(study)
     _add_parallel_args(study)
+    _add_supervision_args(study)
     _add_trace_arg(study)
     _add_progress_args(study)
     study.set_defaults(func=_cmd_study)
@@ -439,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(report)
     _add_resume_args(report)
     _add_parallel_args(report)
+    _add_supervision_args(report)
     _add_trace_arg(report)
     _add_progress_args(report)
     report.set_defaults(func=_cmd_report)

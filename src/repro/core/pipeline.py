@@ -22,6 +22,7 @@ fingerprint.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -68,10 +69,18 @@ class StudyConfig:
     :class:`repro.obs.progress.ProgressAggregator` — fed one event per
     crawled site by whichever crawl engine runs.  Like tracing,
     progress never changes a dataset fingerprint.
+
+    ``supervision`` (a :class:`~repro.crawler.SupervisorConfig`) tunes
+    the supervised parallel executor — watchdog heartbeat deadline,
+    per-shard retry budget, graceful-shutdown drain timeout; ``None``
+    uses the defaults.  ``chaos`` (a :class:`~repro.crawler.ChaosPlan`)
+    injects seeded worker faults for supervision testing; it requires
+    ``workers > 1``.  Both are inert on the serial path.
     """
 
     _FIELDS = ("profile", "token_config", "fault_plan", "retry_policy",
-               "workers", "num_shards", "recorder", "progress")
+               "workers", "num_shards", "recorder", "progress",
+               "supervision", "chaos")
 
     def __init__(self, *,
                  profile: Optional[BrowserProfile] = None,
@@ -81,7 +90,9 @@ class StudyConfig:
                  workers: int = 1,
                  num_shards: Optional[int] = None,
                  recorder: Optional[Recorder] = None,
-                 progress: Optional[object] = None) -> None:
+                 progress: Optional[object] = None,
+                 supervision: Optional[object] = None,
+                 chaos: Optional[object] = None) -> None:
         self.profile = profile
         self.token_config = token_config
         self.fault_plan = fault_plan
@@ -90,6 +101,8 @@ class StudyConfig:
         self.num_shards = num_shards
         self.recorder = recorder
         self.progress = progress
+        self.supervision = supervision
+        self.chaos = chaos
 
     def replace(self, **changes: object) -> "StudyConfig":
         """A copy of this config with ``changes`` applied.
@@ -137,11 +150,22 @@ class CrawlOutcome:
     when no faults were injected.  ``recorder`` is the study's recorder
     when tracing was enabled — after a parallel crawl it already holds
     the per-shard traces merged in layout order.
+
+    ``complete`` is False when a supervised parallel crawl came back
+    partial (shards quarantined, or a graceful shutdown landed first) —
+    the dataset then holds only the salvaged shards and its fingerprint
+    is not covered by the invariance contract.  ``incomplete_shards``
+    names what is missing and ``supervision`` (a
+    :class:`~repro.crawler.SupervisionOutcome`) carries the executor's
+    decisions: retries, watchdog trips, quarantines, shutdown.
     """
 
     dataset: CrawlDataset
     fault_plan: Optional[FaultPlan] = None
     recorder: Optional[Recorder] = None
+    complete: bool = True
+    incomplete_shards: tuple = ()
+    supervision: Optional[object] = None
 
 
 @dataclass
@@ -245,10 +269,24 @@ class Study:
         serial crawl they name a checkpoint *file* (saved after every
         site / loaded before crawling); for a parallel crawl they name
         a *directory* of per-shard checkpoints (resume simply points at
-        the directory a previous run checkpointed into).  Raises
+        the directory a previous run checkpointed into).
+        ``resume=True`` means "resume from ``checkpoint``" with
+        resume-or-start semantics: whatever state the interrupted run
+        left there (per-shard checkpoints plus the study manifest a
+        graceful shutdown wrote) is picked up exactly, and a clean
+        directory/missing file simply starts fresh — so one invocation
+        is safe to re-run until it completes.  Raises
         :class:`~repro.crawler.CheckpointError` (or :class:`OSError`)
-        when a resume source is unusable.
+        when a resume source is unusable, and :class:`ValueError` for
+        ``resume=True`` without a ``checkpoint`` target.
         """
+        resume_or_start = resume is True
+        if resume_or_start:
+            if not checkpoint:
+                raise ValueError(
+                    "crawl(resume=True) resumes from the checkpoint "
+                    "target; pass checkpoint= as well")
+            resume = checkpoint
         recorder = self.config.recorder
         rec = recorder or NULL_RECORDER
         with rec.span("crawl", kind="stage"):
@@ -258,8 +296,12 @@ class Study:
                 result = engine.run()
                 return CrawlOutcome(dataset=result.dataset,
                                     fault_plan=result.fault_plan,
-                                    recorder=recorder)
-            if resume is not None:
+                                    recorder=recorder,
+                                    complete=result.complete,
+                                    incomplete_shards=result.incomplete_shards,
+                                    supervision=result.supervision)
+            if resume is not None and \
+                    (os.path.exists(resume) or not resume_or_start):
                 session = CrawlSession.load(resume, expect_shard=None)
             else:
                 session = self.crawler().start()
@@ -310,7 +352,9 @@ class Study:
                                retry_policy=self.config.retry_policy,
                                checkpoint_dir=checkpoint_dir,
                                recorder=self.config.recorder,
-                               progress=self.config.progress)
+                               progress=self.config.progress,
+                               supervision=self.config.supervision,
+                               chaos=self.config.chaos)
 
     # -- deprecated crawl surfaces --------------------------------------
 
@@ -339,11 +383,25 @@ class Study:
 
         Uses the serial engine for ``config.workers == 1`` and the
         sharded parallel engine otherwise; either way the analysis runs
-        over the complete merged dataset.
+        over the complete merged dataset.  Raises
+        :class:`~repro.crawler.IncompleteCrawlError` when a supervised
+        crawl came back partial — the one-call pipeline never analyzes
+        (or fingerprints) an incomplete merge; use :meth:`crawl` +
+        :meth:`analyze` to work with salvaged partial datasets
+        explicitly.
         """
         rec = self.config.recorder or NULL_RECORDER
         with rec.span("study"):
             outcome = self.crawl()
+            if not outcome.complete:
+                from ..crawler import IncompleteCrawlError
+                raise IncompleteCrawlError(
+                    "study crawl incomplete: shards %s missing (see "
+                    "outcome.supervision); rerun or resume before "
+                    "analysis" % ", ".join(
+                        str(index)
+                        for index in outcome.incomplete_shards),
+                    incomplete_shards=outcome.incomplete_shards)
             return self.analyze(outcome.dataset)
 
     def analyze(self, dataset: CrawlDataset) -> StudyResult:

@@ -34,16 +34,22 @@ so cookie-based cross-site linkage exists only *within* a shard.  The
 paper's subject — PII-leakage-based tracking, where the identifier is a
 hash of the persona's email — is unaffected, because that identifier is
 recomputed identically on every site regardless of shard placement.
+
+Execution is *supervised* (see :mod:`repro.crawler.supervisor`): with
+``workers > 1`` each shard runs in its own watched worker process with
+bounded in-flight dispatch, heartbeat-based liveness detection, bounded
+retry of lost shards, poison-shard quarantine, and graceful
+SIGINT/SIGTERM shutdown that leaves a resumable study manifest behind.
+Supervision never moves a fingerprint: a shard's result is the same pure
+function of ``(population, seed, shard)`` whichever attempt produced it.
 """
 
 from __future__ import annotations
 
 import copy
-import multiprocessing
 import os
-import queue as queue_module
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..mailsim import Mailbox
 from ..netsim import CaptureLog
@@ -52,9 +58,19 @@ from ..obs import Recorder, merge_recorders
 from ..obs.progress import HeartbeatEvent, final_heartbeat, step_heartbeat
 from ..reporting.redact import redact_email
 from ..websim.population import Population
+from .chaos import ChaosPlan
 from .flows import STATUS_QUARANTINED
 from .runner import CrawlDataset, CrawlSession, StudyCrawler
 from .sharding import ShardInfo, ShardLayout
+from .supervisor import (
+    IncompleteCrawlError,
+    ShardSupervisor,
+    SupervisionOutcome,
+    SupervisorConfig,
+    load_manifest,
+    validate_manifest_layout,
+    write_manifest,
+)
 
 #: A parent-side heartbeat sink (e.g. a
 #: :class:`~repro.obs.progress.ProgressAggregator`).
@@ -194,25 +210,6 @@ def _session_for_job(job: ShardJob) -> CrawlSession:
     return crawler.start(shard=job.shard)
 
 
-#: Worker-process heartbeat queue, installed by the pool initializer.
-#: A module global (not job state) on purpose: multiprocessing queues
-#: may only reach children through process inheritance, and the PKL303
-#: contract forbids live handles on the picklable :class:`ShardJob`.
-_PROGRESS_QUEUE: Optional[object] = None
-
-
-def _init_progress_queue(progress_queue: object) -> None:
-    """Pool initializer: remember the parent's heartbeat queue."""
-    global _PROGRESS_QUEUE
-    _PROGRESS_QUEUE = progress_queue
-
-
-def _queue_emit(event: HeartbeatEvent) -> None:
-    """Ship a heartbeat to the parent (no-op outside a progress pool)."""
-    if _PROGRESS_QUEUE is not None:
-        _PROGRESS_QUEUE.put(event)  # type: ignore[attr-defined]
-
-
 def run_shard_job(job: ShardJob,
                   emit: Optional[ProgressSink] = None) -> ShardResult:
     """Crawl one shard to completion (the worker-process entry point).
@@ -224,14 +221,12 @@ def run_shard_job(job: ShardJob,
     :class:`ShardResult`.  Runs identically in-process and in a worker.
 
     ``emit`` receives one :class:`~repro.obs.progress.HeartbeatEvent`
-    per crawled site (plus a final completion marker); when ``None``
-    and ``job.progress`` is set, events go to the pool's inherited
-    heartbeat queue instead.  Emission only *reads* crawl state — a
-    crawl with progress on finishes with the identical dataset.
+    per crawled site (plus a final completion marker); under the
+    supervised executor it doubles as the worker's liveness signal.
+    Emission only *reads* crawl state — a crawl with progress on
+    finishes with the identical dataset.
     """
     session = _session_for_job(job)
-    if emit is None and job.progress:
-        emit = _queue_emit
     shard_index = session.shard.index if session.shard is not None else 0
     total = session.crawled_count + len(session.remaining_sites)
     retried = 0
@@ -343,19 +338,38 @@ class ParallelCrawlResult:
     #: layout order) when the engine was constructed with a recorder;
     #: its snapshot is identical at every worker count.
     recorder: Optional[Recorder] = None
+    #: False when shards are missing from the merge (quarantined by the
+    #: supervisor or left unfinished by a graceful shutdown).  The
+    #: dataset then carries only the salvaged shards; its fingerprint is
+    #: deliberately *not* part of the invariance contract — only
+    #: complete merges are fingerprinted.
+    complete: bool = True
+    #: The shard indexes missing from an incomplete merge.
+    incomplete_shards: Tuple[int, ...] = ()
+    #: The supervised execution's decisions (retries, watchdog trips,
+    #: quarantines, shutdown); ``None`` for the in-process serial path.
+    supervision: Optional[SupervisionOutcome] = None
 
 
 class ParallelCrawler:
-    """Crawls a population's shards over a ``multiprocessing`` pool.
+    """Crawls a population's shards over supervised worker processes.
 
     ``population`` may be a live :class:`Population` (wrapped in a
     :class:`PrebuiltPopulationSpec`) or any :class:`PopulationSpec`.
     ``workers=1`` (the default) runs every shard sequentially in-process
     — the serial reference the fingerprint contract is stated against;
-    ``workers=N`` fans the same shards out over N processes and merges
-    to the bit-identical dataset.  ``num_shards`` defaults to
+    ``workers=N`` fans the same shards out over at most N supervised
+    processes (see :class:`~repro.crawler.supervisor.ShardSupervisor`)
+    and merges to the bit-identical dataset.  ``num_shards`` defaults to
     :func:`~repro.crawler.sharding.default_shard_count` and is
     deliberately independent of ``workers``.
+
+    ``supervision`` (a :class:`~repro.crawler.SupervisorConfig`) tunes
+    the executor's watchdog deadline, retry budget, and shutdown drain;
+    ``chaos`` (a :class:`~repro.crawler.ChaosPlan`) injects the seeded
+    worker-fault plan into every launched worker.  Chaos manipulates
+    real processes, so it requires ``workers >= 2`` — combining a plan
+    with the in-process serial path would kill or hang the caller.
 
     ``checkpoint_dir`` enables per-shard checkpointing: each shard
     writes ``shard-NNN.ckpt`` after every site, and a later crawl with
@@ -396,9 +410,16 @@ class ParallelCrawler:
                  firewall: Optional[object] = None,
                  checkpoint_dir: Optional[str] = None,
                  recorder: Optional[Recorder] = None,
-                 progress: Optional[ProgressSink] = None) -> None:
+                 progress: Optional[ProgressSink] = None,
+                 supervision: Optional[SupervisorConfig] = None,
+                 chaos: Optional[ChaosPlan] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if chaos is not None and chaos.faults and workers < 2:
+            raise ValueError(
+                "a chaos plan requires workers >= 2: faults kill or hang "
+                "the executing process, and with workers=1 that process "
+                "is the caller's own")
         if isinstance(population, PopulationSpec):
             self.spec: PopulationSpec = population
             self._population: Optional[Population] = None
@@ -417,7 +438,10 @@ class ParallelCrawler:
         self.checkpoint_dir = checkpoint_dir
         self.recorder = recorder
         self.progress = progress
+        self.supervision = supervision
+        self.chaos = chaos
         self._layout: Optional[ShardLayout] = None
+        self._supervisor: Optional[ShardSupervisor] = None
 
     # -- layout ----------------------------------------------------------
 
@@ -447,27 +471,71 @@ class ParallelCrawler:
 
     # -- execution -------------------------------------------------------
 
+    def request_shutdown(self, reason: str = "requested") -> None:
+        """Gracefully stop a supervised :meth:`run` in progress.
+
+        Signal-safe and idempotent; a no-op before the supervisor
+        exists or on the serial in-process path.
+        """
+        if self._supervisor is not None:
+            self._supervisor.request_shutdown(reason)
+
     def crawl(self) -> CrawlDataset:
-        """Run all shards and return the merged dataset (see :meth:`run`)."""
-        return self.run().dataset
+        """Run all shards and return the *complete* merged dataset.
+
+        Raises :class:`~repro.crawler.IncompleteCrawlError` (carrying
+        the salvaged partial result) when shards were quarantined or a
+        shutdown interrupted the run — callers of this convenience API
+        get a fingerprint-safe dataset or an explicit error, never a
+        silently partial merge.  Use :meth:`run` to work with partial
+        results.
+        """
+        result = self.run()
+        if not result.complete:
+            raise IncompleteCrawlError(
+                "crawl incomplete: shards %s missing from the merge "
+                "(%s); resume from the checkpoint directory or inspect "
+                "result.supervision"
+                % (", ".join(str(index)
+                             for index in result.incomplete_shards),
+                   "interrupted" if result.supervision is not None
+                   and result.supervision.interrupted else "quarantined"),
+                result=result,
+                incomplete_shards=result.incomplete_shards)
+        return result.dataset
 
     def run(self) -> ParallelCrawlResult:
-        """Execute every shard and merge.
+        """Execute every shard under supervision and merge.
 
-        Returns a :class:`ParallelCrawlResult`; its ``dataset``
-        fingerprint depends only on ``(population, fault seed, layout)``
-        — never on ``workers``.  Raises
-        :class:`~repro.crawler.CheckpointError` when resuming against a
-        mismatched shard layout.
+        Returns a :class:`ParallelCrawlResult`; for complete runs its
+        ``dataset`` fingerprint depends only on ``(population, fault
+        seed, layout)`` — never on ``workers``, faults, retries, or
+        interruptions.  Incomplete runs (quarantined shards, graceful
+        shutdown) return the salvaged shards with ``complete=False``.
+        Raises :class:`~repro.crawler.CheckpointError` when resuming
+        against a mismatched shard layout, and
+        :class:`~repro.crawler.IncompleteCrawlError` only when *no*
+        shard completed (there is nothing to merge).
         """
         jobs = [self._job(index) for index in range(self.layout.num_shards)]
         if self.checkpoint_dir:
             os.makedirs(self.checkpoint_dir, exist_ok=True)
-        if self.workers == 1 or len(jobs) <= 1:
-            results = [run_shard_job(job, emit=self.progress)
-                       for job in jobs]
+        outcome: Optional[SupervisionOutcome] = None
+        if self.workers == 1:
+            results: List[ShardResult] = self._run_serial(jobs)
         else:
-            results = self._run_pool(jobs)
+            outcome = self._run_supervised(jobs)
+            results = list(outcome.results)
+        complete = outcome.complete if outcome is not None else True
+        if not results:
+            raise IncompleteCrawlError(
+                "no shard completed (%s); the per-shard checkpoints in "
+                "%r hold whatever progress was made"
+                % ("interrupted" if outcome is not None
+                   and outcome.interrupted else "all shards lost",
+                   self.checkpoint_dir),
+                incomplete_shards=(outcome.incomplete_shards
+                                   if outcome is not None else ()))
         dataset = merge_shard_datasets(results, self.population())
         ordered = sorted(results, key=lambda r: r.index)
         merged_plan = None
@@ -488,47 +556,49 @@ class ParallelCrawler:
                 [result.recorder for result in ordered
                  if result.recorder is not None])
             self.recorder.adopt(merged_recorder)
-        return ParallelCrawlResult(dataset=dataset, layout=self.layout,
-                                   workers=self.workers,
-                                   fault_plan=merged_plan,
-                                   shard_stats=stats,
-                                   recorder=merged_recorder)
+            if outcome is not None and outcome.events:
+                # Supervision decisions are abnormal by definition, so
+                # they only ever reach the trace when something actually
+                # went wrong — a clean run's trace stays bit-identical
+                # at every worker count (the CI invariance gate).
+                for kind, count in sorted(outcome.event_counts().items()):
+                    self.recorder.count("supervisor.events.%s" % kind,
+                                        count)
+        return ParallelCrawlResult(
+            dataset=dataset, layout=self.layout, workers=self.workers,
+            fault_plan=merged_plan, shard_stats=stats,
+            recorder=merged_recorder, complete=complete,
+            incomplete_shards=(outcome.incomplete_shards
+                               if outcome is not None else ()),
+            supervision=outcome)
 
     # -- internals -------------------------------------------------------
 
-    def _run_pool(self, jobs) -> Sequence[ShardResult]:
-        """Fan the jobs out over a process pool.
+    def _run_serial(self, jobs) -> List[ShardResult]:
+        """The in-process reference path (``workers=1``)."""
+        if self.checkpoint_dir:
+            manifest = load_manifest(self.checkpoint_dir)
+            if manifest is not None:
+                validate_manifest_layout(manifest, self.layout,
+                                         self.checkpoint_dir)
+        results = [run_shard_job(job, emit=self.progress) for job in jobs]
+        if self.checkpoint_dir:
+            write_manifest(self.checkpoint_dir, self.layout,
+                           SupervisionOutcome(results=list(results)),
+                           spec_description=self.spec.describe())
+        return results
 
-        Without a progress sink this is a plain ``pool.map``.  With
-        one, the pool inherits a heartbeat queue through its
-        initializer (queues may not ride the pickled job — PKL303) and
-        the parent drains events into the sink while the map runs, so
-        progress is genuinely live rather than batched at the end.
-        """
-        context = multiprocessing.get_context()
-        processes = min(self.workers, len(jobs))
-        if self.progress is None:
-            with context.Pool(processes=processes) as pool:
-                return pool.map(run_shard_job, jobs)
-        heartbeat_queue = context.Queue()
-        with context.Pool(processes=processes,
-                          initializer=_init_progress_queue,
-                          initargs=(heartbeat_queue,)) as pool:
-            pending = pool.map_async(run_shard_job, jobs)
-            while True:
-                try:
-                    self.progress(heartbeat_queue.get(timeout=0.05))
-                except queue_module.Empty:
-                    if pending.ready():
-                        break
-            while True:
-                # The map can finish with events still in flight through
-                # the queue's feeder threads; drain with a short grace.
-                try:
-                    self.progress(heartbeat_queue.get(timeout=0.2))
-                except queue_module.Empty:
-                    break
-            return pending.get()
+    def _run_supervised(self, jobs) -> SupervisionOutcome:
+        """Fan the jobs out over the supervised shard executor."""
+        self._supervisor = ShardSupervisor(
+            config=self.supervision, workers=self.workers,
+            progress=self.progress, chaos=self.chaos,
+            checkpoint_dir=self.checkpoint_dir,
+            spec_description=self.spec.describe())
+        try:
+            return self._supervisor.run(jobs, layout=self.layout)
+        finally:
+            self._supervisor = None
 
     def _job(self, index: int, checkpointed: bool = True) -> ShardJob:
         checkpoint_path = None

@@ -1,0 +1,699 @@
+"""Supervised crash-safe shard execution.
+
+:class:`ShardSupervisor` replaces the old batch ``Pool.map_async``
+fan-out of :class:`~repro.crawler.ParallelCrawler`: it dispatches shards
+one process each with a bounded number in flight, watches worker
+liveness, and survives every process-level failure the pool could not —
+a worker that segfaults, OOMs, hangs, or is killed no longer deadlocks
+the study or silently loses its whole batch.
+
+Supervision model
+-----------------
+* **Per-shard dispatch, bounded in-flight.**  Each attempt of each shard
+  runs in a fresh ``multiprocessing.Process``; at most ``max_in_flight``
+  run concurrently.  Every worker owns a private pair of
+  ``SimpleQueue``\\ s (beats, result) so one torn/killed worker can never
+  corrupt another worker's channel — there are no cross-process locks or
+  feeder threads shared between workers.
+* **Liveness watchdog.**  Workers emit a start sentinel and then reuse
+  the :mod:`repro.obs.progress` heartbeat stream (one
+  :class:`~repro.obs.progress.HeartbeatEvent` per crawled site) as their
+  liveness signal.  A dead process without a delivered result is
+  *crashed*; a live process silent for longer than
+  ``heartbeat_deadline`` wall seconds is *hung* and gets killed.  Both
+  are declared lost and retried.
+* **Bounded retry, then quarantine.**  Lost shards are requeued on a
+  fresh process with an incremented attempt number.  Failures are
+  classified under the same transient-vs-permanent taxonomy the crawl
+  flows use (:data:`~repro.crawler.flows.FAILURE_TRANSIENT` /
+  :data:`~repro.crawler.flows.FAILURE_PERMANENT`): crashes and hangs are
+  transient and worth retrying; deterministic Python errors are
+  permanent and quarantine the shard immediately.  A shard that stays
+  transiently lost after ``max_retries`` retries is a *poison shard* and
+  is quarantined too — never re-dispatched forever, never silently
+  dropped.
+* **Graceful shutdown.**  SIGINT/SIGTERM (or a programmatic
+  :meth:`~ShardSupervisor.request_shutdown`) stops new dispatch, drains
+  in-flight shards for ``drain_timeout`` seconds, kills whatever is
+  still running (their per-site checkpoints are already durable), and
+  writes a resumable study manifest — so ``Study.crawl(resume=True)``
+  against the same checkpoint directory picks up exactly where the kill
+  landed.
+* **Partial-result salvage.**  Completed shards are always returned,
+  explicitly marked incomplete when shards are missing; dataset
+  fingerprints are only computed on complete merges (the
+  bit-identical-at-any-worker-count invariant is stated over complete
+  datasets only — :meth:`~repro.crawler.ParallelCrawler.crawl` raises
+  :class:`IncompleteCrawlError` rather than fingerprinting a partial
+  merge).
+
+Determinism note: the supervisor reads the host's monotonic clock — a
+*liveness* watchdog is meaningless against a simulated clock — but
+nothing it observes ever feeds a dataset: shard results are pure
+functions of ``(population spec, seed, shard)`` regardless of which
+attempt produced them, so retries, kills, and resumes cannot move a
+fingerprint.  The explicit ``statan: ignore[DET101]`` markers below
+scope the exception to exactly those liveness reads.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.progress import HeartbeatEvent
+from .chaos import ChaosMonkey, ChaosPlan
+from .checkpoint import CheckpointError, atomic_write_text
+from .flows import FAILURE_PERMANENT, FAILURE_TRANSIENT
+from .sharding import ShardLayout
+
+#: File name of the resumable study manifest inside a checkpoint dir.
+MANIFEST_NAME = "study-manifest.json"
+
+#: Schema version of the study manifest; bump on incompatible changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Supervision event kinds (also the ``supervisor.events.*`` counters).
+EVENT_WORKER_CRASHED = "worker_crashed"   # process died without a result
+EVENT_WATCHDOG_TRIP = "watchdog_trip"     # no heartbeat within deadline
+EVENT_WORKER_ERROR = "worker_error"       # worker raised a Python error
+EVENT_RETRY = "retry"                     # shard requeued on a fresh worker
+EVENT_QUARANTINE = "quarantine"           # shard given up on
+EVENT_SHUTDOWN = "shutdown"               # graceful shutdown requested
+EVENT_DRAIN_KILL = "drain_kill"           # in-flight worker killed at drain
+
+#: Python exception types a worker can die of that are worth retrying:
+#: environmental, not deterministic.  Everything else is permanent.
+_TRANSIENT_ERROR_TYPES = frozenset({
+    "OSError", "IOError", "TimeoutError", "ConnectionError",
+    "ConnectionResetError", "BrokenPipeError", "EOFError", "MemoryError",
+})
+
+
+class SupervisorError(RuntimeError):
+    """The supervisor itself failed (not a worker)."""
+
+
+class IncompleteCrawlError(SupervisorError):
+    """A merged dataset is missing shards; its fingerprint is undefined.
+
+    ``result`` (when set) carries the partial
+    :class:`~repro.crawler.ParallelCrawlResult` — completed shards are
+    salvaged, never discarded — and ``incomplete_shards`` names what is
+    missing.
+    """
+
+    def __init__(self, message: str, result: Optional[object] = None,
+                 incomplete_shards: Sequence[int] = ()) -> None:
+        super().__init__(message)
+        self.result = result
+        self.incomplete_shards = tuple(incomplete_shards)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tunables of the supervised executor (all picklable plain data).
+
+    ``heartbeat_deadline`` is the wall-clock silence, in seconds, after
+    which a live worker is declared hung; it must comfortably exceed
+    the slowest single site crawl *plus* the worker's population-build
+    time.  ``max_retries`` bounds the *transient* retries per shard
+    before quarantine (``0`` = no retries).  ``max_in_flight`` caps
+    concurrent worker processes (``None`` = the engine's worker count).
+    ``drain_timeout`` is the graceful-shutdown budget for in-flight
+    shards; ``kill_grace`` the SIGTERM→SIGKILL escalation delay;
+    ``poll_interval`` the supervision sweep period (also the watchdog's
+    resolution).  ``install_signal_handlers`` opts the supervisor into
+    handling SIGINT/SIGTERM during :meth:`ShardSupervisor.run` (only
+    ever attempted from the main thread).
+    """
+
+    max_retries: int = 2
+    heartbeat_deadline: float = 60.0
+    poll_interval: float = 0.02
+    drain_timeout: float = 10.0
+    kill_grace: float = 5.0
+    max_in_flight: Optional[int] = None
+    install_signal_handlers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.heartbeat_deadline <= 0:
+            raise ValueError("heartbeat_deadline must be > 0")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        if self.drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+
+
+@dataclass(frozen=True)
+class SupervisionEvent:
+    """One supervision decision, for reporting and obs counters."""
+
+    kind: str
+    shard: int = -1
+    attempt: int = 0
+    failure_class: str = ""     # transient | permanent | ""
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "shard": self.shard,
+                "attempt": self.attempt,
+                "failure_class": self.failure_class, "detail": self.detail}
+
+
+@dataclass
+class SupervisionOutcome:
+    """Everything one supervised execution decided and salvaged.
+
+    ``results`` holds every completed shard (complete or not);
+    ``quarantined`` maps shard index → the terminal
+    :class:`SupervisionEvent`; ``unfinished`` lists shards neither
+    completed nor quarantined (shutdown landed first); ``interrupted``
+    is True when a graceful shutdown cut the run short.
+    """
+
+    results: List[object] = field(default_factory=list)
+    quarantined: Dict[int, SupervisionEvent] = field(default_factory=dict)
+    unfinished: List[int] = field(default_factory=list)
+    events: List[SupervisionEvent] = field(default_factory=list)
+    interrupted: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined and not self.unfinished
+
+    @property
+    def incomplete_shards(self) -> Tuple[int, ...]:
+        return tuple(sorted(set(self.quarantined) | set(self.unfinished)))
+
+    def event_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+# ---------------------------------------------------------------------------
+# The worker side.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Beat:
+    """Worker → parent liveness message (picklable plain data).
+
+    ``event`` is the crawl heartbeat riding along (``None`` for the
+    start sentinel emitted before the population build).
+    """
+
+    shard: int
+    attempt: int
+    event: Optional[HeartbeatEvent] = None
+
+
+@dataclass(frozen=True)
+class _WorkerOutcome:
+    """Worker → parent terminal message: a result or an error."""
+
+    shard: int
+    attempt: int
+    result: Optional[object] = None     # ShardResult
+    error_type: str = ""
+    error: str = ""
+
+
+def _supervised_worker_main(job, attempt: int, chaos: Optional[ChaosPlan],
+                            beat_queue, result_queue) -> None:
+    """Entry point of one supervised worker process.
+
+    Runs exactly one shard attempt: emits the start sentinel, streams
+    per-site heartbeats, and puts exactly one terminal
+    :class:`_WorkerOutcome` — unless a (real or chaos-injected) crash or
+    hang prevents it, which is precisely what the parent's watchdog is
+    for.
+    """
+    # The parent owns shutdown policy: workers ignore the terminal's
+    # SIGINT broadcast (the parent drains them instead) and die promptly
+    # on the parent's targeted SIGTERM.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):        # non-main thread / exotic platform
+        pass
+    from .parallel import run_shard_job
+    shard_index = job.shard.index
+    monkey = ChaosMonkey(chaos.fault_for(shard_index, attempt)
+                         if chaos is not None else None)
+    beat_queue.put(_Beat(shard=shard_index, attempt=attempt))
+    monkey.on_start()
+
+    def emit(event: HeartbeatEvent) -> None:
+        beat_queue.put(_Beat(shard=shard_index, attempt=attempt,
+                             event=event))
+        if not event.final:
+            monkey.on_site()
+
+    try:
+        result = run_shard_job(job, emit=emit)
+    except BaseException as exc:    # noqa: BLE001 — forwarded, not dropped
+        result_queue.put(_WorkerOutcome(
+            shard=shard_index, attempt=attempt,
+            error_type=type(exc).__name__, error=str(exc)))
+    else:
+        result_queue.put(_WorkerOutcome(shard=shard_index, attempt=attempt,
+                                        result=result))
+
+
+def classify_worker_failure(kind: str, error_type: str = "") -> str:
+    """Transient-vs-permanent taxonomy for worker-level failures.
+
+    Mirrors the crawl-level taxonomy of :mod:`repro.crawler.flows`:
+    process deaths and hangs (``crashed``/``hung``) are *transient* —
+    the environment failed, a fresh worker may succeed; a Python
+    exception (``error``) is *permanent* unless its type is an
+    environmental one (OS/IO/timeout/memory), because a deterministic
+    error will recur on every retry.
+    """
+    if kind in (EVENT_WORKER_CRASHED, EVENT_WATCHDOG_TRIP):
+        return FAILURE_TRANSIENT
+    if error_type in _TRANSIENT_ERROR_TYPES:
+        return FAILURE_TRANSIENT
+    return FAILURE_PERMANENT
+
+
+# ---------------------------------------------------------------------------
+# The study manifest.
+# ---------------------------------------------------------------------------
+
+def write_manifest(checkpoint_dir: str, layout: ShardLayout,
+                   outcome: SupervisionOutcome,
+                   spec_description: str = "") -> str:
+    """Atomically write the resumable study manifest; returns its path.
+
+    The manifest is bookkeeping *about* the per-shard checkpoints: it
+    names the layout (so a resume against a different layout fails
+    loudly before any crawling), what completed, what was quarantined,
+    and what the shutdown left unfinished.  Resume correctness never
+    depends on it — the per-shard checkpoints are the durable state —
+    but it makes interrupted studies self-describing.
+    """
+    completed = sorted(getattr(result, "index", -1)
+                       for result in outcome.results)
+    document = {
+        "type": "study-manifest",
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "status": "interrupted" if outcome.interrupted else (
+            "complete" if outcome.complete else "partial"),
+        "population": spec_description,
+        "layout": {
+            "digest": layout.digest(),
+            "num_shards": layout.num_shards,
+            "site_count": layout.site_count,
+        },
+        "completed_shards": completed,
+        "quarantined_shards": sorted(outcome.quarantined),
+        "unfinished_shards": sorted(outcome.unfinished),
+        "event_counts": outcome.event_counts(),
+        "events": [event.as_dict() for event in outcome.events[:200]],
+    }
+    path = os.path.join(checkpoint_dir, MANIFEST_NAME)
+    return atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_manifest(checkpoint_dir: str) -> Optional[Dict[str, object]]:
+    """Read the study manifest in ``checkpoint_dir``, if one exists.
+
+    Returns ``None`` when no manifest is present (a fresh or pre-manifest
+    checkpoint dir).  Raises :class:`~repro.crawler.CheckpointError` on
+    a file that exists but is not a readable manifest (truncated JSON,
+    wrong type, wrong schema) — never silently resumes against garbage.
+    """
+    path = os.path.join(checkpoint_dir, MANIFEST_NAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(
+            "%s is not a readable study manifest (%s); delete it to "
+            "restart the study from its per-shard checkpoints"
+            % (path, exc)) from exc
+    if not isinstance(document, dict) or \
+            document.get("type") != "study-manifest":
+        raise CheckpointError(
+            "%s is not a study manifest (missing type marker)" % path)
+    if document.get("schema") != MANIFEST_SCHEMA_VERSION:
+        raise CheckpointError(
+            "%s has manifest schema %r but this version reads %d"
+            % (path, document.get("schema"), MANIFEST_SCHEMA_VERSION))
+    return document
+
+
+def validate_manifest_layout(manifest: Dict[str, object],
+                             layout: ShardLayout,
+                             checkpoint_dir: str) -> None:
+    """Refuse to resume a manifest written under a different layout."""
+    described = manifest.get("layout")
+    if not isinstance(described, dict):
+        return
+    digest = described.get("digest")
+    if digest is not None and digest != layout.digest():
+        raise CheckpointError(
+            "%s/%s was written under shard layout %s but the running "
+            "layout is %s (%d shards); shard layouts must match exactly "
+            "to resume" % (checkpoint_dir, MANIFEST_NAME, digest,
+                           layout.digest(), layout.num_shards))
+
+
+# ---------------------------------------------------------------------------
+# The parent side.
+# ---------------------------------------------------------------------------
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one in-flight worker attempt.
+
+    Holds live process/queue handles on purpose — this object never
+    crosses a process boundary (the picklable currency is
+    :class:`_Beat` / :class:`_WorkerOutcome`).
+    """
+
+    def __init__(self, job, attempt: int, process, beat_queue,
+                 result_queue, launched_at: float) -> None:
+        self.job = job
+        self.attempt = attempt
+        self.process = process           # statan: ignore[PKL303]
+        self.beat_queue = beat_queue     # statan: ignore[PKL303]
+        self.result_queue = result_queue  # statan: ignore[PKL303]
+        self.last_beat = launched_at
+        self.first_seen_dead: Optional[float] = None
+        self.retired = False
+
+    @property
+    def shard(self) -> int:
+        return self.job.shard.index
+
+    def close(self) -> None:
+        """Release the queue pipes (idempotent)."""
+        if self.retired:
+            return
+        self.retired = True
+        for queue in (self.beat_queue, self.result_queue):
+            close = getattr(queue, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except OSError:
+                    pass
+
+
+class ShardSupervisor:
+    """Drives shard jobs to completion under supervision.
+
+    ``progress`` (optional) receives every worker
+    :class:`~repro.obs.progress.HeartbeatEvent` that carries crawl
+    progress — the same sink contract as the engine's, so live progress
+    keeps streaming across retries and kills.  ``chaos`` injects the
+    deterministic worker-fault plan (tests/CI only).  ``checkpoint_dir``
+    is where the study manifest is written (and validated on resume);
+    per-shard checkpoint paths ride on the jobs themselves.
+    """
+
+    def __init__(self, config: Optional[SupervisorConfig] = None,
+                 workers: int = 2,
+                 progress: Optional[Callable[[HeartbeatEvent], None]] = None,
+                 chaos: Optional[ChaosPlan] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 spec_description: str = "",
+                 context: Optional[object] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.config = config or SupervisorConfig()
+        self.workers = workers
+        self.progress = progress
+        self.chaos = chaos
+        self.checkpoint_dir = checkpoint_dir
+        self.spec_description = spec_description
+        self._context = context or multiprocessing.get_context()
+        self._shutdown_reason: Optional[str] = None
+        self._shutdown_at: Optional[float] = None
+
+    # -- shutdown --------------------------------------------------------
+
+    def request_shutdown(self, reason: str = "requested") -> None:
+        """Begin a graceful shutdown (idempotent, signal-safe).
+
+        In-flight shards get ``drain_timeout`` seconds to finish; new
+        dispatch stops immediately; the run returns a partial outcome
+        with ``interrupted=True``.
+        """
+        if self._shutdown_reason is None:
+            self._shutdown_reason = reason
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown_reason is not None
+
+    def _on_signal(self, signum, frame) -> None:
+        self.request_shutdown("signal %d" % signum)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, jobs: Sequence[object],
+            layout: Optional[ShardLayout] = None) -> SupervisionOutcome:
+        """Execute ``jobs`` (ShardJobs) to a :class:`SupervisionOutcome`.
+
+        Raises :class:`~repro.crawler.CheckpointError` immediately when
+        a worker reports one (resume-layout mismatches must abort the
+        study, not burn retries) or when an existing study manifest
+        describes a different layout.
+        """
+        if self.checkpoint_dir and layout is not None:
+            manifest = load_manifest(self.checkpoint_dir)
+            if manifest is not None:
+                validate_manifest_layout(manifest, layout,
+                                         self.checkpoint_dir)
+        outcome = SupervisionOutcome()
+        pending: List[Tuple[object, int]] = [(job, 0) for job in jobs]
+        inflight: Dict[int, _WorkerHandle] = {}
+        max_in_flight = self.config.max_in_flight or self.workers
+        restore: List[Tuple[int, object]] = []
+        if self.config.install_signal_handlers and \
+                threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    restore.append(
+                        (signum, signal.signal(signum, self._on_signal)))
+                except (ValueError, OSError):
+                    pass
+        try:
+            self._loop(outcome, pending, inflight, max_in_flight)
+        finally:
+            for signum, previous in restore:
+                try:
+                    signal.signal(signum, previous)
+                except (ValueError, OSError, TypeError):
+                    pass
+            for handle in inflight.values():
+                self._kill(handle)
+                handle.close()
+        if self.checkpoint_dir and layout is not None:
+            write_manifest(self.checkpoint_dir, layout, outcome,
+                           spec_description=self.spec_description)
+        return outcome
+
+    # -- internals -------------------------------------------------------
+
+    def _now(self) -> float:
+        # Liveness is a wall-clock property; see the module docstring.
+        return time.monotonic()     # statan: ignore[DET101]
+
+    def _loop(self, outcome: SupervisionOutcome,
+              pending: List[Tuple[object, int]],
+              inflight: Dict[int, _WorkerHandle],
+              max_in_flight: int) -> None:
+        while pending or inflight:
+            if not self.shutdown_requested:
+                while pending and len(inflight) < max_in_flight:
+                    job, attempt = pending.pop(0)
+                    handle = self._launch(job, attempt)
+                    inflight[handle.shard] = handle
+            progressed = self._sweep(outcome, pending, inflight)
+            if self.shutdown_requested:
+                # Shutdown path: pending shards will not run; in-flight
+                # shards drain until the timeout, then die (their
+                # checkpoints survive).  The request may land at any
+                # moment — a signal, or a progress sink called inside
+                # the sweep above — so the bookkeeping happens here.
+                if self._shutdown_at is None:
+                    self._shutdown_at = self._now()
+                    outcome.interrupted = True
+                    outcome.events.append(SupervisionEvent(
+                        kind=EVENT_SHUTDOWN,
+                        detail=self._shutdown_reason or ""))
+                if pending:
+                    for job, _ in pending:
+                        outcome.unfinished.append(job.shard.index)
+                    del pending[:]
+                if inflight and \
+                        self._now() - self._shutdown_at > \
+                        self.config.drain_timeout:
+                    for handle in list(inflight.values()):
+                        outcome.events.append(SupervisionEvent(
+                            kind=EVENT_DRAIN_KILL, shard=handle.shard,
+                            attempt=handle.attempt,
+                            detail="drain timeout after %.1fs"
+                                   % self.config.drain_timeout))
+                        self._kill(handle)
+                        handle.close()
+                        del inflight[handle.shard]
+                        outcome.unfinished.append(handle.shard)
+            if not progressed and (pending or inflight):
+                time.sleep(self.config.poll_interval)
+
+    def _launch(self, job, attempt: int) -> _WorkerHandle:
+        beat_queue = self._context.SimpleQueue()
+        result_queue = self._context.SimpleQueue()
+        process = self._context.Process(
+            target=_supervised_worker_main,
+            args=(job, attempt, self.chaos, beat_queue, result_queue),
+            daemon=True,
+            name="repro-shard-%03d-attempt-%d" % (job.shard.index, attempt))
+        process.start()
+        return _WorkerHandle(job=job, attempt=attempt, process=process,
+                             beat_queue=beat_queue,
+                             result_queue=result_queue,
+                             launched_at=self._now())
+
+    def _sweep(self, outcome: SupervisionOutcome,
+               pending: List[Tuple[object, int]],
+               inflight: Dict[int, _WorkerHandle]) -> bool:
+        """One supervision pass; returns True when anything happened."""
+        progressed = False
+        now = self._now()
+        for handle in list(inflight.values()):
+            # 1. Liveness: drain this worker's beats.
+            while not handle.beat_queue.empty():
+                beat = handle.beat_queue.get()
+                handle.last_beat = self._now()
+                progressed = True
+                if self.progress is not None and beat.event is not None:
+                    self.progress(beat.event)
+            exitcode = handle.process.exitcode
+            # 2. Results: only read from a live or cleanly-exited
+            #    worker — a killed worker's result pipe may be torn
+            #    mid-message and must never block the supervisor.
+            if (exitcode is None or exitcode == 0) and \
+                    not handle.result_queue.empty():
+                message = handle.result_queue.get()
+                progressed = True
+                self._retire(handle, inflight)
+                if message.result is not None:
+                    outcome.results.append(message.result)
+                else:
+                    self._handle_failure(
+                        outcome, pending, handle, EVENT_WORKER_ERROR,
+                        error_type=message.error_type,
+                        detail="%s: %s" % (message.error_type,
+                                           message.error))
+                continue
+            # 3. Death: the process is gone and no result arrived.  A
+            #    short grace window lets a result racing the exit land.
+            if exitcode is not None:
+                if handle.first_seen_dead is None:
+                    handle.first_seen_dead = now
+                    continue
+                if now - handle.first_seen_dead < 0.2 and exitcode == 0:
+                    continue
+                progressed = True
+                self._retire(handle, inflight)
+                died_of = ("exit code %d" % exitcode if exitcode >= 0
+                           else "signal %d" % -exitcode)
+                self._handle_failure(outcome, pending, handle,
+                                     EVENT_WORKER_CRASHED,
+                                     detail="worker died (%s) without "
+                                            "delivering a result" % died_of)
+                continue
+            # 4. Watchdog: alive but silent past the deadline -> hung.
+            if now - handle.last_beat > self.config.heartbeat_deadline:
+                progressed = True
+                self._kill(handle)
+                self._retire(handle, inflight)
+                self._handle_failure(
+                    outcome, pending, handle, EVENT_WATCHDOG_TRIP,
+                    detail="no heartbeat for %.1fs (deadline %.1fs); "
+                           "worker killed"
+                           % (now - handle.last_beat,
+                              self.config.heartbeat_deadline))
+        return progressed
+
+    def _retire(self, handle: _WorkerHandle,
+                inflight: Dict[int, _WorkerHandle]) -> None:
+        inflight.pop(handle.shard, None)
+        if handle.process.exitcode is None:
+            # Still exiting after a clean result: give it a moment.
+            handle.process.join(timeout=self.config.kill_grace)
+            if handle.process.exitcode is None:
+                self._kill(handle)
+        else:
+            handle.process.join()
+        handle.close()
+
+    def _kill(self, handle: _WorkerHandle) -> None:
+        """Terminate a worker, escalating SIGTERM → SIGKILL."""
+        process = handle.process
+        if process.exitcode is not None:
+            process.join()
+            return
+        process.terminate()
+        process.join(timeout=self.config.kill_grace)
+        if process.exitcode is None:
+            kill = getattr(process, "kill", process.terminate)
+            kill()
+            process.join()
+
+    def _handle_failure(self, outcome: SupervisionOutcome,
+                        pending: List[Tuple[object, int]],
+                        handle: _WorkerHandle, kind: str,
+                        error_type: str = "", detail: str = "") -> None:
+        """Classify a lost attempt: abort, retry, or quarantine."""
+        if error_type == "CheckpointError":
+            # Resume-layout mismatches poison every retry identically;
+            # surface them as the library-level error they are.
+            raise CheckpointError(detail.split(": ", 1)[-1] or detail)
+        failure_class = classify_worker_failure(kind, error_type)
+        outcome.events.append(SupervisionEvent(
+            kind=kind, shard=handle.shard, attempt=handle.attempt,
+            failure_class=failure_class, detail=detail))
+        retryable = (failure_class == FAILURE_TRANSIENT
+                     and handle.attempt < self.config.max_retries
+                     and not self.shutdown_requested)
+        if retryable:
+            outcome.events.append(SupervisionEvent(
+                kind=EVENT_RETRY, shard=handle.shard,
+                attempt=handle.attempt + 1, failure_class=failure_class,
+                detail="retrying after %s" % kind))
+            pending.append((handle.job, handle.attempt + 1))
+            return
+        if self.shutdown_requested and failure_class == FAILURE_TRANSIENT:
+            # Do not quarantine a shard we merely refused to retry
+            # because shutdown landed: it is unfinished, not poison.
+            outcome.unfinished.append(handle.shard)
+            return
+        terminal = SupervisionEvent(
+            kind=EVENT_QUARANTINE, shard=handle.shard,
+            attempt=handle.attempt, failure_class=failure_class,
+            detail="quarantined after %d attempt(s): %s"
+                   % (handle.attempt + 1, detail))
+        outcome.events.append(terminal)
+        outcome.quarantined[handle.shard] = terminal

@@ -17,6 +17,7 @@ baselines under ``benchmarks/baselines/``.
 
 from .clock import Clock, TickClock, WallClock
 from .diff import (
+    FAIL_ON_GRAMMAR,
     FailCondition,
     FailOnError,
     TraceDiff,
@@ -63,6 +64,7 @@ __all__ = [
     "Clock",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FAIL_ON_GRAMMAR",
     "FailCondition",
     "FailOnError",
     "Gauge",

@@ -44,6 +44,18 @@ _DISCRIMINATOR_ATTRS = ("domain", "index", "host", "kind")
 _REL_WHEN_BASE_ZERO = float("inf")
 
 
+#: The ``--fail-on`` spec grammar, echoed by every parse error so a
+#: mistyped gate spec teaches its own syntax.
+FAIL_ON_GRAMMAR = (
+    "KIND[:NAME]OP LIMIT[%] where KIND is stage_time|counter|gauge|"
+    "histogram|spans, NAME is a metric/stage name or glob (spans takes "
+    "none), OP is one of > >= != == < <=, and % thresholds apply to "
+    "stage_time only. Examples: 'stage_time>20%', "
+    "'stage_time:detect>0.5', 'counter:leaks_detected!=0', "
+    "'counter:*!=0', 'histogram:*.count!=0', 'spans!=0'"
+)
+
+
 class FailOnError(ValueError):
     """A ``--fail-on`` spec could not be parsed."""
 
@@ -435,8 +447,13 @@ def parse_fail_on(spec: str) -> FailCondition:
         histogram:*.count!=0      histogram count/total moments
         spans!=0                  any added or removed span subtree
 
-    Raises :class:`FailOnError` on anything else.
+    Raises :class:`FailOnError` on anything else; every error message
+    echoes the supported grammar (:data:`FAIL_ON_GRAMMAR`).
     """
+    def fail(why: str) -> "FailOnError":
+        return FailOnError("--fail-on %r: %s; expected %s"
+                           % (spec, why, FAIL_ON_GRAMMAR))
+
     text = spec.strip()
     for op in (">=", "<=", "!=", "==", ">", "<"):
         index = text.find(op)
@@ -444,9 +461,7 @@ def parse_fail_on(spec: str) -> FailCondition:
             left, right = text[:index], text[index + len(op):]
             break
     else:
-        raise FailOnError(
-            "--fail-on %r: expected an operator (>, >=, !=, ==, <, <=)"
-            % spec)
+        raise fail("missing a comparison operator")
     right = right.strip()
     percent = right.endswith("%")
     if percent:
@@ -454,8 +469,7 @@ def parse_fail_on(spec: str) -> FailCondition:
     try:
         limit = float(right)
     except ValueError:
-        raise FailOnError("--fail-on %r: %r is not a number"
-                          % (spec, right)) from None
+        raise fail("limit %r is not a number" % right) from None
     if percent:
         limit /= 100.0
     left = left.strip()
@@ -467,14 +481,11 @@ def parse_fail_on(spec: str) -> FailCondition:
     pattern = pattern.strip() or "*"
     if kind not in ("stage_time", "counter", "gauge", "histogram",
                     "spans"):
-        raise FailOnError(
-            "--fail-on %r: unknown kind %r (expected stage_time, "
-            "counter, gauge, histogram or spans)" % (spec, kind))
+        raise fail("unknown kind %r" % kind)
     if kind == "spans" and pattern != "*":
-        raise FailOnError("--fail-on %r: spans takes no name" % spec)
+        raise fail("spans takes no name")
     if percent and kind != "stage_time":
-        raise FailOnError("--fail-on %r: %% thresholds only apply to "
-                          "stage_time" % spec)
+        raise fail("%% thresholds only apply to stage_time")
     # stage_time defaults to a relative reading when the limit came
     # with a % sign; counters and friends always compare the delta.
     return FailCondition(kind=kind, pattern=pattern, op=op, limit=limit,

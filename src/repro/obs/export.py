@@ -10,6 +10,7 @@ is a ``meta`` record with the schema version.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Dict, Iterator, List, Optional
 
 from .recorder import Recorder, Span
@@ -76,30 +77,40 @@ def read_trace(path: str) -> Dict[str, List[Dict[str, object]]]:
     """Parse a JSONL trace into ``{record type: [records]}``.
 
     Raises :class:`TraceError` on malformed JSON or on a file that
-    does not carry the trace meta header.
+    does not carry the trace meta header — except for a malformed
+    *final* line on an otherwise-valid trace, which is skipped with a
+    warning: traces are written line-by-line, so a writer killed
+    mid-write truncates at most the trailing record and the rest of the
+    file is still worth summarizing and diffing.
     """
     records: Dict[str, List[Dict[str, object]]] = {
         "span": [], "counter": [], "gauge": [], "histogram": [],
     }
     meta: Optional[Dict[str, object]] = None
     with open(path) as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TraceError("%s:%d: not JSON: %s"
-                                 % (path, number, exc)) from exc
-            kind = record.get("type") if isinstance(record, dict) else None
-            if kind == "meta":
-                meta = record
-            elif kind in records:
-                records[kind].append(record)
-            else:
-                raise TraceError("%s:%d: unknown record type %r"
-                                 % (path, number, kind))
+        lines = [(number, line.strip())
+                 for number, line in enumerate(handle, start=1)
+                 if line.strip()]
+    for position, (number, line) in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if position == len(lines) - 1 and meta is not None:
+                warnings.warn(
+                    "%s:%d: truncated trailing line (the writer likely "
+                    "died mid-write); skipping the partial record"
+                    % (path, number), stacklevel=2)
+                break
+            raise TraceError("%s:%d: not JSON: %s"
+                             % (path, number, exc)) from exc
+        kind = record.get("type") if isinstance(record, dict) else None
+        if kind == "meta":
+            meta = record
+        elif kind in records:
+            records[kind].append(record)
+        else:
+            raise TraceError("%s:%d: unknown record type %r"
+                             % (path, number, kind))
     if meta is None or meta.get("kind") != "repro-trace":
         raise TraceError("%s: missing repro-trace meta header" % path)
     return records

@@ -30,6 +30,7 @@ pickle scope): events are plain dataclasses — no lambdas, no handles.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TextIO
 
@@ -166,8 +167,12 @@ class ProgressAggregator:
         for name, delta in event.counters.items():
             self._counters[name] = self._counters.get(name, 0.0) + delta
         if self._jsonl is not None:
+            # One write + flush per event: a crash (or a SIGKILL'd
+            # study) can truncate at most the final line, which
+            # read_progress_log and the trace loaders tolerate.
             self._jsonl.write(json.dumps(event.as_dict(), sort_keys=True,
                                          separators=(",", ":")) + "\n")
+            self._jsonl.flush()
         if self.stream is not None:
             self.stream.write(self.render_line(event) + "\n")
             self.stream.flush()
@@ -250,11 +255,30 @@ class ProgressAggregator:
 
 
 def read_progress_log(path: str) -> List[Dict[str, object]]:
-    """Parse a progress.jsonl file back into event dicts."""
+    """Parse a progress.jsonl file back into event dicts.
+
+    A malformed *final* line is skipped with a warning rather than
+    raised: the writer flushes line-by-line, so a crawl killed mid-write
+    leaves at most one truncated trailing record and the rest of the
+    log stays usable.  Malformed lines anywhere else still raise — they
+    mean corruption, not a crash.
+    """
     events: List[Dict[str, object]] = []
+    lines = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if line:
-                events.append(json.loads(line))
+                lines.append((number, line))
+    for position, (number, line) in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except ValueError:
+            if position == len(lines) - 1:
+                warnings.warn(
+                    "%s line %d is truncated (the writer likely died "
+                    "mid-write); skipping the partial trailing record"
+                    % (path, number), stacklevel=2)
+                break
+            raise
     return events

@@ -209,3 +209,90 @@ def test_write_trace_helper_noop_without_flag(tmp_path, capsys):
 
     _write_trace(_Args(), Study(object()))
     assert capsys.readouterr().err == ""
+
+
+def test_study_parser_accepts_supervision_flags():
+    args = build_parser().parse_args(
+        ["study", "--workers", "2", "--chaos", "kill:0",
+         "--chaos", "hang:2:1", "--watchdog-deadline", "15",
+         "--max-shard-retries", "3", "--drain-timeout", "2.5"])
+    assert args.chaos == ["kill:0", "hang:2:1"]
+    assert args.watchdog_deadline == 15.0
+    assert args.max_shard_retries == 3
+    assert args.drain_timeout == 2.5
+    plain = build_parser().parse_args(["study"])
+    assert plain.chaos is None and plain.watchdog_deadline is None
+    report = build_parser().parse_args(
+        ["report", "--workers", "2", "--chaos", "kill:1"])
+    assert report.chaos == ["kill:1"]
+
+
+def test_supervision_args_wire_chaos_plan_and_config():
+    from repro.cli import _apply_supervision_args
+    from repro.core import StudyConfig
+    from repro.crawler import ChaosPlan, SupervisorConfig
+
+    args = build_parser().parse_args(
+        ["study", "--workers", "2", "--chaos", "kill:0",
+         "--watchdog-deadline", "15", "--max-shard-retries", "3"])
+    config = _apply_supervision_args(args, StudyConfig(workers=2))
+    assert isinstance(config.chaos, ChaosPlan)
+    assert config.chaos.faults[0].kind == "kill"
+    assert isinstance(config.supervision, SupervisorConfig)
+    assert config.supervision.heartbeat_deadline == 15.0
+    assert config.supervision.max_retries == 3
+
+    plain = _apply_supervision_args(
+        build_parser().parse_args(["study"]), StudyConfig())
+    assert plain.chaos is None and plain.supervision is None
+
+
+def test_chaos_flag_requires_multiple_workers():
+    from repro.cli import _apply_supervision_args
+    from repro.core import StudyConfig
+    args = build_parser().parse_args(["study", "--chaos", "kill:0"])
+    with pytest.raises(SystemExit) as excinfo:
+        _apply_supervision_args(args, StudyConfig(workers=1))
+    assert "--workers >= 2" in str(excinfo.value)
+
+
+def test_bad_chaos_spec_errors_echo_grammar():
+    from repro.cli import _apply_supervision_args
+    from repro.core import StudyConfig
+    args = build_parser().parse_args(
+        ["study", "--workers", "2", "--chaos", "explode:1"])
+    with pytest.raises(SystemExit) as excinfo:
+        _apply_supervision_args(args, StudyConfig(workers=2))
+    message = str(excinfo.value)
+    assert "explode" in message and "KIND:SHARD" in message
+
+
+def test_require_complete_exit_codes(capsys):
+    from repro.cli import _require_complete
+    from repro.core.pipeline import CrawlOutcome
+    from repro.crawler import SupervisionOutcome
+
+    args = build_parser().parse_args(
+        ["study", "--workers", "2", "--checkpoint", "ckpt-dir"])
+
+    _require_complete(args, CrawlOutcome(dataset=None))  # complete: no-op
+
+    interrupted = CrawlOutcome(
+        dataset=None, complete=False, incomplete_shards=(2, 3),
+        supervision=SupervisionOutcome(unfinished=[2, 3],
+                                       interrupted=True))
+    with pytest.raises(SystemExit) as excinfo:
+        _require_complete(args, interrupted)
+    assert excinfo.value.code == 130
+    err = capsys.readouterr().err
+    assert "--resume ckpt-dir" in err     # the exact resume recipe
+
+    quarantined = SupervisionOutcome(interrupted=False)
+    quarantined.quarantined[1] = object()
+    partial = CrawlOutcome(dataset=None, complete=False,
+                           incomplete_shards=(1,),
+                           supervision=quarantined)
+    with pytest.raises(SystemExit) as excinfo:
+        _require_complete(args, partial)
+    assert excinfo.value.code == 1
+    assert "quarantined" in capsys.readouterr().err

@@ -155,6 +155,49 @@ def test_parse_fail_on_rejects_bad_specs(bad):
         parse_fail_on(bad)
 
 
+@pytest.mark.parametrize("bad", [
+    "stage_time", "counter:x>abc", "bogus:x!=0", "spans:detect!=0",
+    "counter:x>20%",
+])
+def test_parse_fail_on_errors_echo_the_grammar(bad):
+    """Every rejection teaches the full spec grammar: the offending
+    spec, the specific reason, and what would have been accepted."""
+    from repro.obs import FAIL_ON_GRAMMAR
+    with pytest.raises(FailOnError) as excinfo:
+        parse_fail_on(bad)
+    message = str(excinfo.value)
+    assert repr(bad) in message
+    assert FAIL_ON_GRAMMAR in message
+    assert "stage_time>20%" in message     # a worked example rides along
+
+
+def test_truncated_trailing_trace_line_is_skipped_with_warning(traces,
+                                                               tmp_path):
+    """A trace writer killed mid-append loses at most its final line;
+    the loader salvages the rest instead of refusing the whole file."""
+    intact = read_trace(traces["a"])
+    torn = str(tmp_path / "torn.jsonl")
+    with open(traces["a"]) as handle:
+        content = handle.read()
+    with open(torn, "w") as handle:
+        handle.write(content)
+        handle.write('{"type": "counter", "name": "cut')
+    with pytest.warns(UserWarning, match="truncated"):
+        salvaged = read_trace(torn)
+    assert salvaged == intact
+
+
+def test_malformed_interior_trace_line_still_raises(traces, tmp_path):
+    from repro.obs import TraceError
+    lines = open(traces["a"]).read().splitlines()
+    lines.insert(1, "definitely not json")
+    path = str(tmp_path / "corrupt.jsonl")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(TraceError):
+        read_trace(path)
+
+
 def test_stage_time_percent_condition_trips_on_relative_growth():
     diff = TraceDiff(stages=[
         TimingDelta(name="detect", a_total=10.0, b_total=13.0,

@@ -201,3 +201,54 @@ def test_heartbeat_as_dict_is_sorted_and_json_stable():
     event = HeartbeatEvent(shard=0, crawled=1, total=2,
                            counters={"b": 2.0, "a": 1.0})
     assert list(event.as_dict()["counters"]) == ["a", "b"]
+
+
+# -- crash tolerance ------------------------------------------------------
+
+
+def _logged_events(tmp_path, n=3):
+    path = str(tmp_path / "progress.jsonl")
+    with ProgressAggregator(jsonl_path=path) as sink:
+        for index in range(n):
+            sink(step_heartbeat(shard=0, crawled=index + 1, total=n,
+                                domain="site%d.example" % index,
+                                status="success", attempts=1, requests=2,
+                                retried=0, quarantined=0))
+    return path
+
+
+def test_truncated_trailing_progress_line_is_skipped_with_warning(tmp_path):
+    """A writer killed mid-append truncates at most the final line; the
+    loader salvages everything before it instead of raising."""
+    path = _logged_events(tmp_path, n=3)
+    intact = read_progress_log(path)
+    with open(path, "a") as handle:
+        handle.write('{"type": "heartbeat", "sha')     # torn final append
+    with pytest.warns(UserWarning, match="truncated"):
+        salvaged = read_progress_log(path)
+    assert salvaged == intact
+
+
+def test_malformed_interior_progress_line_still_raises(tmp_path):
+    path = _logged_events(tmp_path, n=2)
+    lines = open(path).read().splitlines()
+    lines.insert(1, "not json at all")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(ValueError):
+        read_progress_log(path)
+
+
+def test_progress_jsonl_is_flushed_per_event(tmp_path):
+    """Every append is durable before the next event: a reader (or a
+    post-crash salvage) sees each line as soon as it was emitted."""
+    path = str(tmp_path / "progress.jsonl")
+    sink = ProgressAggregator(jsonl_path=path)
+    try:
+        sink(step_heartbeat(shard=0, crawled=1, total=2, domain="a.example",
+                            status="success", attempts=1, requests=1,
+                            retried=0, quarantined=0))
+        # Deliberately *before* close(): the line must already be on disk.
+        assert len(read_progress_log(path)) == 1
+    finally:
+        sink.close()

@@ -144,6 +144,41 @@ def test_checkpoint_save_is_atomic(tmp_path):
     assert os.listdir(str(tmp_path)) == ["crawl.ckpt"]
 
 
+def test_truncated_checkpoint_is_rejected_with_clear_error(tmp_path):
+    """A checkpoint cut short at any point — header, length field, or
+    payload — fails loudly as a CheckpointError naming the truncation,
+    never by surfacing unpickled garbage to the resume path."""
+    path = str(tmp_path / "crawl.ckpt")
+    StudyCrawler(_population()).start().save(path)
+    blob = open(path, "rb").read()
+    from repro.crawler.checkpoint import CHECKPOINT_MAGIC, _LENGTH_STRUCT
+    header = len(CHECKPOINT_MAGIC)
+    cases = {
+        "mid-header": blob[:header - 3],
+        "mid-length": blob[:header + _LENGTH_STRUCT.size - 2],
+        "mid-payload": blob[:header + _LENGTH_STRUCT.size + 100],
+        "missing-digest": blob[:-5],
+    }
+    for label, truncated in cases.items():
+        torn = tmp_path / ("torn-%s.ckpt" % label)
+        torn.write_bytes(truncated)
+        with pytest.raises(CheckpointError) as excinfo:
+            CrawlSession.load(str(torn))
+        message = str(excinfo.value)
+        assert "truncated" in message or "checkpoint" in message, label
+
+
+def test_corrupted_checkpoint_payload_fails_integrity_check(tmp_path):
+    path = str(tmp_path / "crawl.ckpt")
+    StudyCrawler(_population()).start().save(path)
+    blob = bytearray(open(path, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF      # flip one payload byte
+    (tmp_path / "crawl.ckpt").write_bytes(bytes(blob))
+    with pytest.raises(CheckpointError) as excinfo:
+        CrawlSession.load(path)
+    assert "digest mismatch" in str(excinfo.value)
+
+
 def test_plain_crawl_without_faults_unchanged():
     # No plan, no retry policy: the historical single-shot network path.
     crawler = StudyCrawler(_population())

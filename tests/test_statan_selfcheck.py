@@ -186,3 +186,69 @@ def test_seeded_clock_read_in_regress_fails_gate(tmp_path, capsys):
     """))
     capsys.readouterr()
     assert code == EXIT_FINDINGS
+
+
+# -- the supervised executor and chaos harness stay inside both scopes ----
+#
+# The supervisor deliberately reads the monotonic clock for liveness —
+# but only behind explicit ``statan: ignore[DET101]`` markers.  Pinning
+# the modules in scope guarantees any *new* clock read (or unpicklable
+# state on the worker-crossing types) trips the gate instead of slipping
+# in silently.
+
+
+def test_supervisor_and_chaos_are_in_both_scopes():
+    from repro.statan.engine import ModuleContext
+    from repro.statan.rules.determinism import DETERMINISM_SCOPE
+    from repro.statan.rules.pickle_safety import PICKLE_SCOPE
+    for module in ("repro.crawler.supervisor", "repro.crawler.chaos"):
+        ctx = ModuleContext(path="test.py", source="", module=module)
+        assert ctx.module_matches(DETERMINISM_SCOPE), module
+        assert ctx.module_matches(PICKLE_SCOPE), module
+
+
+def test_seeded_clock_read_in_supervisor_fails_gate(tmp_path, capsys):
+    """DET101 covers the supervisor: unmarked wall-clock reads (e.g. in
+    a manifest writer — timestamps belong to the caller) trip the gate;
+    only the inline-suppressed liveness reads are exempt."""
+    code = _seed(tmp_path, "repro/crawler/supervisor_seeded.py",
+                 textwrap.dedent("""
+        import time
+
+        def stamp_manifest(document):
+            document["written_at"] = time.time()
+            return document
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
+
+
+def test_seeded_handle_in_worker_message_fails_gate(tmp_path, capsys):
+    """PKL303 covers the supervision channel: worker messages must be
+    plain data — a queue handle on a _Beat-like type would die (or
+    deadlock) at the process boundary."""
+    code = _seed(tmp_path, "repro/crawler/supervisor_seeded.py",
+                 textwrap.dedent("""
+        import multiprocessing
+
+        class BeatSeeded:
+            def __init__(self, shard):
+                self.shard = shard
+                self.reply_to = multiprocessing.Queue()
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
+
+
+def test_seeded_lambda_in_chaos_plan_fails_gate(tmp_path, capsys):
+    """PKL301 covers chaos plans: they ship to every worker, so a
+    callable trigger (instead of plain (shard, site, attempt) data)
+    would break the launch pickle."""
+    code = _seed(tmp_path, "repro/crawler/chaos_seeded.py",
+                 textwrap.dedent("""
+        class WorkerFaultSeeded:
+            def __init__(self, shard):
+                self.trigger = lambda site: site == shard
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
