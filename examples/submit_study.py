@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Submit a study to a running ``repro-serve`` instance — stdlib only.
+
+The minimal service client, start to finish:
+
+1. ``POST /studies`` with a JSON job spec; read the job id back.
+2. ``GET /studies/{id}/events`` and parse the SSE stream line by line
+   (``id:`` / ``event:`` / ``data:`` frames, blank-line delimited),
+   printing one progress line per heartbeat until the ``end`` event.
+3. ``GET /studies/{id}/result`` for the Table-2-style attribution
+   document and ``GET /studies/{id}/trace`` for the JSONL trace.
+4. Reconcile: the per-name sums of the streamed heartbeat counter
+   deltas must equal the ``counter`` records in the downloaded trace —
+   the live stream and the archived trace describe the same crawl.
+
+Run:  repro-serve --port 8642 &
+      python examples/submit_study.py --url http://127.0.0.1:8642
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, Optional, Tuple
+
+
+def request_json(url: str, payload: Optional[dict] = None,
+                 timeout: float = 30.0) -> Tuple[int, dict]:
+    """One JSON request/response round trip; returns (status, body)."""
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        try:
+            return exc.code, json.loads(body)
+        except ValueError:
+            return exc.code, {"error": body}
+
+
+def sse_events(url: str, timeout: float = 300.0) -> Iterator[dict]:
+    """Yield parsed SSE frames: {"id": .., "event": .., "data": ..}.
+
+    The service speaks HTTP/1.0 — the stream simply ends when the
+    server closes the connection after the terminal ``end`` event.
+    """
+    response = urllib.request.urlopen(url, timeout=timeout)
+    frame: Dict[str, str] = {}
+    with response:
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\n")
+            if not line:                      # blank line = frame boundary
+                if frame:
+                    if "data" in frame:
+                        frame["data"] = json.loads(frame["data"])
+                    yield frame
+                    frame = {}
+                continue
+            key, _, value = line.partition(":")
+            frame[key] = value.lstrip(" ")
+    if frame and "data" in frame:             # stream closed mid-frame
+        frame["data"] = json.loads(frame["data"])
+        yield frame
+
+
+def follow_job(base: str, job_id: str) -> Tuple[dict, Dict[str, float]]:
+    """Stream a job's events to stdout; return (end event, counter sums)."""
+    sums: Dict[str, float] = {}
+    end_event: dict = {}
+    for frame in sse_events("%s/studies/%s/events" % (base, job_id)):
+        kind = frame.get("event", "message")
+        data = frame.get("data", {})
+        if kind == "heartbeat":
+            for name, delta in (data.get("counters") or {}).items():
+                sums[name] = sums.get(name, 0.0) + float(delta)
+            if not data.get("final"):
+                print("  [%s] shard %s  %s/%s  %s (%s)"
+                      % (frame.get("id"), data.get("shard"),
+                         data.get("crawled"), data.get("total"),
+                         data.get("domain"), data.get("status")))
+        elif kind in ("state", "supervision"):
+            print("  [%s] %s: %s" % (frame.get("id"), kind,
+                                     data.get("state", data.get("kind"))))
+        elif kind == "end":
+            end_event = data
+            print("  [%s] end: %s" % (frame.get("id"), data.get("state")))
+            break
+    return end_event, sums
+
+
+def trace_counters(base: str, job_id: str) -> Dict[str, float]:
+    """The ``counter`` records of the job's archived trace, by name."""
+    counters: Dict[str, float] = {}
+    with urllib.request.urlopen("%s/studies/%s/trace"
+                                % (base, job_id), timeout=30) as resp:
+        for raw in resp:
+            record = json.loads(raw.decode("utf-8"))
+            if record.get("type") == "counter":
+                counters[record["name"]] = float(record["value"])
+    return counters
+
+
+def reconcile(streamed: Dict[str, float],
+              archived: Dict[str, float]) -> list:
+    """Names whose streamed heartbeat sum disagrees with the trace."""
+    mismatches = []
+    for name in sorted(set(streamed) | set(archived)):
+        if not name.startswith("crawl."):
+            continue
+        if streamed.get(name, 0.0) != archived.get(name, 0.0):
+            mismatches.append((name, streamed.get(name, 0.0),
+                               archived.get(name, 0.0)))
+    return mismatches
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="service base URL (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--sites", type=int, default=8)
+    parser.add_argument("--trackers", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", default=None,
+                        help="write the result document to this file")
+    parser.add_argument("--save-trace", default=None, metavar="PATH",
+                        help="also download the JSONL trace to PATH")
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+
+    spec = {"schema": 1, "kind": "study", "seed": args.seed,
+            "sites": args.sites, "trackers": args.trackers,
+            "workers": args.workers,
+            "label": "examples/submit_study.py"}
+    status, body = request_json(base + "/studies", payload=spec)
+    if status == 503:
+        print("service is at capacity; retry after %ss"
+              % body.get("retry_after", "?"), file=sys.stderr)
+        return 1
+    if status != 202:
+        print("submit failed (%d): %s" % (status, body), file=sys.stderr)
+        return 1
+    job_id = body["id"]
+    print("submitted %s (state=%s)" % (job_id, body["state"]))
+
+    end_event, streamed = follow_job(base, job_id)
+    if end_event.get("state") != "complete":
+        print("job ended in state %r: %s"
+              % (end_event.get("state"), end_event.get("error")),
+              file=sys.stderr)
+        return 1
+
+    status, result = request_json("%s/studies/%s/result" % (base, job_id))
+    if status != 200:
+        print("result fetch failed (%d): %s" % (status, result),
+              file=sys.stderr)
+        return 1
+    print("fingerprint: %s" % result["fingerprint"])
+    print("headline: %s" % result["headline"])
+    rows = result["table2"]["rows"]
+    print("table 2: %d persistent receiver(s)" % len(rows))
+    for row in rows:
+        print("  %-28s senders=%-3d methods=%s"
+              % (row["receiver"], row["senders"], row["methods"]))
+
+    archived = trace_counters(base, job_id)
+    mismatches = reconcile(streamed, archived)
+    if mismatches:
+        for name, live, stored in mismatches:
+            print("counter mismatch %s: streamed %s != trace %s"
+                  % (name, live, stored), file=sys.stderr)
+        return 1
+    print("heartbeat/trace reconciliation: %d crawl.* counters agree"
+          % sum(1 for name in archived if name.startswith("crawl.")))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("result written to %s" % args.out)
+    if args.save_trace:
+        with urllib.request.urlopen("%s/studies/%s/trace"
+                                    % (base, job_id), timeout=30) as resp:
+            payload = resp.read()
+        with open(args.save_trace, "wb") as fh:
+            fh.write(payload)
+        print("trace written to %s" % args.save_trace)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

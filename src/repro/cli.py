@@ -549,6 +549,14 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("urls", nargs="+")
     _add_show_pii_arg(scan)
     scan.set_defaults(func=_cmd_scan)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the study-as-a-service HTTP API "
+                      "(alias for repro-serve)")
+    # Imported here so `import repro.cli` stays service-free.
+    from .service.cli import add_serve_arguments, serve as _cmd_serve
+    add_serve_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

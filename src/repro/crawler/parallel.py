@@ -395,6 +395,13 @@ class ParallelCrawler:
     but emission never mutates crawl state, so the merged dataset and
     trace stay bit-identical with progress on or off.
 
+    ``supervision_sink`` (any callable taking a
+    :class:`~repro.crawler.supervisor.SupervisionEvent`) receives every
+    supervision decision live as the supervised executor records it —
+    the event-stream twin of ``result.supervision.events``, used by the
+    service layer for SSE fan-out.  Inert on the serial path, which
+    makes no supervision decisions.
+
     Raises :class:`ValueError` for ``workers < 1`` or an invalid shard
     count.
     """
@@ -412,7 +419,8 @@ class ParallelCrawler:
                  recorder: Optional[Recorder] = None,
                  progress: Optional[ProgressSink] = None,
                  supervision: Optional[SupervisorConfig] = None,
-                 chaos: Optional[ChaosPlan] = None) -> None:
+                 chaos: Optional[ChaosPlan] = None,
+                 supervision_sink: Optional[Callable] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if chaos is not None and chaos.faults and workers < 2:
@@ -440,6 +448,7 @@ class ParallelCrawler:
         self.progress = progress
         self.supervision = supervision
         self.chaos = chaos
+        self.supervision_sink = supervision_sink
         self._layout: Optional[ShardLayout] = None
         self._supervisor: Optional[ShardSupervisor] = None
 
@@ -594,7 +603,8 @@ class ParallelCrawler:
             config=self.supervision, workers=self.workers,
             progress=self.progress, chaos=self.chaos,
             checkpoint_dir=self.checkpoint_dir,
-            spec_description=self.spec.describe())
+            spec_description=self.spec.describe(),
+            event_sink=self.supervision_sink)
         try:
             return self._supervisor.run(jobs, layout=self.layout)
         finally:

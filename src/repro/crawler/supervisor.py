@@ -423,10 +423,15 @@ class ShardSupervisor:
     ``progress`` (optional) receives every worker
     :class:`~repro.obs.progress.HeartbeatEvent` that carries crawl
     progress — the same sink contract as the engine's, so live progress
-    keeps streaming across retries and kills.  ``chaos`` injects the
-    deterministic worker-fault plan (tests/CI only).  ``checkpoint_dir``
-    is where the study manifest is written (and validated on resume);
-    per-shard checkpoint paths ride on the jobs themselves.
+    keeps streaming across retries and kills.  ``event_sink``
+    (optional) receives every :class:`SupervisionEvent` the moment it
+    is recorded — the live twin of ``outcome.events``, used by the
+    service layer to fan supervision decisions out over SSE; like the
+    progress sink it runs on the supervision thread and must not raise.
+    ``chaos`` injects the deterministic worker-fault plan (tests/CI
+    only).  ``checkpoint_dir`` is where the study manifest is written
+    (and validated on resume); per-shard checkpoint paths ride on the
+    jobs themselves.
     """
 
     def __init__(self, config: Optional[SupervisorConfig] = None,
@@ -435,12 +440,15 @@ class ShardSupervisor:
                  chaos: Optional[ChaosPlan] = None,
                  checkpoint_dir: Optional[str] = None,
                  spec_description: str = "",
-                 context: Optional[object] = None) -> None:
+                 context: Optional[object] = None,
+                 event_sink: Optional[
+                     Callable[[SupervisionEvent], None]] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.config = config or SupervisorConfig()
         self.workers = workers
         self.progress = progress
+        self.event_sink = event_sink
         self.chaos = chaos
         self.checkpoint_dir = checkpoint_dir
         self.spec_description = spec_description
@@ -518,6 +526,13 @@ class ShardSupervisor:
         # Liveness is a wall-clock property; see the module docstring.
         return time.monotonic()     # statan: ignore[DET101]
 
+    def _record(self, outcome: SupervisionOutcome,
+                event: SupervisionEvent) -> None:
+        """Append one supervision decision and fan it out live."""
+        outcome.events.append(event)
+        if self.event_sink is not None:
+            self.event_sink(event)
+
     def _loop(self, outcome: SupervisionOutcome,
               pending: List[Tuple[object, int]],
               inflight: Dict[int, _WorkerHandle],
@@ -538,7 +553,7 @@ class ShardSupervisor:
                 if self._shutdown_at is None:
                     self._shutdown_at = self._now()
                     outcome.interrupted = True
-                    outcome.events.append(SupervisionEvent(
+                    self._record(outcome, SupervisionEvent(
                         kind=EVENT_SHUTDOWN,
                         detail=self._shutdown_reason or ""))
                 if pending:
@@ -549,7 +564,7 @@ class ShardSupervisor:
                         self._now() - self._shutdown_at > \
                         self.config.drain_timeout:
                     for handle in list(inflight.values()):
-                        outcome.events.append(SupervisionEvent(
+                        self._record(outcome, SupervisionEvent(
                             kind=EVENT_DRAIN_KILL, shard=handle.shard,
                             attempt=handle.attempt,
                             detail="drain timeout after %.1fs"
@@ -672,14 +687,14 @@ class ShardSupervisor:
             # surface them as the library-level error they are.
             raise CheckpointError(detail.split(": ", 1)[-1] or detail)
         failure_class = classify_worker_failure(kind, error_type)
-        outcome.events.append(SupervisionEvent(
+        self._record(outcome, SupervisionEvent(
             kind=kind, shard=handle.shard, attempt=handle.attempt,
             failure_class=failure_class, detail=detail))
         retryable = (failure_class == FAILURE_TRANSIENT
                      and handle.attempt < self.config.max_retries
                      and not self.shutdown_requested)
         if retryable:
-            outcome.events.append(SupervisionEvent(
+            self._record(outcome, SupervisionEvent(
                 kind=EVENT_RETRY, shard=handle.shard,
                 attempt=handle.attempt + 1, failure_class=failure_class,
                 detail="retrying after %s" % kind))
@@ -695,5 +710,5 @@ class ShardSupervisor:
             attempt=handle.attempt, failure_class=failure_class,
             detail="quarantined after %d attempt(s): %s"
                    % (handle.attempt + 1, detail))
-        outcome.events.append(terminal)
+        self._record(outcome, terminal)
         outcome.quarantined[handle.shard] = terminal

@@ -111,6 +111,26 @@ class CrowdStudyResult:
         return sorted(receiver for receiver, names in seen.items()
                       if len(names) >= min_contributors)
 
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-able summary (what the service's result endpoint ships).
+
+        Carries only derived aggregates — receiver domains, event
+        counts, confirmation sets — never contributor personas, true to
+        the module's PII-stays-local reporting model.
+        """
+        report = self.persistence_report
+        return {
+            "contributors": [
+                {"name": r.name, "events": len(r.events),
+                 "receivers": sorted(r.receivers())}
+                for r in self.reports],
+            "merged_event_count": len(self.merged_events),
+            "receivers": self.analysis.receivers(),
+            "confirmed_receivers": self.receivers_confirmed_by(2),
+            "cross_site_receivers": list(report.cross_site_receivers),
+            "persistent_receivers": list(report.persistent_receivers),
+        }
+
 
 class CrowdStudy:
     """Coordinates a crowdsourced crawl over one population."""
@@ -140,14 +160,29 @@ class CrowdStudy:
         return ContributorReport(name=contributor.name,
                                  events=detector.detect(dataset.log))
 
-    def run(self) -> CrowdStudyResult:
-        reports = [self._run_contributor(contributor)
-                   for contributor in self.contributors]
+    def run_iter(self):
+        """Yield ``(contributor, report)`` as each contributor finishes.
+
+        The incremental twin of :meth:`run`: callers that need per-
+        contributor progress (the service streams one SSE event per
+        finished contributor) consume this and :meth:`merge` the
+        reports themselves.
+        """
+        for contributor in self.contributors:
+            yield contributor, self._run_contributor(contributor)
+
+    def merge(self, reports: Sequence[ContributorReport]
+              ) -> CrowdStudyResult:
+        """Fold finished reports into the §5.2 funnel over the union."""
         merged: List[LeakEvent] = []
         for report in reports:
             merged.extend(report.events)
         analysis = LeakAnalysis(merged)
         persistence = PersistenceAnalyzer(merged).report()
-        return CrowdStudyResult(reports=reports, merged_events=merged,
+        return CrowdStudyResult(reports=list(reports),
+                                merged_events=merged,
                                 analysis=analysis,
                                 persistence_report=persistence)
+
+    def run(self) -> CrowdStudyResult:
+        return self.merge([report for _, report in self.run_iter()])

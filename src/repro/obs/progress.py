@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TextIO
+from typing import Callable, Dict, List, Optional, TextIO
 
 #: Schema version of progress.jsonl records; bump on incompatible changes.
 PROGRESS_SCHEMA_VERSION = 1
@@ -129,22 +129,35 @@ class ProgressAggregator:
 
     Instances live in the parent process only; what crosses the worker
     boundary is the plain :class:`HeartbeatEvent`.
+
+    ``append=True`` opens the JSONL sink in append mode — the resume
+    idiom: an interrupted-and-resumed study keeps one continuous
+    ``progress.jsonl`` across attempts instead of truncating its own
+    history.
+
+    Live fan-out: :meth:`subscribe` registers extra listeners that
+    receive every event *after* it is folded in — the hook the service
+    layer uses to bridge heartbeats into per-job SSE streams without
+    the engine knowing about either.
     """
 
     def __init__(self, stream: Optional[TextIO] = None,
-                 jsonl_path: Optional[str] = None) -> None:
+                 jsonl_path: Optional[str] = None,
+                 append: bool = False) -> None:
         self.stream = stream
         self.jsonl_path = jsonl_path
         self.events_seen = 0
         self.status_counts: Dict[str, int] = {}
         self._counters: Dict[str, float] = {}
         self._shards: Dict[int, _ShardProgress] = {}
+        self._listeners: List[Callable[[HeartbeatEvent], None]] = []
         self._jsonl: Optional[TextIO] = None
         if jsonl_path is not None:
             # Parent-side only: the aggregator never crosses the process
             # boundary (HeartbeatEvent does), so holding the sink open
             # is safe.
-            self._jsonl = open(jsonl_path, "w")  # statan: ignore[PKL303]
+            mode = "a" if append else "w"
+            self._jsonl = open(jsonl_path, mode)  # statan: ignore[PKL303]
 
     # -- sinking ---------------------------------------------------------
 
@@ -176,6 +189,30 @@ class ProgressAggregator:
         if self.stream is not None:
             self.stream.write(self.render_line(event) + "\n")
             self.stream.flush()
+        for listener in tuple(self._listeners):
+            listener(event)
+
+    def subscribe(self, listener: Callable[[HeartbeatEvent], None]
+                  ) -> Callable[[], None]:
+        """Register a live event listener; returns an unsubscriber.
+
+        Listeners run on whichever thread calls :meth:`handle` (the
+        engine's drain thread), after the event is folded into the
+        totals, in subscription order.  They must not raise — an
+        exception would propagate into the crawl's event drain.
+        Subscribing and unsubscribing are safe from other threads
+        (single atomic list operations); the returned callable is
+        idempotent.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     def close(self) -> None:
         """Flush and close the progress.jsonl sink (idempotent)."""

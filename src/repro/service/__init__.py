@@ -1,0 +1,81 @@
+"""Study-as-a-service: the dependency-free HTTP service layer.
+
+Turns the batch pipeline into the ROADMAP's service: studies submitted
+as JSON over ``POST /studies``, executed on a bounded runner pool by
+the same supervised engines the CLI uses, with live progress streamed
+over Server-Sent Events and every artifact (spec, manifest, progress
+log, trace, result) durable in a per-job directory.
+
+Layering (request → queue → supervisor → SSE; full picture in
+docs/ARCHITECTURE.md, operations guide in docs/SERVICE.md):
+
+* :mod:`~repro.service.jobs` — the validated :class:`JobSpec` and its
+  execution via :class:`~repro.crawler.ParallelCrawler` +
+  :meth:`~repro.core.pipeline.Study.analyze`;
+* :mod:`~repro.service.store` — per-job artifact directories, status
+  persistence, crash/restart recovery;
+* :mod:`~repro.service.sse` — the append-only event log with
+  gap-free replay-then-follow streaming;
+* :mod:`~repro.service.routes` — the framework-free endpoint table;
+* :mod:`~repro.service.server` — the stdlib HTTP server, the bounded
+  queue (503 + Retry-After backpressure), the runner pool, graceful
+  SIGTERM drain;
+* :mod:`~repro.service.cli` — the ``repro-serve`` console script.
+
+Everything is stdlib (``http.server``, ``threading``, ``queue``); the
+module sits inside the statan determinism and pickle scopes, with the
+wall-clock/socket edge marked by explicit suppressions.
+"""
+
+from .jobs import (
+    JOB_STATES,
+    JobOutcome,
+    JobRun,
+    JobSpec,
+    RESULT_SCHEMA_VERSION,
+    SPEC_SCHEMA_VERSION,
+    STATE_COMPLETE,
+    STATE_FAILED,
+    STATE_PARTIAL,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    SpecError,
+    TERMINAL_STATES,
+    crowd_result_document,
+    study_result_document,
+    supervision_summary,
+)
+from .routes import Response, Router
+from .server import QueueFullError, ServiceConfig, StudyService
+from .sse import EventLog, format_sse, stream_log
+from .store import JobRecord, JobStore, StoreError
+
+__all__ = [
+    "EventLog",
+    "JOB_STATES",
+    "JobOutcome",
+    "JobRecord",
+    "JobRun",
+    "JobSpec",
+    "JobStore",
+    "QueueFullError",
+    "RESULT_SCHEMA_VERSION",
+    "Response",
+    "Router",
+    "SPEC_SCHEMA_VERSION",
+    "STATE_COMPLETE",
+    "STATE_FAILED",
+    "STATE_PARTIAL",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "ServiceConfig",
+    "SpecError",
+    "StoreError",
+    "StudyService",
+    "TERMINAL_STATES",
+    "crowd_result_document",
+    "format_sse",
+    "stream_log",
+    "study_result_document",
+    "supervision_summary",
+]

@@ -1,0 +1,98 @@
+"""``repro-serve`` — the study-as-a-service front end.
+
+Runs a :class:`~repro.service.server.StudyService` until SIGTERM or
+SIGINT, then drains gracefully: in-flight supervised crawls stop
+through the supervisor's shutdown path (leaving resumable manifests),
+and the next ``repro-serve`` over the same ``--jobs-dir`` resumes them.
+
+Also mounted as ``repro-study serve`` so the single-binary workflow
+keeps working; both entry points share this module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+from typing import Optional, Sequence
+
+from .server import ServiceConfig, StudyService
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``repro-serve`` flags (shared with ``repro-study serve``)."""
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default: 8642)")
+    parser.add_argument("--jobs-dir", default="jobs",
+                        help="artifact root: one directory per job "
+                             "(default: ./jobs)")
+    parser.add_argument("--runners", type=int, default=1,
+                        help="bounded study-runner pool size (default: 1)")
+    parser.add_argument("--queue-size", type=int, default=8,
+                        help="bounded submission queue; a full queue "
+                             "returns 503 + Retry-After (default: 8)")
+    parser.add_argument("--retry-after", type=int, default=5,
+                        help="Retry-After seconds on a 503 (default: 5)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds to wait for in-flight studies on "
+                             "shutdown (default: 30)")
+
+
+def serve(args: argparse.Namespace) -> int:
+    """Run the service from parsed arguments until a signal lands."""
+    try:
+        config = ServiceConfig(
+            host=args.host, port=args.port, jobs_dir=args.jobs_dir,
+            runners=args.runners, queue_size=args.queue_size,
+            retry_after=args.retry_after,
+            drain_timeout=args.drain_timeout)
+    except ValueError as exc:
+        raise SystemExit("repro-serve: error: %s" % exc)
+    service = StudyService(config)
+    try:
+        service.start()
+    except OSError as exc:
+        raise SystemExit("repro-serve: error: cannot bind %s:%d (%s)"
+                         % (config.host, config.port, exc))
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, service.handle_signal)
+        except (ValueError, OSError):
+            pass  # non-main thread (embedded use); rely on close()
+    print("repro-serve: listening on http://%s:%d (jobs in %s, "
+          "%d runner(s), queue %d)"
+          % (config.host, service.port, config.jobs_dir,
+             config.runners, config.queue_size), file=sys.stderr)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        service.begin_shutdown("keyboard interrupt")
+    print("repro-serve: draining in-flight studies...", file=sys.stderr)
+    drained = service.wait_stopped(timeout=config.drain_timeout)
+    service.close()
+    if not drained:
+        print("repro-serve: drain timeout; interrupted jobs stay "
+              "resumable in %s" % config.jobs_dir, file=sys.stderr)
+    print("repro-serve: stopped", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="HTTP study service: submit StudyConfig-shaped JSON "
+                    "specs, stream live SSE progress, download "
+                    "Table-2-style results and traces.")
+    add_serve_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return serve(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

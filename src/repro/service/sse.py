@@ -1,0 +1,123 @@
+"""Server-Sent Events plumbing: the per-job event log and the stream.
+
+``GET /studies/{id}/events`` must *replay* everything the job already
+emitted (the ``progress.jsonl`` history) and then *follow* live events
+with no gap and no duplicate in between.  The mechanism is a single
+append-only :class:`EventLog` per job: replay is "read from index 0",
+follow is "wait for the next index" — one monotonically increasing
+sequence, so the replay/follow boundary cannot lose or repeat an event
+no matter when the client connects.
+
+Everything here is parent-side service state (condition variables,
+generators); none of it ever crosses a process boundary — the statan
+``PKL303`` suppressions below mark exactly those lines.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class EventLog:
+    """Append-only journal of one job's events, with replay-then-follow.
+
+    Writers (the runner thread) :meth:`append` JSON-able dicts and
+    :meth:`close` the log when the job reaches a terminal state;
+    readers (SSE handler threads) page through :meth:`events_after` and
+    block on :meth:`wait_for`.  Closing wakes every waiting reader, so
+    streams terminate promptly when the job does.
+    """
+
+    def __init__(self) -> None:
+        # Service-side only: the log never crosses the process boundary
+        # (jobs ship plain JobSpec data; events are plain dicts).
+        self._cond = threading.Condition()  # statan: ignore[PKL303]
+        self._events: List[Dict[str, object]] = []
+        self._closed = False
+
+    def append(self, event: Dict[str, object]) -> None:
+        """Append one event and wake all followers.
+
+        Raises :class:`RuntimeError` on a closed log — a terminal job
+        emitting further events is a service bug, not a race to paper
+        over.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("event log is closed")
+            self._events.append(dict(event))
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Mark the log terminal and wake all followers (idempotent)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._events)
+
+    def events_after(self, index: int
+                     ) -> Tuple[List[Dict[str, object]], bool]:
+        """``(events[index:], closed)`` as one atomic snapshot."""
+        with self._cond:
+            return list(self._events[index:]), self._closed
+
+    def wait_for(self, index: int, timeout: float) -> bool:
+        """Block until an event past ``index`` exists or the log closes.
+
+        Returns True when there is something new to read (or the log is
+        closed), False on timeout — followers poll again either way, so
+        the return value is advisory.
+        """
+        with self._cond:
+            if len(self._events) > index or self._closed:
+                return True
+            self._cond.wait(timeout)
+            return len(self._events) > index or self._closed
+
+
+def format_sse(seq: int, event: Dict[str, object]) -> bytes:
+    """One SSE frame: ``id:`` / ``event:`` / ``data:`` + blank line.
+
+    The event name is the dict's ``type`` field (``heartbeat``,
+    ``state``, ``supervision``, ``end``), the data line its compact
+    JSON — the schema documented in docs/SERVICE.md.
+    """
+    name = str(event.get("type", "message"))
+    data = json.dumps(event, sort_keys=True, separators=(",", ":"))
+    return ("id: %d\nevent: %s\ndata: %s\n\n" % (seq, name, data)
+            ).encode("utf-8")
+
+
+def stream_log(log: EventLog, poll_interval: float = 0.25,
+               should_stop: Optional[Callable[[], bool]] = None
+               ) -> Iterator[bytes]:
+    """Yield SSE frames: full replay first, then follow until close.
+
+    ``should_stop`` (e.g. the service's shutdown flag) ends the stream
+    early so a draining server does not hold follower sockets open for
+    jobs that will never finish in this process.
+    """
+    index = 0
+    while True:
+        events, closed = log.events_after(index)
+        for event in events:
+            yield format_sse(index, event)
+            index += 1
+        if closed:
+            return
+        if should_stop is not None and should_stop():
+            return
+        log.wait_for(index, timeout=poll_interval)
+
+
+__all__ = ["EventLog", "format_sse", "stream_log"]

@@ -30,7 +30,10 @@ from typing import Iterator, Sequence, Set, Tuple
 from ..engine import FAMILY_DETERMINISM, Finding, ModuleContext, Rule
 
 #: Modules the determinism contract is stated over: everything that
-#: feeds a crawl, a shard layout or a dataset fingerprint.
+#: feeds a crawl, a shard layout or a dataset fingerprint.  The
+#: service layer is in scope on purpose — job ids, result documents
+#: and replay logs must be reproducible — with its wall-clock/socket
+#: edge (drain deadlines) marked by explicit inline suppressions.
 DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro.browser",
     "repro.core",
@@ -40,6 +43,7 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro.mailsim",
     "repro.netsim",
     "repro.obs",
+    "repro.service",
     "repro.websim",
 )
 

@@ -22,10 +22,15 @@ from typing import Iterator, Optional, Sequence, Tuple, Union
 
 from ..engine import FAMILY_PICKLE, Finding, ModuleContext, Rule
 
-#: Modules whose classes cross the multiprocessing boundary.
+#: Modules whose classes cross the multiprocessing boundary.  The
+#: service layer is in scope because job specs (and the heartbeat
+#: events they cause) cross the runner/worker process boundary; its
+#: parent-side-only handles (conditions, locks, server state) carry
+#: explicit inline suppressions.
 PICKLE_SCOPE: Tuple[str, ...] = (
     "repro.crawler",
     "repro.obs",
+    "repro.service",
 )
 
 #: Constructors whose results must never be stored on picklable state.

@@ -296,3 +296,26 @@ def test_require_complete_exit_codes(capsys):
         _require_complete(args, partial)
     assert excinfo.value.code == 1
     assert "quarantined" in capsys.readouterr().err
+
+
+def test_serve_subcommand_is_wired():
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--runners", "2", "--queue-size", "3"])
+    from repro.service.cli import serve
+    assert args.func is serve
+    assert (args.port, args.runners, args.queue_size) == (0, 2, 3)
+
+
+def test_repro_serve_parser_defaults():
+    from repro.service.cli import build_parser as build_serve_parser
+    args = build_serve_parser().parse_args([])
+    assert args.host == "127.0.0.1"
+    assert args.port == 8642
+    assert args.runners == 1
+
+
+def test_repro_serve_rejects_bad_config():
+    from repro.service.cli import build_parser as build_serve_parser, serve
+    args = build_serve_parser().parse_args(["--queue-size", "0"])
+    with pytest.raises(SystemExit):
+        serve(args)

@@ -1,0 +1,119 @@
+"""Graceful drain and restart-resume through the service layer.
+
+The PR-6 supervised crawl already guarantees that a drained study
+leaves per-shard checkpoints and a resumable ``study-manifest.json``;
+these tests pin the service plumbing on top: SIGTERM-style shutdown
+mid-run yields a ``partial`` + ``resumable`` job, a fresh service over
+the same jobs directory requeues it, and the resumed run completes
+with the fingerprint the spec would have produced uninterrupted.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.crawler.supervisor import MANIFEST_NAME
+from repro.service import (
+    STATE_COMPLETE,
+    STATE_PARTIAL,
+    JobRun,
+    JobSpec,
+    ServiceConfig,
+    StudyService,
+)
+
+# Enough sites to spread over many shards: after the first heartbeat
+# there are still unlaunched shards, so a drain always interrupts.
+SPEC = {"schema": 1, "kind": "study", "seed": 13, "sites": 24,
+        "trackers": 6, "workers": 2}
+
+DRAIN_TIMEOUT = 120.0
+
+
+def _wait_for_heartbeat(record, timeout=DRAIN_TIMEOUT):
+    """Block until the job's event log holds at least one heartbeat."""
+    index = 0
+    while True:
+        assert record.log.wait_for(index, timeout), \
+            "no heartbeat within %ss" % timeout
+        events, closed = record.log.events_after(index)
+        for event in events:
+            if event.get("type") == "heartbeat":
+                return
+        assert not closed, "job finished before a drain could land"
+        index += len(events)
+
+
+def test_drain_then_restart_resumes_to_identical_fingerprint(tmp_path):
+    jobs_dir = str(tmp_path / "jobs")
+
+    # Phase 1: submit, let the crawl start, then drain mid-flight.
+    first = StudyService(ServiceConfig(port=0, jobs_dir=jobs_dir,
+                                       runners=1, queue_size=2))
+    first.start()
+    record = first.submit(SPEC)
+    _wait_for_heartbeat(record)
+    first.begin_shutdown("test drain")        # what SIGTERM triggers
+    assert first.wait_stopped(DRAIN_TIMEOUT), "runner did not drain"
+    first.close()
+
+    assert record.state == STATE_PARTIAL
+    assert record.resumable
+    assert record.log.closed
+
+    manifest_path = os.path.join(record.checkpoint_dir, MANIFEST_NAME)
+    assert os.path.exists(manifest_path), \
+        "a drained job must leave the PR-6 resumable manifest"
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    assert manifest["status"] == "interrupted"
+
+    # The drained state is served truthfully: result would 409, the
+    # status document says partial + resumable.
+    status_doc = record.status_document()
+    assert status_doc["state"] == STATE_PARTIAL
+    assert status_doc["resumable"] is True
+    assert status_doc["fingerprint"] == ""   # incomplete: never minted
+
+    # Phase 2: a fresh service over the same directory requeues and
+    # finishes the job from its checkpoints.
+    second = StudyService(ServiceConfig(port=0, jobs_dir=jobs_dir,
+                                        runners=1, queue_size=2))
+    second.start()
+    resumed = second.store.get(record.id)
+    assert resumed.recovered, "recover() must requeue the partial job"
+    index = 0
+    while True:
+        assert resumed.log.wait_for(index, DRAIN_TIMEOUT)
+        events, closed = resumed.log.events_after(index)
+        index += len(events)
+        if closed:
+            break
+    second.close()
+
+    assert resumed.state == STATE_COMPLETE
+    assert resumed.attempts >= 1
+
+    # One continuous progress log: the resumed run appended to the
+    # drained run's heartbeats instead of truncating them.
+    with open(resumed.progress_path) as fh:
+        heartbeats = [json.loads(line) for line in fh if line.strip()]
+    assert len(heartbeats) > SPEC["sites"] // 2
+
+    # Acceptance: the interrupted-then-resumed fingerprint is exactly
+    # what an uninterrupted run of the same spec produces.
+    uninterrupted = JobRun(JobSpec.from_dict(SPEC)).execute()
+    assert uninterrupted.state == STATE_COMPLETE
+    assert resumed.fingerprint == uninterrupted.fingerprint
+
+
+def test_shutdown_rejects_new_submissions(tmp_path):
+    service = StudyService(ServiceConfig(
+        port=0, jobs_dir=str(tmp_path / "jobs"), runners=0, queue_size=4))
+    service.start()
+    service.begin_shutdown("test")
+    from repro.service import QueueFullError
+    with pytest.raises(QueueFullError, match="shutting down"):
+        service.submit({"sites": 4})
+    service.close()

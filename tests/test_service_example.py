@@ -1,0 +1,77 @@
+"""The runnable example client really runs.
+
+``examples/submit_study.py`` is the documented way to talk to
+``repro-serve`` — so it is executed here, end to end, against a live
+in-process service: submit, stream, fetch the result, reconcile the
+streamed heartbeat counters with the archived trace.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.service import ServiceConfig, StudyService
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLE = os.path.join(REPO_ROOT, "examples", "submit_study.py")
+
+
+@pytest.fixture(scope="module")
+def client():
+    spec = importlib.util.spec_from_file_location("submit_study", EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def base(tmp_path_factory):
+    service = StudyService(ServiceConfig(
+        port=0, jobs_dir=str(tmp_path_factory.mktemp("jobs")),
+        runners=1, queue_size=4))
+    service.start()
+    service.start_in_thread()
+    yield "http://127.0.0.1:%d" % service.port
+    service.close()
+
+
+def test_example_end_to_end(client, base, tmp_path, capsys):
+    result_path = str(tmp_path / "result.json")
+    trace_path = str(tmp_path / "trace.jsonl")
+    code = client.main(["--url", base, "--seed", "3", "--sites", "6",
+                        "--workers", "2", "--out", result_path,
+                        "--save-trace", trace_path])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fingerprint: " in out
+    assert "reconciliation" in out
+
+    with open(result_path) as fh:
+        result = json.load(fh)
+    assert len(result["fingerprint"]) == 64
+    with open(trace_path) as fh:
+        first = json.loads(fh.readline())
+    assert first["type"] == "meta"
+
+
+def test_example_reconcile_flags_mismatches(client):
+    streamed = {"crawl.sites": 6.0, "crawl.requests": 40.0}
+    archived = {"crawl.sites": 6.0, "crawl.requests": 41.0,
+                "other.counter": 1.0}
+    mismatches = client.reconcile(streamed, archived)
+    assert [name for name, _, _ in mismatches] == ["crawl.requests"]
+    assert client.reconcile(archived, archived) == []
+
+
+def test_example_sse_parser_handles_frames(client, base):
+    """The example's SSE parser against the real wire format."""
+    status, body = client.request_json(base + "/studies",
+                                       payload={"sites": 4, "seed": 2})
+    assert status == 202
+    frames = list(client.sse_events(
+        "%s/studies/%s/events" % (base, body["id"])))
+    assert frames[-1]["event"] == "end"
+    assert frames[-1]["data"]["state"] == "complete"
+    assert all("id" in frame for frame in frames)

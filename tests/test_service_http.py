@@ -1,0 +1,294 @@
+"""Endpoint integration: a live service on an ephemeral port.
+
+Every endpoint documented in docs/SERVICE.md is exercised here over
+real HTTP — ``urllib`` against ``127.0.0.1`` — including the SSE
+stream's replay-then-follow behaviour, the queue-full backpressure
+contract (503 + ``Retry-After``), and the error statuses (400, 404,
+405, 409).
+
+Two service instances back the tests: ``service`` (one runner) for the
+happy paths, and ``parked`` (zero runners, capacity one) where jobs
+deterministically stay queued — that is what makes the backpressure
+and not-ready assertions race-free.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceConfig, StudyService
+
+TIMEOUT = 60.0
+
+SPEC = {"schema": 1, "kind": "study", "seed": 7, "sites": 6,
+        "trackers": 3, "workers": 2}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    config = ServiceConfig(port=0, jobs_dir=str(
+        tmp_path_factory.mktemp("jobs")), runners=1, queue_size=4)
+    svc = StudyService(config)
+    svc.start()
+    svc.start_in_thread()
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def base(service):
+    return "http://127.0.0.1:%d" % service.port
+
+
+@pytest.fixture(scope="module")
+def parked(tmp_path_factory):
+    """Zero runners, capacity one: jobs stay queued forever."""
+    config = ServiceConfig(port=0, jobs_dir=str(
+        tmp_path_factory.mktemp("parked")), runners=0, queue_size=1)
+    svc = StudyService(config)
+    svc.start()
+    svc.start_in_thread()
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def parked_base(parked):
+    return "http://127.0.0.1:%d" % parked.port
+
+
+def fetch(url, payload=None, method=None):
+    """(status, headers, parsed body) without raising on 4xx/5xx."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers,
+                                     method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=TIMEOUT) as resp:
+            return resp.status, dict(resp.headers), _parse(resp)
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode()
+        try:
+            parsed = json.loads(body)
+        except ValueError:
+            parsed = body
+        return exc.code, dict(exc.headers), parsed
+
+
+def _parse(resp):
+    body = resp.read().decode()
+    if (resp.headers.get("Content-Type") or "").startswith(
+            "application/json"):
+        return json.loads(body)
+    return body
+
+
+def sse_frames(url):
+    """Consume one SSE stream to connection close; yield parsed frames."""
+    frames = []
+    frame = {}
+    with urllib.request.urlopen(url, timeout=TIMEOUT) as resp:
+        assert resp.headers["Content-Type"].startswith("text/event-stream")
+        for raw in resp:
+            line = raw.decode().rstrip("\n")
+            if not line:
+                if frame:
+                    frames.append(frame)
+                    frame = {}
+                continue
+            key, _, value = line.partition(": ")
+            frame[key] = value
+    return frames
+
+
+@pytest.fixture(scope="module")
+def finished_job(base):
+    """One study submitted and run to completion, shared by the reads."""
+    status, headers, body = fetch(base + "/studies", payload=SPEC)
+    assert status == 202
+    assert headers["Location"] == "/studies/%s" % body["id"]
+    assert body["state"] == "queued"
+    # Following the stream blocks until the job ends — no polling.
+    frames = sse_frames(base + body["events"])
+    assert json.loads(frames[-1]["data"])["state"] == "complete"
+    return body["id"], frames
+
+
+# -- lifecycle reads ------------------------------------------------------
+
+
+def test_healthz_reports_capacity(base):
+    status, _, body = fetch(base + "/healthz")
+    assert status == 200
+    assert body["service"] == "repro-serve"
+    assert body["accepting"] is True
+    assert body["queue"]["capacity"] == 4
+
+
+def test_status_document_after_completion(base, finished_job):
+    job_id, _ = finished_job
+    status, _, body = fetch("%s/studies/%s" % (base, job_id))
+    assert status == 200
+    assert body["state"] == "complete"
+    assert body["id"] == job_id
+    assert body["spec"]["seed"] == 7
+    assert len(body["fingerprint"]) == 64
+    assert body["progress"]["crawled"] == SPEC["sites"]
+
+
+def test_job_listing_includes_the_job(base, finished_job):
+    job_id, _ = finished_job
+    status, _, body = fetch(base + "/studies")
+    assert status == 200
+    assert job_id in [entry["id"] for entry in body["jobs"]]
+
+
+def test_result_matches_status_fingerprint(base, finished_job):
+    job_id, _ = finished_job
+    _, _, status_doc = fetch("%s/studies/%s" % (base, job_id))
+    code, _, result = fetch("%s/studies/%s/result" % (base, job_id))
+    assert code == 200
+    assert result["fingerprint"] == status_doc["fingerprint"]
+    assert result["kind"] == "study"
+    assert "rows" in result["table2"]
+
+
+def test_trace_download_is_ndjson(base, finished_job):
+    job_id, _ = finished_job
+    code, headers, body = fetch("%s/studies/%s/trace" % (base, job_id))
+    assert code == 200
+    assert headers["Content-Type"] == "application/x-ndjson"
+    records = [json.loads(line) for line in body.strip().split("\n")]
+    assert records[0]["type"] == "meta"
+    assert any(r["type"] == "counter" and r["name"] == "crawl.sites"
+               and r["value"] == SPEC["sites"] for r in records)
+
+
+# -- SSE semantics --------------------------------------------------------
+
+
+def test_sse_ids_are_contiguous_from_zero(finished_job):
+    _, frames = finished_job
+    assert [int(frame["id"]) for frame in frames] == \
+        list(range(len(frames)))
+
+
+def test_sse_event_order_state_heartbeats_end(finished_job):
+    _, frames = finished_job
+    kinds = [frame["event"] for frame in frames]
+    assert kinds[0] == "state"
+    assert kinds[-1] == "end"
+    assert kinds.count("end") == 1
+    hb = [json.loads(f["data"]) for f in frames if f["event"] == "heartbeat"]
+    assert sum(1 for event in hb if not event.get("final")) == SPEC["sites"]
+
+
+def test_sse_replay_after_completion_is_identical(base, finished_job):
+    """A client connecting *after* the job finished replays the whole
+    history and the stream still terminates with the end event."""
+    job_id, live_frames = finished_job
+    replayed = sse_frames("%s/studies/%s/events" % (base, job_id))
+    assert replayed == live_frames
+
+
+# -- submission errors ----------------------------------------------------
+
+
+def test_submit_rejects_malformed_json(base):
+    request = urllib.request.Request(
+        base + "/studies", data=b"{not json",
+        headers={"Content-Type": "application/json"})
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=TIMEOUT)
+    assert excinfo.value.code == 400
+    status, _, body = fetch(base + "/studies", payload={"sites": -3})
+    assert status == 400
+    assert "sites" in body["error"]
+
+
+def test_submit_rejects_unknown_spec_keys(base):
+    status, _, body = fetch(base + "/studies", payload={"sties": 4})
+    assert status == 400
+    assert "unknown" in body["error"]
+
+
+def test_unknown_job_and_unknown_route_are_404(base):
+    assert fetch(base + "/studies/job-999999")[0] == 404
+    assert fetch(base + "/studies/job-999999/result")[0] == 404
+    assert fetch(base + "/nope")[0] == 404
+
+
+def test_wrong_method_is_405_with_allow_header(base):
+    status, headers, _ = fetch(base + "/studies", method="DELETE")
+    assert status == 405
+    assert "POST" in headers["Allow"]
+    status, headers, _ = fetch(base + "/healthz", payload={})
+    assert status == 405
+    assert "GET" in headers["Allow"]
+
+
+# -- backpressure and not-ready states ------------------------------------
+
+
+def test_queue_full_returns_503_with_retry_after(parked_base):
+    first = fetch(parked_base + "/studies", payload=SPEC)
+    assert first[0] == 202
+    status, headers, body = fetch(parked_base + "/studies", payload=SPEC)
+    assert status == 503
+    assert int(headers["Retry-After"]) >= 1
+    assert body["retry_after"] == int(headers["Retry-After"])
+    assert "full" in body["error"]
+
+
+def test_result_before_completion_is_409(parked_base, parked):
+    job_id = parked.store.list()[0].id
+    status, _, body = fetch("%s/studies/%s/result" % (parked_base, job_id))
+    assert status == 409
+    assert body["state"] == "queued"
+
+
+def test_trace_before_completion_is_409(parked_base, parked):
+    job_id = parked.store.list()[0].id
+    assert fetch("%s/studies/%s/trace" % (parked_base, job_id))[0] == 409
+
+
+# -- parity with the CLI path ---------------------------------------------
+
+
+def test_served_fingerprint_equals_cli_run(base, finished_job):
+    """Acceptance criterion: POST → SSE → result fingerprint is
+    bit-identical to the same spec via ``Study.crawl()`` directly."""
+    from repro.core.pipeline import Study
+    from repro.obs import Recorder
+    from repro.service import JobSpec
+
+    job_id, _ = finished_job
+    _, _, served = fetch("%s/studies/%s/result" % (base, job_id))
+    spec = JobSpec.from_dict(SPEC)
+    pspec = spec.population_spec()
+    study = Study(pspec.build(),
+                  config=spec.study_config(recorder=Recorder()),
+                  population_spec=pspec)
+    assert study.crawl().dataset.fingerprint() == served["fingerprint"]
+
+
+def test_crowd_job_over_http(base):
+    payload = {"kind": "crowd", "seed": 5, "sites": 8, "trackers": 3,
+               "contributors": 2, "overlap": 0.5}
+    status, _, body = fetch(base + "/studies", payload=payload)
+    assert status == 202
+    frames = sse_frames(base + body["events"])
+    end = json.loads(frames[-1]["data"])
+    assert end["state"] == "complete"
+    hb = [f for f in frames if f["event"] == "heartbeat"]
+    assert len(hb) == 2   # one per contributor
+    code, _, result = fetch("%s/studies/%s/result" % (base, body["id"]))
+    assert code == 200
+    assert result["kind"] == "crowd"
+    # Crowd runs record no trace: documented as 404, not an error page.
+    assert fetch("%s/studies/%s/trace" % (base, body["id"]))[0] == 404

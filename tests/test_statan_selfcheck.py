@@ -252,3 +252,67 @@ def test_seeded_lambda_in_chaos_plan_fails_gate(tmp_path, capsys):
     """))
     capsys.readouterr()
     assert code == EXIT_FINDINGS
+
+
+# -- the service layer stays inside both scopes ---------------------------
+#
+# repro.service is deliberately pinned into DETERMINISM_SCOPE and
+# PICKLE_SCOPE: job ids, result documents and replay logs must be
+# reproducible, and job specs cross the runner/worker process boundary.
+# Its legitimate edges — drain deadlines on the monotonic clock, the
+# parent-side SSE condition/locks — carry inline ``statan: ignore``
+# markers; anything *new* must trip the gate.
+
+
+def test_service_package_is_in_both_scopes():
+    from repro.statan.engine import ModuleContext
+    from repro.statan.rules.determinism import DETERMINISM_SCOPE
+    from repro.statan.rules.pickle_safety import PICKLE_SCOPE
+    for module in ("repro.service", "repro.service.jobs",
+                   "repro.service.server", "repro.service.sse"):
+        ctx = ModuleContext(path="test.py", source="", module=module)
+        assert ctx.module_matches(DETERMINISM_SCOPE), module
+        assert ctx.module_matches(PICKLE_SCOPE), module
+
+
+def test_seeded_clock_read_in_service_fails_gate(tmp_path, capsys):
+    """DET101 covers the service: a wall-clock timestamp stamped into a
+    job document would make replayed runs differ — only the inline-
+    suppressed drain-deadline reads are exempt."""
+    code = _seed(tmp_path, "repro/service/jobs_seeded.py", textwrap.dedent("""
+        import time
+
+        def stamp_job(document):
+            document["submitted_at"] = time.time()
+            return document
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
+
+
+def test_seeded_uuid_job_id_in_service_fails_gate(tmp_path, capsys):
+    """DET103 covers job ids: they are sequential on purpose — an
+    os-entropy id would be unreproducible across reruns."""
+    code = _seed(tmp_path, "repro/service/store_seeded.py",
+                 textwrap.dedent("""
+        import uuid
+
+        def mint_job_id():
+            return "job-%s" % uuid.uuid4()
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
+
+
+def test_seeded_handle_in_service_spec_fails_gate(tmp_path, capsys):
+    """PKL303 covers job specs: a live handle on a spec-like object
+    would die at the runner->worker pickle boundary."""
+    code = _seed(tmp_path, "repro/service/jobs_seeded.py", textwrap.dedent("""
+        import threading
+
+        class JobSpecSeeded:
+            def __init__(self):
+                self.guard = threading.Lock()
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
