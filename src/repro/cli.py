@@ -356,7 +356,7 @@ def _cmd_tokens(args: argparse.Namespace) -> int:
     tokens = CandidateTokenSet(DEFAULT_PERSONA)
     email = (DEFAULT_PERSONA.email if args.show_pii
              else redact_email(DEFAULT_PERSONA.email))
-    print("persona email: %s" % email)  # statan: ignore[PII201] --show-pii
+    print("persona email: %s" % email)  # statan: ignore[PII201] -- redacted unless the user passed --show-pii explicitly
     print("candidate tokens: %d" % tokens.token_count)
     by_depth: dict = {}
     for token in tokens.tokens():

@@ -52,8 +52,8 @@ Determinism note: the supervisor reads the host's monotonic clock — a
 nothing it observes ever feeds a dataset: shard results are pure
 functions of ``(population spec, seed, shard)`` regardless of which
 attempt produced them, so retries, kills, and resumes cannot move a
-fingerprint.  The explicit ``statan: ignore[DET101]`` markers below
-scope the exception to exactly those liveness reads.
+fingerprint.  The explicit justified DET101 suppressions below scope
+the exception to exactly those liveness reads.
 """
 
 from __future__ import annotations
@@ -392,9 +392,9 @@ class _WorkerHandle:
                  result_queue, launched_at: float) -> None:
         self.job = job
         self.attempt = attempt
-        self.process = process           # statan: ignore[PKL303]
-        self.beat_queue = beat_queue     # statan: ignore[PKL303]
-        self.result_queue = result_queue  # statan: ignore[PKL303]
+        self.process = process           # statan: ignore[PKL303] -- parent-side handle; object never pickled
+        self.beat_queue = beat_queue     # statan: ignore[PKL303] -- parent-side handle; object never pickled
+        self.result_queue = result_queue  # statan: ignore[PKL303] -- parent-side handle; object never pickled
         self.last_beat = launched_at
         self.first_seen_dead: Optional[float] = None
         self.retired = False
@@ -524,7 +524,7 @@ class ShardSupervisor:
 
     def _now(self) -> float:
         # Liveness is a wall-clock property; see the module docstring.
-        return time.monotonic()     # statan: ignore[DET101]
+        return time.monotonic()     # statan: ignore[DET101] -- liveness watchdog; see module docstring
 
     def _record(self, outcome: SupervisionOutcome,
                 event: SupervisionEvent) -> None:

@@ -61,4 +61,4 @@ class WallClock(Clock):
     """
 
     def now(self) -> float:
-        return time.perf_counter()  # statan: ignore[DET101]
+        return time.perf_counter()  # statan: ignore[DET101] -- wall-clock tracer by contract; never feeds a fingerprint

@@ -157,7 +157,7 @@ class ProgressAggregator:
             # boundary (HeartbeatEvent does), so holding the sink open
             # is safe.
             mode = "a" if append else "w"
-            self._jsonl = open(jsonl_path, mode)  # statan: ignore[PKL303]
+            self._jsonl = open(jsonl_path, mode)  # statan: ignore[PKL303] -- parent-side sink; aggregator never pickled
 
     # -- sinking ---------------------------------------------------------
 

@@ -99,8 +99,10 @@ class StudyService:
         self.router = Router(self)
         self._queue: "queue_module.Queue[JobRecord]" = \
             queue_module.Queue(maxsize=self.config.queue_size)
-        self._submit_lock = threading.Lock()   # statan: ignore[PKL303]
-        self._stopping = threading.Event()     # statan: ignore[PKL303]
+        # The service never crosses a pickle boundary itself — only job
+        # specs/events do — so parent-side thread primitives are fine.
+        self._submit_lock = threading.Lock()   # statan: ignore[PKL303] -- parent-side only, never pickled
+        self._stopping = threading.Event()     # statan: ignore[PKL303] -- parent-side only, never pickled
         self._accepting = False
         self._runners: List[threading.Thread] = []
         self._server: Optional[_ServiceHTTPServer] = None
@@ -132,7 +134,11 @@ class StudyService:
             self._runners.append(thread)
         self._server = _ServiceHTTPServer(
             (self.config.host, self.config.port), _Handler, service=self)
-        self._accepting = True
+        # Publish under the submit lock: submit() reads _accepting under
+        # it, and the lock's release/acquire pair is what makes the
+        # runner pool + server setup above visible to submitting threads.
+        with self._submit_lock:
+            self._accepting = True
 
     @property
     def port(self) -> int:
@@ -171,7 +177,12 @@ class StudyService:
         """
         if self._stopping.is_set():
             return
-        self._accepting = False
+        # Deliberately lock-free: a signal handler taking _submit_lock
+        # could deadlock against the submit() it interrupted.  The write
+        # is a monotonic one-way flip (True -> False) and _stopping.set()
+        # below publishes it; worst case one in-flight submit() is
+        # accepted during the drain, which the drain handles anyway.
+        self._accepting = False  # statan: ignore[CON401] -- signal-safe one-way flip; taking the lock here could self-deadlock
         self._stopping.set()
         for record in self.store.live_records():
             run = record.run
@@ -189,13 +200,13 @@ class StudyService:
         deadline = None
         if timeout is not None:
             # Drain bookkeeping only — job results never see this read.
-            deadline = time.monotonic() + timeout  # statan: ignore[DET101]
+            deadline = time.monotonic() + timeout  # statan: ignore[DET101] -- liveness deadline, never fingerprinted
         for thread in self._runners:
             remaining = None
             if deadline is not None:
                 remaining = max(
                     0.0,
-                    deadline - time.monotonic())  # statan: ignore[DET101]
+                    deadline - time.monotonic())  # statan: ignore[DET101] -- liveness deadline, never fingerprinted
             thread.join(remaining)
         return not any(thread.is_alive() for thread in self._runners)
 

@@ -33,7 +33,7 @@ class EventLog:
     def __init__(self) -> None:
         # Service-side only: the log never crosses the process boundary
         # (jobs ship plain JobSpec data; events are plain dicts).
-        self._cond = threading.Condition()  # statan: ignore[PKL303]
+        self._cond = threading.Condition()  # statan: ignore[PKL303] -- service-side only, never pickled
         self._events: List[Dict[str, object]] = []
         self._closed = False
 
@@ -79,10 +79,12 @@ class EventLog:
         the return value is advisory.
         """
         with self._cond:
-            if len(self._events) > index or self._closed:
-                return True
-            self._cond.wait(timeout)
-            return len(self._events) > index or self._closed
+            # wait_for re-checks the predicate around every wakeup, so
+            # a spurious wakeup or a timeout can never report an event
+            # that is not actually there (CON404's failure mode).
+            return self._cond.wait_for(
+                lambda: len(self._events) > index or self._closed,
+                timeout)
 
 
 def format_sse(seq: int, event: Dict[str, object]) -> bytes:

@@ -158,7 +158,7 @@ class JobStore:
         os.makedirs(root, exist_ok=True)
         # Guards id assignment and the record cache; service-side only,
         # never pickled with the store.
-        self._lock = threading.Lock()  # statan: ignore[PKL303]
+        self._lock = threading.Lock()  # statan: ignore[PKL303] -- service-side only, never pickled
         self._records: Dict[str, JobRecord] = {}
 
     # -- creation --------------------------------------------------------

@@ -15,16 +15,22 @@ not just by observation:
 
 Plus **pickle safety**: classes crossing the ``crawler.parallel``
 multiprocessing boundary must stay picklable (no lambdas, local classes
-or open handles in their state).
+or open handles in their state).  And — since the service/supervisor
+layers went concurrent — **concurrency safety** (the CON4xx family):
+unlocked writes to lock-guarded state, lock-order inversions, blocking
+work under a lock, predicate-less condition waits and leaked threads.
 
-Architecture: :mod:`~repro.statan.engine` parses each file once and runs
-every :class:`~repro.statan.engine.Rule` over the shared
+Architecture: :mod:`~repro.statan.engine` parses each file once, builds
+the project-wide :class:`~repro.statan.callgraph.ProjectIndex`, and
+runs every :class:`~repro.statan.engine.Rule` over the shared
 :class:`~repro.statan.engine.ModuleContext`; rules live in
-:mod:`repro.statan.rules`; :mod:`~repro.statan.taint` is the
-intraprocedural dataflow engine the PII rules are built on;
-:mod:`~repro.statan.baseline` implements the accepted-findings file and
-:mod:`~repro.statan.cli` the ``repro-lint`` command (human + JSON
-output, ``# statan: ignore[RULE]`` inline suppression).
+:mod:`repro.statan.rules`; :mod:`~repro.statan.taint` is the dataflow
+engine (intraprocedural core + one-call-deep function summaries) the
+PII rules are built on; :mod:`~repro.statan.baseline` implements the
+accepted-findings file and :mod:`~repro.statan.cli` the ``repro-lint``
+command (human + JSON output, inline suppression via a justified
+``statan: ignore`` comment — the ``-- reason`` tail is enforced by
+STA001).
 """
 
 from .baseline import Baseline

@@ -1,0 +1,204 @@
+"""Project-wide call graph for interprocedural rules.
+
+The per-file :class:`~repro.statan.engine.ModuleContext` is enough for
+syntactic rules, but the bug classes PR 6/7 introduced — blocking work
+reached *through* a call while a lock is held, PII leaking through a
+helper one call away — need to know what a call *resolves to* across
+the whole scanned tree.  :class:`ProjectIndex` is that layer: it is
+built once per analyzer run from every parsed file, indexes every
+module-level function and class method by dotted qualname, and
+resolves call expressions back to their definitions with the same
+best-effort philosophy as the rest of statan (confident matches only;
+a wrong edge is worse than a missing one, except where a rule opts
+into fuzzy unique-name matching for recall).
+
+Resolution strategies, in order:
+
+* ``name(...)`` where ``name`` is imported — the import table's dotted
+  target, matched exactly, then as a unique dotted suffix (relative
+  imports drop their leading dots, so ``from ..crawler.checkpoint
+  import atomic_write_text`` matches the one function whose qualname
+  ends in ``crawler.checkpoint.atomic_write_text``).
+* ``name(...)`` otherwise — a function in the calling module.
+* ``self.method(...)`` — a method of the enclosing class.
+* ``pkg.mod.func(...)`` dotted chains — exact, then unique suffix.
+* ``anything.method(...)`` — only via :meth:`ProjectIndex.resolve_fuzzy`
+  (a *unique* project-wide method name), used by reachability rules
+  that prefer recall over precision.
+
+Everything is plain dictionaries built in one O(files) pass; rules
+layer their own memoized summaries (taint, blocking reachability) on
+top, keyed by qualname, so the whole gate stays linear in tree size.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from .engine import ModuleContext
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One indexed function or method definition."""
+
+    qualname: str               # "repro.service.store.JobStore.create"
+    name: str                   # "create"
+    module: str                 # "repro.service.store"
+    class_name: Optional[str]   # "JobStore" (None for plain functions)
+    node: FunctionNode
+    ctx: ModuleContext
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+class ProjectIndex:
+    """Every function definition in the scanned tree, resolvable by call.
+
+    Built once per analyzer run (``analyze_paths``/``analyze_source``)
+    and handed to each rule via :meth:`~repro.statan.engine.Rule.prepare`
+    before per-file checks run.
+    """
+
+    def __init__(self, contexts: Iterable[ModuleContext]) -> None:
+        self._by_qualname: Dict[str, FunctionInfo] = {}
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+        self._by_suffix: Dict[str, List[FunctionInfo]] = {}
+        for ctx in contexts:
+            for info in _iter_definitions(ctx):
+                self._by_qualname.setdefault(info.qualname, info)
+                self._by_name.setdefault(info.name, []).append(info)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_qualname)
+
+    def get(self, qualname: str) -> Optional[FunctionInfo]:
+        return self._by_qualname.get(qualname)
+
+    def functions(self) -> List[FunctionInfo]:
+        """Every indexed definition, qualname order."""
+        return [self._by_qualname[key]
+                for key in sorted(self._by_qualname)]
+
+    def resolve_call(self, ctx: ModuleContext, call: ast.Call,
+                     class_name: Optional[str] = None,
+                     ) -> Optional[FunctionInfo]:
+        """The definition ``call`` confidently resolves to, or ``None``.
+
+        ``class_name`` is the enclosing class when the call site sits
+        inside a method (enables ``self.method()`` resolution).
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            imported = ctx.imports.get(func.id)
+            if imported is not None and imported != func.id:
+                return self._dotted(imported)
+            return self._by_qualname.get("%s.%s" % (ctx.module, func.id))
+        if isinstance(func, ast.Attribute):
+            if class_name is not None and \
+                    isinstance(func.value, ast.Name) and \
+                    func.value.id == "self":
+                found = self._by_qualname.get(
+                    "%s.%s.%s" % (ctx.module, class_name, func.attr))
+                if found is not None:
+                    return found
+            qual = ctx.qualname(func)
+            if qual is not None:
+                return self._dotted(qual)
+        return None
+
+    def resolve_fuzzy(self, call: ast.Call) -> Optional[FunctionInfo]:
+        """Unique-name fallback: ``x.method()`` when exactly one project
+        function is named ``method``.
+
+        Deliberately opt-in — reachability rules (CON403) use it for
+        recall; the taint rules never do (a wrong interprocedural taint
+        edge would be a hard-to-triage false positive).
+        """
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        candidates = self._by_name.get(func.attr, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- internals -------------------------------------------------------
+
+    def _dotted(self, dotted: str) -> Optional[FunctionInfo]:
+        """Exact qualname match, then unique-dotted-suffix match."""
+        found = self._by_qualname.get(dotted)
+        if found is not None:
+            return found
+        tail = dotted.rsplit(".", 1)[-1]
+        suffix = "." + dotted
+        matches = [info for info in self._by_name.get(tail, [])
+                   if info.qualname.endswith(suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+
+def _iter_definitions(ctx: ModuleContext) -> Iterator[FunctionInfo]:
+    """Module-level functions and class methods (nested defs skipped —
+    they are not callable by name across scopes)."""
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield FunctionInfo(
+                qualname="%s.%s" % (ctx.module, stmt.name),
+                name=stmt.name, module=ctx.module, class_name=None,
+                node=stmt, ctx=ctx)
+        elif isinstance(stmt, ast.ClassDef):
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    yield FunctionInfo(
+                        qualname="%s.%s.%s" % (ctx.module, stmt.name,
+                                               member.name),
+                        name=member.name, module=ctx.module,
+                        class_name=stmt.name, node=member, ctx=ctx)
+
+
+def function_params(node: FunctionNode) -> List[str]:
+    """Positional + keyword-only parameter names, ``self``/``cls``
+    excluded — the argument-mapping order interprocedural summaries
+    are keyed by."""
+    args = node.args
+    names = [arg.arg for arg in
+             list(getattr(args, "posonlyargs", [])) + list(args.args)]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    return names
+
+
+def map_call_arguments(call: ast.Call, params: Sequence[str],
+                       ) -> List[tuple]:
+    """Pair each call argument expression with the parameter it binds.
+
+    Returns ``[(param_name, arg_expr), ...]`` for confidently mapped
+    arguments; ``*args``/``**kwargs`` and overflow positionals are
+    skipped (the summary user must stay sound without them).
+    """
+    pairs: List[tuple] = []
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(params):
+            pairs.append((params[index], arg))
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in params:
+            pairs.append((keyword.arg, keyword.value))
+    return pairs
+
+
+__all__ = ["FunctionInfo", "ProjectIndex", "function_params",
+           "map_call_arguments"]

@@ -7,12 +7,16 @@ Usage::
     repro-lint src/ --format json           # machine-readable report
     repro-lint src/ --write-baseline        # accept current findings
     repro-lint src/ --select determinism    # one family (or rule id)
+    repro-lint src/ --select CON            # an id prefix (a family's ids)
     repro-lint --list-rules
+    repro-lint --explain CON402             # the full rule document
 
 Exit codes: 0 clean (every finding baselined or none), 1 new findings,
 2 usage / parse errors.  The default baseline is
-``.repro-lint-baseline.json`` in the current directory when it exists;
-``--no-baseline`` ignores it.
+``.repro-lint-baseline.json`` in the current directory when it exists,
+otherwise the nearest one walking up from the scanned paths (so
+``repro-lint src/`` finds the committed baseline from any
+subdirectory); ``--no-baseline`` ignores it.
 """
 
 from __future__ import annotations
@@ -60,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(determinism); repeatable")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe every rule and exit")
+    parser.add_argument("--explain", metavar="RULE", default=None,
+                        help="print the full rule document (rationale, "
+                             "bad/good example, fix) and exit")
     return parser
 
 
@@ -70,6 +77,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(_rule_listing())
         return EXIT_CLEAN
+    if args.explain is not None:
+        for rule in default_rules():
+            if rule.id == args.explain:
+                print(rule.explain())
+                return EXIT_CLEAN
+        parser.error("unknown rule %r (try --list-rules)" % args.explain)
 
     try:
         rules = rules_by_id(args.select)
@@ -112,7 +125,30 @@ def _baseline_path(args: argparse.Namespace) -> Optional[str]:
         return args.baseline
     if os.path.exists(DEFAULT_BASELINE_NAME):
         return DEFAULT_BASELINE_NAME
-    return None
+    # Not in the CWD: walk up from the scanned paths so that
+    # `repro-lint some/deep/dir` run from anywhere still honours the
+    # committed baseline at the repo root.
+    return _find_baseline_near(args.paths)
+
+
+def _find_baseline_near(paths: Sequence[str]) -> Optional[str]:
+    """The nearest ``DEFAULT_BASELINE_NAME`` at or above the scanned
+    paths' common ancestor, or None."""
+    existing = [os.path.abspath(path) for path in paths
+                if os.path.exists(path)]
+    if not existing:
+        return None
+    current = os.path.commonpath(existing)
+    if os.path.isfile(current):
+        current = os.path.dirname(current)
+    while True:
+        candidate = os.path.join(current, DEFAULT_BASELINE_NAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
 
 
 def _rule_listing() -> str:

@@ -6,10 +6,17 @@ suppression table.  A :class:`Rule` inspects a context and yields
 :class:`Finding` records; :func:`analyze_paths` drives the whole thing
 over a file tree and returns an :class:`AnalysisReport`.
 
-Suppression syntax (scoped to the physical line of the finding)::
+Analysis is two-phase: every file is parsed first, a project-wide
+:class:`~repro.statan.callgraph.ProjectIndex` is built over the parsed
+contexts, each rule gets it via :meth:`Rule.prepare`, and only then do
+the per-file checks run — so interprocedural rules (the CON4xx family,
+interprocedural PII taint) see the whole tree while staying O(files).
 
-    t = time.time()          # statan: ignore[DET101]
-    t = time.time()          # statan: ignore          (any rule)
+Suppression syntax (scoped to the physical line of the finding; the
+``-- reason`` justification is mandatory — a bare suppression is
+itself a finding, STA001)::
+
+    t = time.time()   # statan: ignore[DET101] -- liveness deadline only
 """
 
 from __future__ import annotations
@@ -24,11 +31,37 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 FAMILY_DETERMINISM = "determinism"
 FAMILY_PII_TAINT = "pii-taint"
 FAMILY_PICKLE = "pickle-safety"
+FAMILY_CONCURRENCY = "concurrency"
+FAMILY_HYGIENE = "suppression-hygiene"
 
-FAMILIES = (FAMILY_DETERMINISM, FAMILY_PII_TAINT, FAMILY_PICKLE)
+FAMILIES = (FAMILY_DETERMINISM, FAMILY_PII_TAINT, FAMILY_PICKLE,
+            FAMILY_CONCURRENCY, FAMILY_HYGIENE)
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*statan:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?")
+    r"#\s*statan:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+    r"(?:\s*--\s*(?P<reason>.*\S))?")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# statan: ignore`` comment.
+
+    ``rules`` is ``None`` for the bare (any-rule) form; ``reason`` is
+    the text after ``--`` ("" when the author gave none — which STA001
+    reports as a finding of its own).
+    """
+
+    line: int                    # 1-based physical line
+    col: int                     # 0-based offset of the comment
+    rules: Optional[Set[str]]    # None = every rule
+    reason: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.reason)
+
+    def covers(self, rule_id: str) -> bool:
+        return self.rules is None or rule_id in self.rules
 
 
 @dataclass(frozen=True)
@@ -87,7 +120,7 @@ class ModuleContext:
         self.lines: List[str] = source.splitlines()
         self.tree: ast.Module = ast.parse(source, filename=path)
         self.imports: Dict[str, str] = _import_table(self.tree)
-        self._suppressions: Dict[int, Optional[Set[str]]] = \
+        self._suppressions: Dict[int, Suppression] = \
             _suppression_table(self.lines)
 
     # -- queries ---------------------------------------------------------
@@ -100,10 +133,13 @@ class ModuleContext:
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         """True if ``# statan: ignore[...]`` on ``line`` covers ``rule_id``."""
-        if line not in self._suppressions:
-            return False
-        rules = self._suppressions[line]
-        return rules is None or rule_id in rules
+        entry = self._suppressions.get(line)
+        return entry is not None and entry.covers(rule_id)
+
+    def suppressions(self) -> List[Suppression]:
+        """Every inline suppression comment in this file, line order."""
+        return [self._suppressions[line]
+                for line in sorted(self._suppressions)]
 
     def qualname(self, node: ast.AST) -> Optional[str]:
         """Resolve a Name/Attribute chain to a dotted name, if possible.
@@ -138,13 +174,37 @@ class Rule:
 
     Subclasses set the class attributes and implement :meth:`check`.
     Use :meth:`finding` to build findings — it fills in the location,
-    snippet and family uniformly.
+    snippet and family uniformly.  Rules that need the whole-tree view
+    override :meth:`prepare`, which runs once per analysis with the
+    :class:`~repro.statan.callgraph.ProjectIndex` before any
+    :meth:`check` call.  The documentation attributes feed
+    ``repro-lint --explain RULE``; every registered rule must fill
+    them in.
     """
 
     id: str = ""
     name: str = ""
     family: str = ""
     description: str = ""
+    #: Why the rule exists (what breaks without it).
+    rationale: str = ""
+    #: A minimal violating snippet.
+    example_bad: str = ""
+    #: The corrected form of the bad example.
+    example_good: str = ""
+    #: How to fix a finding (or when a justified suppression is right).
+    fix_hint: str = ""
+    #: Rules that police the suppression mechanism itself must not be
+    #: silenceable by it.
+    suppressible: bool = True
+
+    def prepare(self, project: object) -> None:
+        """Receive the :class:`ProjectIndex` before per-file checks.
+
+        Default: ignore it (purely syntactic rules).  Called exactly
+        once per analysis run; rules must reset any per-run caches
+        here.
+        """
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -156,6 +216,25 @@ class Rule:
         return Finding(rule=self.id, family=self.family, path=ctx.path,
                        line=line, col=col, message=message,
                        snippet=ctx.line_text(line))
+
+    def explain(self) -> str:
+        """The full rule document ``repro-lint --explain`` prints."""
+        lines = ["%s (%s) — family: %s" % (self.id, self.name,
+                                           self.family),
+                 "", self.description]
+        if self.rationale:
+            lines += ["", "Why:", "  " + self.rationale]
+        if self.example_bad:
+            lines += ["", "Bad:"]
+            lines += ["    " + text
+                      for text in self.example_bad.strip("\n").splitlines()]
+        if self.example_good:
+            lines += ["", "Good:"]
+            lines += ["    " + text
+                      for text in self.example_good.strip("\n").splitlines()]
+        if self.fix_hint:
+            lines += ["", "How to fix:", "  " + self.fix_hint]
+        return "\n".join(lines)
 
 
 @dataclass
@@ -237,10 +316,17 @@ def analyze_source(source: str, rules: Iterable[Rule],
     """Run ``rules`` over one source string (the fixture-test entry point).
 
     Returns the surviving findings, sorted; inline suppressions are
-    honoured.  Raises :class:`SyntaxError` on unparseable source.
+    honoured.  The single file is its own project, so interprocedural
+    rules resolve calls within it.  Raises :class:`SyntaxError` on
+    unparseable source.
     """
+    from .callgraph import ProjectIndex
     ctx = ModuleContext(path, source, module=module)
-    findings, _ = _run_rules(ctx, list(rules))
+    rule_list = list(rules)
+    project = ProjectIndex([ctx])
+    for rule in rule_list:
+        rule.prepare(project)
+    findings, _ = _run_rules(ctx, rule_list)
     return findings
 
 
@@ -248,20 +334,28 @@ def analyze_paths(paths: Sequence[str], rules: Iterable[Rule],
                   ) -> AnalysisReport:
     """Analyze every Python file under ``paths`` with ``rules``.
 
-    Unparseable files are reported in :attr:`AnalysisReport.errors`
-    rather than raised — a syntax error in one file must not hide
-    findings in the rest of the tree.
+    Phase 1 parses every file; phase 2 builds the
+    :class:`~repro.statan.callgraph.ProjectIndex` over the parsed
+    contexts and hands it to each rule's :meth:`Rule.prepare`; phase 3
+    runs the per-file checks.  Unparseable files are reported in
+    :attr:`AnalysisReport.errors` rather than raised — a syntax error
+    in one file must not hide findings in the rest of the tree.
     """
+    from .callgraph import ProjectIndex
     rule_list = list(rules)
     report = AnalysisReport()
+    contexts: List[ModuleContext] = []
     for filename in iter_python_files(paths):
         try:
             with open(filename, "r", encoding="utf-8") as handle:
                 source = handle.read()
-            ctx = ModuleContext(filename, source)
+            contexts.append(ModuleContext(filename, source))
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             report.errors.append((filename.replace(os.sep, "/"), str(exc)))
-            continue
+    project = ProjectIndex(contexts)
+    for rule in rule_list:
+        rule.prepare(project)
+    for ctx in contexts:
         report.files_analyzed += 1
         findings, suppressed = _run_rules(ctx, rule_list)
         report.findings.extend(findings)
@@ -277,7 +371,8 @@ def _run_rules(ctx: ModuleContext,
     suppressed = 0
     for rule in rules:
         for finding in rule.check(ctx):
-            if ctx.is_suppressed(finding.line, finding.rule):
+            if rule.suppressible and \
+                    ctx.is_suppressed(finding.line, finding.rule):
                 suppressed += 1
             else:
                 kept.append(finding)
@@ -318,9 +413,9 @@ def _import_table(tree: ast.Module) -> Dict[str, str]:
     return table
 
 
-def _suppression_table(lines: List[str]) -> Dict[int, Optional[Set[str]]]:
-    """Map 1-based line -> suppressed rule ids (None = all rules)."""
-    table: Dict[int, Optional[Set[str]]] = {}
+def _suppression_table(lines: List[str]) -> Dict[int, Suppression]:
+    """Map 1-based line -> the :class:`Suppression` parsed from it."""
+    table: Dict[int, Suppression] = {}
     for number, text in enumerate(lines, start=1):
         if "statan" not in text:
             continue
@@ -328,10 +423,13 @@ def _suppression_table(lines: List[str]) -> Dict[int, Optional[Set[str]]]:
         if not match:
             continue
         spec = match.group("rules")
+        rules: Optional[Set[str]]
         if spec is None:
-            table[number] = None
+            rules = None
         else:
             rules = {part.strip() for part in spec.split(",")
-                     if part.strip()}
-            table[number] = rules or None
+                     if part.strip()} or None
+        reason = (match.group("reason") or "").strip()
+        table[number] = Suppression(line=number, col=match.start(),
+                                    rules=rules, reason=reason)
     return table

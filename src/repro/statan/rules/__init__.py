@@ -5,12 +5,20 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..engine import Rule
+from .concurrency import (
+    BlockingUnderLockRule,
+    ConditionWaitRule,
+    LockOrderInversionRule,
+    SharedMutableStateRule,
+    ThreadLeakRule,
+)
 from .determinism import (
     BuiltinHashRule,
     OsEntropyRule,
     UnseededRandomRule,
     WallClockRule,
 )
+from .meta import UnjustifiedSuppressionRule
 from .pickle_safety import (
     LocalClassRule,
     StoredLambdaRule,
@@ -19,11 +27,17 @@ from .pickle_safety import (
 from .pii_taint import PiiSinkRule
 
 __all__ = [
+    "BlockingUnderLockRule",
     "BuiltinHashRule",
+    "ConditionWaitRule",
     "LocalClassRule",
+    "LockOrderInversionRule",
     "OsEntropyRule",
     "PiiSinkRule",
+    "SharedMutableStateRule",
     "StoredLambdaRule",
+    "ThreadLeakRule",
+    "UnjustifiedSuppressionRule",
     "UnpicklableHandleRule",
     "UnseededRandomRule",
     "WallClockRule",
@@ -44,15 +58,22 @@ def default_rules() -> List[Rule]:
         StoredLambdaRule(),
         LocalClassRule(),
         UnpicklableHandleRule(),
+        SharedMutableStateRule(),
+        LockOrderInversionRule(),
+        BlockingUnderLockRule(),
+        ConditionWaitRule(),
+        ThreadLeakRule(),
+        UnjustifiedSuppressionRule(),
     ]
 
 
 def rules_by_id(select: Optional[Sequence[str]] = None) -> List[Rule]:
-    """The default rules, optionally filtered to ids/families in ``select``.
+    """The default rules, optionally filtered by ``select``.
 
-    Each selector matches a rule id (``DET101``) or a family name
-    (``determinism``).  Raises :class:`ValueError` for a selector that
-    matches nothing.
+    Each selector matches a rule id (``DET101``), a family name
+    (``determinism``), or — for an all-uppercase alphabetic selector —
+    an id prefix (``CON`` selects CON401..CON405).  Raises
+    :class:`ValueError` for a selector that matches nothing.
     """
     rules = default_rules()
     if not select:
@@ -60,7 +81,9 @@ def rules_by_id(select: Optional[Sequence[str]] = None) -> List[Rule]:
     chosen: List[Rule] = []
     for selector in select:
         matched = [rule for rule in rules
-                   if rule.id == selector or rule.family == selector]
+                   if rule.id == selector or rule.family == selector
+                   or (selector.isalpha() and selector.isupper()
+                       and rule.id.startswith(selector))]
         if not matched:
             known = ", ".join(sorted({r.id for r in rules}
                                      | {r.family for r in rules}))

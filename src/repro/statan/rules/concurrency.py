@@ -1,0 +1,730 @@
+"""Concurrency-safety rules (CON4xx).
+
+PRs 6–7 made the reproduction genuinely concurrent — the threaded
+study service (:mod:`repro.service`: runner pool, SSE condition
+variables, store locks) and the process supervisor
+(:mod:`repro.crawler.supervisor`: watchdog threads, per-worker
+queues).  The bug classes that break a served fingerprint are exactly
+the ones a test suite is worst at catching (they need the race to
+happen), so the gate catches them statically:
+
+* **CON401** shared-mutable-state — an attribute that is accessed
+  under a lock in one method but *written* without it in another.
+* **CON402** lock-order inversion — a per-class lock-acquisition
+  graph built from ``with self._lock:`` nests across methods (one
+  level of ``self.method()`` calls included); any cycle is a
+  potential deadlock.
+* **CON403** blocking-under-lock — a call made while holding a lock
+  that directly or transitively (through the project call graph)
+  reaches a blocking sink: ``Study.crawl``, ``subprocess``,
+  ``queue.get()`` with no timeout, ``socket``, ``time.sleep``.
+* **CON404** condition-wait-without-predicate-loop —
+  ``Condition.wait`` outside a ``while`` re-check (spurious wakeups
+  are allowed by the spec; ``wait_for`` is the safe form).
+* **CON405** thread leak — a ``threading.Thread`` that is neither
+  ``daemon=True`` nor ever joined outlives shutdown and can write to
+  torn-down state.
+
+The lock model is deliberately syntactic: a lock is an instance
+attribute assigned ``threading.Lock()``/``RLock()``/``Condition()``/
+``Semaphore()`` in the class (or whose name says lock/mutex/cond),
+and acquisition is the ``with self._lock:`` statement — the only
+idiom this repo uses.  ``acquire()``/``release()`` pairs are out of
+scope on purpose; they should not pass review anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..callgraph import FunctionInfo, ProjectIndex
+from ..engine import FAMILY_CONCURRENCY, Finding, ModuleContext, Rule
+
+#: Modules the concurrency contract is stated over: every package that
+#: creates threads or locks (the service layer, the crawl supervisor,
+#: the observability writers they share).
+CONCURRENCY_SCOPE: Tuple[str, ...] = (
+    "repro.service",
+    "repro.crawler",
+    "repro.obs",
+)
+
+#: threading constructors whose instance attributes count as locks.
+_LOCK_CONSTRUCTORS = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+}
+_CONDITION_CONSTRUCTORS = {"threading.Condition"}
+
+#: Attribute-name substrings that mark a lock even without seeing the
+#: constructor (the attribute may be assigned in a helper).
+_LOCKISH_MARKERS = ("lock", "mutex", "cond")
+
+#: Methods whose writes are construction, not racing: the object is
+#: not yet shared.
+_INIT_METHODS = {"__init__", "__post_init__", "__new__"}
+
+#: Dotted-callee prefixes that block the calling thread.
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "requests.",
+                      "urllib.request.")
+#: Exact dotted callees that block.
+_BLOCKING_CALLS = {"time.sleep", "socket.create_connection"}
+#: Method names that block regardless of receiver (the repo's own
+#: long-running entry points plus the stdlib's usual suspects).
+_BLOCKING_ATTRS = {"crawl", "run_shard_job", "serve_forever",
+                   "communicate", "check_output", "accept", "recv",
+                   "urlopen"}
+#: Receiver-name substrings for which ``.join()`` means "wait for a
+#: thread/process", not ``str.join``.
+_JOINABLE_MARKERS = ("thread", "proc", "worker")
+
+#: Transitive reachability depth for CON403 (call-graph hops).
+_MAX_CALL_DEPTH = 4
+
+
+def _lockish_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in _LOCKISH_MARKERS)
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.X`` -> ``"X"``; anything else -> None."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.expr) -> str:
+    """Best-effort dotted rendering of a receiver chain."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    else:
+        parts.append("<expr>")
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# Per-class lock model.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _AttrAccess:
+    method: str
+    node: ast.Attribute
+    attr: str
+    held: Tuple[str, ...]
+    is_write: bool
+
+
+@dataclass
+class _HeldCall:
+    method: str
+    node: ast.Call
+    held: Tuple[str, ...]
+
+
+@dataclass
+class _WaitCall:
+    method: str
+    node: ast.Call
+    lock: str
+    in_while: bool
+
+
+@dataclass
+class _ClassModel:
+    """Everything the CON rules need to know about one class."""
+
+    name: str
+    node: ast.ClassDef
+    lock_attrs: Set[str] = field(default_factory=set)
+    cond_attrs: Set[str] = field(default_factory=set)
+    accesses: List[_AttrAccess] = field(default_factory=list)
+    #: (held lock, acquired lock) -> first AST node creating the edge.
+    edges: Dict[Tuple[str, str], ast.AST] = field(default_factory=dict)
+    held_calls: List[_HeldCall] = field(default_factory=list)
+    waits: List[_WaitCall] = field(default_factory=list)
+    #: method name -> locks it acquires anywhere in its body.
+    method_acquires: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def guards_of(self, attr: str) -> Set[str]:
+        """Locks under which ``attr`` is accessed somewhere."""
+        return {lock for access in self.accesses
+                if access.attr == attr for lock in access.held}
+
+
+def _class_models(ctx: ModuleContext) -> List[_ClassModel]:
+    """Build the lock model for every top-level class in ``ctx``."""
+    models: List[_ClassModel] = []
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            models.append(_build_model(ctx, stmt))
+    return models
+
+
+def _build_model(ctx: ModuleContext, node: ast.ClassDef) -> _ClassModel:
+    model = _ClassModel(name=node.name, node=node)
+    methods = [member for member in node.body
+               if isinstance(member, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))]
+    # Pass 1: which attributes are locks / conditions, and which locks
+    # each method acquires (needed for one-level call edges).
+    for method in methods:
+        for child in ast.walk(method):
+            if isinstance(child, ast.Assign) and \
+                    isinstance(child.value, ast.Call):
+                qual = ctx.qualname(child.value.func)
+                if qual in _LOCK_CONSTRUCTORS:
+                    for target in child.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            model.lock_attrs.add(attr)
+                            if qual in _CONDITION_CONSTRUCTORS:
+                                model.cond_attrs.add(attr)
+    for method in methods:
+        acquires: Set[str] = set()
+        for child in ast.walk(method):
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    lock = _acquired_lock(model, item.context_expr)
+                    if lock is not None:
+                        acquires.add(lock)
+        model.method_acquires[method.name] = acquires
+    # Pass 2: the held-lock walk.
+    for method in methods:
+        walker = _MethodWalker(ctx, model, method.name)
+        walker.walk_body(method.body, (), 0)
+    return model
+
+
+def _acquired_lock(model: _ClassModel, expr: ast.expr) -> Optional[str]:
+    """The lock attr a ``with`` item acquires, or None."""
+    attr = _self_attr(expr)
+    if attr is None:
+        return None
+    if attr in model.lock_attrs or _lockish_name(attr):
+        return attr
+    return None
+
+
+class _MethodWalker:
+    """Recursive walk of one method body tracking held locks and
+    ``while`` nesting; records accesses, lock-order edges, held calls
+    and condition waits into the class model."""
+
+    def __init__(self, ctx: ModuleContext, model: _ClassModel,
+                 method: str) -> None:
+        self.ctx = ctx
+        self.model = model
+        self.method = method
+
+    def walk_body(self, body: Sequence[ast.stmt], held: Tuple[str, ...],
+                  while_depth: int) -> None:
+        for stmt in body:
+            self.walk(stmt, held, while_depth)
+
+    def walk(self, node: ast.AST, held: Tuple[str, ...],
+             while_depth: int) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested scopes run on their own thread's schedule
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            for item in node.items:
+                self.walk(item.context_expr, held, while_depth)
+                lock = _acquired_lock(self.model, item.context_expr)
+                if lock is not None:
+                    for outer in held + tuple(acquired):
+                        if outer != lock:
+                            self.model.edges.setdefault((outer, lock),
+                                                        node)
+                    acquired.append(lock)
+            self.walk_body(node.body, held + tuple(acquired), while_depth)
+            return
+        if isinstance(node, ast.While):
+            self.walk(node.test, held, while_depth + 1)
+            self.walk_body(node.body, held, while_depth + 1)
+            self.walk_body(node.orelse, held, while_depth)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node, held, while_depth)
+            for child in ast.iter_child_nodes(node):
+                self.walk(child, held, while_depth)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None:
+                self.model.accesses.append(_AttrAccess(
+                    method=self.method, node=node, attr=attr, held=held,
+                    is_write=isinstance(node.ctx, (ast.Store, ast.Del))))
+            self.walk(node.value, held, while_depth)
+            return
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, held, while_depth)
+
+    def _record_call(self, call: ast.Call, held: Tuple[str, ...],
+                     while_depth: int) -> None:
+        func = call.func
+        receiver_attr = None
+        if isinstance(func, ast.Attribute):
+            receiver_attr = _self_attr(func.value)
+        # Condition waits (CON404), wherever they happen.
+        if isinstance(func, ast.Attribute) and func.attr == "wait" and \
+                receiver_attr is not None and \
+                (receiver_attr in self.model.cond_attrs
+                 or "cond" in receiver_attr.lower()):
+            self.model.waits.append(_WaitCall(
+                method=self.method, node=call, lock=receiver_attr,
+                in_while=while_depth > 0))
+        if not held:
+            return
+        # Calls *on* a held lock (wait/notify/release) are the point of
+        # holding it, not blocking-under-lock.
+        if receiver_attr is not None and receiver_attr in held:
+            return
+        # One-level lock-order edges through self.method() calls.
+        if isinstance(func, ast.Attribute) and receiver_attr is None and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id == "self":
+            inner = self.model.method_acquires.get(func.attr, set())
+            for lock in inner:
+                for outer in held:
+                    if outer != lock:
+                        self.model.edges.setdefault((outer, lock), call)
+        self.model.held_calls.append(_HeldCall(
+            method=self.method, node=call, held=held))
+
+
+# ---------------------------------------------------------------------------
+# The rules.
+# ---------------------------------------------------------------------------
+
+class _ConcurrencyRule(Rule):
+    """Shared behaviour for the CON rules."""
+
+    family = FAMILY_CONCURRENCY
+
+    def __init__(self, scope: Sequence[str] = CONCURRENCY_SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def in_scope(self, ctx: ModuleContext) -> bool:
+        return ctx.module_matches(self.scope)
+
+
+class SharedMutableStateRule(_ConcurrencyRule):
+    id = "CON401"
+    name = "unlocked-shared-write"
+    description = ("an attribute accessed under a lock in one method "
+                   "must not be written without that lock in another "
+                   "(constructor writes exempt)")
+    rationale = ("If submit() reads self._accepting under _submit_lock, "
+                 "a bare write from another thread races it: the read "
+                 "can see a torn/reordered view and the lock protects "
+                 "nothing. One unlocked writer invalidates every "
+                 "locked reader.")
+    example_bad = (
+        "def submit(self):\n"
+        "    with self._lock:\n"
+        "        if self._accepting: ...\n"
+        "\n"
+        "def shutdown(self):\n"
+        "    self._accepting = False   # no lock")
+    example_good = (
+        "def shutdown(self):\n"
+        "    with self._lock:\n"
+        "        self._accepting = False")
+    fix_hint = ("Take the same lock around the write. If the write is "
+                "deliberately lock-free (e.g. a signal handler that "
+                "must not block), suppress with a reason explaining "
+                "the happens-before argument.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        for model in _class_models(ctx):
+            for access in model.accesses:
+                if not access.is_write or access.held:
+                    continue
+                if access.method in _INIT_METHODS:
+                    continue
+                if access.attr in model.lock_attrs:
+                    continue
+                guards = model.guards_of(access.attr)
+                if not guards:
+                    continue
+                yield self.finding(
+                    ctx, access.node,
+                    "%s.%s is accessed under self.%s elsewhere but "
+                    "written in %s() without it; take the lock (or "
+                    "justify the lock-free write)"
+                    % (model.name, access.attr, sorted(guards)[0],
+                       access.method))
+
+
+class LockOrderInversionRule(_ConcurrencyRule):
+    id = "CON402"
+    name = "lock-order-inversion"
+    description = ("per-class lock acquisition order must be acyclic "
+                   "across methods (one level of self.method() calls "
+                   "included)")
+    rationale = ("Thread A holding lock1 waiting for lock2 while "
+                 "thread B holds lock2 waiting for lock1 deadlocks "
+                 "both forever; the service then hangs its HTTP "
+                 "workers with no traceback. Cycles in the static "
+                 "acquisition graph are the precondition.")
+    example_bad = (
+        "def transfer(self):\n"
+        "    with self._a:\n"
+        "        with self._b: ...\n"
+        "\n"
+        "def audit(self):\n"
+        "    with self._b:\n"
+        "        with self._a: ...")
+    example_good = (
+        "def audit(self):\n"
+        "    with self._a:          # canonical order: _a before _b\n"
+        "        with self._b: ...")
+    fix_hint = ("Pick one canonical acquisition order per class, "
+                "document it (docs/SERVICE.md does for the service), "
+                "and restructure the out-of-order method.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        for model in _class_models(ctx):
+            adjacency: Dict[str, Set[str]] = {}
+            for (outer, inner) in model.edges:
+                adjacency.setdefault(outer, set()).add(inner)
+            seen_pairs: Set[frozenset] = set()
+            ordered = sorted(model.edges.items(),
+                             key=lambda kv: (kv[1].lineno,
+                                             kv[1].col_offset))
+            for (outer, inner), node in ordered:
+                if not _reachable(adjacency, inner, outer):
+                    continue
+                pair = frozenset((outer, inner))
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                yield self.finding(
+                    ctx, node,
+                    "lock-order inversion in %s: self.%s is acquired "
+                    "while holding self.%s here, but the reverse "
+                    "order exists elsewhere in the class — a "
+                    "deadlock window" % (model.name, inner, outer))
+
+
+def _reachable(adjacency: Dict[str, Set[str]], start: str,
+               goal: str) -> bool:
+    stack, visited = [start], set()
+    while stack:
+        current = stack.pop()
+        if current == goal:
+            return True
+        if current in visited:
+            continue
+        visited.add(current)
+        stack.extend(adjacency.get(current, ()))
+    return False
+
+
+class BlockingUnderLockRule(_ConcurrencyRule):
+    id = "CON403"
+    name = "blocking-under-lock"
+    description = ("no call that (transitively) reaches a blocking "
+                   "sink — Study.crawl, subprocess, socket, "
+                   "queue.get() without timeout, time.sleep — while a "
+                   "lock is held")
+    rationale = ("A crawl under the submit lock serializes every "
+                 "other request behind minutes of work and starves "
+                 "the SSE heartbeat; the block is invisible at the "
+                 "call site because it hides one or two calls down. "
+                 "The rule follows the project call graph to find it.")
+    example_bad = (
+        "def submit(self, spec):\n"
+        "    with self._submit_lock:\n"
+        "        return self._run(spec)    # _run -> study.crawl()")
+    example_good = (
+        "def submit(self, spec):\n"
+        "    with self._submit_lock:\n"
+        "        job = self._enqueue(spec)  # bookkeeping only\n"
+        "    return self._run(job)          # heavy work outside")
+    fix_hint = ("Move the blocking work outside the with-block: take "
+                "the lock only to mutate bookkeeping, then do the "
+                "slow call lock-free (snapshot what it needs first).")
+
+    def __init__(self, scope: Sequence[str] = CONCURRENCY_SCOPE) -> None:
+        super().__init__(scope)
+        self._project: Optional[ProjectIndex] = None
+        self._cache: Dict[str, Optional[str]] = {}
+
+    def prepare(self, project: object) -> None:
+        self._project = project if isinstance(project, ProjectIndex) \
+            else None
+        self._cache = {}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        for model in _class_models(ctx):
+            for held in model.held_calls:
+                reason = self._blocking_reason(held.node, ctx,
+                                               model.name, 0, set())
+                if reason is None:
+                    continue
+                yield self.finding(
+                    ctx, held.node,
+                    "%s() calls %s while holding self.%s — move the "
+                    "blocking work outside the lock"
+                    % (held.method, reason, held.held[-1]))
+
+    # -- reachability -----------------------------------------------------
+
+    def _blocking_reason(self, call: ast.Call, ctx: ModuleContext,
+                         class_name: Optional[str], depth: int,
+                         visited: Set[str]) -> Optional[str]:
+        direct = _direct_blocking(call, ctx)
+        if direct is not None:
+            return direct
+        if self._project is None or depth >= _MAX_CALL_DEPTH:
+            return None
+        info = self._project.resolve_call(ctx, call, class_name) \
+            or self._project.resolve_fuzzy(call)
+        if info is None:
+            return None
+        return self._callee_blocking(info, depth, visited)
+
+    def _callee_blocking(self, info: FunctionInfo, depth: int,
+                         visited: Set[str]) -> Optional[str]:
+        if info.qualname in self._cache:
+            return self._cache[info.qualname]
+        if info.qualname in visited:
+            return None
+        visited.add(info.qualname)
+        result: Optional[str] = None
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            inner = self._blocking_reason(node, info.ctx,
+                                          info.class_name, depth + 1,
+                                          visited)
+            if inner is not None:
+                result = "%s (via %s)" % (inner.split(" (via ")[0],
+                                          info.qualname)
+                break
+        self._cache[info.qualname] = result
+        return result
+
+
+def _direct_blocking(call: ast.Call, ctx: ModuleContext,
+                     ) -> Optional[str]:
+    """Why ``call`` blocks the calling thread directly, or None."""
+    qual = ctx.qualname(call.func)
+    if qual is not None:
+        if qual in _BLOCKING_CALLS:
+            return "%s()" % qual
+        for prefix in _BLOCKING_PREFIXES:
+            if qual.startswith(prefix):
+                return "%s()" % qual
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = _dotted(func.value)
+    lowered = receiver.lower()
+    if func.attr in _BLOCKING_ATTRS:
+        return "%s.%s()" % (receiver, func.attr)
+    if func.attr == "get" and "queue" in lowered and \
+            _get_blocks_forever(call):
+        return "%s.get() with no timeout" % receiver
+    if func.attr == "join" and \
+            any(marker in lowered for marker in _JOINABLE_MARKERS):
+        return "%s.join()" % receiver
+    return None
+
+
+def _get_blocks_forever(call: ast.Call) -> bool:
+    """``q.get()`` bare, or with ``timeout=None`` — blocks forever."""
+    if call.args:
+        return False
+    for keyword in call.keywords:
+        if keyword.arg == "timeout":
+            return isinstance(keyword.value, ast.Constant) and \
+                keyword.value.value is None
+        if keyword.arg == "block":
+            return False
+    return True
+
+
+class ConditionWaitRule(_ConcurrencyRule):
+    id = "CON404"
+    name = "wait-without-predicate-loop"
+    description = ("Condition.wait must sit in a while loop re-checking "
+                   "its predicate (or use Condition.wait_for); spurious "
+                   "wakeups and timeouts return without the predicate "
+                   "holding")
+    rationale = ("threading.Condition.wait may return spuriously and "
+                 "returns on timeout whether or not the predicate "
+                 "holds; a bare if-then-wait then acts on state that "
+                 "is not there — the SSE stream's 'event ready' is "
+                 "the live example.")
+    example_bad = (
+        "with self._cond:\n"
+        "    if not self._events:\n"
+        "        self._cond.wait(timeout)\n"
+        "    return self._events[-1]")
+    example_good = (
+        "with self._cond:\n"
+        "    self._cond.wait_for(lambda: self._events, timeout)\n"
+        "    ...")
+    fix_hint = ("Prefer Condition.wait_for(predicate, timeout); "
+                "otherwise wrap the wait in `while not predicate:`.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        for model in _class_models(ctx):
+            for wait in model.waits:
+                if wait.in_while:
+                    continue
+                yield self.finding(
+                    ctx, wait.node,
+                    "self.%s.wait() in %s() is not inside a "
+                    "predicate-re-checking while loop; use "
+                    "wait_for(predicate, timeout) or loop"
+                    % (wait.lock, wait.method))
+
+
+class ThreadLeakRule(_ConcurrencyRule):
+    id = "CON405"
+    name = "thread-leak"
+    description = ("every threading.Thread must be daemon=True or "
+                   "joined somewhere in its owning scope; anything "
+                   "else outlives shutdown")
+    rationale = ("A non-daemon, never-joined thread keeps the process "
+                 "alive after main() returns and keeps writing to "
+                 "stores that shutdown already closed — the chaos "
+                 "harness flags exactly this as a hung crawl.")
+    example_bad = (
+        "t = threading.Thread(target=worker)\n"
+        "t.start()")
+    example_good = (
+        "t = threading.Thread(target=worker, daemon=True)\n"
+        "t.start()\n"
+        "# or keep it non-daemon and t.join() on the shutdown path")
+    fix_hint = ("Pass daemon=True for fire-and-forget helpers; for "
+                "threads whose completion matters, keep a handle and "
+                "join it on the shutdown path.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        parents = _parent_map(ctx.tree)
+        for call in ast.walk(ctx.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            if ctx.qualname(call.func) != "threading.Thread":
+                continue
+            if _has_daemon_true(call):
+                continue
+            target = _assignment_target(call, parents)
+            if target is None:
+                yield self.finding(
+                    ctx, call,
+                    "threading.Thread is neither daemon=True nor "
+                    "bound to a name that could be joined; it leaks "
+                    "past shutdown")
+                continue
+            scope = _join_search_scope(call, target, parents)
+            if scope is not None and _is_joined_or_daemonized(scope,
+                                                             target):
+                continue
+            yield self.finding(
+                ctx, call,
+                "thread %r is neither daemon=True nor joined in its "
+                "owning scope; join it on the shutdown path or make "
+                "it a daemon" % target)
+
+
+def _parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _has_daemon_true(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "daemon":
+            return isinstance(keyword.value, ast.Constant) and \
+                bool(keyword.value.value)
+    return False
+
+
+def _assignment_target(call: ast.Call, parents: Dict[ast.AST, ast.AST],
+                       ) -> Optional[str]:
+    """``t`` for ``t = Thread(...)``, ``self._t`` for the attr form;
+    None when the Thread object is never bound to a joinable name."""
+    parent = parents.get(call)
+    targets: List[ast.expr] = []
+    if isinstance(parent, ast.Assign):
+        targets = list(parent.targets)
+    elif isinstance(parent, ast.AnnAssign) and parent.value is call:
+        targets = [parent.target]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            return target.id
+        attr = _self_attr(target)
+        if attr is not None:
+            return "self." + attr
+    return None
+
+
+def _join_search_scope(call: ast.Call, target: str,
+                       parents: Dict[ast.AST, ast.AST],
+                       ) -> Optional[ast.AST]:
+    """Where a join of ``target`` would live: the enclosing class for
+    ``self.X`` handles, else the enclosing function, else the module."""
+    want_class = target.startswith("self.")
+    node: Optional[ast.AST] = call
+    enclosing_function: Optional[ast.AST] = None
+    while node is not None:
+        if isinstance(node, ast.ClassDef) and want_class:
+            return node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and enclosing_function is None:
+            enclosing_function = node
+        if isinstance(node, ast.Module):
+            if want_class:
+                return node
+            return enclosing_function or node
+        node = parents.get(node)
+    return enclosing_function
+
+
+def _is_joined_or_daemonized(scope: ast.AST, target: str) -> bool:
+    """Does ``scope`` contain ``target.join(...)`` or
+    ``target.daemon = True``?"""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "join" and \
+                _dotted(node.func.value) == target:
+            return True
+        if isinstance(node, ast.Assign):
+            for assigned in node.targets:
+                if isinstance(assigned, ast.Attribute) and \
+                        assigned.attr == "daemon" and \
+                        _dotted(assigned) == target + ".daemon" and \
+                        isinstance(node.value, ast.Constant) and \
+                        bool(node.value.value):
+                    return True
+    return False

@@ -104,6 +104,16 @@ class WallClockRule(_ScopedRule):
     description = ("no wall-clock reads (time.time, naive datetime.now) "
                    "in fingerprint-affecting modules; use the simulated "
                    "clock (SimClock)")
+    rationale = ("Any host-clock read on the crawl path makes two runs "
+                 "of the same seed diverge, breaking the bit-identical "
+                 "fingerprint contract the whole reproduction rests "
+                 "on.")
+    example_bad = "started = time.time()"
+    example_good = "started = session.clock.now()"
+    fix_hint = ("Thread the session's SimClock to the call site. "
+                "Wall-clock is acceptable only for liveness deadlines "
+                "that never feed a fingerprint — suppress with a "
+                "reason saying exactly that.")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not self.in_scope(ctx):
@@ -137,6 +147,15 @@ class UnseededRandomRule(_ScopedRule):
     name = "unseeded-random"
     description = ("no module-level random.* calls (the shared global "
                    "RNG); draw from an explicit random.Random(seed)")
+    rationale = ("The module-global RNG is shared, unseeded process "
+                 "state: draw order depends on every other caller, so "
+                 "replays differ run to run and worker count changes "
+                 "the stream.")
+    example_bad = "jitter = random.uniform(0, 1)"
+    example_good = ("rng = random.Random(seed)\n"
+                    "jitter = rng.uniform(0, 1)")
+    fix_hint = ("Construct random.Random(seed) from the run seed and "
+                "pass the instance down (the websim.generator idiom).")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not self.in_scope(ctx):
@@ -156,6 +175,14 @@ class OsEntropyRule(_ScopedRule):
     name = "os-entropy"
     description = ("no OS entropy (os.urandom, uuid.uuid4, secrets, "
                    "SystemRandom) in fingerprint-affecting modules")
+    rationale = ("OS entropy differs on every call by design; an id or "
+                 "token minted from it can never be reproduced from "
+                 "the seed, so every downstream artifact diverges.")
+    example_bad = "job_id = uuid.uuid4().hex"
+    example_good = ("job_id = hashlib.sha256(\n"
+                    "    ('%d:%s' % (seed, name)).encode()).hexdigest()")
+    fix_hint = ("Derive identifiers deterministically: hashlib over "
+                "seeded inputs (see crawler.sharding).")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not self.in_scope(ctx):
@@ -179,6 +206,14 @@ class BuiltinHashRule(_ScopedRule):
     description = ("builtin hash() is PYTHONHASHSEED-salted for "
                    "str/bytes; use hashlib digests for any value that "
                    "feeds a fingerprint, shard layout or ordering")
+    rationale = ("hash(str) is salted per process by PYTHONHASHSEED, "
+                 "so a shard layout or ordering built on it differs "
+                 "across workers — the exact cross-process "
+                 "nondeterminism the sharding layer exists to avoid.")
+    example_bad = "shard = hash(url) % n_shards"
+    example_good = ("digest = hashlib.sha256(url.encode()).digest()\n"
+                    "shard = int.from_bytes(digest[:8], 'big') % n_shards")
+    fix_hint = "Use a hashlib digest (the crawler.sharding idiom)."
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not self.in_scope(ctx):

@@ -1,0 +1,57 @@
+"""Suppression-hygiene rules (STA0xx) — statan policing itself.
+
+A suppression comment is a claim that a rule is wrong *here*; the
+claim is only auditable if it says why.  STA001 makes the
+justification mandatory: every ``statan: ignore`` must carry a
+``-- reason`` tail, and the reason is what a reviewer (or the next
+session) reads instead of re-deriving the argument.  The rule is
+deliberately not suppressible — an unjustified suppression of the
+unjustified-suppression rule would be the obvious dodge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..engine import FAMILY_HYGIENE, Finding, ModuleContext, Rule
+
+#: statan itself is exempt: its docstrings and rule definitions must be
+#: able to spell the suppression syntax out (the line-based scanner
+#: cannot tell prose from a live comment).
+STA_EXEMPT_MODULES: Tuple[str, ...] = ("repro.statan",)
+
+
+class UnjustifiedSuppressionRule(Rule):
+    id = "STA001"
+    name = "unjustified-suppression"
+    family = FAMILY_HYGIENE
+    description = ("every `statan: ignore` comment must justify itself "
+                   "with `-- reason`; a bare suppression is a finding")
+    rationale = ("A bare suppression silences a rule forever with no "
+                 "record of the argument; six months later nobody can "
+                 "tell a considered exception from a drive-by mute. "
+                 "The reason line is the audit trail.")
+    example_bad = "t = time.time()  # statan: ignore[DET101]"
+    example_good = ("t = time.time()  # statan: ignore[DET101] -- "
+                    "liveness deadline only, never fingerprinted")
+    fix_hint = ("Append `-- <why this rule is wrong here>` to the "
+                "comment, or delete the suppression and fix the "
+                "underlying finding.")
+    suppressible = False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module_matches(STA_EXEMPT_MODULES):
+            return
+        for entry in ctx.suppressions():
+            if entry.justified:
+                continue
+            rules = "all rules" if entry.rules is None \
+                else ", ".join(sorted(entry.rules))
+            location = ast.Constant(value=None)
+            location.lineno = entry.line
+            location.col_offset = entry.col
+            yield self.finding(
+                ctx, location,
+                "suppression of %s has no justification; write "
+                "`# statan: ignore[...] -- reason`" % rules)

@@ -65,6 +65,14 @@ class StoredLambdaRule(_PickleScopedRule):
     description = ("no lambdas in picklable state (self.x = lambda, "
                    "class attributes, dataclass defaults) in modules "
                    "crossing the multiprocessing boundary")
+    rationale = ("Lambdas pickle by reference to a name they do not "
+                 "have; the failure surfaces at fan-out time on a "
+                 "worker, far from the definition that caused it.")
+    example_bad = "self.key_fn = lambda row: row.url"
+    example_good = ("def _row_key(row): return row.url\n"
+                    "...\n"
+                    "self.key_fn = _row_key")
+    fix_hint = "Hoist the lambda to a module-level function."
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not self.in_scope(ctx):
@@ -101,6 +109,18 @@ class LocalClassRule(_PickleScopedRule):
     description = ("no class definitions inside functions in modules "
                    "crossing the multiprocessing boundary; local "
                    "classes cannot be re-imported by pickle")
+    rationale = ("pickle stores instances as (module, qualname) plus "
+                 "state; a class defined inside a function cannot be "
+                 "re-imported by name in the worker process, so every "
+                 "instance fails to unpickle.")
+    example_bad = ("def make_job():\n"
+                   "    class Job: ...\n"
+                   "    return Job()")
+    example_good = ("class Job: ...\n"
+                    "\n"
+                    "def make_job():\n"
+                    "    return Job()")
+    fix_hint = "Move the class to module level."
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not self.in_scope(ctx):
@@ -125,6 +145,17 @@ class UnpicklableHandleRule(_PickleScopedRule):
     description = ("no live handles (open files, sockets, locks, "
                    "pools, generators) in picklable state in modules "
                    "crossing the multiprocessing boundary")
+    rationale = ("A file handle or lock stored on self either refuses "
+                 "to pickle or — worse — pickles and arrives dead in "
+                 "the child, failing only when first used.")
+    example_bad = "self.log = open(path, 'a')"
+    example_good = ("self.log_path = path\n"
+                    "# open(self.log_path) lazily, in the process "
+                    "that writes")
+    fix_hint = ("Store the path/config instead of the handle and open "
+                "lazily in the worker; for parent-side-only handles, "
+                "suppress with a reason saying the object never "
+                "crosses the boundary.")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not self.in_scope(ctx):

@@ -6,22 +6,31 @@ PII, and the leaked-token payloads the detector recovers *are* that PII.
 Neither may reach an output sink (``print``, ``logging``, file writes,
 exception messages) as raw text; they must pass through
 :mod:`repro.reporting.redact` first (or the call site must opt out with
-an explicit ``# statan: ignore[PII201]`` — e.g. behind a ``--show-pii``
-flag).
+a justified suppression — ``statan: ignore`` of PII201 with a
+``-- reason``, e.g. behind a ``--show-pii`` flag).
 
-The analysis is the intraprocedural dataflow in
-:mod:`repro.statan.taint`: sources are configured attribute reads
-(``persona.email``, ``origin.surface_form``, ...), taint propagates
-through assignments and every common string-building shape, and the
-``redact*`` helpers sanitize.
+The analysis is the dataflow in :mod:`repro.statan.taint`: sources are
+configured attribute reads (``persona.email``, ``origin.surface_form``,
+...), taint propagates through assignments and every common
+string-building shape, and the ``redact*`` helpers sanitize.  Since the
+project call graph landed, the rule is interprocedural one call deep:
+each project-local function gets a cached
+:class:`~repro.statan.taint.FunctionSummary`, so ``log_email(
+persona.email)`` fires even when the ``print`` lives inside
+``log_email``, and ``print(fetch_email(persona))`` fires when the
+callee returns a source.  Summaries are memoized per qualname, keeping
+the gate O(files).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+import ast
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
+from ..callgraph import FunctionInfo, ProjectIndex
 from ..engine import FAMILY_PII_TAINT, Finding, ModuleContext, Rule
-from ..taint import SinkTable, TaintAnalysis, TaintConfig
+from ..taint import (FunctionSummary, Resolver, SinkTable, TaintAnalysis,
+                     TaintConfig, summarize_function)
 
 #: Modules exempt from the PII rules: the redaction helpers themselves
 #: (they must touch raw PII to mask it) and statan's own fixtures.
@@ -38,19 +47,51 @@ class PiiSinkRule(Rule):
     description = ("persona PII / leak payloads must not reach print, "
                    "logging, file writes or exception messages except "
                    "through repro.reporting.redact")
+    rationale = ("The reproduction's own logs and error output are a "
+                 "leak surface: a persona email in a traceback or a "
+                 "progress line is exactly the PII exposure the paper "
+                 "studies, happening in our tooling. The rule follows "
+                 "taint one project-local call deep, so wrapping the "
+                 "print in a helper does not hide it.")
+    example_bad = (
+        "def log_email(addr):\n"
+        "    print(addr)\n"
+        "\n"
+        "log_email(persona.email)")
+    example_good = (
+        "from repro.reporting.redact import redact_email\n"
+        "\n"
+        "def log_email(addr):\n"
+        "    print(addr)\n"
+        "\n"
+        "log_email(redact_email(persona.email))")
+    fix_hint = ("Route the value through a repro.reporting.redact helper "
+                "before the sink; if raw output is the point (an "
+                "explicit --show-pii path), suppress with a reason "
+                "saying so.")
 
     def __init__(self, config: Optional[TaintConfig] = None,
                  exempt: Sequence[str] = PII_EXEMPT_MODULES,
                  raise_is_sink: bool = True) -> None:
         self.analysis = TaintAnalysis(config)
+        self.config = config
         self.exempt = tuple(exempt)
         self.sinks = SinkTable(raise_is_sink=raise_is_sink)
+        self._project: Optional[ProjectIndex] = None
+        self._summaries: Dict[str, Optional[FunctionSummary]] = {}
+
+    def prepare(self, project: object) -> None:
+        self._project = project if isinstance(project, ProjectIndex) \
+            else None
+        self._summaries = {}
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.module_matches(self.exempt):
             return
-        for scope_name, body in self.analysis.function_bodies(ctx.tree):
-            for hit in self.analysis.sink_hits(body, self.sinks):
+        for scope_name, class_name, body in self.analysis.scopes(ctx.tree):
+            resolver = self._make_resolver(ctx, class_name)
+            for hit in self.analysis.sink_hits(body, self.sinks,
+                                               resolver=resolver):
                 yield self.finding(
                     ctx, hit.node,
                     "PII from %s reaches %s in %s without redaction; "
@@ -58,3 +99,35 @@ class PiiSinkRule(Rule):
                     % (hit.source, hit.sink,
                        "module scope" if scope_name == "<module>"
                        else "%s()" % scope_name))
+
+    # -- interprocedural plumbing ---------------------------------------
+
+    def _make_resolver(self, ctx: ModuleContext,
+                       class_name: Optional[str]) -> Optional[Resolver]:
+        """Call -> callee summary, via the project index (confident
+        resolution only — never the fuzzy unique-name fallback; a wrong
+        taint edge is a hard-to-triage false positive)."""
+        project = self._project
+        if project is None:
+            return None
+
+        def resolve(call: ast.Call) -> Optional[FunctionSummary]:
+            info = project.resolve_call(ctx, call, class_name)
+            if info is None:
+                return None
+            return self._summary(info)
+
+        return resolve
+
+    def _summary(self, info: FunctionInfo) -> Optional[FunctionSummary]:
+        if info.qualname in self._summaries:
+            return self._summaries[info.qualname]
+        summary: Optional[FunctionSummary] = None
+        # Exempt modules (the redact helpers) must not contribute
+        # summaries — their whole point is to touch raw PII.
+        if not info.ctx.module_matches(self.exempt) and \
+                isinstance(info.node, ast.FunctionDef):
+            summary = summarize_function(info.node, self.sinks,
+                                         self.config)
+        self._summaries[info.qualname] = summary
+        return summary

@@ -1,4 +1,4 @@
-"""Intraprocedural PII taint dataflow.
+"""PII taint dataflow: intraprocedural core + one-call-deep summaries.
 
 The model, deliberately simple enough to reason about:
 
@@ -22,17 +22,33 @@ The model, deliberately simple enough to reason about:
   PII rules) asks :class:`TaintAnalysis` for sink hits.
 
 This is a linter, not a verifier: it over-taints (any call argument)
-and under-taints (no interprocedural flow, no aliasing through
-containers read back later).  Both trade-offs are the conventional ones
-for a CI gate — findings must be cheap to confirm, and escapes are
-caught by the next rule pass over the callee.
+and under-taints (aliasing through containers read back later is not
+tracked).  Both trade-offs are the conventional ones for a CI gate —
+findings must be cheap to confirm.
+
+Interprocedural flow is handled by **function summaries** one level
+deep.  :func:`summarize_function` runs the same dataflow over a callee
+with each parameter pre-tainted by a ``param:`` marker and records (a)
+which parameters reach a sink inside the callee, (b) which parameters
+flow to its return value, and (c) whether the return value is tainted
+regardless of arguments (the callee reads a source itself).  A
+caller-side resolver (built by the PII rule from the project call
+graph) maps call expressions to summaries; :class:`TaintAnalysis`
+consults it *additively* — a summary can only add taint and sink hits
+on top of the conservative intraprocedural verdicts, never remove
+them, so upgrading to interprocedural analysis is monotone: every old
+finding survives.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+#: Source-description prefix marking "this taint came from parameter X"
+#: during a summarization run (never appears in real findings).
+PARAM_MARKER = "param:"
 
 
 @dataclass(frozen=True)
@@ -68,6 +84,36 @@ class SinkHit:
     source: str            # where the taint came from, e.g. "persona.email"
 
 
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What one callee does with taint, from its caller's point of view.
+
+    Computed once per function per analyzer run (the PII rule caches
+    by qualname) by :func:`summarize_function`; summaries themselves
+    are computed *without* a resolver, which is what bounds the
+    interprocedural depth at one call level.
+    """
+
+    name: str                            # display name, e.g. "fetch_email"
+    params: Tuple[str, ...]              # mapping order for call args
+    #: param -> sink labels it reaches inside the callee.
+    param_sinks: Dict[str, Tuple[str, ...]]
+    #: Params whose taint flows into the callee's return value.
+    returns_param: Set[str]
+    #: Return value tainted regardless of args (callee reads a source).
+    returns_source: Optional[str]
+
+    @property
+    def interesting(self) -> bool:
+        return bool(self.param_sinks or self.returns_param
+                    or self.returns_source)
+
+
+#: Caller-side hook: call expression -> summary of its callee (or None
+#: when the call does not confidently resolve to a project function).
+Resolver = Callable[[ast.Call], Optional[FunctionSummary]]
+
+
 @dataclass
 class _Env:
     """Mutable taint environment: tainted name -> source description."""
@@ -87,6 +133,11 @@ class TaintAnalysis:
 
     def __init__(self, config: Optional[TaintConfig] = None) -> None:
         self.config = config or TaintConfig()
+        self._resolver: Optional[Resolver] = None
+        #: Source descriptions of tainted ``return`` values seen during
+        #: the most recent :meth:`sink_hits` run (read by the
+        #: summarizer).
+        self.return_taints: List[str] = []
 
     # -- public ----------------------------------------------------------
 
@@ -99,18 +150,51 @@ class TaintAnalysis:
         scopes of their own (their statements run at module scope), but
         methods inside them are.
         """
-        scopes: List[Tuple[str, List[ast.stmt]]] = [
-            ("<module>", list(tree.body))]
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                scopes.append((node.name, list(node.body)))
-        return scopes
+        return [(name, body) for name, _, body in self.scopes(tree)]
 
-    def sink_hits(self, body: List[ast.stmt],
-                  sinks: "SinkTable") -> List[SinkHit]:
-        """All tainted-value-reaches-sink events in one scope."""
+    def scopes(self, tree: ast.Module,
+               ) -> List[Tuple[str, Optional[str], List[ast.stmt]]]:
+        """Every analysis scope with its enclosing class:
+        ``(scope name, class name or None, body)``.
+
+        The class name is what lets a caller-side resolver follow
+        ``self.method(...)`` calls; nested defs inside a method drop it
+        (their ``self`` is a closure cell, not a resolvable receiver).
+        """
+        out: List[Tuple[str, Optional[str], List[ast.stmt]]] = [
+            ("<module>", None, list(tree.body))]
+
+        def visit(node: ast.AST, class_name: Optional[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    out.append((child.name, class_name, list(child.body)))
+                    visit(child, None)
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, child.name)
+                else:
+                    visit(child, class_name)
+
+        visit(tree, None)
+        return out
+
+    def sink_hits(self, body: List[ast.stmt], sinks: "SinkTable",
+                  env: Optional[_Env] = None,
+                  resolver: Optional[Resolver] = None) -> List[SinkHit]:
+        """All tainted-value-reaches-sink events in one scope.
+
+        ``env`` seeds the taint environment (the summarizer passes
+        param markers); ``resolver`` enables one-call-deep
+        interprocedural lookups for the duration of this run.
+        """
         hits: List[SinkHit] = []
-        self._run_body(body, _Env(), sinks, hits, top=True)
+        self._resolver = resolver
+        self.return_taints = []
+        try:
+            self._run_body(body, env.copy() if env is not None else _Env(),
+                           sinks, hits, top=True)
+        finally:
+            self._resolver = None
         return hits
 
     # -- statement walk --------------------------------------------------
@@ -153,6 +237,9 @@ class TaintAnalysis:
             return
         if isinstance(stmt, ast.Return):
             if stmt.value is not None:
+                source = self.taint_of(stmt.value, env)
+                if source is not None:
+                    self.return_taints.append(source)
                 self._check_expr(stmt.value, env, sinks, hits)
             return
         if isinstance(stmt, ast.Raise):
@@ -251,6 +338,11 @@ class TaintAnalysis:
         if isinstance(node, ast.Call):
             if self._is_sanitizer(node.func):
                 return None
+            summary = self._summary_for(node)
+            if summary is not None:
+                found = self._summary_return_taint(node, summary, env)
+                if found is not None:
+                    return found
             for arg in node.args:
                 found = self.taint_of(arg, env)
                 if found:
@@ -313,24 +405,68 @@ class TaintAnalysis:
             name = func.attr
         return name is not None and name in self.config.sanitizers
 
+    # -- interprocedural (summary consultation) --------------------------
+
+    def _summary_for(self, call: ast.Call) -> Optional[FunctionSummary]:
+        if self._resolver is None:
+            return None
+        summary = self._resolver(call)
+        if summary is not None and summary.interesting:
+            return summary
+        return None
+
+    def _summary_return_taint(self, call: ast.Call,
+                              summary: FunctionSummary,
+                              env: _Env) -> Optional[str]:
+        """Taint of ``call``'s return value according to the summary."""
+        if summary.returns_source is not None:
+            return "%s (returned by %s())" % (summary.returns_source,
+                                              summary.name)
+        from .callgraph import map_call_arguments
+        for param, arg in map_call_arguments(call, summary.params):
+            if param in summary.returns_param:
+                found = self.taint_of(arg, env)
+                if found is not None:
+                    return found
+        return None
+
     # -- sink scanning ---------------------------------------------------
 
     def _check_expr(self, node: ast.expr, env: _Env, sinks: "SinkTable",
                     hits: List[SinkHit],
                     skip_top_call: bool = False) -> None:
-        """Find sink calls anywhere inside ``node`` with tainted args."""
+        """Find sink calls anywhere inside ``node`` with tainted args —
+        direct sinks first, then calls whose *callee* sinks a parameter
+        (via the resolver's one-call-deep summaries)."""
         for call in _walk_calls(node):
             if skip_top_call and call is node:
                 continue
             label = sinks.match(call)
-            if label is None:
+            if label is not None:
+                for arg in list(call.args) + [kw.value
+                                              for kw in call.keywords]:
+                    source = self.taint_of(arg, env)
+                    if source is not None:
+                        hits.append(SinkHit(node=call, sink=label,
+                                            source=source))
+                        break
                 continue
-            for arg in list(call.args) + [kw.value
-                                          for kw in call.keywords]:
+            summary = self._summary_for(call)
+            if summary is None or not summary.param_sinks:
+                continue
+            from .callgraph import map_call_arguments
+            for param, arg in map_call_arguments(call, summary.params):
+                inner_sinks = summary.param_sinks.get(param)
+                if not inner_sinks:
+                    continue
                 source = self.taint_of(arg, env)
-                if source is not None:
-                    hits.append(SinkHit(node=call, sink=label,
-                                        source=source))
+                if source is not None and \
+                        not source.startswith(PARAM_MARKER):
+                    hits.append(SinkHit(
+                        node=call,
+                        sink="%s inside %s()" % (inner_sinks[0],
+                                                 summary.name),
+                        source=source))
                     break
 
 
@@ -388,3 +524,46 @@ def _dotted_text(node: ast.expr) -> str:
     else:
         parts.append("<expr>")
     return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# Function summaries (the interprocedural half).
+# ---------------------------------------------------------------------------
+
+def summarize_function(node: "ast.FunctionDef",
+                       sinks: "SinkTable",
+                       config: Optional[TaintConfig] = None,
+                       ) -> FunctionSummary:
+    """One-call-deep summary of what ``node`` does with taint.
+
+    Runs the intraprocedural dataflow over the callee's body with every
+    parameter pre-tainted by a ``param:`` marker, *without* a resolver
+    (which is what bounds the depth — summaries never consult other
+    summaries).  Sink hits whose source is a param marker become
+    ``param_sinks``; tainted return values split into parameter flows
+    and unconditional sources.
+    """
+    from .callgraph import function_params
+    analysis = TaintAnalysis(config)
+    params = function_params(node)
+    env = _Env({name: PARAM_MARKER + name for name in params})
+    hits = analysis.sink_hits(list(node.body), sinks, env=env)
+
+    param_sinks: Dict[str, Tuple[str, ...]] = {}
+    for hit in hits:
+        if hit.source.startswith(PARAM_MARKER):
+            name = hit.source[len(PARAM_MARKER):]
+            param_sinks[name] = param_sinks.get(name, ()) + (hit.sink,)
+
+    returns_param: Set[str] = set()
+    returns_source: Optional[str] = None
+    for source in analysis.return_taints:
+        if source.startswith(PARAM_MARKER):
+            returns_param.add(source[len(PARAM_MARKER):])
+        elif returns_source is None:
+            returns_source = source
+
+    return FunctionSummary(name=node.name, params=tuple(params),
+                           param_sinks=param_sinks,
+                           returns_param=returns_param,
+                           returns_source=returns_source)

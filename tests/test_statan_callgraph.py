@@ -1,0 +1,233 @@
+"""ProjectIndex: definition indexing, call resolution, argument maps."""
+
+import ast
+import textwrap
+
+from repro.statan.callgraph import (
+    ProjectIndex,
+    function_params,
+    map_call_arguments,
+)
+from repro.statan.engine import ModuleContext
+
+
+def _ctx(source, path="mod.py", module="repro.service.mod"):
+    return ModuleContext(path, textwrap.dedent(source), module=module)
+
+
+def _calls(ctx):
+    """Every ast.Call in the module, source order."""
+    return [node for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call)]
+
+
+# -- construction ------------------------------------------------------------
+
+def test_index_contains_functions_and_methods():
+    ctx = _ctx("""
+        def top():
+            pass
+
+        class Thing:
+            def method(self):
+                pass
+    """)
+    index = ProjectIndex([ctx])
+    assert len(index) == 2
+    top = index.get("repro.service.mod.top")
+    assert top is not None and top.class_name is None
+    method = index.get("repro.service.mod.Thing.method")
+    assert method is not None
+    assert method.class_name == "Thing" and method.is_method
+
+
+def test_nested_defs_are_not_indexed():
+    ctx = _ctx("""
+        def outer():
+            def inner():
+                pass
+            return inner
+    """)
+    index = ProjectIndex([ctx])
+    assert len(index) == 1
+    assert index.get("repro.service.mod.outer.inner") is None
+
+
+def test_functions_listing_is_qualname_sorted():
+    ctx = _ctx("""
+        def zeta():
+            pass
+
+        def alpha():
+            pass
+    """)
+    names = [info.name for info in ProjectIndex([ctx]).functions()]
+    assert names == ["alpha", "zeta"]
+
+
+# -- resolve_call ------------------------------------------------------------
+
+def test_resolve_module_local_call():
+    ctx = _ctx("""
+        def helper():
+            pass
+
+        def caller():
+            helper()
+    """)
+    index = ProjectIndex([ctx])
+    (call,) = _calls(ctx)
+    info = index.resolve_call(ctx, call)
+    assert info is not None
+    assert info.qualname == "repro.service.mod.helper"
+
+
+def test_resolve_imported_name_across_files():
+    lib = _ctx("""
+        def atomic_write_text(path, text):
+            pass
+    """, path="checkpoint.py", module="repro.crawler.checkpoint")
+    user = _ctx("""
+        from repro.crawler.checkpoint import atomic_write_text
+
+        def save():
+            atomic_write_text("p", "t")
+    """, path="store.py", module="repro.service.store")
+    index = ProjectIndex([lib, user])
+    (call,) = _calls(user)
+    info = index.resolve_call(user, call)
+    assert info is not None
+    assert info.qualname == "repro.crawler.checkpoint.atomic_write_text"
+
+
+def test_resolve_relative_import_via_unique_suffix():
+    # ``from ..crawler.checkpoint import f`` records a dotted target
+    # without its package root; only the unique-suffix pass can match.
+    lib = _ctx("""
+        def atomic_write_text(path, text):
+            pass
+    """, path="checkpoint.py", module="repro.crawler.checkpoint")
+    user = _ctx("""
+        from ..crawler.checkpoint import atomic_write_text
+
+        def save():
+            atomic_write_text("p", "t")
+    """, path="store.py", module="repro.service.store")
+    index = ProjectIndex([lib, user])
+    (call,) = _calls(user)
+    info = index.resolve_call(user, call)
+    assert info is not None
+    assert info.qualname == "repro.crawler.checkpoint.atomic_write_text"
+
+
+def test_resolve_self_method_needs_class_name():
+    ctx = _ctx("""
+        class Thing:
+            def helper(self):
+                pass
+
+            def caller(self):
+                self.helper()
+    """)
+    index = ProjectIndex([ctx])
+    (call,) = _calls(ctx)
+    assert index.resolve_call(ctx, call) is None
+    info = index.resolve_call(ctx, call, class_name="Thing")
+    assert info is not None
+    assert info.qualname == "repro.service.mod.Thing.helper"
+
+
+def test_resolve_unknown_name_is_none():
+    ctx = _ctx("""
+        def caller():
+            mystery()
+    """)
+    index = ProjectIndex([ctx])
+    (call,) = _calls(ctx)
+    assert index.resolve_call(ctx, call) is None
+
+
+def test_ambiguous_suffix_does_not_resolve():
+    # Two modules define run(); a bare dotted suffix must not guess.
+    one = _ctx("def run():\n    pass\n", path="a.py",
+               module="repro.service.a")
+    two = _ctx("def run():\n    pass\n", path="b.py",
+               module="repro.crawler.b")
+    user = _ctx("""
+        from other.place import run
+
+        def caller():
+            run()
+    """, path="c.py", module="repro.service.c")
+    index = ProjectIndex([one, two, user])
+    (call,) = _calls(user)
+    assert index.resolve_call(user, call) is None
+
+
+# -- resolve_fuzzy -----------------------------------------------------------
+
+def test_fuzzy_resolves_unique_method_name():
+    lib = _ctx("""
+        class Shard:
+            def run_shard_job(self):
+                pass
+    """, path="worker.py", module="repro.crawler.worker")
+    user = _ctx("""
+        def caller(shard):
+            shard.run_shard_job()
+    """, path="use.py", module="repro.service.use")
+    index = ProjectIndex([lib, user])
+    (call,) = _calls(user)
+    info = index.resolve_fuzzy(call)
+    assert info is not None
+    assert info.qualname == "repro.crawler.worker.Shard.run_shard_job"
+
+
+def test_fuzzy_refuses_ambiguous_names():
+    one = _ctx("class A:\n    def go(self):\n        pass\n",
+               path="a.py", module="repro.service.a")
+    two = _ctx("class B:\n    def go(self):\n        pass\n",
+               path="b.py", module="repro.service.b")
+    user = _ctx("""
+        def caller(thing):
+            thing.go()
+    """, path="c.py", module="repro.service.c")
+    index = ProjectIndex([one, two, user])
+    (call,) = _calls(user)
+    assert index.resolve_fuzzy(call) is None
+
+
+# -- parameter/argument helpers ----------------------------------------------
+
+def _first_def(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return tree.body[0]
+
+
+def test_function_params_strips_self():
+    node = _first_def("""
+        class C:
+            def m(self, a, b, *, c):
+                pass
+    """).body[0]
+    assert function_params(node) == ["a", "b", "c"]
+
+
+def test_function_params_plain_function():
+    node = _first_def("def f(x, y=1):\n    pass\n")
+    assert function_params(node) == ["x", "y"]
+
+
+def test_map_call_arguments_positional_and_keyword():
+    call = ast.parse("f(1, b=2)").body[0].value
+    pairs = map_call_arguments(call, ["a", "b"])
+    assert [(name, type(expr).__name__) for name, expr in pairs] == \
+        [("a", "Constant"), ("b", "Constant")]
+
+
+def test_map_call_arguments_skips_starred_and_overflow():
+    call = ast.parse("f(*args, 1)").body[0].value
+    assert map_call_arguments(call, ["a", "b"]) == []
+    overflow = ast.parse("f(1, 2, 3)").body[0].value
+    assert [name for name, _ in map_call_arguments(overflow, ["a"])] == \
+        ["a"]

@@ -123,16 +123,58 @@ def test_list_rules(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     output = capsys.readouterr().out
     for rule_id in ("DET101", "DET102", "DET103", "DET104",
-                    "PII201", "PKL301", "PKL302", "PKL303"):
+                    "PII201", "PKL301", "PKL302", "PKL303",
+                    "CON401", "CON402", "CON403", "CON404", "CON405",
+                    "STA001"):
         assert rule_id in output
+
+
+def test_explain_prints_full_rule_doc(capsys):
+    assert main(["--explain", "CON402"]) == EXIT_CLEAN
+    output = capsys.readouterr().out
+    assert "CON402" in output and "lock-order-inversion" in output
+    for section in ("Why:", "Bad:", "Good:", "How to fix:"):
+        assert section in output
+
+
+def test_explain_every_registered_rule(capsys):
+    from repro.statan.rules import default_rules
+    for rule in default_rules():
+        assert main(["--explain", rule.id]) == EXIT_CLEAN
+        output = capsys.readouterr().out
+        assert rule.id in output and "Why:" in output
+
+
+def test_explain_unknown_rule_is_usage_error(capsys):
+    import pytest
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--explain", "NOPE999"])
+    assert excinfo.value.code == EXIT_ERROR
+
+
+def test_select_id_prefix(tmp_path, capsys):
+    path = _write_module(tmp_path, CLEAN_SOURCE)
+    assert main([path, "--no-baseline", "--select", "CON",
+                 "--format", "json"]) == EXIT_CLEAN
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["new"] == 0
 
 
 def test_suppression_counted(tmp_path, capsys):
     path = _write_module(
         tmp_path,
-        "import time\nt = time.time()  # statan: ignore[DET101]\n")
+        "import time\n"
+        "t = time.time()  # statan: ignore[DET101] -- deadline only\n")
     assert main([path, "--no-baseline"]) == EXIT_CLEAN
     assert "1 inline-suppressed" in capsys.readouterr().out
+
+
+def test_unjustified_suppression_fails_gate(tmp_path, capsys):
+    path = _write_module(
+        tmp_path,
+        "import time\nt = time.time()  # statan: ignore[DET101]\n")
+    assert main([path, "--no-baseline"]) == EXIT_FINDINGS
+    assert "STA001" in capsys.readouterr().out
 
 
 def test_default_baseline_discovered_in_cwd(tmp_path, capsys,
@@ -142,5 +184,20 @@ def test_default_baseline_discovered_in_cwd(tmp_path, capsys,
     assert main([path, "--write-baseline"]) == EXIT_CLEAN
     assert os.path.exists(str(tmp_path / ".repro-lint-baseline.json"))
     capsys.readouterr()
+    assert main([path]) == EXIT_CLEAN
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_baseline_found_from_other_cwd(tmp_path, capsys, monkeypatch):
+    """Regression: the committed baseline must be honoured when
+    repro-lint runs from a directory other than the repo root — the
+    lookup walks up from the scanned paths, not just the CWD."""
+    path = _write_module(tmp_path, DIRTY_SOURCE)
+    monkeypatch.chdir(tmp_path)
+    assert main([path, "--write-baseline"]) == EXIT_CLEAN
+    capsys.readouterr()
+    elsewhere = tmp_path / "elsewhere"
+    elsewhere.mkdir()
+    monkeypatch.chdir(elsewhere)
     assert main([path]) == EXIT_CLEAN
     assert "baselined" in capsys.readouterr().out

@@ -1,0 +1,411 @@
+"""CON4xx concurrency rules: lock model, order graph, blocking calls."""
+
+import textwrap
+
+from repro.statan import analyze_source
+from repro.statan.rules.concurrency import (
+    BlockingUnderLockRule,
+    ConditionWaitRule,
+    LockOrderInversionRule,
+    SharedMutableStateRule,
+    ThreadLeakRule,
+)
+
+
+def _findings(source, rule_cls, module="repro.service.fixture"):
+    return analyze_source(textwrap.dedent(source), [rule_cls()],
+                          module=module)
+
+
+def _fired(source, rule_cls, module="repro.service.fixture"):
+    return [finding.rule
+            for finding in _findings(source, rule_cls, module)]
+
+
+# -- CON401: shared mutable state --------------------------------------------
+
+GUARDED_READ_BARE_WRITE = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._value = 0
+
+        def read(self):
+            with self._lock:
+                return self._value
+
+        def poke(self):
+            self._value = 1
+"""
+
+
+def test_con401_unguarded_write_flagged():
+    findings = _findings(GUARDED_READ_BARE_WRITE, SharedMutableStateRule)
+    assert [finding.rule for finding in findings] == ["CON401"]
+    message = findings[0].message
+    assert "_value" in message and "_lock" in message
+    assert "poke()" in message
+
+
+def test_con401_all_guarded_clean():
+    assert _fired("""
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._value = 0
+
+            def read(self):
+                with self._lock:
+                    return self._value
+
+            def poke(self):
+                with self._lock:
+                    self._value = 1
+    """, SharedMutableStateRule) == []
+
+
+def test_con401_init_writes_exempt():
+    # __init__ runs before the object is shared; its bare writes are
+    # the normal construction idiom, not a race.
+    assert _fired("""
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._value = 0
+
+            def read(self):
+                with self._lock:
+                    return self._value
+    """, SharedMutableStateRule) == []
+
+
+def test_con401_out_of_scope_module_clean():
+    assert _fired(GUARDED_READ_BARE_WRITE, SharedMutableStateRule,
+                  module="repro.core.tokens") == []
+
+
+# -- CON402: lock-order inversion --------------------------------------------
+
+def test_con402_inverted_two_lock_order_flagged():
+    # The ISSUE acceptance case: a->b in one method, b->a in another.
+    findings = _findings("""
+        import threading
+
+        class TwoLocks:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+    """, LockOrderInversionRule)
+    assert [finding.rule for finding in findings] == ["CON402"]
+    assert "deadlock" in findings[0].message
+
+
+def test_con402_consistent_order_clean():
+    assert _fired("""
+        import threading
+
+        class TwoLocks:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def one(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def two(self):
+                with self._a:
+                    with self._b:
+                        pass
+    """, LockOrderInversionRule) == []
+
+
+def test_con402_three_lock_cycle_detected_transitively():
+    # No single method inverts a pair; the cycle a->b->c->a only
+    # appears in the transitive closure of the lock-order graph.
+    assert "CON402" in _fired("""
+        import threading
+
+        class Ring:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+                self._c = threading.Lock()
+
+            def one(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def two(self):
+                with self._b:
+                    with self._c:
+                        pass
+
+            def three(self):
+                with self._c:
+                    with self._a:
+                        pass
+    """, LockOrderInversionRule)
+
+
+def test_con402_edge_through_helper_method_call():
+    # forward() holds a and calls a helper that takes b; backward()
+    # nests b then a directly.  The inversion spans a call edge.
+    assert _fired("""
+        import threading
+
+        class TwoLocks:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    self._grab()
+
+            def _grab(self):
+                with self._b:
+                    pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+    """, LockOrderInversionRule) == ["CON402"]
+
+
+# -- CON403: blocking call under a lock --------------------------------------
+
+def test_con403_direct_sleep_under_lock_flagged():
+    findings = _findings("""
+        import threading
+        import time
+
+        class Pacer:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def pace(self):
+                with self._lock:
+                    time.sleep(1.0)
+    """, BlockingUnderLockRule)
+    assert [finding.rule for finding in findings] == ["CON403"]
+    message = findings[0].message
+    assert "time.sleep()" in message and "self._lock" in message
+
+
+def test_con403_transitive_through_helper_flagged():
+    # The server.py motivating case: the blocking call hides one level
+    # down, so the rule must follow the call edge.
+    findings = _findings("""
+        import subprocess
+        import threading
+
+        class Launcher:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def launch(self):
+                with self._lock:
+                    return self._spawn()
+
+            def _spawn(self):
+                return subprocess.run(["true"])
+    """, BlockingUnderLockRule)
+    assert [finding.rule for finding in findings] == ["CON403"]
+    message = findings[0].message
+    assert "subprocess.run()" in message and "via" in message
+
+
+def test_con403_blocking_outside_lock_clean():
+    assert _fired("""
+        import threading
+        import time
+
+        class Pacer:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def pace(self):
+                with self._lock:
+                    pending = True
+                time.sleep(1.0)
+    """, BlockingUnderLockRule) == []
+
+
+def test_con403_queue_get_without_timeout_flagged():
+    assert _fired("""
+        import queue
+        import threading
+
+        class Pump:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._queue = queue.Queue()
+
+            def drain(self):
+                with self._lock:
+                    return self._queue.get()
+    """, BlockingUnderLockRule) == ["CON403"]
+
+
+def test_con403_queue_get_with_timeout_clean():
+    assert _fired("""
+        import queue
+        import threading
+
+        class Pump:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._queue = queue.Queue()
+
+            def drain(self):
+                with self._lock:
+                    return self._queue.get(timeout=0.5)
+    """, BlockingUnderLockRule) == []
+
+
+# -- CON404: condition wait without predicate loop ---------------------------
+
+def test_con404_bare_wait_flagged():
+    findings = _findings("""
+        import threading
+
+        class Waiter:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._ready = False
+
+        def pause(self):
+            pass
+
+        class Gate:
+            def __init__(self):
+                self._cond = threading.Condition()
+
+            def block(self):
+                with self._cond:
+                    self._cond.wait(0.5)
+    """, ConditionWaitRule)
+    assert [finding.rule for finding in findings] == ["CON404"]
+    assert "wait_for" in findings[0].message
+
+
+def test_con404_wait_inside_while_clean():
+    assert _fired("""
+        import threading
+
+        class Gate:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._open = False
+
+            def block(self):
+                with self._cond:
+                    while not self._open:
+                        self._cond.wait(0.5)
+    """, ConditionWaitRule) == []
+
+
+def test_con404_wait_for_clean():
+    assert _fired("""
+        import threading
+
+        class Gate:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._open = False
+
+            def block(self):
+                with self._cond:
+                    self._cond.wait_for(lambda: self._open, 0.5)
+    """, ConditionWaitRule) == []
+
+
+# -- CON405: unjoined, non-daemon threads ------------------------------------
+
+def test_con405_unjoined_local_thread_flagged():
+    findings = _findings("""
+        import threading
+
+        def fire():
+            worker = threading.Thread(target=print)
+            worker.start()
+    """, ThreadLeakRule)
+    assert [finding.rule for finding in findings] == ["CON405"]
+    assert "'worker'" in findings[0].message
+
+
+def test_con405_unbound_thread_flagged():
+    assert _fired("""
+        import threading
+
+        def fire():
+            threading.Thread(target=print).start()
+    """, ThreadLeakRule) == ["CON405"]
+
+
+def test_con405_daemon_kwarg_clean():
+    assert _fired("""
+        import threading
+
+        def fire():
+            worker = threading.Thread(target=print, daemon=True)
+            worker.start()
+    """, ThreadLeakRule) == []
+
+
+def test_con405_daemon_attribute_clean():
+    assert _fired("""
+        import threading
+
+        def fire():
+            worker = threading.Thread(target=print)
+            worker.daemon = True
+            worker.start()
+    """, ThreadLeakRule) == []
+
+
+def test_con405_joined_in_same_scope_clean():
+    assert _fired("""
+        import threading
+
+        def fire():
+            worker = threading.Thread(target=print)
+            worker.start()
+            worker.join()
+    """, ThreadLeakRule) == []
+
+
+def test_con405_self_thread_joined_elsewhere_in_class_clean():
+    # The service idiom: start() launches the runner thread, stop()
+    # joins it — the join lives in a sibling method of the same class.
+    assert _fired("""
+        import threading
+
+        class Runner:
+            def start(self):
+                self._thread = threading.Thread(target=print)
+                self._thread.start()
+
+            def stop(self):
+                self._thread.join()
+    """, ThreadLeakRule) == []

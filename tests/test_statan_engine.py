@@ -67,23 +67,47 @@ def test_module_matches_prefixes():
 
 def test_inline_suppression_specific_rule():
     findings = analyze_source(
-        "import time\nt = time.time()  # statan: ignore[DET101]\n",
+        "import time\n"
+        "t = time.time()  # statan: ignore[DET101] -- deadline only\n",
         default_rules(), module="repro.crawler.fixture")
     assert findings == []
 
 
-def test_inline_suppression_bare_ignores_all():
+def test_inline_suppression_bare_ignores_all_but_trips_sta001():
     findings = analyze_source(
         "import time\nt = time.time()  # statan: ignore\n",
+        default_rules(), module="repro.crawler.fixture")
+    # The DET101 finding is swallowed, but the bare (reason-less)
+    # suppression is itself a finding — and STA001 is unsuppressible.
+    assert [f.rule for f in findings] == ["STA001"]
+
+
+def test_justified_bare_suppression_is_clean():
+    findings = analyze_source(
+        "import time\n"
+        "t = time.time()  # statan: ignore -- fixture, all rules\n",
         default_rules(), module="repro.crawler.fixture")
     assert findings == []
 
 
 def test_suppression_for_other_rule_does_not_apply():
     findings = analyze_source(
-        "import time\nt = time.time()  # statan: ignore[PII201]\n",
+        "import time\n"
+        "t = time.time()  # statan: ignore[PII201] -- wrong rule\n",
         default_rules(), module="repro.crawler.fixture")
     assert [f.rule for f in findings] == ["DET101"]
+
+
+def test_suppression_records_reason_and_column():
+    ctx = _ctx("import time\n"
+               "t = time.time()  # statan: ignore[DET101] -- why not\n")
+    entries = ctx.suppressions()
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry.line == 2 and entry.col > 0
+    assert entry.rules == {"DET101"} and entry.reason == "why not"
+    assert entry.justified
+    assert entry.covers("DET101") and not entry.covers("PII201")
 
 
 # -- findings ----------------------------------------------------------------

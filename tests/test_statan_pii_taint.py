@@ -181,3 +181,87 @@ def test_finding_names_source_and_sink():
     message = findings[0].message
     assert "persona.email" in message and "print()" in message
     assert "redact" in message
+
+
+# -- interprocedural (one call deep, via the project call graph) -------------
+
+#: The sink lives inside the callee: intraprocedurally, show() only
+#: makes a non-sink call and log_line() only prints an (untainted)
+#: parameter — neither scope has a source-reaches-sink path on its own.
+CALLEE_SINK_LEAK = """
+    def log_line(text):
+        print(text)
+
+    def show(persona):
+        log_line(persona.email)
+"""
+
+#: The source lives inside the callee: show() prints the result of a
+#: call with no tainted argument, which the conservative
+#: any-tainted-arg rule can never flag.
+CALLEE_SOURCE_LEAK = """
+    def fetch_email(persona):
+        return persona.email
+
+    def show(persona):
+        print(fetch_email(persona))
+"""
+
+
+def _intraprocedural_fired(source, module="repro.cli"):
+    """The old pass: the rule run without prepare(), so no call graph
+    and no summaries — exactly PR 3's intraprocedural behaviour."""
+    import textwrap as _tw
+
+    from repro.statan.engine import ModuleContext
+    rule = PiiSinkRule()
+    ctx = ModuleContext("fixture.py", _tw.dedent(source), module=module)
+    return [finding.rule for finding in rule.check(ctx)]
+
+
+def test_callee_sink_leak_missed_intraprocedurally():
+    assert _intraprocedural_fired(CALLEE_SINK_LEAK) == []
+
+
+def test_callee_sink_leak_caught_interprocedurally():
+    findings = _findings(CALLEE_SINK_LEAK)
+    assert [finding.rule for finding in findings] == ["PII201"]
+    # The finding points at the *call site* and names the inner sink.
+    assert "inside log_line()" in findings[0].message
+
+
+def test_callee_source_leak_missed_intraprocedurally():
+    assert _intraprocedural_fired(CALLEE_SOURCE_LEAK) == []
+
+
+def test_callee_source_leak_caught_interprocedurally():
+    findings = _findings(CALLEE_SOURCE_LEAK)
+    assert [finding.rule for finding in findings] == ["PII201"]
+    assert "returned by fetch_email()" in findings[0].message
+
+
+def test_redaction_through_helper_stays_clean():
+    assert _fired("""
+        from repro.reporting import redact_email
+
+        def log_line(text):
+            print(text)
+
+        def show(persona):
+            log_line(redact_email(persona.email))
+    """) == []
+
+
+def test_callee_own_leak_reported_at_definition_not_call_site():
+    # When the callee leaks on its own (source AND sink both inside),
+    # the finding belongs to the definition; a caller passing nothing
+    # tainted must not produce a duplicate at the call site.
+    findings = _findings("""
+        def bad(persona):
+            print(persona.email)
+
+        def caller(persona):
+            bad(persona)
+    """)
+    assert [finding.rule for finding in findings] == ["PII201"]
+    assert findings[0].line == 3

@@ -30,6 +30,81 @@ SEEDED_VIOLATIONS = {
             def __init__(self):
                 self.key = lambda item: item
     """),
+    "concurrency": textwrap.dedent("""
+        import threading
+
+        class Waiter:
+            def __init__(self):
+                self._cond = threading.Condition()  # statan: ignore[PKL303] -- fixture primitive, parent-side only
+
+            def pause(self):
+                with self._cond:
+                    self._cond.wait(0.1)
+    """),
+    "suppression-hygiene":
+        "import time\nT0 = time.time()  # statan: ignore[DET101]\n",
+}
+
+#: Exactly one violation per CON rule (the lock constructors carry
+#: justified PKL303 suppressions so each fixture trips its CON rule
+#: and nothing else).
+SEEDED_CON_VIOLATIONS = {
+    "CON401": textwrap.dedent("""
+        import threading
+
+        class SharedState:
+            def __init__(self):
+                self._lock = threading.Lock()  # statan: ignore[PKL303] -- fixture primitive, parent-side only
+                self._value = 0
+
+            def read(self):
+                with self._lock:
+                    return self._value
+
+            def poke(self):
+                self._value = 1
+    """),
+    "CON402": textwrap.dedent("""
+        import threading
+
+        class TwoLocks:
+            def __init__(self):
+                self._a = threading.Lock()  # statan: ignore[PKL303] -- fixture primitive, parent-side only
+                self._b = threading.Lock()  # statan: ignore[PKL303] -- fixture primitive, parent-side only
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+    """),
+    "CON403": textwrap.dedent("""
+        import subprocess
+        import threading
+
+        class Launcher:
+            def __init__(self):
+                self._lock = threading.Lock()  # statan: ignore[PKL303] -- fixture primitive, parent-side only
+
+            def launch(self):
+                with self._lock:
+                    return self._spawn()
+
+            def _spawn(self):
+                return subprocess.run(["true"])
+    """),
+    "CON404": SEEDED_VIOLATIONS["concurrency"],
+    "CON405": textwrap.dedent("""
+        import threading
+
+        def fire_and_forget():
+            thread = threading.Thread(target=print)
+            thread.start()
+    """),
 }
 
 
@@ -73,9 +148,48 @@ def test_seeded_pickle_violation_fails_gate(tmp_path, capsys):
     assert _gate(tmp_path, "pickle-safety", capsys) == EXIT_FINDINGS
 
 
+def test_seeded_concurrency_violation_fails_gate(tmp_path, capsys):
+    assert _gate(tmp_path, "concurrency", capsys) == EXIT_FINDINGS
+
+
+def test_seeded_suppression_hygiene_violation_fails_gate(tmp_path,
+                                                         capsys):
+    assert _gate(tmp_path, "suppression-hygiene", capsys) == \
+        EXIT_FINDINGS
+
+
 def test_every_family_has_at_least_one_rule_and_fixture():
     families = {rule.family for rule in default_rules()}
     assert families == set(SEEDED_VIOLATIONS)
+
+
+def test_each_con_seed_trips_exactly_its_rule(tmp_path):
+    """Every CON401–CON405 fixture yields exactly one finding, of
+    exactly its own rule, under the full default rule set."""
+    for rule_id, source in sorted(SEEDED_CON_VIOLATIONS.items()):
+        pkg = tmp_path / rule_id / "repro" / "service"
+        pkg.mkdir(parents=True)
+        (pkg / "seeded_violation.py").write_text(source)
+        report = analyze_paths([str(tmp_path / rule_id)],
+                               default_rules())
+        assert report.errors == []
+        assert [finding.rule for finding in report.findings] == \
+            [rule_id], ("%s fixture produced: %s" % (
+                rule_id,
+                [finding.format() for finding in report.findings]))
+
+
+def test_seeded_con_violations_fail_ci_gate(tmp_path, capsys):
+    """The CI-shaped invocation (src + seeds against the committed
+    baseline) flips to exit 1 for every CON fixture."""
+    for rule_id, source in sorted(SEEDED_CON_VIOLATIONS.items()):
+        pkg = tmp_path / rule_id / "repro" / "service"
+        pkg.mkdir(parents=True)
+        (pkg / "seeded_violation.py").write_text(source)
+        code = main([SRC, str(tmp_path / rule_id),
+                     "--baseline", BASELINE])
+        capsys.readouterr()
+        assert code == EXIT_FINDINGS, rule_id
 
 
 # -- the observability package is inside the gate's scope ----------------
