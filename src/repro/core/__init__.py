@@ -2,6 +2,7 @@
 and the end-to-end study pipeline."""
 
 from .aho import AhoCorasick, Match
+from .assets import CompiledStudyAssets, StudyAssetsSpec
 from .analysis import (
     BreakdownRow,
     ENCODING_ROWS,
@@ -9,7 +10,7 @@ from .analysis import (
     LeakRelationship,
     encoding_label,
 )
-from .detector import LeakDetector, leaking_requests
+from .detector import DetectionResult, LeakDetector, leaking_requests
 from .heuristics import (
     HeuristicDetector,
     SuspectedLeak,
@@ -50,7 +51,9 @@ __all__ = [
     "CHANNEL_REFERER",
     "CHANNEL_URI",
     "CandidateTokenSet",
+    "CompiledStudyAssets",
     "CrawlOutcome",
+    "DetectionResult",
     "DEFAULT_PERSONA",
     "ENCODING_ROWS",
     "HeuristicDetector",
@@ -73,6 +76,7 @@ __all__ = [
     "PII_USERNAME",
     "Persona",
     "Study",
+    "StudyAssetsSpec",
     "StudyConfig",
     "StudyResult",
     "TokenOrigin",

@@ -16,6 +16,7 @@ Given the raw capture log of a crawl, the detector:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -50,6 +51,25 @@ class _Attribution:
 
     receiver: str
     cloaked: bool
+
+
+@dataclass
+class DetectionResult:
+    """Everything one pass over a capture log produces.
+
+    Replaces the old ``detect()`` + ``leaking_requests()`` pair, which
+    walked (and re-scanned) the log twice to get events and leaking
+    entries separately.
+    """
+
+    events: List[LeakEvent]
+    leaking_entries: List[CaptureEntry]
+    entries_scanned: int
+    entries_blocked_skipped: int
+
+    @property
+    def leaking_entry_count(self) -> int:
+        return len(self.leaking_entries)
 
 
 class LeakDetector:
@@ -88,18 +108,20 @@ class LeakDetector:
 
     # -- public API --------------------------------------------------------
 
-    def detect(self, log: CaptureLog,
-               include_blocked: bool = False) -> List[LeakEvent]:
-        """All leak events in a capture log.
+    def run(self, log: CaptureLog, include_blocked: bool = False,
+            record: bool = True) -> DetectionResult:
+        """One pass over a capture log: events *and* leaking entries.
 
-        With a recorder attached, the §4.1 detection funnel becomes
-        visible as counters: how many entries were scanned vs. skipped
-        as blocked, how many produced at least one event, and how many
-        events survived in total.
+        With a recorder attached (and ``record`` true), the §4.1
+        detection funnel becomes visible as counters: how many entries
+        were scanned vs. skipped as blocked, how many produced at least
+        one event, and how many events survived in total.  ``record``
+        exists so deprecated wrappers can reuse the pass without
+        double-emitting counters.
         """
-        recorder = self.recorder
         events: List[LeakEvent] = []
-        scanned = skipped = leaking = 0
+        leaking_entries: List[CaptureEntry] = []
+        scanned = skipped = 0
         for entry in log:
             if entry.was_blocked and not include_blocked:
                 skipped += 1
@@ -107,13 +129,22 @@ class LeakDetector:
             scanned += 1
             found = self.detect_entry(entry)
             if found:
-                leaking += 1
+                leaking_entries.append(entry)
             events.extend(found)
-        recorder.count("detector.entries_scanned", scanned)
-        recorder.count("detector.entries_blocked_skipped", skipped)
-        recorder.count("detector.entries_leaking", leaking)
-        recorder.count("detector.events", len(events))
-        return events
+        if record:
+            recorder = self.recorder
+            recorder.count("detector.entries_scanned", scanned)
+            recorder.count("detector.entries_blocked_skipped", skipped)
+            recorder.count("detector.entries_leaking", len(leaking_entries))
+            recorder.count("detector.events", len(events))
+        return DetectionResult(events=events, leaking_entries=leaking_entries,
+                               entries_scanned=scanned,
+                               entries_blocked_skipped=skipped)
+
+    def detect(self, log: CaptureLog,
+               include_blocked: bool = False) -> List[LeakEvent]:
+        """All leak events in a capture log (see :meth:`run`)."""
+        return self.run(log, include_blocked=include_blocked).events
 
     def detect_entry(self, entry: CaptureEntry) -> List[LeakEvent]:
         """Leak events for a single capture entry."""
@@ -240,11 +271,16 @@ class LeakDetector:
 
 
 def leaking_requests(log: CaptureLog, detector: LeakDetector) -> List[CaptureEntry]:
-    """Capture entries containing at least one leak (paper's 1,522)."""
-    hits = []
-    for entry in log:
-        if entry.was_blocked:
-            continue
-        if detector.detect_entry(entry):
-            hits.append(entry)
-    return hits
+    """Capture entries containing at least one leak (paper's 1,522).
+
+    .. deprecated::
+        Use :meth:`LeakDetector.run`, whose :class:`DetectionResult`
+        carries the leaking entries from the same single pass that
+        produced the events, instead of re-scanning the log.
+    """
+    warnings.warn(
+        "leaking_requests() is deprecated; use LeakDetector.run(log)"
+        ".leaking_entries, which shares the detection pass",
+        DeprecationWarning, stacklevel=2)
+    # record=False: the historical helper never emitted funnel counters.
+    return detector.run(log, record=False).leaking_entries

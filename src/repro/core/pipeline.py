@@ -36,7 +36,7 @@ from ..policy import PolicyVerdict, classify_policies, policies_for_sites
 from ..policy import table3 as policy_table3
 from ..tracking import PersistenceAnalyzer, PersistenceReport
 from .analysis import LeakAnalysis
-from .detector import LeakDetector, leaking_requests
+from .assets import CompiledStudyAssets
 from .heuristics import HeuristicDetector, SuspectedLeak
 from .leakmodel import LeakEvent
 from .tokens import CandidateTokenSet, TokenSetConfig
@@ -76,11 +76,17 @@ class StudyConfig:
     uses the defaults.  ``chaos`` (a :class:`~repro.crawler.ChaosPlan`)
     injects seeded worker faults for supervision testing; it requires
     ``workers > 1``.  Both are inert on the serial path.
+
+    ``assets`` (a :class:`~repro.core.assets.CompiledStudyAssets`)
+    supplies a prebuilt compile-once bundle — token automaton, compiled
+    blocklists, PSL — for the hot path; ``None`` (the default) lets the
+    study compile its own on first use.  Pass one to share compiled
+    state across several studies over the same population.
     """
 
     _FIELDS = ("profile", "token_config", "fault_plan", "retry_policy",
                "workers", "num_shards", "recorder", "progress",
-               "supervision", "chaos")
+               "supervision", "chaos", "assets")
 
     def __init__(self, *,
                  profile: Optional[BrowserProfile] = None,
@@ -92,7 +98,8 @@ class StudyConfig:
                  recorder: Optional[Recorder] = None,
                  progress: Optional[object] = None,
                  supervision: Optional[object] = None,
-                 chaos: Optional[object] = None) -> None:
+                 chaos: Optional[object] = None,
+                 assets: Optional[CompiledStudyAssets] = None) -> None:
         self.profile = profile
         self.token_config = token_config
         self.fault_plan = fault_plan
@@ -103,6 +110,7 @@ class StudyConfig:
         self.progress = progress
         self.supervision = supervision
         self.chaos = chaos
+        self.assets = assets
 
     def replace(self, **changes: object) -> "StudyConfig":
         """A copy of this config with ``changes`` applied.
@@ -227,6 +235,23 @@ class Study:
         self.population = population
         self.config = config or StudyConfig()
         self.population_spec = population_spec
+        self._assets: Optional[CompiledStudyAssets] = None
+
+    def assets(self) -> CompiledStudyAssets:
+        """The study's compile-once asset bundle.
+
+        ``config.assets`` when one was supplied, otherwise a bundle
+        compiled (lazily, once) from this study's population, spec and
+        token config.  Every stage — parallel fan-out, detection,
+        analysis — draws from this single bundle.
+        """
+        if self.config.assets is not None:
+            return self.config.assets
+        if self._assets is None:
+            self._assets = CompiledStudyAssets.for_population(
+                self.population, population_spec=self.population_spec,
+                token_config=self.config.token_config)
+        return self._assets
 
     @classmethod
     def calibrated(cls, config: Optional[StudyConfig] = None) -> "Study":
@@ -345,7 +370,8 @@ class Study:
         """The sharded multi-process engine for this study's population."""
         from ..crawler import ParallelCrawler, PrebuiltPopulationSpec
         spec = self.population_spec or PrebuiltPopulationSpec(self.population)
-        return ParallelCrawler(spec, workers=self.config.workers,
+        return ParallelCrawler(spec, assets=self.assets(),
+                               workers=self.config.workers,
                                num_shards=self.config.num_shards,
                                profile=self.config.profile or vanilla_firefox(),
                                fault_plan=self.config.fault_plan,
@@ -415,18 +441,24 @@ class Study:
         recorder = self.config.recorder
         rec = recorder or NULL_RECORDER
         population = dataset.population
+        if population is self.population:
+            assets = self.assets()
+        else:
+            # A dataset from some other population (loaded from disk,
+            # partial salvage, ...): compile a one-off bundle for it.
+            assets = CompiledStudyAssets.for_population(
+                population, token_config=self.config.token_config)
 
         with rec.span("tokens", kind="stage"):
-            tokens = CandidateTokenSet(population.persona,
-                                       config=self.config.token_config,
-                                       recorder=recorder)
+            tokens = assets.tokens()
+            # The funnel counters a fresh per-call construction would
+            # have recorded, replayed so traces stay bit-identical.
+            assets.replay_token_funnel(recorder)
         with rec.span("detect", kind="stage"):
-            detector = LeakDetector(tokens, catalog=population.catalog,
-                                    resolver=population.resolver(),
-                                    recorder=recorder)
-            events = detector.detect(dataset.log)
-            leaking_request_count = len(leaking_requests(dataset.log,
-                                                         detector))
+            detector = assets.detector(recorder=recorder)
+            detection = detector.run(dataset.log)
+            events = detection.events
+            leaking_request_count = detection.leaking_entry_count
         with rec.span("analysis", kind="stage"):
             analysis = LeakAnalysis(events)
             persistence = PersistenceAnalyzer(events).report()

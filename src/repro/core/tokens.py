@@ -69,6 +69,10 @@ class TokenSetConfig:
 class CandidateTokenSet:
     """All strings whose appearance in traffic constitutes a PII leak."""
 
+    #: Funnel counter names, in the order they are replayed.
+    FUNNEL_COUNTERS = ("tokens.pruned_too_short", "tokens.origins",
+                      "tokens.duplicate_origins")
+
     def __init__(self, persona: Persona,
                  config: Optional[TokenSetConfig] = None,
                  recorder: Optional[Recorder] = None) -> None:
@@ -80,21 +84,59 @@ class CandidateTokenSet:
         self.recorder = recorder or NULL_RECORDER
         self._origins: Dict[str, List[TokenOrigin]] = {}
         self._automaton: AhoCorasick[TokenOrigin] = AhoCorasick()
+        # Funnel tallies are kept as plain ints so a precomputed token
+        # set can *replay* them into any recorder later (see
+        # `replay_funnel`) — that is what keeps traces identical when
+        # `CompiledStudyAssets` builds the set once and reuses it.
+        self.funnel_counts: Dict[str, int] = {
+            name: 0 for name in self.FUNNEL_COUNTERS}
+        self._scan_distinct_memo: Dict[str, List[TokenOrigin]] = {}
         self._generate()
         self._automaton.build()
-        self.recorder.gauge("tokens.candidates", len(self._origins))
+        self.replay_funnel(self.recorder)
 
     # -- generation --------------------------------------------------------
 
     def _generate(self) -> None:
         all_names = [t.name for t in hashes.all_transforms()]
+        config = self.config
+        alphabet = config.chain_alphabet
         for pii_type, forms in self.persona.surface_forms().items():
             for form in forms:
                 self._add_token(form, TokenOrigin(pii_type, form, ()))
-                for chain in self._chains(all_names):
-                    token = hashes.apply_chain(form, chain)
-                    self._add_token(token,
-                                    TokenOrigin(pii_type, form, tuple(chain)))
+                # Chains share prefixes massively (every depth-d chain
+                # extends a depth-(d-1) chain over the same alphabet),
+                # so each level is derived from the previous level's
+                # values with exactly one transform application per
+                # chain instead of re-walking the whole chain.  The
+                # enumeration order below is identical to the naive
+                # per-chain product in `_chains` — token insertion
+                # order, and with it every downstream scan, must not
+                # change.
+                previous: Dict[Tuple[str, ...], str] = {(): form}
+                for depth in range(1, config.max_depth + 1):
+                    level: Dict[Tuple[str, ...], str] = {}
+                    if depth <= config.full_corpus_depth:
+                        first_choices: Sequence[str] = all_names
+                    else:
+                        first_choices = alphabet
+                    if depth == 1:
+                        for name in first_choices:
+                            level[(name,)] = hashes.get(name).apply_text(form)
+                    else:
+                        for first in first_choices:
+                            for mid in product(alphabet, repeat=depth - 2):
+                                prefix = (first,) + mid
+                                base = previous.get(prefix)
+                                if base is None:
+                                    base = hashes.apply_chain(form, prefix)
+                                for last in alphabet:
+                                    level[prefix + (last,)] = (
+                                        hashes.get(last).apply_text(base))
+                    for chain, token in level.items():
+                        self._add_token(
+                            token, TokenOrigin(pii_type, form, chain))
+                    previous = level
 
     def _chains(self, all_names: Sequence[str]) -> Iterable[Tuple[str, ...]]:
         config = self.config
@@ -113,7 +155,7 @@ class CandidateTokenSet:
 
     def _add_token(self, token: str, origin: TokenOrigin) -> None:
         if len(token) < self.config.min_token_length:
-            self.recorder.count("tokens.pruned_too_short")
+            self.funnel_counts["tokens.pruned_too_short"] += 1
             return
         self._register(token, origin)
         if self.config.include_case_variants and _is_hex(token):
@@ -124,9 +166,25 @@ class CandidateTokenSet:
         if origin not in bucket:
             bucket.append(origin)
             self._automaton.add(token, origin)
-            self.recorder.count("tokens.origins")
+            self.funnel_counts["tokens.origins"] += 1
         else:
-            self.recorder.count("tokens.duplicate_origins")
+            self.funnel_counts["tokens.duplicate_origins"] += 1
+
+    def replay_funnel(self, recorder: Optional[Recorder]) -> None:
+        """Emit the generation funnel into ``recorder``.
+
+        Counter totals are order-independent aggregates, so replaying
+        the saved tallies produces the exact counters/gauge a fresh
+        construction with the same recorder would have recorded —
+        letting precomputed token sets keep traces bit-identical.
+        """
+        if recorder is None or recorder is NULL_RECORDER:
+            return
+        for name in self.FUNNEL_COUNTERS:
+            value = self.funnel_counts[name]
+            if value:
+                recorder.count(name, value)
+        recorder.gauge("tokens.candidates", len(self._origins))
 
     # -- queries -----------------------------------------------------------
 
@@ -149,12 +207,23 @@ class CandidateTokenSet:
         return self._automaton.find_all(text)
 
     def scan_distinct(self, text: str) -> List[TokenOrigin]:
-        """Distinct origins whose token occurs in ``text``."""
+        """Distinct origins whose token occurs in ``text``.
+
+        Results are memoised per text: the same header values, URLs and
+        cookie strings recur across thousands of captured requests, and
+        the origin list is a pure function of the (immutable) token set.
+        """
+        cached = self._scan_distinct_memo.get(text)
+        if cached is not None:
+            return list(cached)
         seen: List[TokenOrigin] = []
         for match in self.scan(text):
             if match.payload not in seen:
                 seen.append(match.payload)
-        return seen
+        if len(self._scan_distinct_memo) >= 8192:
+            self._scan_distinct_memo.clear()
+        self._scan_distinct_memo[text] = seen
+        return list(seen)
 
     def contains_leak(self, text: str) -> bool:
         """Fast check: does ``text`` contain any candidate token?"""

@@ -51,6 +51,7 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.assets import CompiledStudyAssets, StudyAssetsSpec
 from ..mailsim import Mailbox
 from ..netsim import CaptureLog
 from ..netsim.faults import FaultEvent, FaultPlan
@@ -175,6 +176,12 @@ class ShardJob:
     #: while crawling.  Like tracing, off by default and — invariantly
     #: — never an influence on the dataset fingerprint.
     progress: bool = False
+    #: Compact compiled-assets recipe (see
+    #: :class:`~repro.core.assets.StudyAssetsSpec`).  When present the
+    #: worker resolves its population through the process-local assets
+    #: memo, so every shard the process executes shares one rebuilt
+    #: population instead of building its own.
+    assets: Optional[StudyAssetsSpec] = None
 
 
 @dataclass
@@ -200,7 +207,13 @@ def _session_for_job(job: ShardJob) -> CrawlSession:
     if job.checkpoint_path and os.path.exists(job.checkpoint_path):
         return CrawlSession.load(job.checkpoint_path,
                                  expect_shard=job.shard)
-    population = job.spec.build()
+    if job.assets is not None:
+        # Shards never share state *within* the population they crawl
+        # (the layout partitions sites), so every shard this process
+        # executes can run against the one memoised rebuild.
+        population = job.assets.compiled().population
+    else:
+        population = job.spec.build()
     crawler = StudyCrawler(
         population, profile=job.profile, extension=job.extension,
         firewall=job.firewall, consent_policy=job.consent_policy,
@@ -364,6 +377,14 @@ class ParallelCrawler:
     :func:`~repro.crawler.sharding.default_shard_count` and is
     deliberately independent of ``workers``.
 
+    ``assets`` (a :class:`~repro.core.assets.CompiledStudyAssets`)
+    threads a study's compile-once bundle through the engine: the
+    bundle's population is reused for layout and merge (so the merged
+    dataset's ``population`` is the study's own object), and shard jobs
+    carry the bundle's compact :class:`~repro.core.assets.
+    StudyAssetsSpec` so worker processes share one rebuilt population
+    across all the shards they execute.
+
     ``supervision`` (a :class:`~repro.crawler.SupervisorConfig`) tunes
     the executor's watchdog deadline, retry budget, and shutdown drain;
     ``chaos`` (a :class:`~repro.crawler.ChaosPlan`) injects the seeded
@@ -408,6 +429,7 @@ class ParallelCrawler:
 
     def __init__(self, population, workers: int = 1,
                  num_shards: Optional[int] = None,
+                 assets: Optional[CompiledStudyAssets] = None,
                  profile: Optional[object] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  retry_policy: Optional[object] = None,
@@ -434,6 +456,22 @@ class ParallelCrawler:
         else:
             self.spec = PrebuiltPopulationSpec(population)
             self._population = population
+        self.assets = assets
+        if assets is not None and self._population is None:
+            # The compiled bundle's population *is* the study's; reuse
+            # it for layout + merge instead of building a duplicate.
+            self._population = assets.population
+        # One compact picklable recipe shared by every shard job, so
+        # each executing process resolves its population through the
+        # process-local assets memo exactly once.
+        self._assets_spec = StudyAssetsSpec(
+            population_spec=self.spec,
+            token_config=assets.token_config if assets is not None else None)
+        if assets is not None:
+            # Warm this process's memo so in-process shards reuse the
+            # study's own bundle and forked workers inherit it
+            # copy-on-write instead of rebuilding the population.
+            self._assets_spec.seed(assets)
         self.workers = workers
         self.num_shards = num_shards
         self.profile = profile
@@ -624,4 +662,5 @@ class ParallelCrawler:
                         extension=self.extension, firewall=self.firewall,
                         checkpoint_path=checkpoint_path,
                         trace=self.recorder is not None,
-                        progress=self.progress is not None)
+                        progress=self.progress is not None,
+                        assets=self._assets_spec)

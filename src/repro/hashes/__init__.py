@@ -16,6 +16,7 @@ from .registry import (
     all_transforms,
     apply_chain,
     chain_label,
+    clear_chain_cache,
     get,
     has,
     transform_names,
@@ -31,6 +32,7 @@ __all__ = [
     "all_transforms",
     "apply_chain",
     "chain_label",
+    "clear_chain_cache",
     "get",
     "has",
     "transform_names",

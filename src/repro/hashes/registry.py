@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from . import crc, encoders, md2, md4, ripemd, snefru, whirlpool
@@ -148,17 +149,36 @@ def transform_names(kinds: Iterable[str] = ()) -> List[str]:
             if not wanted or t.kind in wanted]
 
 
+@lru_cache(maxsize=65536)
+def _apply_chain_cached(value: str, chain: Tuple[str, ...]) -> str:
+    current = value
+    for name in chain:
+        current = _REGISTRY[name].apply_text(current)
+    return current
+
+
 def apply_chain(value: str, chain: Sequence[str]) -> str:
     """Apply a sequence of transform names to a text value.
 
     An empty chain returns the value unchanged (the paper's "plaintext"
     form).  Each step consumes the previous step's canonical text output,
     which is how multi-layer obfuscations like "SHA256 of MD5" compose.
+
+    Results are memoised on ``(value, chain)``: every transform is a pure
+    function, and the detector re-derives the same few hundred
+    ``surface form × chain`` combinations for every request it inspects,
+    so the cache turns the per-request cost into a dict hit.
     """
-    current = value
-    for name in chain:
-        current = _REGISTRY[name].apply_text(current)
-    return current
+    return _apply_chain_cached(value, tuple(chain))
+
+
+def clear_chain_cache() -> None:
+    """Drop the :func:`apply_chain` memo.
+
+    For benchmarks (cold-path timing) and memory-sensitive callers; the
+    cache is a pure-function memo, so clearing it never changes results.
+    """
+    _apply_chain_cached.cache_clear()
 
 
 def chain_label(chain: Sequence[str]) -> str:

@@ -11,6 +11,7 @@ percent-encoding.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Tuple
 
 _UNRESERVED = frozenset(
@@ -32,8 +33,16 @@ def percent_encode(text: str, safe: str = "") -> str:
     return "".join(pieces)
 
 
+@lru_cache(maxsize=8192)
 def percent_decode(text: str) -> str:
-    """Inverse of :func:`percent_encode`; tolerates malformed escapes."""
+    """Inverse of :func:`percent_encode`; tolerates malformed escapes.
+
+    Memoised: the detector percent-decodes every path/referer of every
+    captured request, and a crawl revisits the same few thousand
+    strings constantly.  Decoding is pure, so the cache is invisible.
+    """
+    if "%" not in text and "+" not in text:
+        return text
     out = bytearray()
     index = 0
     while index < len(text):

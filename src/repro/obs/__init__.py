@@ -53,6 +53,7 @@ from .regress import (
     BaselineRegistry,
     RegressionFinding,
     RegressionReport,
+    check_ordering,
     check_report,
     fold_report,
     new_baseline,
@@ -82,6 +83,7 @@ __all__ = [
     "TraceDiff",
     "TraceError",
     "WallClock",
+    "check_ordering",
     "check_report",
     "diff_traces",
     "fold_report",

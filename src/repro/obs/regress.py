@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Schema version of the baseline JSON; bump on incompatible changes.
 BASELINE_SCHEMA_VERSION = 1
@@ -253,6 +253,44 @@ def check_report(baseline: Mapping[str, object],
                     case=label, metric=metric, baseline=base,
                     current=value, threshold=threshold))
     return out
+
+
+def check_ordering(report: Mapping[str, object],
+                   orderings: Sequence[Tuple[str, str]],
+                   out: Optional[RegressionReport] = None
+                   ) -> RegressionReport:
+    """Gate strict faster-than orderings within one bench report.
+
+    Each ``(faster, slower)`` pair asserts that case ``faster`` has a
+    strictly smaller ``wall_seconds`` than case ``slower`` in the same
+    run — the parallel-payoff gate (``workers-2`` must beat
+    ``workers-1`` on a multi-core runner) rather than a
+    baseline-relative one.  A pair whose cases are missing from the
+    report is a finding, not a skip: an ordering gate that silently
+    stops covering its cases is worse than one that fails loudly.
+
+    Pass ``out`` to accumulate findings into an existing report (the
+    harness merges this with :func:`check_report`'s result).
+    """
+    report_cases = _case_table(report)
+    result = out if out is not None else RegressionReport()
+    for faster, slower in orderings:
+        missing = [label for label in (faster, slower)
+                   if label not in report_cases]
+        if missing:
+            for label in missing:
+                result.findings.append(RegressionFinding(
+                    case=label, metric="ordering:missing-case",
+                    baseline=1.0, current=0.0, threshold=0.0))
+            continue
+        result.compared += 1
+        fast_wall = float(report_cases[faster].get("wall_seconds", 0.0))
+        slow_wall = float(report_cases[slower].get("wall_seconds", 0.0))
+        if fast_wall >= slow_wall:
+            result.findings.append(RegressionFinding(
+                case=faster, metric="ordering:not-faster-than:%s" % slower,
+                baseline=slow_wall, current=fast_wall, threshold=0.0))
+    return result
 
 
 # ---------------------------------------------------------------------------

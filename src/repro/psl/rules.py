@@ -9,6 +9,15 @@ TLDs fall back to the implicit ``*`` rule.
 This is the primitive the paper uses to decide whether an HTTP request is a
 *third-party* request: two hosts are "same party" when their registrable
 domains are equal.
+
+The PSL is queried for every captured request — several times per request
+across partitioning, attribution and heuristics — so lookups are served
+from two layers of precomputation: rules are bucketed by their TLD label
+(only a handful of rules can ever match a given host, not the whole
+snapshot), and per-host results are memoised on the instance (the crawl
+and the detector revisit the same few hundred hosts tens of thousands of
+times).  Both layers are pure caches over the immutable rule set, so
+every query returns exactly what the uncached algorithm returns.
 """
 
 from __future__ import annotations
@@ -37,6 +46,18 @@ class PublicSuffixList:
     def __init__(self, text: Optional[str] = None) -> None:
         self._rules: Dict[Tuple[str, ...], Rule] = {}
         self._load(text if text is not None else SNAPSHOT)
+        # TLD-label index: a rule can only match hosts whose last label
+        # equals the rule's first (reversed) label, or anything for the
+        # rare leading-wildcard rules — bucketing turns the per-lookup
+        # scan from every rule in the snapshot into a handful.
+        self._by_tld: Dict[str, List[Rule]] = {}
+        for key_labels, rule in self._rules.items():
+            self._by_tld.setdefault(key_labels[0], []).append(rule)
+        self._wildcard_tld: List[Rule] = self._by_tld.pop("*", [])
+        # Per-host memos (host -> result); hosts repeat enormously
+        # across a crawl, and results are pure functions of the rules.
+        self._suffix_cache: Dict[str, str] = {}
+        self._registrable_cache: Dict[str, Optional[str]] = {}
 
     def _load(self, text: str) -> None:
         for raw_line in text.splitlines():
@@ -51,7 +72,14 @@ class PublicSuffixList:
 
     def _matching_rules(self, labels: Tuple[str, ...]) -> List[Rule]:
         matches = []
-        for rule in self._rules.values():
+        for rule in self._by_tld.get(labels[0], ()):
+            if rule.label_count > len(labels):
+                continue
+            if all(rule_label in ("*", domain_label)
+                   for rule_label, domain_label
+                   in zip(rule.labels, labels)):
+                matches.append(rule)
+        for rule in self._wildcard_tld:
             if rule.label_count > len(labels):
                 continue
             if all(rule_label in ("*", domain_label)
@@ -67,6 +95,9 @@ class PublicSuffixList:
         implicit ``*`` rule.
         """
         host = _normalize(host)
+        cached = self._suffix_cache.get(host)
+        if cached is not None:
+            return cached
         labels = tuple(reversed(host.split(".")))
         matches = self._matching_rules(labels)
 
@@ -78,17 +109,24 @@ class PublicSuffixList:
         else:
             suffix_len = 1  # implicit "*" rule
         suffix_labels = labels[:suffix_len]
-        return ".".join(reversed(suffix_labels))
+        suffix = ".".join(reversed(suffix_labels))
+        self._suffix_cache[host] = suffix
+        return suffix
 
     def registrable_domain(self, host: str) -> Optional[str]:
         """The eTLD+1 of ``host``, or ``None`` if host *is* a public suffix."""
         host = _normalize(host)
+        if host in self._registrable_cache:
+            return self._registrable_cache[host]
         suffix = self.public_suffix(host)
         if host == suffix:
-            return None
-        labels = host.split(".")
-        suffix_count = suffix.count(".") + 1
-        return ".".join(labels[-(suffix_count + 1):])
+            registrable: Optional[str] = None
+        else:
+            labels = host.split(".")
+            suffix_count = suffix.count(".") + 1
+            registrable = ".".join(labels[-(suffix_count + 1):])
+        self._registrable_cache[host] = registrable
+        return registrable
 
     def same_party(self, host_a: str, host_b: str) -> bool:
         """Whether two hosts share a registrable domain (first-party test)."""

@@ -35,6 +35,7 @@ from ..engine import FAMILY_DETERMINISM, Finding, ModuleContext, Rule
 #: and replay logs must be reproducible — with its wall-clock/socket
 #: edge (drain deadlines) marked by explicit inline suppressions.
 DETERMINISM_SCOPE: Tuple[str, ...] = (
+    "repro.blocklist",
     "repro.browser",
     "repro.core",
     "repro.crawler",
@@ -43,6 +44,7 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro.mailsim",
     "repro.netsim",
     "repro.obs",
+    "repro.psl",
     "repro.service",
     "repro.websim",
 )

@@ -222,6 +222,11 @@ class TrackerCatalog:
 
     def __init__(self, services: Iterable[TrackerService] = ()) -> None:
         self._by_domain: Dict[str, TrackerService] = {}
+        # host -> attribution memo; every captured request host is
+        # attributed (often several times), and the linear suffix scan
+        # over the whole service universe is the price worth paying
+        # exactly once per distinct host.  Invalidated on `add`.
+        self._host_cache: Dict[str, Optional[TrackerService]] = {}
         for service in services:
             self.add(service)
 
@@ -229,6 +234,7 @@ class TrackerCatalog:
         if service.domain in self._by_domain:
             raise ValueError("duplicate service: %s" % service.domain)
         self._by_domain[service.domain] = service
+        self._host_cache.clear()
 
     def get(self, domain: str) -> TrackerService:
         return self._by_domain[domain]
@@ -250,16 +256,24 @@ class TrackerCatalog:
         domain.  Returns None for hosts no service claims.
         """
         host = host.lower()
+        if host in self._host_cache:
+            return self._host_cache[host]
+        attributed: Optional[TrackerService] = None
         for service in self._by_domain.values():
             candidates = (service.domain, service.endpoint_host,
                           service.script_host)
             for candidate in candidates:
                 if host == candidate or host.endswith("." + candidate):
-                    return service
-        registrable = default_list().registrable_domain(host)
-        if registrable and registrable in self._by_domain:
-            return self._by_domain[registrable]
-        return None
+                    attributed = service
+                    break
+            if attributed is not None:
+                break
+        if attributed is None:
+            registrable = default_list().registrable_domain(host)
+            if registrable and registrable in self._by_domain:
+                attributed = self._by_domain[registrable]
+        self._host_cache[host] = attributed
+        return attributed
 
 
 def build_default_catalog() -> TrackerCatalog:

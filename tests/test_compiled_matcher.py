@@ -1,0 +1,171 @@
+"""Compiled-vs-interpreted blocklist matcher equivalence.
+
+The compiled engine (:meth:`repro.blocklist.RuleSet.compile`) replaces
+the interpreted candidate enumeration (regex tokenisation + one index
+probe per token) with a single Aho–Corasick pass.  Everything here
+holds the two engines to *observable identity*: for every filter and
+every request drawn from the seeded population, the same
+:class:`~repro.blocklist.MatchResult` — same verdict, same filter
+objects, in the same order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocklist import RequestContext, RuleSet, easyprivacy_text
+from repro.blocklist.evaluate import default_rule_sets
+from repro.blocklist.matcher import CompiledRuleSet
+from repro.core.aho import AhoCorasick
+from repro.crawler import GeneratedPopulationSpec, StudyCrawler
+from repro.psl import default_list
+from repro.websim.generator import GeneratorConfig
+
+_CONFIG = GeneratorConfig(n_sites=12, n_trackers=6, leak_probability=0.6,
+                          confirmation_probability=0.5)
+
+_RESOURCE_TYPES = ("script", "image", "xmlhttprequest", "subdocument",
+                   "other")
+
+
+def _resource_type_for(url: str) -> str:
+    path = url.split("?", 1)[0]
+    if path.endswith(".js"):
+        return "script"
+    if path.endswith((".gif", ".png", ".jpg")):
+        return "image"
+    return "other"
+
+
+def _crawled_contexts(seed: int):
+    """Request contexts for every exchange of a seeded study crawl."""
+    population = GeneratedPopulationSpec(seed=seed, config=_CONFIG).build()
+    dataset = StudyCrawler(population).crawl()
+    psl = default_list()
+    contexts = []
+    for entry in dataset.log.entries:
+        url = str(entry.request.url)
+        host = url.split("://", 1)[-1].split("/", 1)[0]
+        contexts.append(RequestContext(
+            url=url,
+            resource_type=_resource_type_for(url),
+            page_domain=psl.registrable_domain(entry.site) or entry.site,
+            is_third_party=psl.is_third_party(host, entry.site)))
+    return contexts
+
+
+def _filter_probe_urls(rules: RuleSet):
+    """One URL per filter, synthesised to exercise that filter's pattern."""
+    urls = []
+    for filter_ in rules.all_filters():
+        pattern = filter_.pattern.lstrip("|").lstrip("@")
+        body = pattern.replace("^", "/").replace("*", "ab").rstrip("|")
+        if "://" not in body:
+            body = "tracker.example/" + body.lstrip("/")
+        urls.append("https://" + body.split("://", 1)[-1])
+    return urls
+
+
+@pytest.fixture(scope="module")
+def rule_sets():
+    sets = dict(default_rule_sets())
+    sets["easyprivacy-only"] = RuleSet.from_text(easyprivacy_text())
+    return sets
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_same_match_result_for_every_crawled_request(seed, rule_sets):
+    """Property: crawled request × rule set -> identical MatchResult."""
+    contexts = _crawled_contexts(seed)
+    assert contexts, "seeded crawl produced no requests"
+    for name, rules in rule_sets.items():
+        compiled = rules.compile()
+        for context in contexts:
+            interpreted = rules.match(context)
+            assert compiled.match(context) == interpreted, (
+                "%s: engines disagree on %s" % (name, context.url))
+
+
+def test_same_match_result_for_every_filter_probe(rule_sets):
+    """Property: one synthesised URL per filter -> identical MatchResult.
+
+    This drives both engines through every filter's own pattern (not
+    just the ones the crawl happens to hit), including exception rules.
+    """
+    for name, rules in rule_sets.items():
+        compiled = rules.compile()
+        for url in _filter_probe_urls(rules):
+            for resource_type in _RESOURCE_TYPES:
+                context = RequestContext(
+                    url=url, resource_type=resource_type,
+                    page_domain="shop.example", is_third_party=True)
+                interpreted = rules.match(context)
+                result = compiled.match(context)
+                assert result == interpreted, (
+                    "%s: engines disagree on %s [%s]"
+                    % (name, url, resource_type))
+                # Same *objects*, not just equal values: the compiled
+                # set shares the source set's filters.
+                assert result.blocking_filter is interpreted.blocking_filter
+                assert (result.exception_filter
+                        is interpreted.exception_filter)
+
+
+def test_candidate_enumeration_order_is_identical(rule_sets):
+    """match() takes the first matching filter, so order is semantics."""
+    rules = rule_sets["combined"]
+    compiled = rules.compile()
+    urls = _filter_probe_urls(rules)[:200] + [
+        "https://www.facebook.com/tr?ev=identify&udff%5Bem%5D=abcd",
+        "https://api.custora.com/v1/track?uid=abcd",
+    ]
+    for url in urls:
+        naive = [id(f) for f in rules._candidates(url)]
+        fast = [id(f) for f in compiled._candidates(url)]
+        assert naive == fast, "candidate order diverged for %s" % url
+
+
+def test_token_boundary_edge_cases():
+    """Automaton hits must only count on maximal token runs."""
+    rules = RuleSet.from_text("||tracker.example^\n/beacon/\n")
+    compiled = rules.compile()
+    for url in [
+        "https://tracker.example/x",        # token at host position
+        "https://nottracker.examplelong/x",  # token inside a longer run
+        "https://a.example/beacon/1",        # token bounded by separators
+        "https://a.example/xbeacony/1",      # token embedded in a run
+        "https://a.example/p?q=beacon",      # token at end of URL
+        "HTTPS://TRACKER.EXAMPLE/X",         # case folding
+    ]:
+        context = RequestContext(url=url, resource_type="image",
+                                 page_domain="shop.example",
+                                 is_third_party=True)
+        assert compiled.match(context) == rules.match(context), url
+
+
+def test_compiled_rule_set_is_immutable(rule_sets):
+    compiled = rule_sets["combined"].compile()
+    assert isinstance(compiled, CompiledRuleSet)
+    with pytest.raises(TypeError):
+        compiled.add(rule_sets["combined"].all_filters()[0])
+
+
+def test_compile_shares_filters_not_copies(rule_sets):
+    rules = rule_sets["easyprivacy-only"]
+    compiled = rules.compile()
+    assert compiled.all_filters() == rules.all_filters()
+    assert len(compiled) == len(rules)
+    assert compiled._block_index is rules._block_index
+
+
+def test_aho_iter_hits_matches_iter_matches():
+    automaton = AhoCorasick()
+    for pattern in ("he", "she", "his", "hers"):
+        automaton.add(pattern, payload=pattern.upper())
+    automaton.build()
+    text = "ushers and his hers"
+    matches = [(m.end, m.pattern, m.payload)
+               for m in automaton.iter_matches(text)]
+    hits = list(automaton.iter_hits(text))
+    assert hits == matches
+    assert matches  # the text does contain patterns

@@ -226,8 +226,10 @@ def test_committed_history_matches_baseline_sample_count():
         BaselineRegistry(COMMITTED).history_path)
     assert entries, "seeded history must not be empty"
     for entry in entries:
-        assert entry["bench"] == "parallel_crawl"
+        assert entry["bench"] in ("parallel_crawl", "micro")
         assert "unix_time" in entry
+    # The history spans every committed baseline's bench.
+    assert {e["bench"] for e in entries} == {"parallel_crawl", "micro"}
 
 
 # -- the harness CLI -----------------------------------------------------

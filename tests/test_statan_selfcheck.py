@@ -430,3 +430,64 @@ def test_seeded_handle_in_service_spec_fails_gate(tmp_path, capsys):
     """))
     capsys.readouterr()
     assert code == EXIT_FINDINGS
+
+
+# -- the compiled hot path stays inside the gate's scopes ------------------
+#
+# The compile-once layers added for the hot path — the PSL's caches, the
+# Aho-compiled blocklist matcher, and repro.core.assets — sit directly
+# under the fingerprint-invariance contract, and StudyAssetsSpec rides
+# shard-job pickles.  Pin them in scope so any nondeterminism (or
+# unpicklable state on the spec) trips the gate.
+
+
+def test_hot_path_modules_are_in_scope():
+    from repro.statan.engine import ModuleContext
+    from repro.statan.rules.determinism import DETERMINISM_SCOPE
+    from repro.statan.rules.pickle_safety import PICKLE_SCOPE
+    for module in ("repro.psl.rules", "repro.blocklist.matcher",
+                   "repro.core.assets"):
+        ctx = ModuleContext(path="test.py", source="", module=module)
+        assert ctx.module_matches(DETERMINISM_SCOPE), module
+    ctx = ModuleContext(path="test.py", source="",
+                        module="repro.core.assets")
+    assert ctx.module_matches(PICKLE_SCOPE)
+
+
+def test_seeded_clock_read_in_psl_fails_gate(tmp_path, capsys):
+    """DET101 covers the PSL cache layer: a TTL-style clock read in a
+    lookup cache would make suffix answers time-dependent."""
+    code = _seed(tmp_path, "repro/psl/rules_seeded.py", textwrap.dedent("""
+        import time
+
+        def cache_entry(suffix):
+            return (suffix, time.time())
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
+
+
+def test_seeded_builtin_hash_in_matcher_fails_gate(tmp_path, capsys):
+    """DET104 covers the compiled matcher: keying the token index on
+    builtin hash() would reorder candidates across processes."""
+    code = _seed(tmp_path, "repro/blocklist/matcher_seeded.py",
+                 textwrap.dedent("""
+        def bucket_for(token, n_buckets):
+            return hash(token) % n_buckets
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
+
+
+def test_seeded_handle_on_assets_spec_fails_gate(tmp_path, capsys):
+    """PKL303 covers StudyAssetsSpec: the recipe crosses the shard-job
+    pickle boundary, so live handles on spec-like state must trip."""
+    code = _seed(tmp_path, "repro/core/assets/seeded.py", textwrap.dedent("""
+        import threading
+
+        class AssetsSpecSeeded:
+            def __init__(self):
+                self.build_lock = threading.Lock()
+    """))
+    capsys.readouterr()
+    assert code == EXIT_FINDINGS
