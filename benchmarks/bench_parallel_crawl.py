@@ -122,11 +122,16 @@ def run(quick: bool = False, out_path: str = OUT_PATH,
             engine = ParallelCrawler(spec, workers=workers,
                                      num_shards=NUM_SHARDS,
                                      assets=assets,
-                                     recorder=recorder)
+                                     recorder=recorder,
+                                     resources=True)
             stages = StageTimes()
             with timed() as timer:
                 with stages.time("crawl"):
-                    dataset = engine.crawl()
+                    run_result = engine.run()
+            assert run_result.complete, (
+                "benchmark crawl incomplete for %s workers=%d" % (label,
+                                                                  workers))
+            dataset = run_result.dataset
             fingerprints[workers] = dataset.fingerprint()
             if recorder is not None:
                 # Snapshot before any analyze spans are added: the
@@ -150,6 +155,10 @@ def run(quick: bool = False, out_path: str = OUT_PATH,
                 params={"population": label, "sites": n_sites,
                         "workers": workers, "num_shards": NUM_SHARDS},
                 stages=stages.as_dict()))
+            # Per-case resource cost (CPU/GC summed, RSS maxed across
+            # shards) alongside the timings; pure ops telemetry, the
+            # fingerprint assertions below are unaffected.
+            report.record_resources(case, run_result.resources.values())
             baseline = "%s/workers-1" % label
             speedup = report.speedup_over(baseline, case)
             if speedup is not None:

@@ -184,6 +184,24 @@ class BenchReport:
             return None
         return base.wall_seconds / case.wall_seconds
 
+    def record_resources(self, case: BenchCase, shard_samples
+                         ) -> Dict[str, float]:
+        """Fold per-shard resource samples into ``case.extra``.
+
+        ``shard_samples`` is an iterable of
+        :class:`repro.obs.runtime.ResourceSampler` delta dicts (e.g.
+        ``ParallelCrawlResult.resources.values()``); the aggregate —
+        CPU/GC summed, RSS peaks maxed — lands under the case's
+        ``resources`` key so bench JSON carries what a case *cost*
+        alongside how long it took.  Returns the aggregate (empty when
+        no samples were supplied).
+        """
+        from repro.obs.runtime import aggregate_resources
+        totals = aggregate_resources(shard_samples)
+        if totals:
+            case.extra["resources"] = totals
+        return totals
+
     def environment(self) -> Dict[str, object]:
         """Host facts that bound what the numbers can mean."""
         return {

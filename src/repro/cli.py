@@ -52,6 +52,12 @@ def _study_for_args(args: argparse.Namespace, study_config) -> Study:
     progress = _progress_sink(args)
     if progress is not None:
         config = config.replace(progress=progress)
+    if getattr(args, "resources", False):
+        if progress is None:
+            raise SystemExit(
+                "repro-study: error: --resources rides the heartbeat "
+                "channel; pass --progress and/or --progress-log too")
+        config = config.replace(resources=True)
     config = _apply_supervision_args(args, config)
     return Study.calibrated(config)
 
@@ -476,6 +482,51 @@ def _add_progress_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--progress-log", metavar="PATH",
                      help="append every crawl heartbeat to PATH as JSONL "
                           "(the machine-readable twin of --progress)")
+    sub.add_argument("--resources", action="store_true",
+                     help="attach per-shard CPU/RSS/GC samples to every "
+                          "heartbeat (lands in --progress-log and the "
+                          "study manifest; requires --progress or "
+                          "--progress-log; never changes the dataset "
+                          "fingerprint)")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape a running repro-serve's /metrics endpoint.
+
+    One-shot by default (prints the raw Prometheus exposition, pipeable
+    into promtool or a file); ``--live`` renders a one-line ops ticker
+    from the scraped series every ``--interval`` seconds instead.
+    """
+    import time
+    import urllib.error
+    import urllib.request
+
+    from .obs.exposition import parse_exposition
+    from .obs.runtime import render_ticker
+
+    url = args.url.rstrip("/") + "/metrics"
+
+    def scrape() -> str:
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                return response.read().decode("utf-8")
+        except (OSError, ValueError, urllib.error.URLError) as exc:
+            raise SystemExit("repro-study: error: cannot scrape %s: %s"
+                             % (url, exc))
+
+    if not args.live:
+        sys.stdout.write(scrape())
+        return 0
+    iterations = 0
+    try:
+        while True:
+            print(render_ticker(parse_exposition(scrape())), flush=True)
+            iterations += 1
+            if args.count and iterations >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _add_show_pii_arg(sub: argparse.ArgumentParser) -> None:
@@ -549,6 +600,23 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("urls", nargs="+")
     _add_show_pii_arg(scan)
     scan.set_defaults(func=_cmd_scan)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="scrape a running repro-serve's /metrics")
+    metrics.add_argument("--url", default="http://127.0.0.1:8642",
+                         metavar="URL",
+                         help="service base URL (default: "
+                              "http://127.0.0.1:8642)")
+    metrics.add_argument("--live", action="store_true",
+                         help="render a one-line ops ticker repeatedly "
+                              "instead of dumping the raw exposition")
+    metrics.add_argument("--interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="--live refresh period (default: 2.0)")
+    metrics.add_argument("--count", type=int, default=0, metavar="N",
+                         help="--live: stop after N ticks (default: "
+                              "run until interrupted)")
+    metrics.set_defaults(func=_cmd_metrics)
 
     serve = subparsers.add_parser(
         "serve", help="run the study-as-a-service HTTP API "

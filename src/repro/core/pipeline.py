@@ -70,6 +70,14 @@ class StudyConfig:
     crawled site by whichever crawl engine runs.  Like tracing,
     progress never changes a dataset fingerprint.
 
+    ``resources=True`` attaches CPU/RSS/GC samples
+    (:class:`repro.obs.runtime.ResourceSampler`) to each heartbeat, so
+    per-shard cost lands in ``progress.jsonl``, the study manifest and
+    the progress snapshot.  It needs a ``progress`` sink to ride on
+    (inert otherwise, except through the parallel engine's
+    ``result.resources``) and, like progress itself, never changes a
+    dataset fingerprint or a trace.
+
     ``supervision`` (a :class:`~repro.crawler.SupervisorConfig`) tunes
     the supervised parallel executor — watchdog heartbeat deadline,
     per-shard retry budget, graceful-shutdown drain timeout; ``None``
@@ -86,7 +94,7 @@ class StudyConfig:
 
     _FIELDS = ("profile", "token_config", "fault_plan", "retry_policy",
                "workers", "num_shards", "recorder", "progress",
-               "supervision", "chaos", "assets")
+               "resources", "supervision", "chaos", "assets")
 
     def __init__(self, *,
                  profile: Optional[BrowserProfile] = None,
@@ -97,6 +105,7 @@ class StudyConfig:
                  num_shards: Optional[int] = None,
                  recorder: Optional[Recorder] = None,
                  progress: Optional[object] = None,
+                 resources: bool = False,
                  supervision: Optional[object] = None,
                  chaos: Optional[object] = None,
                  assets: Optional[CompiledStudyAssets] = None) -> None:
@@ -108,6 +117,7 @@ class StudyConfig:
         self.num_shards = num_shards
         self.recorder = recorder
         self.progress = progress
+        self.resources = resources
         self.supervision = supervision
         self.chaos = chaos
         self.assets = assets
@@ -333,6 +343,10 @@ class Study:
             emit = self.config.progress
             total = session.crawled_count + len(session.remaining_sites)
             retried = quarantined = 0
+            sampler = None
+            if emit is not None and self.config.resources:
+                from ..obs.runtime import ResourceSampler
+                sampler = ResourceSampler()
             while not session.done:
                 entries_before = len(session.browser.log.entries)
                 result = session.step()
@@ -350,13 +364,18 @@ class Study:
                         status=result.status, attempts=result.attempts,
                         requests=(len(session.browser.log.entries)
                                   - entries_before),
-                        retried=retried, quarantined=quarantined))
+                        retried=retried, quarantined=quarantined,
+                        resources=(sampler.sample() if sampler is not None
+                                   else None)))
             if emit is not None:
                 from ..obs.progress import final_heartbeat
                 emit(final_heartbeat(shard=0,
                                      crawled=session.crawled_count,
                                      total=total, retried=retried,
-                                     quarantined=quarantined))
+                                     quarantined=quarantined,
+                                     resources=(sampler.sample()
+                                                if sampler is not None
+                                                else None)))
             dataset = session.finish()
             if recorder is not None and session.recorder is not recorder:
                 # A resumed session carries its own (pickled) recorder;
@@ -379,6 +398,7 @@ class Study:
                                checkpoint_dir=checkpoint_dir,
                                recorder=self.config.recorder,
                                progress=self.config.progress,
+                               resources=self.config.resources,
                                supervision=self.config.supervision,
                                chaos=self.config.chaos)
 

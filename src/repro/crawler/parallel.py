@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import copy
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.assets import CompiledStudyAssets, StudyAssetsSpec
@@ -57,6 +57,7 @@ from ..netsim import CaptureLog
 from ..netsim.faults import FaultEvent, FaultPlan
 from ..obs import Recorder, merge_recorders
 from ..obs.progress import HeartbeatEvent, final_heartbeat, step_heartbeat
+from ..obs.runtime import ResourceSampler
 from ..reporting.redact import redact_email
 from ..websim.population import Population
 from .chaos import ChaosPlan
@@ -176,6 +177,12 @@ class ShardJob:
     #: while crawling.  Like tracing, off by default and — invariantly
     #: — never an influence on the dataset fingerprint.
     progress: bool = False
+    #: Sample process resources (CPU/RSS/GC via
+    #: :class:`~repro.obs.runtime.ResourceSampler`) at heartbeat time
+    #: and attach them to each event plus the shard result.  Pure ops
+    #: telemetry: requires ``progress`` to have a channel to ride, and
+    #: never touches the dataset or the trace.
+    resources: bool = False
     #: Compact compiled-assets recipe (see
     #: :class:`~repro.core.assets.StudyAssetsSpec`).  When present the
     #: worker resolves its population through the process-local assets
@@ -200,6 +207,10 @@ class ShardResult:
     dataset: CrawlDataset
     fault_events: Tuple[FaultEvent, ...] = ()
     recorder: Optional[Recorder] = None
+    #: The shard's final resource sample (CPU/GC deltas over the whole
+    #: attempt, peak RSS) when the job asked for resource telemetry.
+    #: Identical to the final heartbeat's sample by construction.
+    resources: Optional[Dict[str, float]] = None
 
 
 def _session_for_job(job: ShardJob) -> CrawlSession:
@@ -244,6 +255,11 @@ def run_shard_job(job: ShardJob,
     total = session.crawled_count + len(session.remaining_sites)
     retried = 0
     quarantined = 0
+    # Worker-local and built after the session: sampling reads OS
+    # counters only (never crawl state), so the dataset and trace are
+    # bit-identical with telemetry on or off.
+    sampler = ResourceSampler() if job.resources else None
+    final_sample: Optional[Dict[str, float]] = None
     while not session.done:
         entries_before = len(session.browser.log.entries)
         result = session.step()
@@ -259,11 +275,17 @@ def run_shard_job(job: ShardJob,
                 total=total, domain=result.site, status=result.status,
                 attempts=result.attempts,
                 requests=len(session.browser.log.entries) - entries_before,
-                retried=retried, quarantined=quarantined))
+                retried=retried, quarantined=quarantined,
+                resources=sampler.sample() if sampler else None))
+    if sampler is not None:
+        # One sample shared by the final heartbeat and the ShardResult,
+        # so progress.jsonl and the manifest reconcile exactly.
+        final_sample = sampler.sample()
     if emit is not None:
         emit(final_heartbeat(shard=shard_index,
                              crawled=session.crawled_count, total=total,
-                             retried=retried, quarantined=quarantined))
+                             retried=retried, quarantined=quarantined,
+                             resources=final_sample))
     dataset = session.finish()
     if job.checkpoint_path:
         # Persist the finished state too: a re-run of an already-complete
@@ -281,7 +303,7 @@ def run_shard_job(job: ShardJob,
                 if job.trace and session.recorder.enabled else None)
     return ShardResult(index=session.shard.index, dataset=stripped,
                        fault_events=tuple(plan.events) if plan else (),
-                       recorder=recorder)
+                       recorder=recorder, resources=final_sample)
 
 
 # ---------------------------------------------------------------------------
@@ -362,6 +384,11 @@ class ParallelCrawlResult:
     #: The supervised execution's decisions (retries, watchdog trips,
     #: quarantines, shutdown); ``None`` for the in-process serial path.
     supervision: Optional[SupervisionOutcome] = None
+    #: Per-shard resource samples (``{shard index: sample}``) when the
+    #: engine ran with ``resources=True``; empty otherwise.  Ops
+    #: telemetry only — see :mod:`repro.obs.runtime`.
+    resources: Dict[int, Dict[str, float]] = dataclasses_field(
+        default_factory=dict)
 
 
 class ParallelCrawler:
@@ -416,6 +443,14 @@ class ParallelCrawler:
     but emission never mutates crawl state, so the merged dataset and
     trace stay bit-identical with progress on or off.
 
+    ``resources=True`` makes every shard attach a CPU/RSS/GC sample
+    (:class:`~repro.obs.runtime.ResourceSampler` deltas) to each
+    heartbeat and to its :class:`ShardResult`; the engine collects the
+    final per-shard samples into ``result.resources``.  Ops telemetry
+    only: it rides the progress channel and never perturbs the dataset
+    fingerprint or the merged trace (pinned in
+    ``tests/test_obs_resources.py``).
+
     ``supervision_sink`` (any callable taking a
     :class:`~repro.crawler.supervisor.SupervisionEvent`) receives every
     supervision decision live as the supervised executor records it —
@@ -440,6 +475,7 @@ class ParallelCrawler:
                  checkpoint_dir: Optional[str] = None,
                  recorder: Optional[Recorder] = None,
                  progress: Optional[ProgressSink] = None,
+                 resources: bool = False,
                  supervision: Optional[SupervisorConfig] = None,
                  chaos: Optional[ChaosPlan] = None,
                  supervision_sink: Optional[Callable] = None) -> None:
@@ -484,6 +520,7 @@ class ParallelCrawler:
         self.checkpoint_dir = checkpoint_dir
         self.recorder = recorder
         self.progress = progress
+        self.resources = resources
         self.supervision = supervision
         self.chaos = chaos
         self.supervision_sink = supervision_sink
@@ -617,7 +654,10 @@ class ParallelCrawler:
             recorder=merged_recorder, complete=complete,
             incomplete_shards=(outcome.incomplete_shards
                                if outcome is not None else ()),
-            supervision=outcome)
+            supervision=outcome,
+            resources={result.index: dict(result.resources)
+                       for result in ordered
+                       if result.resources is not None})
 
     # -- internals -------------------------------------------------------
 
@@ -663,4 +703,5 @@ class ParallelCrawler:
                         checkpoint_path=checkpoint_path,
                         trace=self.recorder is not None,
                         progress=self.progress is not None,
+                        resources=self.resources,
                         assets=self._assets_spec)

@@ -325,6 +325,17 @@ def write_manifest(checkpoint_dir: str, layout: ShardLayout,
         "event_counts": outcome.event_counts(),
         "events": [event.as_dict() for event in outcome.events[:200]],
     }
+    samples = {getattr(result, "index", -1): sample
+               for result in outcome.results
+               for sample in [getattr(result, "resources", None)]
+               if sample is not None}
+    if samples:
+        from ..obs.runtime import aggregate_resources
+        document["resources"] = {
+            "shards": {str(index): dict(samples[index])
+                       for index in sorted(samples)},
+            "totals": aggregate_resources(samples.values()),
+        }
     path = os.path.join(checkpoint_dir, MANIFEST_NAME)
     return atomic_write_text(
         path, json.dumps(document, indent=2, sort_keys=True) + "\n")

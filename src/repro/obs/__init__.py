@@ -35,6 +35,17 @@ from .export import (
     trace_lines,
     write_trace,
 )
+from .exposition import (
+    CONTENT_TYPE as METRICS_CONTENT_TYPE,
+    parse_exposition,
+    render_prometheus,
+)
+from .flame import (
+    folded_lines,
+    slowest_spans,
+    stage_totals,
+    write_folded,
+)
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram
 from .progress import (
     HeartbeatEvent,
@@ -58,6 +69,14 @@ from .regress import (
     fold_report,
     new_baseline,
 )
+from .runtime import (
+    ResourceSampler,
+    RuntimeMetrics,
+    aggregate_resources,
+    render_ticker,
+    sample_resources,
+    wall_now,
+)
 
 __all__ = [
     "BaselineError",
@@ -71,31 +90,44 @@ __all__ = [
     "Gauge",
     "HeartbeatEvent",
     "Histogram",
+    "METRICS_CONTENT_TYPE",
     "NULL_RECORDER",
     "NullRecorder",
     "ProgressAggregator",
     "Recorder",
     "RegressionFinding",
     "RegressionReport",
+    "ResourceSampler",
+    "RuntimeMetrics",
     "Span",
     "TRACE_SCHEMA_VERSION",
     "TickClock",
     "TraceDiff",
     "TraceError",
     "WallClock",
+    "aggregate_resources",
     "check_ordering",
     "check_report",
     "diff_traces",
     "fold_report",
+    "folded_lines",
     "merge_recorders",
     "new_baseline",
+    "parse_exposition",
     "parse_fail_on",
     "read_progress_log",
     "read_trace",
     "render_diff",
+    "render_prometheus",
+    "render_ticker",
+    "sample_resources",
+    "slowest_spans",
+    "stage_totals",
     "summarize_recorder",
     "summarize_trace",
     "summary_dict",
     "trace_lines",
+    "wall_now",
+    "write_folded",
     "write_trace",
 ]

@@ -1,13 +1,16 @@
-"""``repro-trace``: read, summarize and diff JSONL traces.
+"""``repro-trace``: read, summarize, diff and flamegraph JSONL traces.
 
 Usage::
 
     repro-trace summarize out.jsonl            # per-stage breakdown
     repro-trace summarize out.jsonl --json     # machine-readable summary
+    repro-trace summarize out.jsonl --slowest 10   # top spans by self-time
     repro-trace diff a.jsonl b.jsonl           # what moved between runs
     repro-trace diff a.jsonl b.jsonl --json
     repro-trace diff a.jsonl b.jsonl \\
         --fail-on 'stage_time>20%' --fail-on 'counter:*!=0'   # CI gate
+    repro-trace flame out.jsonl out.folded     # folded stacks for
+                                               # flamegraph.pl/speedscope
 
 Traces are produced by ``repro-study study --trace out.jsonl`` (and by
 ``benchmarks/bench_parallel_crawl.py --trace``).  ``diff`` aligns the
@@ -35,6 +38,7 @@ from .export import (
     summarize_trace,
     summary_dict,
 )
+from .flame import render_slowest, slowest_spans, write_folded
 
 EXIT_OK = 0
 EXIT_FAILED = 1
@@ -66,10 +70,30 @@ def _print(text: str) -> None:
 def _cmd_summarize(args: argparse.Namespace) -> int:
     records = _read(args.path)
     if args.json:
-        _print(json.dumps(summary_dict(records, top=args.top),
-                          indent=2, sort_keys=True))
+        document = summary_dict(records, top=args.top)
+        if args.slowest:
+            document["slowest_spans"] = slowest_spans(records,
+                                                      top=args.slowest)
+        _print(json.dumps(document, indent=2, sort_keys=True))
     else:
         _print(summarize_trace(records, top=args.top))
+        if args.slowest:
+            _print("")
+            _print(render_slowest(
+                slowest_spans(records, top=args.slowest),
+                title="slowest %d span paths by self-time:"
+                      % args.slowest))
+    return EXIT_OK
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    records = _read(args.path)
+    lines = write_folded(records, args.out, scale=args.scale)
+    if lines == 0:
+        print("repro-trace: error: %s has no completed spans to fold"
+              % args.path, file=sys.stderr)
+        return EXIT_FAILED
+    _print("wrote %s (%d stacks)" % (args.out, lines))
     return EXIT_OK
 
 
@@ -110,7 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="rows per table (default: 20)")
     summarize.add_argument("--json", action="store_true",
                            help="emit the summary as JSON")
+    summarize.add_argument("--slowest", type=int, default=0, metavar="N",
+                           help="also list the top-N span paths by "
+                                "self-time (name[discriminator] chains)")
     summarize.set_defaults(func=_cmd_summarize)
+
+    flame = subparsers.add_parser(
+        "flame", help="export folded stacks for flamegraph.pl/speedscope")
+    flame.add_argument("path", help="JSONL trace written by --trace")
+    flame.add_argument("out", help="folded-stack output file (.folded)")
+    flame.add_argument("--scale", type=float, default=1.0, metavar="X",
+                       help="multiply span self-times by X (tick clocks "
+                            "are integral; default: 1.0)")
+    flame.set_defaults(func=_cmd_flame)
 
     diff = subparsers.add_parser(
         "diff", help="align two traces and report what moved")

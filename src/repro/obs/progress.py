@@ -59,9 +59,13 @@ class HeartbeatEvent:
     retried: int = 0            # cumulative flows that needed retries
     quarantined: int = 0        # cumulative circuit-breaker give-ups
     final: bool = False
+    #: Optional ops telemetry (CPU/RSS/GC deltas since shard start, see
+    #: :class:`repro.obs.runtime.ResourceSampler`).  None — the default
+    #: — keeps the event byte-identical to pre-telemetry logs.
+    resources: Optional[Dict[str, float]] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "type": "heartbeat",
             "schema": PROGRESS_SCHEMA_VERSION,
             "shard": self.shard,
@@ -75,11 +79,17 @@ class HeartbeatEvent:
             "quarantined": self.quarantined,
             "final": self.final,
         }
+        if self.resources is not None:
+            record["resources"] = {key: self.resources[key]
+                                   for key in sorted(self.resources)}
+        return record
 
 
 def step_heartbeat(shard: int, crawled: int, total: int, domain: str,
                    status: str, attempts: int, requests: int,
-                   retried: int, quarantined: int) -> HeartbeatEvent:
+                   retried: int, quarantined: int,
+                   resources: Optional[Dict[str, float]] = None
+                   ) -> HeartbeatEvent:
     """The heartbeat for one finished crawl step.
 
     The counter deltas mirror :meth:`repro.crawler.CrawlSession.step`'s
@@ -95,15 +105,18 @@ def step_heartbeat(shard: int, crawled: int, total: int, domain: str,
         counters["crawl.retried_flows"] = 1
     return HeartbeatEvent(shard=shard, crawled=crawled, total=total,
                           domain=domain, status=status, counters=counters,
-                          retried=retried, quarantined=quarantined)
+                          retried=retried, quarantined=quarantined,
+                          resources=resources)
 
 
 def final_heartbeat(shard: int, crawled: int, total: int, retried: int,
-                    quarantined: int) -> HeartbeatEvent:
+                    quarantined: int,
+                    resources: Optional[Dict[str, float]] = None
+                    ) -> HeartbeatEvent:
     """The completion marker a shard emits after its last site."""
     return HeartbeatEvent(shard=shard, crawled=crawled, total=total,
                           retried=retried, quarantined=quarantined,
-                          final=True)
+                          final=True, resources=resources)
 
 
 @dataclass
@@ -150,6 +163,7 @@ class ProgressAggregator:
         self.status_counts: Dict[str, int] = {}
         self._counters: Dict[str, float] = {}
         self._shards: Dict[int, _ShardProgress] = {}
+        self._resources: Dict[int, Dict[str, float]] = {}
         self._listeners: List[Callable[[HeartbeatEvent], None]] = []
         self._jsonl: Optional[TextIO] = None
         if jsonl_path is not None:
@@ -177,6 +191,11 @@ class ProgressAggregator:
         if event.status:
             self.status_counts[event.status] = \
                 self.status_counts.get(event.status, 0) + 1
+        if event.resources is not None:
+            # Delta-since-shard-start samples: last write wins per
+            # shard, so the latest heartbeat always carries the most
+            # complete view of that shard's attempt.
+            self._resources[event.shard] = dict(event.resources)
         for name, delta in event.counters.items():
             self._counters[name] = self._counters.get(name, 0.0) + delta
         if self._jsonl is not None:
@@ -260,9 +279,26 @@ class ProgressAggregator:
         """
         return dict(sorted(self._counters.items()))
 
+    def resource_usage(self) -> Dict[str, object]:
+        """Per-shard resource samples plus study-wide totals.
+
+        ``{"shards": {"<index>": sample, ...}, "totals": {...}}`` —
+        empty dict when no heartbeat carried resources (telemetry off).
+        Samples are CPU/GC deltas since shard start and absolute RSS
+        peaks, so the totals sum/max correctly across shards however
+        they were scheduled (see :mod:`repro.obs.runtime`).
+        """
+        if not self._resources:
+            return {}
+        from .runtime import aggregate_resources
+        shards = {str(index): dict(self._resources[index])
+                  for index in sorted(self._resources)}
+        return {"shards": shards,
+                "totals": aggregate_resources(self._resources.values())}
+
     def snapshot(self) -> Dict[str, object]:
         """A JSON-able summary of the whole crawl's progress."""
-        return {
+        snapshot: Dict[str, object] = {
             "crawled": self.crawled,
             "total": self.total,
             "retried": self.retried,
@@ -273,6 +309,10 @@ class ProgressAggregator:
             "counters": self.counter_totals(),
             "events": self.events_seen,
         }
+        resources = self.resource_usage()
+        if resources:
+            snapshot["resources"] = resources
+        return snapshot
 
     def render_line(self, event: Optional[HeartbeatEvent] = None) -> str:
         """One status line: crawl-wide totals plus the triggering event."""

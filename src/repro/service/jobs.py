@@ -321,11 +321,17 @@ class JobRun:
     def __init__(self, spec: JobSpec,
                  checkpoint_dir: Optional[str] = None,
                  progress: Optional[Callable[[HeartbeatEvent], None]] = None,
-                 supervision_sink: Optional[Callable] = None) -> None:
+                 supervision_sink: Optional[Callable] = None,
+                 resources: bool = True) -> None:
         self.spec = spec
         self.checkpoint_dir = checkpoint_dir
         self.progress = progress
         self.supervision_sink = supervision_sink
+        #: Per-shard CPU/RSS/GC accounting, on by default for served
+        #: jobs: samples ride the heartbeat channel (never the recorder),
+        #: so the trace and fingerprint stay identical to a CLI run
+        #: without telemetry.
+        self.resources = resources
         self._engine: Optional[object] = None
 
     def request_shutdown(self, reason: str = "requested") -> None:
@@ -360,7 +366,7 @@ class JobRun:
             pspec, workers=self.spec.workers, num_shards=self.spec.shards,
             fault_plan=self.spec.fault_plan(),
             checkpoint_dir=self.checkpoint_dir, recorder=recorder,
-            progress=self.progress,
+            progress=self.progress, resources=self.resources,
             supervision_sink=self.supervision_sink)
         self._engine = engine
         try:

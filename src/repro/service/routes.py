@@ -9,12 +9,14 @@ without a listening port (``tests/test_service_http.py`` drives both).
 Endpoints (full reference with examples in docs/SERVICE.md)::
 
     GET  /healthz               service + queue health
+    GET  /metrics               Prometheus text exposition
     POST /studies               submit a job spec       202 | 400 | 503
     GET  /studies               list jobs
     GET  /studies/{id}          status + supervision    200 | 404
     GET  /studies/{id}/result   attribution output      200 | 404 | 409
     GET  /studies/{id}/trace    JSONL trace download    200 | 404 | 409
     GET  /studies/{id}/events   SSE progress stream     200 | 404
+                                (honors Last-Event-ID reconnects)
 """
 
 from __future__ import annotations
@@ -22,8 +24,10 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
+from ..obs.exposition import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..obs.exposition import render_prometheus
 from .jobs import STATE_COMPLETE, SpecError
 from .sse import stream_log
 from .store import JobRecord
@@ -63,12 +67,18 @@ class Router:
     def __init__(self, service) -> None:
         self.service = service
 
-    def route(self, method: str, path: str, body: bytes = b"") -> Response:
+    def route(self, method: str, path: str, body: bytes = b"",
+              headers: Optional[Mapping[str, str]] = None) -> Response:
+        headers = headers or {}
         parts = [part for part in path.split("?", 1)[0].split("/") if part]
         if not parts or parts == ["healthz"]:
             if method != "GET":
                 return self._method_not_allowed("GET")
             return self._health()
+        if parts == ["metrics"]:
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._metrics()
         if parts[0] != "studies" or len(parts) > 3:
             return error_response(404, "no such resource: /%s"
                                   % "/".join(parts))
@@ -91,7 +101,7 @@ class Router:
         if tail == "trace":
             return self._trace(record)
         if tail == "events":
-            return self._events(record)
+            return self._events(record, headers)
         return error_response(404, "no such resource under %s: %s"
                               % (record.id, tail))
 
@@ -103,6 +113,15 @@ class Router:
 
     def _health(self) -> Response:
         return json_response(200, self.service.health())
+
+    def _metrics(self) -> Response:
+        # Gauges (queue depth, jobs by state, uptime) are refreshed at
+        # scrape time; counters and histograms accumulate at every
+        # request/job transition.
+        self.service.refresh_runtime_gauges()
+        body = render_prometheus(self.service.metrics).encode("utf-8")
+        return Response(status=200, body=body,
+                        content_type=METRICS_CONTENT_TYPE)
 
     def _list(self) -> Response:
         return json_response(200, {
@@ -162,13 +181,39 @@ class Router:
         return Response(status=200, body=body,
                         content_type="application/x-ndjson")
 
-    def _events(self, record: JobRecord) -> Response:
+    def _events(self, record: JobRecord,
+                headers: Mapping[str, str]) -> Response:
+        # SSE reconnect: frame ids are event-log indexes, so a client
+        # that last saw id N resumes at N + 1.  A garbage or negative
+        # header degrades to a full replay — never an error, per the
+        # EventSource contract.
+        start_index = 0
+        last_id = headers.get("last-event-id", "").strip()
+        if last_id:
+            try:
+                start_index = max(0, int(last_id) + 1)
+            except ValueError:
+                start_index = 0
+        stream = stream_log(record.log,
+                            should_stop=self.service.stopping,
+                            start_index=start_index)
         return Response(
             status=200, content_type="text/event-stream",
             headers=(("Cache-Control", "no-cache"),
                      ("Connection", "close")),
-            stream=stream_log(record.log,
-                              should_stop=self.service.stopping))
+            stream=self._gauge_subscribers(stream))
+
+    def _gauge_subscribers(self, stream: Iterator[bytes]
+                           ) -> Iterator[bytes]:
+        """Track live SSE followers in the runtime metrics."""
+        metrics = self.service.metrics
+        metrics.add_gauge("repro_service_sse_subscribers", 1,
+                          help="SSE event streams currently connected.")
+        try:
+            for chunk in stream:
+                yield chunk
+        finally:
+            metrics.add_gauge("repro_service_sse_subscribers", -1)
 
 
 __all__ = ["Response", "Router", "error_response", "json_response"]

@@ -37,14 +37,20 @@ from typing import Dict, List, Optional
 
 from .. import __version__
 from ..obs.progress import ProgressAggregator
+from ..obs.runtime import RuntimeMetrics, wall_now
 from .jobs import (
+    JOB_STATES,
     JobRun,
     JobSpec,
     STATE_FAILED,
     STATE_RUNNING,
+    SpecError,
 )
 from .routes import Router
 from .store import JobRecord, JobStore
+
+#: Schema version of the GET /healthz document; bump on shape changes.
+HEALTH_SCHEMA_VERSION = 2
 
 
 class QueueFullError(RuntimeError):
@@ -97,6 +103,17 @@ class StudyService:
         self.config = config or ServiceConfig()
         self.store = JobStore(self.config.jobs_dir)
         self.router = Router(self)
+        #: Runtime ops telemetry, served by GET /metrics.  Counters and
+        #: histograms accumulate on every request/job transition; the
+        #: point-in-time gauges are refreshed at scrape time.
+        self.metrics = RuntimeMetrics()
+        # Seed the subscriber gauge so the series renders (at 0) even
+        # before the first SSE client connects; the ± accounting lives
+        # in the stream wrapper.
+        self.metrics.add_gauge("repro_service_sse_subscribers", 0,
+                               help="SSE event streams currently "
+                                    "connected.")
+        self._started = wall_now()
         self._queue: "queue_module.Queue[JobRecord]" = \
             queue_module.Queue(maxsize=self.config.queue_size)
         # The service never crosses a pickle boundary itself — only job
@@ -234,22 +251,40 @@ class StudyService:
         (400) and :class:`QueueFullError` when the bounded queue has no
         slot or the service is draining (503 + Retry-After).
         """
-        spec = JobSpec.from_dict(document)
-        with self._submit_lock:
-            if not self._accepting or self._stopping.is_set():
-                raise QueueFullError(
-                    "service is shutting down; retry against the next "
-                    "instance", retry_after=self.config.retry_after)
-            if self._queue.full():
-                raise QueueFullError(
-                    "job queue is full (%d queued); retry later"
-                    % self.config.queue_size,
-                    retry_after=self.config.retry_after)
-            record = self.store.create(spec)
-            # Cannot overflow: submissions are serialized by the lock
-            # and runners only ever drain the queue.
-            self._queue.put_nowait(record)
+        started = wall_now()
+        try:
+            spec = JobSpec.from_dict(document)
+            with self._submit_lock:
+                if not self._accepting or self._stopping.is_set():
+                    raise QueueFullError(
+                        "service is shutting down; retry against the next "
+                        "instance", retry_after=self.config.retry_after)
+                if self._queue.full():
+                    raise QueueFullError(
+                        "job queue is full (%d queued); retry later"
+                        % self.config.queue_size,
+                        retry_after=self.config.retry_after)
+                record = self.store.create(spec)
+                # Cannot overflow: submissions are serialized by the lock
+                # and runners only ever drain the queue.
+                self._queue.put_nowait(record)
+        except SpecError:
+            self._count_submission("invalid")
+            raise
+        except QueueFullError:
+            self._count_submission("rejected")
+            raise
+        self._count_submission("accepted")
+        self.metrics.observe("repro_service_submit_seconds",
+                             wall_now() - started,
+                             help="Submission latency (validate + persist "
+                                  "+ enqueue), seconds.")
         return record
+
+    def _count_submission(self, outcome: str) -> None:
+        self.metrics.inc("repro_service_submissions_total",
+                         labels={"outcome": outcome},
+                         help="Study submissions by outcome.")
 
     def health(self) -> Dict[str, object]:
         """The ``GET /healthz`` document."""
@@ -258,13 +293,43 @@ class StudyService:
             states[record.state] = states.get(record.state, 0) + 1
         return {
             "service": "repro-serve",
+            "schema": HEALTH_SCHEMA_VERSION,
             "version": __version__,
             "accepting": self._accepting and not self._stopping.is_set(),
+            "draining": self._stopping.is_set(),
+            "uptime_seconds": round(wall_now() - self._started, 3),
             "queue": {"depth": self._queue.qsize(),
                       "capacity": self.config.queue_size},
             "runners": self.config.runners,
             "states": states,
         }
+
+    def refresh_runtime_gauges(self) -> None:
+        """Recompute the point-in-time gauges (called at scrape time)."""
+        metrics = self.metrics
+        metrics.set_gauge("repro_service_queue_depth",
+                          self._queue.qsize(),
+                          help="Jobs waiting in the bounded queue.")
+        metrics.set_gauge("repro_service_queue_capacity",
+                          self.config.queue_size,
+                          help="Bounded queue capacity.")
+        metrics.set_gauge("repro_service_uptime_seconds",
+                          round(wall_now() - self._started, 3),
+                          help="Seconds since the service started.")
+        metrics.set_gauge("repro_service_accepting",
+                          1.0 if (self._accepting
+                                  and not self._stopping.is_set()) else 0.0,
+                          help="1 while accepting submissions, 0 while "
+                               "draining.")
+        states: Dict[str, int] = {}
+        for record in self.store.list():
+            states[record.state] = states.get(record.state, 0) + 1
+        # Known states always render (a zero is a signal too); any
+        # state the store invents later still shows up.
+        for state in sorted(set(JOB_STATES) | set(states)):
+            metrics.set_gauge("repro_service_jobs", states.get(state, 0),
+                              labels={"state": state},
+                              help="Jobs by state.")
 
     # -- the runner pool -------------------------------------------------
 
@@ -312,6 +377,7 @@ class StudyService:
             supervision_sink=lambda event: log.append(
                 dict(event.as_dict(), type="supervision")))
         record.run = run
+        run_started = wall_now()
         try:
             outcome = run.execute()
         finally:
@@ -320,6 +386,14 @@ class StudyService:
             record.progress_snapshot = aggregator.snapshot()
             record.aggregator = None
             aggregator.close()
+        self.metrics.observe("repro_service_job_run_seconds",
+                             wall_now() - run_started,
+                             help="Wall-clock study execution time, "
+                                  "seconds.")
+        self.metrics.inc("repro_service_jobs_finished_total",
+                         labels={"state": outcome.state},
+                         help="Finished job executions by terminal "
+                              "state.")
         record.state = outcome.state
         record.error = outcome.error
         record.resumable = outcome.resumable
@@ -380,12 +454,17 @@ class _Handler(BaseHTTPRequestHandler):
             length = 0
         body = self.rfile.read(length) if length > 0 else b""
         service = self.server.service  # type: ignore[attr-defined]
+        metrics = service.metrics
+        headers = {key.lower(): value
+                   for key, value in self.headers.items()}
         try:
-            response = service.router.route(method, self.path, body)
+            response = service.router.route(method, self.path, body,
+                                            headers=headers)
         except Exception as exc:  # noqa: BLE001 — surfaced as a 500
             payload = json.dumps(
                 {"error": "internal error: %s: %s"
                           % (type(exc).__name__, exc)}).encode("utf-8")
+            self._count_request(method, 500, len(payload))
             self.send_response(500)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(payload)))
@@ -397,17 +476,32 @@ class _Handler(BaseHTTPRequestHandler):
         for name, value in response.headers:
             self.send_header(name, value)
         if response.stream is None:
+            self._count_request(method, response.status,
+                                len(response.body))
             self.send_header("Content-Length", str(len(response.body)))
             self.end_headers()
             self.wfile.write(response.body)
             return
+        self._count_request(method, response.status, 0)
         self.end_headers()
         try:
             for chunk in response.stream:
                 self.wfile.write(chunk)
                 self.wfile.flush()
+                metrics.inc("repro_http_bytes_sent_total", len(chunk),
+                            help="Response payload bytes written.")
         except (BrokenPipeError, ConnectionResetError):
             pass  # the client hung up; nothing to clean beyond the socket
+
+    def _count_request(self, method: str, status: int,
+                       body_bytes: int) -> None:
+        metrics = self.server.service.metrics  # type: ignore[attr-defined]
+        metrics.inc("repro_http_requests_total",
+                    labels={"method": method, "status": str(status)},
+                    help="HTTP requests served, by method and status.")
+        if body_bytes:
+            metrics.inc("repro_http_bytes_sent_total", body_bytes,
+                        help="Response payload bytes written.")
 
     def log_message(self, format: str, *args: object) -> None:
         # Quiet by default: the service's own status lines go to

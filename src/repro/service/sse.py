@@ -101,15 +101,23 @@ def format_sse(seq: int, event: Dict[str, object]) -> bytes:
 
 
 def stream_log(log: EventLog, poll_interval: float = 0.25,
-               should_stop: Optional[Callable[[], bool]] = None
-               ) -> Iterator[bytes]:
-    """Yield SSE frames: full replay first, then follow until close.
+               should_stop: Optional[Callable[[], bool]] = None,
+               start_index: int = 0) -> Iterator[bytes]:
+    """Yield SSE frames: replay from ``start_index``, then follow.
+
+    ``start_index`` is the reconnect hook: a client that saw frame ids
+    up to N resumes with ``start_index=N + 1`` (the route derives it
+    from the ``Last-Event-ID`` request header) and receives no
+    duplicates — frame ids are the log's own indexes, so the sequence
+    continues exactly where the dropped connection stopped.  An index
+    at or past the end of a closed log yields nothing and ends
+    immediately; on a live log it simply waits for the next event.
 
     ``should_stop`` (e.g. the service's shutdown flag) ends the stream
     early so a draining server does not hold follower sockets open for
     jobs that will never finish in this process.
     """
-    index = 0
+    index = max(0, start_index)
     while True:
         events, closed = log.events_after(index)
         for event in events:

@@ -319,3 +319,66 @@ def test_repro_serve_rejects_bad_config():
     args = build_serve_parser().parse_args(["--queue-size", "0"])
     with pytest.raises(SystemExit):
         serve(args)
+
+
+def test_study_parser_accepts_resources_flag():
+    args = build_parser().parse_args(["study", "--progress", "--resources"])
+    assert args.resources is True
+    assert build_parser().parse_args(["study"]).resources is False
+
+
+def test_resources_flag_requires_a_progress_sink():
+    from repro.cli import _study_for_args
+    from repro.core import StudyConfig
+
+    args = build_parser().parse_args(["study", "--resources"])
+    with pytest.raises(SystemExit) as excinfo:
+        _study_for_args(args, StudyConfig())
+    assert "--progress" in str(excinfo.value)
+
+
+def test_resources_flag_wires_the_config(tmp_path):
+    from repro.cli import _study_for_args
+    from repro.core import StudyConfig
+
+    args = build_parser().parse_args(
+        ["study", "--resources", "--progress-log",
+         str(tmp_path / "p.jsonl")])
+    study = _study_for_args(args, StudyConfig())
+    assert study.config.resources is True
+    study.config.progress.close()
+
+    plain = _study_for_args(
+        build_parser().parse_args(["study", "--progress"]), StudyConfig())
+    assert plain.config.resources is False
+    plain.config.progress.close()
+
+
+def test_metrics_command_scrapes_a_live_service(tmp_path, capsys):
+    from repro.service import ServiceConfig, StudyService
+
+    service = StudyService(ServiceConfig(port=0, runners=0, queue_size=2,
+                                         jobs_dir=str(tmp_path / "jobs")))
+    service.start()
+    service.start_in_thread()
+    try:
+        url = "http://127.0.0.1:%d" % service.port
+        assert main(["metrics", "--url", url]) == 0
+        scrape = capsys.readouterr().out
+        assert "# TYPE repro_service_queue_depth gauge" in scrape
+        assert "repro_service_accepting 1" in scrape
+
+        assert main(["metrics", "--url", url, "--live",
+                     "--interval", "0.05", "--count", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert all("queue 0/2" in line and "jobs" in line
+                   for line in lines)
+    finally:
+        service.close()
+
+
+def test_metrics_command_reports_unreachable_service():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["metrics", "--url", "http://127.0.0.1:9"])
+    assert "cannot scrape" in str(excinfo.value)

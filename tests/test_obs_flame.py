@@ -1,0 +1,228 @@
+"""Folded-stack export: self-time telescoping and the flame CLI.
+
+The core invariant: a span's folded self-time is its duration minus
+its children's, so summing every stack under a root reproduces the
+root span's duration exactly — which is what reconciles a ``.folded``
+file against ``repro-trace summarize --json`` stage times.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Study, StudyConfig
+from repro.crawler import GeneratedPopulationSpec
+from repro.obs import Recorder, read_trace, write_trace
+from repro.obs.cli import main as trace_main
+from repro.obs.export import summary_dict
+from repro.obs.flame import (
+    folded_lines,
+    folded_stacks,
+    self_times,
+    slowest_spans,
+    stage_totals,
+    write_folded,
+)
+from repro.websim.generator import GeneratorConfig
+
+# -- a hand-built tree with known self-times ------------------------------
+
+
+def _recorder():
+    """study(0..10) > crawl[stage](0..6) > two sites; detect(6..8)."""
+    recorder = Recorder()
+    recorder.start_span("study", start=0.0)
+    recorder.start_span("crawl", start=0.0, kind="stage")
+    recorder.start_span("site", start=0.0, domain="a.example")
+    recorder.end_span(end=3.0)
+    recorder.start_span("site", start=3.0, domain="b.example")
+    recorder.end_span(end=5.0)
+    recorder.end_span(end=6.0)
+    recorder.start_span("detect", start=6.0, kind="stage")
+    recorder.end_span(end=8.0)
+    recorder.end_span(end=10.0)
+    return recorder
+
+
+def _records(tmp_path, recorder):
+    path = str(tmp_path / "trace.jsonl")
+    write_trace(recorder, path)
+    return read_trace(path)
+
+
+def test_self_times_subtract_children(tmp_path):
+    records = _records(tmp_path, _recorder())
+    by_stack = {stack: (self_time, total)
+                for stack, self_time, total in self_times(records)}
+    assert by_stack["study"] == (2.0, 10.0)
+    assert by_stack["study;crawl[kind=stage]"] == (1.0, 6.0)
+    assert by_stack["study;crawl[kind=stage];site[domain=a.example]"] \
+        == (3.0, 3.0)
+    assert by_stack["study;detect[kind=stage]"] == (2.0, 2.0)
+
+
+def test_folded_lines_are_sorted_and_weighted(tmp_path):
+    records = _records(tmp_path, _recorder())
+    assert folded_lines(records) == [
+        "study 2",
+        "study;crawl[kind=stage] 1",
+        "study;crawl[kind=stage];site[domain=a.example] 3",
+        "study;crawl[kind=stage];site[domain=b.example] 2",
+        "study;detect[kind=stage] 2",
+    ]
+
+
+def test_folded_weights_telescope_to_root_duration(tmp_path):
+    """One clock domain: folded self-times sum back to the root span."""
+    records = _records(tmp_path, _recorder())
+    assert sum(folded_stacks(records).values()) == pytest.approx(10.0)
+
+
+def test_stage_totals_group_span_durations_by_name(tmp_path):
+    records = _records(tmp_path, _recorder())
+    assert stage_totals(records) == {"study": 10.0, "crawl": 6.0,
+                                     "site": 5.0, "detect": 2.0}
+
+
+def test_scale_multiplies_weights(tmp_path):
+    records = _records(tmp_path, _recorder())
+    assert stage_totals(records, scale=100.0)["study"] == 1000.0
+    assert "study 200" in folded_lines(records, scale=100.0)
+
+
+def test_zero_self_time_parents_are_dropped_but_leaves_kept(tmp_path):
+    recorder = Recorder()
+    recorder.start_span("outer", start=0.0)
+    recorder.start_span("inner", start=0.0)      # absorbs all the time
+    recorder.end_span(end=4.0)
+    recorder.end_span(end=4.0)
+    recorder.start_span("idle", start=4.0)       # zero-duration leaf
+    recorder.end_span(end=4.0)
+    stacks = folded_stacks(_records(tmp_path, recorder))
+    assert stacks == {"outer;inner": 4.0, "idle": 0.0}
+
+
+def test_open_spans_are_excluded_but_anchor_children(tmp_path):
+    recorder = Recorder()
+    recorder.start_span("outer", start=0.0)      # never closed
+    recorder.start_span("inner", start=0.0)
+    recorder.end_span(end=2.0)
+    stacks = folded_stacks(_records(tmp_path, recorder))
+    assert stacks == {"outer;inner": 2.0}
+
+
+def test_identical_sibling_stacks_merge(tmp_path):
+    recorder = Recorder()
+    recorder.start_span("root", start=0.0)
+    for start in (0.0, 1.0, 2.0):
+        recorder.start_span("step", start=start)   # same segment 3x
+        recorder.end_span(end=start + 1.0)
+    recorder.end_span(end=3.0)
+    records = _records(tmp_path, recorder)
+    assert folded_stacks(records) == {"root;step": 3.0}
+    (row,) = slowest_spans(records, top=1)
+    assert row == {"path": "root;step", "self": 3.0, "total": 3.0,
+                   "count": 3}
+
+
+def test_slowest_spans_rank_by_self_time_then_path(tmp_path):
+    records = _records(tmp_path, _recorder())
+    rows = slowest_spans(records, top=3)
+    assert [row["path"] for row in rows] == [
+        "study;crawl[kind=stage];site[domain=a.example]",
+        "study",                                   # self 2: path breaks
+        "study;crawl[kind=stage];site[domain=b.example]",  # the 2.0 tie
+    ]
+    assert [row["self"] for row in rows] == [3.0, 2.0, 2.0]
+
+
+# -- a real study trace ---------------------------------------------------
+
+_CONFIG = GeneratorConfig(n_sites=8, n_trackers=3, leak_probability=0.6,
+                          confirmation_probability=0.4)
+
+
+@pytest.fixture(scope="module")
+def study_trace(tmp_path_factory):
+    """A full traced quick study, written as JSONL once per module."""
+    spec = GeneratedPopulationSpec(seed=0, config=_CONFIG)
+    study = Study(spec.build(), config=StudyConfig().with_observability(),
+                  population_spec=spec)
+    study.run()
+    path = str(tmp_path_factory.mktemp("flame") / "study.jsonl")
+    write_trace(study.config.recorder, path)
+    return path
+
+
+def test_real_trace_folds_non_empty(study_trace, tmp_path):
+    records = read_trace(study_trace)
+    out = str(tmp_path / "study.folded")
+    lines = write_folded(records, out)
+    assert lines > 0
+    content = open(out).read().splitlines()
+    assert len(content) == lines
+    for line in content:
+        stack, _, weight = line.rpartition(" ")
+        assert stack and float(weight) >= 0.0
+
+
+def test_real_trace_stage_totals_reconcile_with_summary(study_trace):
+    """Per-stage totals from the folded view match ``summarize --json``
+    span_breakdown exactly (the acceptance reconciliation)."""
+    records = read_trace(study_trace)
+    totals = stage_totals(records)
+    summary = {row["name"]: row["total"]
+               for row in summary_dict(records, top=100)["span_breakdown"]}
+    assert totals and set(totals) == set(summary)
+    for name, weight in totals.items():
+        assert weight == pytest.approx(summary[name]), name
+    # The study's stages are all present under their trace names.
+    assert {"study", "crawl", "site"} <= set(totals)
+
+
+def test_real_trace_self_times_sum_to_folded_weights(study_trace):
+    records = read_trace(study_trace)
+    total_self = sum(self_time for _, self_time, _ in self_times(records))
+    assert total_self == pytest.approx(sum(
+        folded_stacks(records).values()))
+
+
+# -- the CLI --------------------------------------------------------------
+
+
+def test_cli_flame_writes_the_folded_file(study_trace, tmp_path, capsys):
+    out = str(tmp_path / "out.folded")
+    assert trace_main(["flame", study_trace, out]) == 0
+    stdout = capsys.readouterr().out
+    assert "wrote %s" % out in stdout
+    assert open(out).read().strip()
+
+
+def test_cli_flame_empty_trace_exits_one(tmp_path, capsys):
+    path = str(tmp_path / "empty.jsonl")
+    write_trace(Recorder(), path)       # meta header, no spans
+    out = str(tmp_path / "empty.folded")
+    assert trace_main(["flame", path, out]) == 1
+    assert "no completed spans" in capsys.readouterr().err
+
+
+def test_cli_flame_unreadable_trace_exits_two(tmp_path, capsys):
+    missing = str(tmp_path / "nope.jsonl")
+    assert trace_main(["flame", missing, "x.folded"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_summarize_slowest_table(study_trace, capsys):
+    assert trace_main(["summarize", study_trace, "--slowest", "5"]) == 0
+    stdout = capsys.readouterr().out
+    assert "slowest 5 span paths by self-time:" in stdout
+    assert "path" in stdout and "self" in stdout
+
+
+def test_cli_summarize_slowest_json_parity(study_trace, capsys):
+    assert trace_main(["summarize", study_trace, "--json",
+                       "--slowest", "4"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    records = read_trace(study_trace)
+    assert document["slowest_spans"] == slowest_spans(records, top=4)
+    assert len(document["slowest_spans"]) <= 4

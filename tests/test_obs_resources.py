@@ -1,0 +1,208 @@
+"""Per-shard resource accounting: invariance + reconciliation.
+
+The two contracts (mirroring ``tests/test_obs_progress.py``):
+
+* **Invariance** — resource telemetry rides the heartbeat channel and
+  stays entirely outside the deterministic domain: a crawl with it on
+  is bit-identical (fingerprint AND merged trace) to one with it off,
+  across seeds and worker counts.
+* **Reconciliation** — the sample in a shard's final heartbeat is the
+  *same* sample the engine returns in ``ShardResult.resources`` and
+  the supervisor writes into the study manifest: one measurement,
+  three surfaces.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import Study, StudyConfig
+from repro.crawler import (
+    GeneratedPopulationSpec,
+    MANIFEST_NAME,
+    ParallelCrawler,
+    load_manifest,
+)
+from repro.obs import ProgressAggregator, read_progress_log
+from repro.obs.progress import HeartbeatEvent, final_heartbeat, step_heartbeat
+from repro.obs.runtime import aggregate_resources
+from repro.websim.generator import GeneratorConfig
+
+_CONFIG = GeneratorConfig(n_sites=10, n_trackers=4, leak_probability=0.6,
+                          confirmation_probability=0.4)
+_NUM_SHARDS = 5
+_RESOURCE_KEYS = {"cpu_user_seconds", "cpu_system_seconds", "max_rss_kb",
+                  "gc_collections", "gc_collected"}
+
+
+def _study(seed, workers, resources=False, progress=None, trace=False):
+    spec = GeneratedPopulationSpec(seed=seed, config=_CONFIG)
+    config = StudyConfig(workers=workers, num_shards=_NUM_SHARDS,
+                         progress=progress, resources=resources)
+    if trace:
+        config = config.with_observability()
+    return Study(spec.build(), config=config, population_spec=spec)
+
+
+def _engine(workers, **kwargs):
+    spec = GeneratedPopulationSpec(seed=0, config=_CONFIG)
+    return ParallelCrawler(spec, workers=workers, num_shards=_NUM_SHARDS,
+                           **kwargs)
+
+
+# -- invariance: telemetry on == telemetry off ----------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_resources_never_change_the_fingerprint(seed, workers):
+    baseline = _study(seed, workers).crawl().dataset.fingerprint()
+    sink = ProgressAggregator()
+    watched = _study(seed, workers, resources=True, progress=sink)
+    assert watched.crawl().dataset.fingerprint() == baseline
+    # The telemetry actually ran — this is not a vacuous comparison.
+    assert sink.resource_usage()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_resources_never_change_the_merged_trace(workers):
+    plain = _study(0, workers, trace=True).crawl()
+    sampled = _study(0, workers, resources=True,
+                     progress=ProgressAggregator(), trace=True).crawl()
+    assert sampled.recorder.snapshot() == plain.recorder.snapshot()
+    assert sampled.dataset.fingerprint() == plain.dataset.fingerprint()
+
+
+def test_heartbeats_are_byte_identical_when_telemetry_is_off():
+    """No ``resources`` key at all when sampling is off — logs and
+    dashboards see the exact pre-telemetry schema."""
+    event = step_heartbeat(shard=0, crawled=1, total=2, domain="a.example",
+                           status="success", attempts=1, requests=3,
+                           retried=0, quarantined=0)
+    assert "resources" not in event.as_dict()
+    closing = final_heartbeat(shard=0, crawled=2, total=2, retried=0,
+                              quarantined=0)
+    assert "resources" not in closing.as_dict()
+
+
+def test_heartbeat_resources_serialize_sorted():
+    event = HeartbeatEvent(shard=0, crawled=1, total=1,
+                           resources={"b_key": 2.0, "a_key": 1.0})
+    assert list(event.as_dict()["resources"]) == ["a_key", "b_key"]
+
+
+# -- the engine surface ---------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_every_shard_result_carries_a_sample(workers):
+    result = _engine(workers, resources=True).run()
+    assert result.complete
+    assert sorted(result.resources) == list(range(_NUM_SHARDS))
+    for sample in result.resources.values():
+        assert set(sample) == _RESOURCE_KEYS
+        assert sample["max_rss_kb"] > 0
+        assert sample["cpu_user_seconds"] >= 0
+
+
+def test_engine_without_the_flag_samples_nothing():
+    result = _engine(2).run()
+    assert result.complete
+    assert result.resources == {}
+
+
+# -- reconciliation: heartbeat == ShardResult == manifest -----------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_final_heartbeat_sample_is_the_shard_result_sample(workers):
+    sink = ProgressAggregator()
+    result = _engine(workers, resources=True, progress=sink).run()
+    usage = sink.resource_usage()
+    assert usage["shards"] == {str(index): sample
+                               for index, sample in result.resources.items()}
+    assert usage["totals"] == aggregate_resources(result.resources.values())
+
+
+def test_manifest_reconciles_with_the_shard_results(tmp_path):
+    result = _engine(2, resources=True,
+                     checkpoint_dir=str(tmp_path)).run()
+    assert result.complete
+    manifest = load_manifest(str(tmp_path))
+    assert manifest["resources"]["shards"] == {
+        str(index): sample for index, sample in result.resources.items()}
+    assert manifest["resources"]["totals"] == aggregate_resources(
+        result.resources.values())
+    # The manifest is plain sorted JSON on disk, not just in memory.
+    raw = json.loads(open(os.path.join(str(tmp_path),
+                                       MANIFEST_NAME)).read())
+    assert raw["resources"] == manifest["resources"]
+
+
+def test_manifest_without_telemetry_has_no_resources_section(tmp_path):
+    assert _engine(2, checkpoint_dir=str(tmp_path)).run().complete
+    assert "resources" not in load_manifest(str(tmp_path))
+
+
+# -- the progress log and snapshot ----------------------------------------
+
+
+def test_progress_jsonl_carries_per_shard_samples(tmp_path):
+    path = str(tmp_path / "progress.jsonl")
+    with ProgressAggregator(jsonl_path=path) as sink:
+        _study(0, 2, resources=True, progress=sink).crawl()
+    events = read_progress_log(path)
+    finals = [event for event in events if event["final"]]
+    assert len(finals) == _NUM_SHARDS
+    for event in finals:
+        assert set(event["resources"]) == _RESOURCE_KEYS
+    # Step heartbeats sample too (live dashboards see usage mid-shard).
+    steps = [event for event in events if not event["final"]]
+    assert steps and all("resources" in event for event in steps)
+
+
+def test_snapshot_includes_resources_only_when_sampled():
+    plain = ProgressAggregator()
+    _study(0, 2, progress=plain).crawl()
+    assert "resources" not in plain.snapshot()
+    assert plain.resource_usage() == {}
+
+    sampled = ProgressAggregator()
+    _study(0, 2, resources=True, progress=sampled).crawl()
+    snapshot = sampled.snapshot()
+    assert sorted(snapshot["resources"]["shards"]) == [
+        str(index) for index in range(_NUM_SHARDS)]
+    totals = snapshot["resources"]["totals"]
+    assert totals["max_rss_kb"] >= max(
+        sample["max_rss_kb"]
+        for sample in snapshot["resources"]["shards"].values())
+
+
+def test_serial_study_samples_through_the_emit_path():
+    """A workers=1 study crawls serially (one logical shard); the
+    sampler still rides its heartbeats and surfaces in the snapshot."""
+    sink = ProgressAggregator()
+    _study(0, 1, resources=True, progress=sink).crawl()
+    usage = sink.resource_usage()
+    assert sorted(usage["shards"]) == ["0"]
+    assert set(usage["shards"]["0"]) == _RESOURCE_KEYS
+    assert usage["totals"]["max_rss_kb"] \
+        == usage["shards"]["0"]["max_rss_kb"]
+
+
+def test_in_process_shards_get_per_shard_deltas():
+    """workers=1 on the *engine* runs every shard in one process; the
+    per-shard sampler rebaselines, so CPU deltas sum instead of each
+    shard re-reporting the process's cumulative counters."""
+    result = _engine(1, resources=True).run()
+    totals = aggregate_resources(result.resources.values())
+    assert totals["cpu_user_seconds"] == pytest.approx(sum(
+        sample["cpu_user_seconds"]
+        for sample in result.resources.values()), abs=1e-6)
+    # Cumulative counters would make every shard's reading ~equal to
+    # the process total; deltas keep the sum near one process's usage.
+    import resource as resource_module
+    process_total = resource_module.getrusage(
+        resource_module.RUSAGE_SELF).ru_utime
+    assert totals["cpu_user_seconds"] <= process_total + 1e-6

@@ -1,0 +1,215 @@
+"""RuntimeMetrics registry + resource sampling: the ops telemetry core.
+
+These are the wall-clock-side primitives (see ``repro.obs.runtime``'s
+module docstring for the domain contract); the determinism-side
+invariance proof lives in ``tests/test_obs_resources.py``.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.runtime import (
+    LATENCY_BUCKETS,
+    ResourceSampler,
+    RuntimeMetrics,
+    aggregate_resources,
+    render_ticker,
+    sample_resources,
+    wall_now,
+)
+
+# -- counters / gauges ----------------------------------------------------
+
+
+def test_counter_accumulates_per_label_set():
+    metrics = RuntimeMetrics()
+    metrics.inc("requests", labels={"method": "GET"})
+    metrics.inc("requests", labels={"method": "GET"})
+    metrics.inc("requests", 3, labels={"method": "POST"})
+    metrics.inc("requests")
+    assert metrics.value("requests", labels={"method": "GET"}) == 2
+    assert metrics.value("requests", labels={"method": "POST"}) == 3
+    assert metrics.value("requests") == 1
+
+
+def test_label_order_does_not_split_series():
+    metrics = RuntimeMetrics()
+    metrics.inc("hits", labels={"a": "1", "b": "2"})
+    metrics.inc("hits", labels={"b": "2", "a": "1"})
+    assert metrics.value("hits", labels={"b": "2", "a": "1"}) == 2
+    (family,) = metrics.families()
+    assert len(family["series"]) == 1
+
+
+def test_gauge_set_and_add():
+    metrics = RuntimeMetrics()
+    metrics.set_gauge("depth", 4)
+    metrics.set_gauge("depth", 2)
+    assert metrics.value("depth") == 2
+    metrics.add_gauge("subscribers", 1)
+    metrics.add_gauge("subscribers", 1)
+    metrics.add_gauge("subscribers", -1)
+    assert metrics.value("subscribers") == 1
+
+
+def test_missing_series_reads_as_zero():
+    metrics = RuntimeMetrics()
+    assert metrics.value("never_touched") == 0.0
+    assert metrics.value("never_touched", labels={"x": "y"}) == 0.0
+
+
+# -- histograms -----------------------------------------------------------
+
+
+def test_histogram_observe_and_snapshot():
+    metrics = RuntimeMetrics()
+    metrics.observe("latency", 0.003, bounds=(0.01, 1.0))
+    metrics.observe("latency", 0.5, bounds=(0.01, 1.0))
+    metrics.observe("latency", 30.0)     # bounds fixed on first touch
+    (family,) = metrics.families()
+    assert family["kind"] == "histogram"
+    assert family["bounds"] == [0.01, 1.0]
+    (entry,) = family["series"]
+    histogram = entry["histogram"]
+    assert histogram["count"] == 3
+    assert histogram["bucket_counts"] == [1, 1, 1]
+    assert histogram["total"] == pytest.approx(30.503)
+
+
+def test_histogram_default_bounds_are_latency_buckets():
+    metrics = RuntimeMetrics()
+    metrics.observe("latency", 0.1)
+    (family,) = metrics.families()
+    assert tuple(family["bounds"]) == LATENCY_BUCKETS
+
+
+def test_kind_conflict_raises():
+    metrics = RuntimeMetrics()
+    metrics.inc("thing")
+    with pytest.raises(ValueError, match="is a counter"):
+        metrics.set_gauge("thing", 1)
+    with pytest.raises(ValueError, match="cannot use it as a histogram"):
+        metrics.observe("thing", 1.0)
+
+
+def test_histogram_families_report_zero_via_value():
+    """value() is the scalar read path; histograms read as 0 there."""
+    metrics = RuntimeMetrics()
+    metrics.observe("latency", 1.0)
+    assert metrics.value("latency") == 0.0
+
+
+# -- snapshot semantics ---------------------------------------------------
+
+
+def test_families_snapshot_is_sorted_and_detached():
+    metrics = RuntimeMetrics()
+    metrics.inc("zeta")
+    metrics.set_gauge("alpha", 1)
+    snapshot = metrics.families()
+    assert [family["name"] for family in snapshot] == ["alpha", "zeta"]
+    # Mutating the registry does not reach into an earlier snapshot.
+    metrics.inc("zeta", 10)
+    assert snapshot[1]["series"][0]["value"] == 1
+
+
+def test_help_sticks_from_first_non_empty():
+    metrics = RuntimeMetrics()
+    metrics.inc("requests")
+    metrics.inc("requests", help="Requests served.")
+    metrics.inc("requests", help="A different string, ignored.")
+    (family,) = metrics.families()
+    assert family["help"] == "Requests served."
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    metrics = RuntimeMetrics()
+
+    def spin():
+        for _ in range(500):
+            metrics.inc("hits")
+            metrics.observe("lat", 0.001)
+
+    threads = [threading.Thread(target=spin) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert metrics.value("hits") == 2000
+    (family,) = [f for f in metrics.families() if f["name"] == "lat"]
+    assert family["series"][0]["histogram"]["count"] == 2000
+
+
+# -- the ops clock --------------------------------------------------------
+
+
+def test_wall_now_is_monotonic_nondecreasing():
+    first = wall_now()
+    second = wall_now()
+    assert second >= first
+
+
+# -- resource sampling ----------------------------------------------------
+
+
+def test_sample_resources_has_the_documented_keys():
+    sample = sample_resources()
+    assert sample["gc_collections"] >= 0
+    assert sample["gc_collected"] >= 0
+    # Linux CI always has the resource module.
+    assert sample["cpu_user_seconds"] >= 0
+    assert sample["max_rss_kb"] > 0
+
+
+def test_sampler_reports_deltas_not_cumulative_counters():
+    sampler = ResourceSampler()
+    # Burn a little CPU so the delta is visibly small but non-negative.
+    sum(index * index for index in range(20000))
+    sample = sampler.sample()
+    cumulative = sample_resources()
+    assert 0 <= sample["cpu_user_seconds"] <= cumulative["cpu_user_seconds"]
+    assert sample["gc_collections"] <= cumulative["gc_collections"]
+    # Peak keys stay absolute: a high-water mark has no delta.
+    assert sample["max_rss_kb"] == pytest.approx(cumulative["max_rss_kb"],
+                                                 rel=0.5)
+    assert sample["max_rss_kb"] > 0
+
+
+def test_aggregate_sums_deltas_and_maxes_peaks():
+    merged = aggregate_resources([
+        {"cpu_user_seconds": 1.5, "max_rss_kb": 100.0, "gc_collections": 2},
+        {"cpu_user_seconds": 0.5, "max_rss_kb": 300.0, "gc_collections": 1},
+    ])
+    assert merged == {"cpu_user_seconds": 2.0, "gc_collections": 3.0,
+                      "max_rss_kb": 300.0}
+    assert list(merged) == sorted(merged)
+
+
+def test_aggregate_of_nothing_is_empty():
+    assert aggregate_resources([]) == {}
+
+
+# -- the ticker -----------------------------------------------------------
+
+
+def test_render_ticker_reads_scraped_series():
+    line = render_ticker({
+        'repro_service_jobs{state="queued"}': 2.0,
+        'repro_service_jobs{state="running"}': 1.0,
+        "repro_service_queue_depth": 2.0,
+        "repro_service_queue_capacity": 16.0,
+        "repro_service_sse_subscribers": 3.0,
+        "repro_http_bytes_sent_total": 2048.0,
+        "repro_service_uptime_seconds": 12.7,
+    })
+    assert "jobs queued 2 running 1" in line
+    assert "queue 2/16" in line
+    assert "sse 3" in line
+    assert "2.0 KB sent" in line
+    assert "up 12s" in line
+
+
+def test_render_ticker_tolerates_an_empty_scrape():
+    line = render_ticker({})
+    assert "jobs none" in line and "queue 0/0" in line

@@ -88,11 +88,12 @@ def _parse(resp):
     return body
 
 
-def sse_frames(url):
+def sse_frames(url, headers=None):
     """Consume one SSE stream to connection close; yield parsed frames."""
     frames = []
     frame = {}
-    with urllib.request.urlopen(url, timeout=TIMEOUT) as resp:
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=TIMEOUT) as resp:
         assert resp.headers["Content-Type"].startswith("text/event-stream")
         for raw in resp:
             line = raw.decode().rstrip("\n")
@@ -128,6 +129,19 @@ def test_healthz_reports_capacity(base):
     assert body["service"] == "repro-serve"
     assert body["accepting"] is True
     assert body["queue"]["capacity"] == 4
+
+
+def test_healthz_carries_schema_uptime_and_drain_state(base):
+    from repro.service.server import HEALTH_SCHEMA_VERSION
+
+    _, _, body = fetch(base + "/healthz")
+    assert body["schema"] == HEALTH_SCHEMA_VERSION == 2
+    assert body["draining"] is False
+    assert body["uptime_seconds"] >= 0
+    assert body["queue"]["depth"] >= 0
+    # Uptime advances between probes of a live service.
+    _, _, later = fetch(base + "/healthz")
+    assert later["uptime_seconds"] >= body["uptime_seconds"]
 
 
 def test_status_document_after_completion(base, finished_job):
@@ -194,6 +208,31 @@ def test_sse_replay_after_completion_is_identical(base, finished_job):
     job_id, live_frames = finished_job
     replayed = sse_frames("%s/studies/%s/events" % (base, job_id))
     assert replayed == live_frames
+
+
+def test_sse_reconnect_resumes_after_last_event_id(base, finished_job):
+    """``Last-Event-ID: N`` replays from frame N+1 — the standard SSE
+    reconnect contract, so a dropped client never re-processes frames."""
+    job_id, live_frames = finished_job
+    url = "%s/studies/%s/events" % (base, job_id)
+    resumed = sse_frames(url, headers={"Last-Event-ID": "2"})
+    assert resumed == live_frames[3:]
+    assert int(resumed[0]["id"]) == 3
+
+
+def test_sse_reconnect_past_the_end_yields_nothing(base, finished_job):
+    job_id, live_frames = finished_job
+    url = "%s/studies/%s/events" % (base, job_id)
+    last_id = live_frames[-1]["id"]
+    assert sse_frames(url, headers={"Last-Event-ID": last_id}) == []
+
+
+def test_sse_garbage_last_event_id_replays_everything(base, finished_job):
+    job_id, live_frames = finished_job
+    url = "%s/studies/%s/events" % (base, job_id)
+    for bogus in ("not-a-number", "-7", ""):
+        assert sse_frames(url, headers={"Last-Event-ID": bogus}) \
+            == live_frames
 
 
 # -- submission errors ----------------------------------------------------
@@ -292,3 +331,100 @@ def test_crowd_job_over_http(base):
     assert result["kind"] == "crowd"
     # Crowd runs record no trace: documented as 404, not an error page.
     assert fetch("%s/studies/%s/trace" % (base, body["id"]))[0] == 404
+
+
+# -- /metrics -------------------------------------------------------------
+
+
+def scrape(base):
+    from repro.obs.exposition import parse_exposition
+
+    with urllib.request.urlopen(base + "/metrics",
+                                timeout=TIMEOUT) as resp:
+        assert resp.status == 200
+        assert resp.headers["Content-Type"] == \
+            "text/plain; version=0.0.4; charset=utf-8"
+        return parse_exposition(resp.read().decode("utf-8"))
+
+
+def test_metrics_serves_the_required_series(base, finished_job):
+    values = scrape(base)
+    assert values['repro_service_submissions_total{outcome="accepted"}'] >= 1
+    assert values['repro_service_jobs{state="complete"}'] >= 1
+    assert values["repro_service_queue_capacity"] == 4
+    assert values["repro_service_accepting"] == 1
+    assert values["repro_service_uptime_seconds"] > 0
+    assert values["repro_service_submit_seconds_count"] >= 1
+    assert values["repro_service_job_run_seconds_count"] >= 1
+    assert values['repro_service_jobs_finished_total{state="complete"}'] >= 1
+    assert values['repro_http_requests_total{method="GET",status="200"}'] >= 1
+    assert values["repro_http_bytes_sent_total"] > 0
+
+
+def test_metrics_renders_every_job_state_even_at_zero(base):
+    from repro.service.jobs import JOB_STATES
+
+    values = scrape(base)
+    for state in JOB_STATES:
+        assert 'repro_service_jobs{state="%s"}' % state in values
+
+
+def test_metrics_update_across_a_job_lifecycle(base):
+    """Counters move between scrapes bracketing a submit + run: the
+    registry is live service state, not a static page."""
+    before = scrape(base)
+
+    def delta(values, series):
+        return values.get(series, 0.0) - before.get(series, 0.0)
+
+    # An invalid spec counts as an "invalid" submission, nothing else.
+    assert fetch(base + "/studies", payload={"sites": -1})[0] == 400
+    mid = scrape(base)
+    assert delta(mid, 'repro_service_submissions_total'
+                      '{outcome="invalid"}') == 1
+    assert delta(mid, 'repro_service_submissions_total'
+                      '{outcome="accepted"}') == 0
+
+    # A real job: accepted, run to completion, latency observed.
+    status, _, body = fetch(base + "/studies", payload=SPEC)
+    assert status == 202
+    frames = sse_frames(base + body["events"])
+    assert json.loads(frames[-1]["data"])["state"] == "complete"
+    after = scrape(base)
+    assert delta(after, 'repro_service_submissions_total'
+                        '{outcome="accepted"}') == 1
+    assert delta(after, 'repro_service_jobs_finished_total'
+                        '{state="complete"}') == 1
+    assert delta(after, "repro_service_job_run_seconds_count") == 1
+    assert delta(after, "repro_service_submit_seconds_count") == 1
+    assert delta(after, 'repro_http_requests_total'
+                        '{method="POST",status="202"}') == 1
+    assert delta(after, "repro_http_bytes_sent_total") > 0
+
+
+def test_metrics_counts_rejected_submissions(parked_base):
+    """On the parked service (capacity 1) a second submit is rejected
+    and the scrape says so — whichever test filled the queue first."""
+    before = scrape(parked_base)
+    status = fetch(parked_base + "/studies", payload=SPEC)[0]
+    after = scrape(parked_base)
+    outcome = "accepted" if status == 202 else "rejected"
+    assert status in (202, 503)
+    series = 'repro_service_submissions_total{outcome="%s"}' % outcome
+    assert after[series] - before.get(series, 0.0) == 1
+    assert after["repro_service_queue_capacity"] == 1
+    assert after["repro_service_queue_depth"] >= 1
+
+
+def test_metrics_is_get_only(base):
+    status, headers, _ = fetch(base + "/metrics", payload={})
+    assert status == 405
+    assert "GET" in headers["Allow"]
+
+
+def test_sse_subscriber_gauge_returns_to_zero(base, finished_job):
+    """Replay streams open and close promptly; once no client is
+    connected the gauge reads 0 again."""
+    job_id, _ = finished_job
+    sse_frames("%s/studies/%s/events" % (base, job_id))
+    assert scrape(base)["repro_service_sse_subscribers"] == 0
